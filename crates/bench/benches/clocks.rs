@@ -1,0 +1,60 @@
+//! Micro-benchmarks of the time bases (Sections 2 and 4.3): shared-counter
+//! stamps vs vector/plausible-clock operations of different sizes — the
+//! space/accuracy/runtime trade-off behind the paper's "the overheads of
+//! vector clocks ... are quite high".
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use zstm_clock::{CausalStamp, CausalTimeBase, RevClock, ScalarClock, SimRealTimeClock, TimeBase};
+
+fn bench_clocks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clocks");
+
+    let scalar = ScalarClock::new();
+    group.bench_function("scalar_now", |b| b.iter(|| black_box(scalar.now(0))));
+    group.bench_function("scalar_commit_stamp", |b| {
+        b.iter(|| black_box(scalar.commit_stamp(0)))
+    });
+
+    let realtime = SimRealTimeClock::new(4, 1_000, 42);
+    group.bench_function("realtime_now", |b| b.iter(|| black_box(realtime.now(0))));
+    group.bench_function("realtime_commit_stamp", |b| {
+        b.iter(|| black_box(realtime.commit_stamp(0)))
+    });
+
+    for r in [1usize, 4, 32] {
+        let clock = RevClock::new(32, r);
+        group.bench_function(format!("rev{r}_advance"), |b| {
+            b.iter_batched(
+                || clock.zero(),
+                |mut stamp| {
+                    clock.advance(0, &mut stamp);
+                    stamp
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        let mut a = clock.zero();
+        let mut b_stamp = clock.zero();
+        clock.advance(0, &mut a);
+        clock.advance(r.min(31), &mut b_stamp);
+        group.bench_function(format!("rev{r}_cmp"), |b| {
+            b.iter(|| black_box(a.causal_cmp(&b_stamp)))
+        });
+        group.bench_function(format!("rev{r}_join"), |b| {
+            b.iter_batched(
+                || a.clone(),
+                |mut stamp| {
+                    stamp.join(&b_stamp);
+                    stamp
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_clocks);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation C: contention-manager comparison under a high-contention
+//! array workload (the "liveness of the system" knob of Section 4.1).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zstm_bench::{ablation_contention, ablation_plausible_r};
+use zstm_workload::print_table;
+
+fn bench_contention(c: &mut Criterion) {
+    let rows = ablation_contention(2, Duration::from_millis(150));
+    println!("\n## Ablation C: contention managers (2 threads, 16 objects, 80% writes)");
+    println!("{:>12} {:>14} {:>12}", "policy", "commits/s", "abort ratio");
+    for (policy, commits, aborts) in &rows {
+        println!("{policy:>12} {commits:>14.1} {aborts:>12.3}");
+    }
+
+    let (throughput, aborts) = ablation_plausible_r(2, Duration::from_millis(150));
+    println!(
+        "\n{}",
+        print_table("Ablation A: CS-STM over plausible clocks (x = r)", &[throughput, aborts])
+    );
+
+    // A nominal criterion measurement so the bench integrates with
+    // `cargo bench` regression tracking.
+    let mut group = c.benchmark_group("contention");
+    group.sample_size(10);
+    group.bench_function("polite_highcontention_50ms", |b| {
+        b.iter(|| {
+            let rows = ablation_contention(2, Duration::from_millis(50));
+            rows.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_contention);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 6 (read-only Compute-Total): prints the paper's two panels with
+//! a short per-point duration, then lets criterion measure one
+//! representative Z-STM bank round for regression tracking.
+//!
+//! For publication-quality numbers run
+//! `cargo run --release -p zstm-bench --bin repro-figures -- fig6`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zstm_bench::figure6;
+use zstm_core::StmConfig;
+use zstm_workload::{print_table, run_bank, BankConfig};
+use zstm_z::ZStm;
+
+fn bench_fig6(c: &mut Criterion) {
+    let threads = [1, 2, 8];
+    let figure = figure6(&threads, Duration::from_millis(150));
+    println!(
+        "\n{}",
+        print_table("Figure 6 left: Compute-Total (read-only) [Tx/s]", &figure.totals)
+    );
+    println!(
+        "{}",
+        print_table("Figure 6 right: Transfers [Tx/s]", &figure.transfers)
+    );
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("bank_zstm_2threads_50ms", |b| {
+        b.iter(|| {
+            let mut config = BankConfig::quick(2);
+            config.duration = Duration::from_millis(50);
+            let stm = Arc::new(ZStm::new(StmConfig::new(config.threads + 1)));
+            let report = run_bank(&stm, &config);
+            assert!(report.conserved);
+            report.transfer_commits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

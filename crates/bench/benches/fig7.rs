@@ -1,0 +1,41 @@
+//! Figure 7 (update Compute-Total): LSA-STM collapses to ~0 Compute-Total
+//! throughput, Z-STM sustains it without hurting transfers.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zstm_bench::figure7;
+use zstm_core::StmConfig;
+use zstm_workload::{print_table, run_bank, BankConfig};
+use zstm_z::ZStm;
+
+fn bench_fig7(c: &mut Criterion) {
+    let threads = [1, 2, 8];
+    let figure = figure7(&threads, Duration::from_millis(150));
+    println!(
+        "\n{}",
+        print_table("Figure 7 left: Compute-Total (update) [Tx/s]", &figure.totals)
+    );
+    println!(
+        "{}",
+        print_table("Figure 7 right: Transfers [Tx/s]", &figure.transfers)
+    );
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("bank_zstm_update_totals_50ms", |b| {
+        b.iter(|| {
+            let mut config = BankConfig::quick(2).with_update_totals();
+            config.duration = Duration::from_millis(50);
+            let stm = Arc::new(ZStm::new(StmConfig::new(config.threads + 1)));
+            let report = run_bank(&stm, &config);
+            assert!(report.conserved);
+            report.total_commits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

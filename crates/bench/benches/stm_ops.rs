@@ -1,0 +1,85 @@
+//! Per-operation cost of each STM (single-threaded): a read-modify-write
+//! transaction over two variables, plus a read-only scan — the per-access
+//! overhead comparison behind DESIGN.md ablation B.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use zstm_clock::RevClock;
+use zstm_core::{atomically, RetryPolicy, StmConfig, TmFactory, TmTx, TxKind};
+use zstm_cs::CsStm;
+use zstm_lsa::LsaStm;
+use zstm_sstm::SStm;
+use zstm_tl2::Tl2Stm;
+use zstm_z::ZStm;
+
+fn bench_stm<F: TmFactory>(c: &mut Criterion, label: &str, stm: Arc<F>) {
+    let vars: Vec<F::Var<i64>> = (0..16).map(|_| stm.new_var(0i64)).collect();
+    let mut thread = stm.register_thread();
+    let policy = RetryPolicy::default();
+
+    let mut group = c.benchmark_group(format!("stm_ops/{label}"));
+    group.bench_function("rmw_2vars", |b| {
+        b.iter(|| {
+            atomically(&mut thread, TxKind::Short, &policy, |tx| {
+                let a = tx.read(&vars[0])?;
+                let c = tx.read(&vars[1])?;
+                tx.write(&vars[0], a + 1)?;
+                tx.write(&vars[1], c - 1)
+            })
+            .expect("commit")
+        })
+    });
+    group.bench_function("readonly_scan_16", |b| {
+        b.iter(|| {
+            let sum = atomically(&mut thread, TxKind::Short, &policy, |tx| {
+                let mut sum = 0i64;
+                for var in &vars {
+                    sum += tx.read(var)?;
+                }
+                Ok(sum)
+            })
+            .expect("commit");
+            black_box(sum)
+        })
+    });
+    group.bench_function("long_scan_16", |b| {
+        b.iter(|| {
+            let sum = atomically(&mut thread, TxKind::Long, &policy, |tx| {
+                let mut sum = 0i64;
+                for var in &vars {
+                    sum += tx.read(var)?;
+                }
+                Ok(sum)
+            })
+            .expect("commit");
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+fn bench_stm_ops(c: &mut Criterion) {
+    bench_stm(c, "lsa", Arc::new(LsaStm::new(StmConfig::new(1))));
+    bench_stm(c, "tl2", Arc::new(Tl2Stm::new(StmConfig::new(1))));
+    bench_stm(
+        c,
+        "cs-vector",
+        Arc::new(CsStm::with_vector_clock(StmConfig::new(1))),
+    );
+    bench_stm(
+        c,
+        "cs-rev1",
+        Arc::new(CsStm::with_plausible_clock(StmConfig::new(1), 1)),
+    );
+    bench_stm(
+        c,
+        "s-stm",
+        Arc::new(SStm::<RevClock>::with_vector_clock(StmConfig::new(1))),
+    );
+    bench_stm(c, "z-stm", Arc::new(ZStm::new(StmConfig::new(1))));
+}
+
+criterion_group!(benches, bench_stm_ops);
+criterion_main!(benches);

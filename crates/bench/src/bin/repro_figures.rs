@@ -1,0 +1,179 @@
+//! Regenerates the paper's figures and the DESIGN.md ablations.
+//!
+//! ```text
+//! repro-figures [fig6|fig7|ablation-r|ablation-overhead|ablation-longfrac|contention|all]
+//!               [--duration-ms N] [--threads 1,2,8,16,32]
+//! ```
+//!
+//! Prints the series as aligned tables (the same rows the paper plots) and
+//! writes gnuplot-ready data files under `target/figures/`.
+
+use std::fs;
+use std::path::Path;
+use std::time::Duration;
+
+use zstm_bench::{
+    ablation_contention, ablation_long_fraction, ablation_overhead, ablation_plausible_r,
+    figure6, figure7, BankFigure, PAPER_THREADS,
+};
+use zstm_workload::{print_table, Series};
+
+struct Options {
+    command: String,
+    duration: Duration,
+    threads: Vec<usize>,
+}
+
+fn parse_args() -> Options {
+    let mut command = "all".to_string();
+    let mut duration = Duration::from_millis(1_000);
+    let mut threads: Vec<usize> = PAPER_THREADS.to_vec();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--duration-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--duration-ms needs an integer");
+                duration = Duration::from_millis(ms);
+            }
+            "--threads" => {
+                let list = args.next().expect("--threads needs a list like 1,2,8");
+                threads = list
+                    .split(',')
+                    .map(|t| t.parse().expect("thread counts are integers"))
+                    .collect();
+            }
+            other if !other.starts_with('-') => command = other.to_string(),
+            other => panic!("unknown flag: {other}"),
+        }
+    }
+    Options {
+        command,
+        duration,
+        threads,
+    }
+}
+
+fn save(name: &str, series: &[Series]) {
+    let dir = Path::new("target/figures");
+    fs::create_dir_all(dir).expect("create target/figures");
+    let mut gnuplot = String::new();
+    let mut csv = String::from("label,x,y\n");
+    for s in series {
+        gnuplot.push_str(&s.to_gnuplot());
+        gnuplot.push('\n');
+        csv.push_str(&s.to_csv());
+    }
+    fs::write(dir.join(format!("{name}.dat")), gnuplot).expect("write .dat");
+    fs::write(dir.join(format!("{name}.csv")), csv).expect("write .csv");
+    println!("(saved target/figures/{name}.dat and .csv)");
+}
+
+fn print_bank_figure(name: &str, title_left: &str, title_right: &str, figure: &BankFigure) {
+    println!("{}", print_table(title_left, &figure.totals));
+    println!("{}", print_table(title_right, &figure.transfers));
+    save(&format!("{name}_totals"), &figure.totals);
+    save(&format!("{name}_transfers"), &figure.transfers);
+}
+
+fn run_fig6(options: &Options) {
+    println!("=== Figure 6: Bank benchmark, read-only Compute-Total ===");
+    let figure = figure6(&options.threads, options.duration);
+    print_bank_figure(
+        "fig6",
+        "Compute-Total transactions (read-only) [Tx/s]",
+        "Transfer transactions [Tx/s]",
+        &figure,
+    );
+}
+
+fn run_fig7(options: &Options) {
+    println!("=== Figure 7: Bank benchmark, update Compute-Total ===");
+    let figure = figure7(&options.threads, options.duration);
+    print_bank_figure(
+        "fig7",
+        "Compute-Total transactions (update) [Tx/s]",
+        "Transfer transactions [Tx/s]",
+        &figure,
+    );
+}
+
+fn run_ablation_r(options: &Options) {
+    println!("=== Ablation A: plausible-clock size r (CS-STM, array workload) ===");
+    let threads = options.threads.iter().copied().max().unwrap_or(4).min(8).max(2);
+    let (throughput, aborts) = ablation_plausible_r(threads, options.duration);
+    println!("{}", print_table("commits/s over r", &[throughput.clone()]));
+    println!("{}", print_table("abort ratio over r", &[aborts.clone()]));
+    save("ablation_r", &[throughput, aborts]);
+}
+
+fn run_ablation_overhead(options: &Options) {
+    println!("=== Ablation B: time-base overhead (array workload) ===");
+    let series = ablation_overhead(&options.threads, options.duration);
+    println!("{}", print_table("commits/s", &series));
+    save("ablation_overhead", &series);
+}
+
+fn run_ablation_longfrac(options: &Options) {
+    println!("=== Ablation D: Compute-Total share sweep (read-only) ===");
+    let threads = options.threads.iter().copied().max().unwrap_or(2).min(8);
+    let figure = ablation_long_fraction(threads, options.duration);
+    println!(
+        "{}",
+        print_table("Compute-Total [Tx/s] over long-%", &figure.totals)
+    );
+    println!(
+        "{}",
+        print_table("Transfers [Tx/s] over long-%", &figure.transfers)
+    );
+    save("ablation_longfrac_totals", &figure.totals);
+    save("ablation_longfrac_transfers", &figure.transfers);
+}
+
+fn run_contention(options: &Options) {
+    println!("=== Ablation C: contention managers (high-contention array) ===");
+    let threads = options.threads.iter().copied().max().unwrap_or(4).min(8).max(2);
+    let rows = ablation_contention(threads, options.duration);
+    println!("{:>12} {:>14} {:>12}", "policy", "commits/s", "abort ratio");
+    for (policy, commits, aborts) in rows {
+        println!("{policy:>12} {commits:>14.1} {aborts:>12.3}");
+    }
+}
+
+fn main() {
+    let options = parse_args();
+    println!(
+        "zstm figure reproduction — {} ms per data point, threads {:?}",
+        options.duration.as_millis(),
+        options.threads
+    );
+    println!(
+        "(absolute numbers depend on this machine; the paper's claims are \
+         about the relative shapes — see EXPERIMENTS.md)\n"
+    );
+    match options.command.as_str() {
+        "fig6" => run_fig6(&options),
+        "fig7" => run_fig7(&options),
+        "ablation-r" => run_ablation_r(&options),
+        "ablation-overhead" => run_ablation_overhead(&options),
+        "ablation-longfrac" => run_ablation_longfrac(&options),
+        "contention" => run_contention(&options),
+        "all" => {
+            run_fig6(&options);
+            run_fig7(&options);
+            run_ablation_r(&options);
+            run_ablation_overhead(&options);
+            run_ablation_longfrac(&options);
+            run_contention(&options);
+        }
+        other => {
+            eprintln!(
+                "unknown command '{other}'; expected fig6 | fig7 | ablation-r | \
+                 ablation-overhead | ablation-longfrac | contention | all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

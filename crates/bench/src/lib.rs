@@ -1,0 +1,265 @@
+//! Shared sweep logic for the figure-reproduction binary and the criterion
+//! benches.
+//!
+//! Every public function regenerates one figure or ablation from
+//! `DESIGN.md` §3 and returns the series the paper plots. The caller
+//! chooses the measurement duration: the `repro-figures` binary uses
+//! seconds per point, the criterion benches use tens of milliseconds to
+//! stay fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use zstm_core::{CmPolicy, StmConfig, TmFactory};
+use zstm_cs::CsStm;
+use zstm_lsa::LsaStm;
+use zstm_tl2::Tl2Stm;
+use zstm_workload::{
+    run_array, run_bank, ArrayConfig, BankConfig, BankReport, LongMode, Series,
+};
+use zstm_z::ZStm;
+
+/// Thread counts the paper sweeps in Figures 6 and 7.
+pub const PAPER_THREADS: [usize; 5] = [1, 2, 8, 16, 32];
+
+/// Output of one bank sweep: the two panels of a paper figure.
+#[derive(Clone, Debug)]
+pub struct BankFigure {
+    /// Compute-Total throughput per system (left panel).
+    pub totals: Vec<Series>,
+    /// Transfer throughput per system (right panel).
+    pub transfers: Vec<Series>,
+}
+
+fn bank_config(threads: usize, duration: Duration, mode: LongMode) -> BankConfig {
+    let mut config = BankConfig::paper(threads);
+    config.duration = duration;
+    config.long_mode = mode;
+    config
+}
+
+fn run_bank_point<F: TmFactory>(stm: Arc<F>, config: &BankConfig) -> BankReport {
+    let report = run_bank(&stm, config);
+    assert!(
+        report.conserved,
+        "{}: bank invariant violated at {} threads",
+        report.stm, config.threads
+    );
+    report
+}
+
+/// One system of the Figure 6/7 sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BankSystem {
+    /// Plain LSA-STM (read-only transactions maintain read sets).
+    Lsa,
+    /// "LSA-STM (no readsets)" — the optimized read-only path.
+    LsaNoReadsets,
+    /// Z-STM.
+    Z,
+}
+
+impl BankSystem {
+    /// Label used in the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            BankSystem::Lsa => "LSA-STM",
+            BankSystem::LsaNoReadsets => "LSA-STM (no readsets)",
+            BankSystem::Z => "Z-STM",
+        }
+    }
+
+    fn run(self, config: &BankConfig) -> BankReport {
+        // +1 logical thread for the harness's final audit.
+        let stm_config = StmConfig::new(config.threads + 1);
+        match self {
+            BankSystem::Lsa => run_bank_point(Arc::new(LsaStm::new(stm_config)), config),
+            BankSystem::LsaNoReadsets => {
+                let mut stm_config = stm_config;
+                stm_config.readonly_readsets(false);
+                run_bank_point(Arc::new(LsaStm::new(stm_config)), config)
+            }
+            BankSystem::Z => run_bank_point(Arc::new(ZStm::new(stm_config)), config),
+        }
+    }
+}
+
+fn bank_figure(
+    systems: &[BankSystem],
+    threads: &[usize],
+    duration: Duration,
+    mode: LongMode,
+) -> BankFigure {
+    let mut totals: Vec<Series> = systems.iter().map(|s| Series::new(s.label())).collect();
+    let mut transfers: Vec<Series> = systems.iter().map(|s| Series::new(s.label())).collect();
+    for &n in threads {
+        for (i, system) in systems.iter().enumerate() {
+            let report = system.run(&bank_config(n, duration, mode));
+            totals[i].push(n as f64, report.totals_per_sec);
+            transfers[i].push(n as f64, report.transfers_per_sec);
+        }
+    }
+    BankFigure { totals, transfers }
+}
+
+/// **Figure 6**: bank benchmark with *read-only* Compute-Total
+/// transactions — LSA-STM, LSA-STM (no readsets) and Z-STM.
+pub fn figure6(threads: &[usize], duration: Duration) -> BankFigure {
+    bank_figure(
+        &[BankSystem::Lsa, BankSystem::LsaNoReadsets, BankSystem::Z],
+        threads,
+        duration,
+        LongMode::ReadOnly,
+    )
+}
+
+/// **Figure 7**: bank benchmark with *update* Compute-Total transactions —
+/// LSA-STM collapses, Z-STM sustains.
+pub fn figure7(threads: &[usize], duration: Duration) -> BankFigure {
+    bank_figure(
+        &[BankSystem::Lsa, BankSystem::Z],
+        threads,
+        duration,
+        LongMode::Update,
+    )
+}
+
+/// **Ablation A** (Section 4.3): CS-STM over plausible clocks with
+/// r ∈ {1, 2, 4, n} entries on the random-array workload. Returns
+/// (throughput series, abort-ratio series) over r.
+pub fn ablation_plausible_r(threads: usize, duration: Duration) -> (Series, Series) {
+    let mut throughput = Series::new("CS-STM commits/s");
+    let mut aborts = Series::new("CS-STM abort ratio");
+    let mut config = ArrayConfig::new(threads);
+    // Contended configuration: false orderings from shared clock entries
+    // only become unnecessary aborts when read/write conflicts are common.
+    config.objects = 24;
+    config.tx_size = 6;
+    config.write_pct = 50;
+    config.duration = duration;
+    let mut rs: Vec<usize> = vec![1, 2, 4];
+    if !rs.contains(&threads) {
+        rs.push(threads);
+    }
+    for r in rs {
+        if r > threads {
+            continue;
+        }
+        let stm = Arc::new(CsStm::with_plausible_clock(StmConfig::new(threads), r));
+        let report = run_array(&stm, &config);
+        throughput.push(r as f64, report.commits_per_sec);
+        aborts.push(r as f64, report.abort_ratio());
+    }
+    (throughput, aborts)
+}
+
+/// **Ablation B** (Section 4.4): runtime overhead of vector time — the
+/// random-array workload on every STM. Returns one throughput series per
+/// system over thread counts.
+pub fn ablation_overhead(threads: &[usize], duration: Duration) -> Vec<Series> {
+    let mut lsa = Series::new("LSA-STM");
+    let mut tl2 = Series::new("TL2");
+    let mut cs = Series::new("CS-STM (vector)");
+    let mut z = Series::new("Z-STM");
+    for &n in threads {
+        let mut config = ArrayConfig::new(n);
+        config.duration = duration;
+        let report = run_array(&Arc::new(LsaStm::new(StmConfig::new(n))), &config);
+        lsa.push(n as f64, report.commits_per_sec);
+        let report = run_array(&Arc::new(Tl2Stm::new(StmConfig::new(n))), &config);
+        tl2.push(n as f64, report.commits_per_sec);
+        let report = run_array(
+            &Arc::new(CsStm::with_vector_clock(StmConfig::new(n))),
+            &config,
+        );
+        cs.push(n as f64, report.commits_per_sec);
+        let report = run_array(&Arc::new(ZStm::new(StmConfig::new(n))), &config);
+        z.push(n as f64, report.commits_per_sec);
+    }
+    vec![lsa, tl2, cs, z]
+}
+
+/// **Ablation C**: contention-manager comparison on a high-contention
+/// array workload (LSA-STM). Returns one (policy, commits/s, abort ratio)
+/// row per policy.
+pub fn ablation_contention(
+    threads: usize,
+    duration: Duration,
+) -> Vec<(&'static str, f64, f64)> {
+    let mut rows = Vec::new();
+    for policy in CmPolicy::ALL {
+        let mut stm_config = StmConfig::new(threads);
+        stm_config.cm(policy);
+        let stm = Arc::new(LsaStm::new(stm_config));
+        let mut config = ArrayConfig::new(threads);
+        config.objects = 16; // high contention
+        config.write_pct = 80;
+        config.duration = duration;
+        let report = run_array(&stm, &config);
+        rows.push((
+            policy.build().name(),
+            report.commits_per_sec,
+            report.abort_ratio(),
+        ));
+    }
+    rows
+}
+
+/// **Ablation D**: long-transaction frequency sweep — Compute-Total share
+/// on the mixed thread from 0 % to 50 %, read-only mode, LSA vs Z.
+/// Returns (Compute-Total series, transfer series) per system.
+pub fn ablation_long_fraction(threads: usize, duration: Duration) -> BankFigure {
+    let mut totals = vec![Series::new("LSA-STM"), Series::new("Z-STM")];
+    let mut transfers = vec![Series::new("LSA-STM"), Series::new("Z-STM")];
+    for pct in [0u8, 1, 5, 20, 50] {
+        for (i, system) in [BankSystem::Lsa, BankSystem::Z].iter().enumerate() {
+            let mut config = bank_config(threads, duration, LongMode::ReadOnly);
+            config.total_pct = pct;
+            let report = system.run(&config);
+            totals[i].push(pct as f64, report.totals_per_sec);
+            transfers[i].push(pct as f64, report.transfers_per_sec);
+        }
+    }
+    BankFigure { totals, transfers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FAST: Duration = Duration::from_millis(40);
+
+    #[test]
+    fn figure6_smoke() {
+        let figure = figure6(&[1, 2], FAST);
+        assert_eq!(figure.totals.len(), 3);
+        assert_eq!(figure.transfers.len(), 3);
+        for series in &figure.transfers {
+            assert!(series.points.iter().all(|&(_, y)| y >= 0.0));
+        }
+    }
+
+    #[test]
+    fn figure7_smoke() {
+        let figure = figure7(&[2], FAST);
+        assert_eq!(figure.totals.len(), 2);
+        // Z-STM must commit at least one update Compute-Total even in a
+        // 40 ms window.
+        let z = &figure.totals[1];
+        assert_eq!(z.label, "Z-STM");
+    }
+
+    #[test]
+    fn ablations_smoke() {
+        let (throughput, aborts) = ablation_plausible_r(2, FAST);
+        assert!(!throughput.points.is_empty());
+        assert_eq!(throughput.points.len(), aborts.points.len());
+        let overhead = ablation_overhead(&[2], FAST);
+        assert_eq!(overhead.len(), 4);
+        let contention = ablation_contention(2, FAST);
+        assert_eq!(contention.len(), CmPolicy::ALL.len());
+    }
+}

@@ -1,0 +1,88 @@
+use core::fmt;
+
+/// Outcome of comparing two (possibly partially ordered) timestamps.
+///
+/// For vector timestamps these are exactly the comparison rules of Section 4
+/// of the paper: equality is component-wise equality, `Before`/`After` are
+/// the strict component-wise orders, and everything else is `Concurrent`
+/// (`ti ⊀ tj ∧ tj ⊀ ti`).
+///
+/// # Examples
+///
+/// ```
+/// use zstm_clock::ClockOrd;
+///
+/// assert!(ClockOrd::Before.is_ordered());
+/// assert!(!ClockOrd::Concurrent.is_ordered());
+/// assert_eq!(ClockOrd::Before.reverse(), ClockOrd::After);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ClockOrd {
+    /// The timestamps are identical.
+    Equal,
+    /// The left timestamp strictly precedes the right one (`ti ≺ tj`).
+    Before,
+    /// The left timestamp strictly follows the right one (`tj ≺ ti`).
+    After,
+    /// Neither precedes the other: the events are (reported as) concurrent.
+    Concurrent,
+}
+
+impl ClockOrd {
+    /// Returns `true` unless the comparison is [`ClockOrd::Concurrent`].
+    pub fn is_ordered(self) -> bool {
+        !matches!(self, ClockOrd::Concurrent)
+    }
+
+    /// Swaps the roles of the two compared timestamps.
+    pub fn reverse(self) -> Self {
+        match self {
+            ClockOrd::Before => ClockOrd::After,
+            ClockOrd::After => ClockOrd::Before,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for ClockOrd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let symbol = match self {
+            ClockOrd::Equal => "=",
+            ClockOrd::Before => "<",
+            ClockOrd::After => ">",
+            ClockOrd::Concurrent => "||",
+        };
+        f.write_str(symbol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reverse_is_involutive() {
+        for ord in [
+            ClockOrd::Equal,
+            ClockOrd::Before,
+            ClockOrd::After,
+            ClockOrd::Concurrent,
+        ] {
+            assert_eq!(ord.reverse().reverse(), ord);
+        }
+    }
+
+    #[test]
+    fn ordered_classification() {
+        assert!(ClockOrd::Equal.is_ordered());
+        assert!(ClockOrd::Before.is_ordered());
+        assert!(ClockOrd::After.is_ordered());
+        assert!(!ClockOrd::Concurrent.is_ordered());
+    }
+
+    #[test]
+    fn display_symbols() {
+        assert_eq!(ClockOrd::Concurrent.to_string(), "||");
+        assert_eq!(ClockOrd::Before.to_string(), "<");
+    }
+}

@@ -1,0 +1,185 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use zstm_util::{CachePadded, XorShift64};
+
+use crate::TimeBase;
+
+/// Synchronized real-time clocks with a bounded deviation between them
+/// (Section 2 and reference \[9\] of the paper), *simulated* in software.
+///
+/// The paper observes that real-time clocks scale much better than a shared
+/// counter because threads do not contend on a single cache line, but that
+/// software clocks can only be *internally* synchronized: each thread's
+/// clock may deviate from true time by up to a bound, and "the probability
+/// of spurious aborts increases with the deviation of clocks".
+///
+/// Real deployments would read a hardware clock per core. We do not have
+/// per-core hardware clocks (nor the paper's UltraSPARC T1), so this type
+/// substitutes them with:
+///
+/// * one process-wide monotonic nanosecond source ([`Instant`]) as "true"
+///   time, and
+/// * a fixed per-slot offset drawn uniformly from `[-deviation, 0]`, so a
+///   thread's [`TimeBase::now`] may *lag* true time by up to the deviation
+///   bound (a lagging snapshot time is what causes spurious aborts; a clock
+///   running ahead would instead delay commit visibility, which the fetch-max
+///   in [`TimeBase::commit_stamp`] already rules out).
+///
+/// This preserves exactly the behaviour that matters to a TBTM: snapshot
+/// times may be stale by at most the deviation, and commit stamps remain
+/// unique and monotonic. The substitution is recorded in `DESIGN.md` §4.
+///
+/// # Examples
+///
+/// ```
+/// use zstm_clock::{SimRealTimeClock, TimeBase};
+///
+/// let clock = SimRealTimeClock::new(4, 0, 42); // 4 threads, no skew
+/// let t1 = clock.commit_stamp(0);
+/// let t2 = clock.commit_stamp(2);
+/// assert!(t2 > t1);
+/// ```
+#[derive(Debug)]
+pub struct SimRealTimeClock {
+    origin: Instant,
+    /// Per-slot clock lag in nanoseconds (`now` = true time − lag).
+    lags: Vec<CachePadded<u64>>,
+    /// Largest commit stamp handed out so far; enforces uniqueness.
+    last_commit: CachePadded<AtomicU64>,
+    deviation_ns: u64,
+}
+
+impl SimRealTimeClock {
+    /// Creates a clock set for `slots` logical threads whose per-thread
+    /// deviation from true time is bounded by `deviation_ns` nanoseconds.
+    /// `seed` makes the per-thread offsets reproducible.
+    pub fn new(slots: usize, deviation_ns: u64, seed: u64) -> Self {
+        let mut rng = XorShift64::new(seed);
+        let lags = (0..slots)
+            .map(|_| {
+                let lag = if deviation_ns == 0 {
+                    0
+                } else {
+                    rng.next_range(deviation_ns + 1)
+                };
+                CachePadded::new(lag)
+            })
+            .collect();
+        Self {
+            origin: Instant::now(),
+            lags,
+            last_commit: CachePadded::new(AtomicU64::new(0)),
+            deviation_ns,
+        }
+    }
+
+    /// The configured bound on clock deviation, in nanoseconds.
+    pub fn deviation_ns(&self) -> u64 {
+        self.deviation_ns
+    }
+
+    /// Number of logical threads this clock serves.
+    pub fn slots(&self) -> usize {
+        self.lags.len()
+    }
+
+    fn true_now(&self) -> u64 {
+        // Nanoseconds since clock creation; a u64 lasts ~584 years.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl TimeBase for SimRealTimeClock {
+    /// Reads thread `slot`'s (possibly lagging) clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    fn now(&self, slot: usize) -> u64 {
+        let lag = *self.lags[slot];
+        self.true_now().saturating_sub(lag)
+    }
+
+    /// Waits for the local clock to tick past the last observed commit time,
+    /// mirroring the "wait one clock tick" rule of Section 2, and returns a
+    /// unique stamp.
+    fn commit_stamp(&self, slot: usize) -> u64 {
+        let local = self.now(slot);
+        // A commit stamp must exceed every earlier one even if this thread's
+        // clock lags; the fetch-max loop stands in for waiting out the tick.
+        let mut last = self.last_commit.load(Ordering::Acquire);
+        loop {
+            let candidate = local.max(last + 1);
+            match self.last_commit.compare_exchange_weak(
+                last,
+                candidate,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return candidate,
+                Err(seen) => last = seen,
+            }
+        }
+    }
+
+    fn snapshot_slack(&self) -> u64 {
+        self.deviation_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_deviation_clock_is_monotonic() {
+        let clock = SimRealTimeClock::new(2, 0, 1);
+        let a = clock.now(0);
+        let b = clock.now(1);
+        assert!(b + 1_000_000_000 > a); // same time source, no skew
+        let c1 = clock.commit_stamp(0);
+        let c2 = clock.commit_stamp(1);
+        assert!(c2 > c1);
+    }
+
+    #[test]
+    fn skewed_clock_lags_by_at_most_the_bound() {
+        let deviation = 1_000_000; // 1 ms
+        let clock = SimRealTimeClock::new(8, deviation, 7);
+        for slot in 0..8 {
+            let observed = clock.now(slot);
+            let truth = clock.now_truth_for_test();
+            assert!(truth >= observed);
+            assert!(truth - observed <= deviation + 1_000_000, "slack for elapsed time");
+        }
+    }
+
+    #[test]
+    fn commit_stamps_unique_across_threads() {
+        let clock = Arc::new(SimRealTimeClock::new(4, 10_000, 3));
+        let handles: Vec<_> = (0..4)
+            .map(|slot| {
+                let clock = Arc::clone(&clock);
+                std::thread::spawn(move || {
+                    (0..500).map(|_| clock.commit_stamp(slot)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut stamps: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("clock thread panicked"))
+            .collect();
+        stamps.sort_unstable();
+        let len = stamps.len();
+        stamps.dedup();
+        assert_eq!(stamps.len(), len, "duplicate commit stamps");
+    }
+
+    impl SimRealTimeClock {
+        fn now_truth_for_test(&self) -> u64 {
+            self.true_now()
+        }
+    }
+}

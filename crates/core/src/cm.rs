@@ -1,0 +1,352 @@
+//! Contention managers (the `arbitrate`/`conflict` module of Algorithms
+//! 1–3).
+//!
+//! When two transactions conflict on an object, the STM does not decide who
+//! wins — it delegates to a pluggable *contention manager* "responsible for
+//! the liveness of the system" (Section 4.1). This module provides the
+//! classic DSTM-lineage policies; the benchmarks compare them under the
+//! paper's long/short mix (ablation C in `DESIGN.md`).
+
+use core::fmt;
+use std::sync::Arc;
+
+use crate::{TxShared, TxStatus};
+
+/// Decision returned by a contention manager for one conflict round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resolution {
+    /// Kill the opponent and take the object.
+    AbortOther,
+    /// Abort the calling transaction.
+    AbortSelf,
+    /// Back off and re-examine the conflict.
+    Wait,
+}
+
+/// Arbitration policy between two conflicting transactions.
+///
+/// `me` is the transaction that detected the conflict (the *attacker*),
+/// `other` the current owner (the *victim*). `round` counts how many times
+/// this same conflict has already been retried, letting policies escalate
+/// from waiting to aborting.
+///
+/// Implementations must guarantee progress: for any fixed pair of
+/// transactions, repeated calls with increasing `round` must eventually
+/// return something other than [`Resolution::Wait`].
+pub trait ContentionManager: Send + Sync + 'static {
+    /// Decides the current conflict round.
+    fn resolve(&self, me: &TxShared, other: &TxShared, round: u64) -> Resolution;
+
+    /// Policy name used in benchmark reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Rounds after which the escalating policies stop waiting.
+const PATIENCE: u64 = 16;
+
+/// Always aborts the opponent. Maximum progress for the attacker, maximum
+/// wasted work for everybody else; the paper's "first committer wins"
+/// degenerates into "last attacker wins" under this policy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Aggressive;
+
+impl ContentionManager for Aggressive {
+    fn resolve(&self, _me: &TxShared, _other: &TxShared, _round: u64) -> Resolution {
+        Resolution::AbortOther
+    }
+
+    fn name(&self) -> &'static str {
+        "aggressive"
+    }
+}
+
+/// Always aborts itself. Dual of [`Aggressive`]; useful as a worst case in
+/// the contention ablation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Suicide;
+
+impl ContentionManager for Suicide {
+    fn resolve(&self, _me: &TxShared, _other: &TxShared, _round: u64) -> Resolution {
+        Resolution::AbortSelf
+    }
+
+    fn name(&self) -> &'static str {
+        "suicide"
+    }
+}
+
+/// Backs off with bounded patience, then aborts the opponent.
+///
+/// This is the default policy: it resolves transient conflicts without any
+/// abort at all (the opponent usually commits during the wait) and degrades
+/// to [`Aggressive`] for persistent ones.
+#[derive(Clone, Copy, Debug)]
+pub struct Polite {
+    patience: u64,
+}
+
+impl Polite {
+    /// Creates the policy with an explicit number of waiting rounds.
+    pub fn with_patience(patience: u64) -> Self {
+        Self { patience }
+    }
+}
+
+impl Default for Polite {
+    fn default() -> Self {
+        Self::with_patience(PATIENCE)
+    }
+}
+
+impl ContentionManager for Polite {
+    fn resolve(&self, _me: &TxShared, other: &TxShared, round: u64) -> Resolution {
+        if other.status() != TxStatus::Active {
+            // The opponent finished while we were backing off; the caller
+            // re-examines the object and will no longer conflict.
+            return Resolution::Wait;
+        }
+        if round < self.patience {
+            Resolution::Wait
+        } else {
+            Resolution::AbortOther
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "polite"
+    }
+}
+
+/// Karma: transactions accumulate priority proportional to the work they
+/// have invested (objects opened, carried across retries). The attacker
+/// wins only once its karma plus the rounds it has waited exceeds the
+/// victim's karma — so a long transaction that has opened hundreds of
+/// objects is not killed by a two-access transfer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Karma;
+
+impl ContentionManager for Karma {
+    fn resolve(&self, me: &TxShared, other: &TxShared, round: u64) -> Resolution {
+        if other.status() != TxStatus::Active {
+            return Resolution::Wait;
+        }
+        if me.karma().saturating_add(round) >= other.karma() {
+            Resolution::AbortOther
+        } else {
+            Resolution::Wait
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "karma"
+    }
+}
+
+/// Timestamp: the older transaction (smaller start sequence) wins. The
+/// younger attacker waits with bounded patience and then aborts itself,
+/// which makes the policy livelock-free: the oldest active transaction is
+/// never the one that self-aborts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Timestamp;
+
+impl ContentionManager for Timestamp {
+    fn resolve(&self, me: &TxShared, other: &TxShared, round: u64) -> Resolution {
+        if other.status() != TxStatus::Active {
+            return Resolution::Wait;
+        }
+        if me.start_seq() < other.start_seq() {
+            Resolution::AbortOther
+        } else if round < PATIENCE {
+            Resolution::Wait
+        } else {
+            Resolution::AbortSelf
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "timestamp"
+    }
+}
+
+/// Greedy: like [`Timestamp`], but an opponent that is itself blocked
+/// waiting (its `waiting` flag is set) is killed immediately, which bounds
+/// the length of waiting chains.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Greedy;
+
+impl ContentionManager for Greedy {
+    fn resolve(&self, me: &TxShared, other: &TxShared, round: u64) -> Resolution {
+        if other.status() != TxStatus::Active {
+            return Resolution::Wait;
+        }
+        if me.start_seq() < other.start_seq() || other.is_waiting() {
+            Resolution::AbortOther
+        } else if round < PATIENCE {
+            Resolution::Wait
+        } else {
+            Resolution::AbortSelf
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "greedy"
+    }
+}
+
+/// Selectable contention-management policy, the configuration-friendly
+/// counterpart of the [`ContentionManager`] implementations.
+///
+/// # Examples
+///
+/// ```
+/// use zstm_core::CmPolicy;
+///
+/// let cm = CmPolicy::Karma.build();
+/// assert_eq!(cm.name(), "karma");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum CmPolicy {
+    /// [`Aggressive`].
+    Aggressive,
+    /// [`Suicide`].
+    Suicide,
+    /// [`Polite`] with default patience.
+    #[default]
+    Polite,
+    /// [`Karma`].
+    Karma,
+    /// [`Timestamp`].
+    Timestamp,
+    /// [`Greedy`].
+    Greedy,
+}
+
+impl CmPolicy {
+    /// All selectable policies (for benchmark sweeps).
+    pub const ALL: [CmPolicy; 6] = [
+        CmPolicy::Aggressive,
+        CmPolicy::Suicide,
+        CmPolicy::Polite,
+        CmPolicy::Karma,
+        CmPolicy::Timestamp,
+        CmPolicy::Greedy,
+    ];
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Arc<dyn ContentionManager> {
+        match self {
+            CmPolicy::Aggressive => Arc::new(Aggressive),
+            CmPolicy::Suicide => Arc::new(Suicide),
+            CmPolicy::Polite => Arc::new(Polite::default()),
+            CmPolicy::Karma => Arc::new(Karma),
+            CmPolicy::Timestamp => Arc::new(Timestamp),
+            CmPolicy::Greedy => Arc::new(Greedy),
+        }
+    }
+}
+
+impl fmt::Display for CmPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.build().name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ThreadId, TxKind};
+
+    fn pair() -> (TxShared, TxShared) {
+        let older = TxShared::start(ThreadId::new(0), TxKind::Short, 0);
+        let younger = TxShared::start(ThreadId::new(1), TxKind::Short, 0);
+        (older, younger)
+    }
+
+    #[test]
+    fn aggressive_always_aborts_other() {
+        let (a, b) = pair();
+        assert_eq!(Aggressive.resolve(&a, &b, 0), Resolution::AbortOther);
+        assert_eq!(Aggressive.resolve(&b, &a, 99), Resolution::AbortOther);
+    }
+
+    #[test]
+    fn suicide_always_aborts_self() {
+        let (a, b) = pair();
+        assert_eq!(Suicide.resolve(&a, &b, 0), Resolution::AbortSelf);
+    }
+
+    #[test]
+    fn polite_waits_then_escalates() {
+        let (a, b) = pair();
+        let cm = Polite::with_patience(3);
+        assert_eq!(cm.resolve(&a, &b, 0), Resolution::Wait);
+        assert_eq!(cm.resolve(&a, &b, 2), Resolution::Wait);
+        assert_eq!(cm.resolve(&a, &b, 3), Resolution::AbortOther);
+    }
+
+    #[test]
+    fn polite_defers_to_finished_opponents() {
+        let (a, b) = pair();
+        b.abort();
+        assert_eq!(Polite::default().resolve(&a, &b, 100), Resolution::Wait);
+    }
+
+    #[test]
+    fn karma_respects_invested_work() {
+        let (a, b) = pair();
+        b.add_karma(10);
+        // Attacker with no karma waits for a rich victim...
+        assert_eq!(Karma.resolve(&a, &b, 0), Resolution::Wait);
+        // ...but eventually out-waits it...
+        assert_eq!(Karma.resolve(&a, &b, 10), Resolution::AbortOther);
+        // ...and a rich attacker wins immediately.
+        a.add_karma(20);
+        assert_eq!(Karma.resolve(&a, &b, 0), Resolution::AbortOther);
+    }
+
+    #[test]
+    fn timestamp_lets_elders_win() {
+        let (older, younger) = pair();
+        assert_eq!(
+            Timestamp.resolve(&older, &younger, 0),
+            Resolution::AbortOther
+        );
+        assert_eq!(Timestamp.resolve(&younger, &older, 0), Resolution::Wait);
+        assert_eq!(
+            Timestamp.resolve(&younger, &older, PATIENCE),
+            Resolution::AbortSelf
+        );
+    }
+
+    #[test]
+    fn greedy_kills_waiting_opponents() {
+        let (older, younger) = pair();
+        older.set_waiting(true);
+        assert_eq!(
+            Greedy.resolve(&younger, &older, 0),
+            Resolution::AbortOther,
+            "a waiting opponent is killable regardless of age"
+        );
+    }
+
+    #[test]
+    fn all_policies_eventually_stop_waiting() {
+        let (a, b) = pair();
+        b.add_karma(1_000);
+        for policy in CmPolicy::ALL {
+            let cm = policy.build();
+            let resolved = (0..=2_000)
+                .map(|round| cm.resolve(&a, &b, round))
+                .any(|r| r != Resolution::Wait);
+            assert!(resolved, "{} waits forever", cm.name());
+        }
+    }
+
+    #[test]
+    fn policy_enum_builds_matching_names() {
+        for policy in CmPolicy::ALL {
+            assert_eq!(policy.to_string(), policy.build().name());
+        }
+    }
+}

@@ -1,0 +1,200 @@
+use core::fmt;
+use std::error::Error;
+
+/// Why a transaction aborted.
+///
+/// The reasons map one-to-one onto the abort sites in the paper's
+/// algorithms; the statistics module counts aborts per reason so the
+/// benchmarks can attribute throughput loss to specific mechanisms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum AbortReason {
+    /// Commit-time validation found a read object overwritten
+    /// (read/write conflict; e.g. Algorithm 1 line 23).
+    ReadValidation,
+    /// Another transaction owns the object for writing and the contention
+    /// manager decided against us (write/write conflict).
+    WriteConflict,
+    /// The contention manager or another transaction killed us.
+    Killed,
+    /// No version valid at the transaction's snapshot time is available any
+    /// more (the bounded version history was exhausted).
+    SnapshotUnavailable,
+    /// A long transaction was passed by a long transaction with a higher
+    /// zone number (Algorithm 2 line 20).
+    ZonePassed,
+    /// A long transaction reached commit with `T.zc <= CT`
+    /// (Algorithm 2 line 29).
+    ZoneCommitRace,
+    /// A short transaction would cross an active long transaction's zone
+    /// (Algorithm 3 lines 9 and 18).
+    ZoneCross,
+    /// Committing would create a cycle in the precedence graph
+    /// (S-STM, Section 4.2).
+    PrecedenceCycle,
+    /// The user requested the abort explicitly.
+    Explicit,
+}
+
+impl AbortReason {
+    /// All reasons, in a stable order used for statistics indexing.
+    pub const ALL: [AbortReason; 9] = [
+        AbortReason::ReadValidation,
+        AbortReason::WriteConflict,
+        AbortReason::Killed,
+        AbortReason::SnapshotUnavailable,
+        AbortReason::ZonePassed,
+        AbortReason::ZoneCommitRace,
+        AbortReason::ZoneCross,
+        AbortReason::PrecedenceCycle,
+        AbortReason::Explicit,
+    ];
+
+    /// Stable index of this reason within [`AbortReason::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&r| r == self)
+            .expect("reason present in ALL")
+    }
+
+    /// Short human-readable label used in benchmark reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortReason::ReadValidation => "read-validation",
+            AbortReason::WriteConflict => "write-conflict",
+            AbortReason::Killed => "killed",
+            AbortReason::SnapshotUnavailable => "snapshot-unavailable",
+            AbortReason::ZonePassed => "zone-passed",
+            AbortReason::ZoneCommitRace => "zone-commit-race",
+            AbortReason::ZoneCross => "zone-cross",
+            AbortReason::PrecedenceCycle => "precedence-cycle",
+            AbortReason::Explicit => "explicit",
+        }
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error signalling that the current transaction attempt aborted and must be
+/// retried (or given up on).
+///
+/// Transactional reads and writes return `Result<_, Abort>`; user code
+/// propagates it with `?` and the [`crate::atomically`] retry loop restarts
+/// the body.
+///
+/// # Examples
+///
+/// ```
+/// use zstm_core::{Abort, AbortReason};
+///
+/// let err = Abort::new(AbortReason::WriteConflict);
+/// assert_eq!(err.reason(), AbortReason::WriteConflict);
+/// assert!(err.to_string().contains("write-conflict"));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Abort {
+    reason: AbortReason,
+}
+
+impl Abort {
+    /// Creates an abort error with the given reason.
+    pub fn new(reason: AbortReason) -> Self {
+        Self { reason }
+    }
+
+    /// Why the transaction aborted.
+    pub fn reason(&self) -> AbortReason {
+        self.reason
+    }
+}
+
+impl fmt::Display for Abort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction aborted: {}", self.reason)
+    }
+}
+
+impl Error for Abort {}
+
+impl From<AbortReason> for Abort {
+    fn from(reason: AbortReason) -> Self {
+        Self::new(reason)
+    }
+}
+
+/// Error returned by [`crate::atomically`] when a transaction failed to
+/// commit within the configured number of retries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryExhausted {
+    attempts: u64,
+    last: AbortReason,
+}
+
+impl RetryExhausted {
+    /// Creates the error from the number of attempts made and the last
+    /// abort reason observed.
+    pub fn new(attempts: u64, last: AbortReason) -> Self {
+        Self { attempts, last }
+    }
+
+    /// Number of attempts made before giving up.
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Reason of the final abort.
+    pub fn last_reason(&self) -> AbortReason {
+        self.last
+    }
+}
+
+impl fmt::Display for RetryExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transaction failed to commit after {} attempts (last abort: {})",
+            self.attempts, self.last
+        )
+    }
+}
+
+impl Error for RetryExhausted {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reason_indices_are_stable_and_distinct() {
+        for (i, reason) in AbortReason::ALL.iter().enumerate() {
+            assert_eq!(reason.index(), i);
+        }
+    }
+
+    #[test]
+    fn abort_round_trip() {
+        let abort: Abort = AbortReason::ZoneCross.into();
+        assert_eq!(abort.reason(), AbortReason::ZoneCross);
+        assert!(abort.to_string().contains("zone-cross"));
+    }
+
+    #[test]
+    fn retry_exhausted_reports_attempts() {
+        let err = RetryExhausted::new(32, AbortReason::ReadValidation);
+        assert_eq!(err.attempts(), 32);
+        assert!(err.to_string().contains("32 attempts"));
+        assert!(err.to_string().contains("read-validation"));
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<Abort>();
+        assert_err::<RetryExhausted>();
+    }
+}

@@ -1,0 +1,149 @@
+use core::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_TX_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_OBJ_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Process-unique identifier of one transaction attempt.
+///
+/// Every retry of an atomic block is a *new* transaction with a new id; this
+/// matches the paper's model where an aborted transaction is re-executed as
+/// a fresh transaction.
+///
+/// # Examples
+///
+/// ```
+/// use zstm_core::TxId;
+///
+/// let a = TxId::fresh();
+/// let b = TxId::fresh();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxId(u64);
+
+impl TxId {
+    /// Allocates the next process-unique transaction id.
+    pub fn fresh() -> Self {
+        Self(NEXT_TX_ID.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx#{}", self.0)
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tx#{}", self.0)
+    }
+}
+
+/// Process-unique identifier of a transactional object (a `Var`).
+///
+/// Object ids identify objects in recorded histories so the consistency
+/// checkers can correlate reads and writes across transactions.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(u64);
+
+impl ObjId {
+    /// Allocates the next process-unique object id.
+    pub fn fresh() -> Self {
+        Self(NEXT_OBJ_ID.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// Index of a logical thread within one STM instance.
+///
+/// Logical threads are explicit rather than OS-thread-local so that a
+/// deterministic test driver can interleave several transactions from a
+/// single OS thread (this is how the paper's Figures 1–4 are encoded as
+/// unit tests).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(usize);
+
+impl ThreadId {
+    /// Wraps a raw slot index.
+    pub const fn new(slot: usize) -> Self {
+        Self(slot)
+    }
+
+    /// The raw slot index, usable with `zstm_clock` time bases.
+    pub fn slot(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thr{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thr{}", self.0)
+    }
+}
+
+impl From<usize> for ThreadId {
+    fn from(slot: usize) -> Self {
+        Self(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_ids_are_unique_and_increasing() {
+        let a = TxId::fresh();
+        let b = TxId::fresh();
+        assert!(a < b);
+        assert_ne!(a.as_u64(), b.as_u64());
+    }
+
+    #[test]
+    fn obj_ids_are_unique() {
+        assert_ne!(ObjId::fresh(), ObjId::fresh());
+    }
+
+    #[test]
+    fn thread_id_round_trips() {
+        let id = ThreadId::new(7);
+        assert_eq!(id.slot(), 7);
+        assert_eq!(ThreadId::from(7usize), id);
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert!(format!("{:?}", TxId::fresh()).starts_with("tx#"));
+        assert!(format!("{:?}", ObjId::fresh()).starts_with("obj#"));
+        assert_eq!(format!("{}", ThreadId::new(3)), "thr3");
+    }
+}

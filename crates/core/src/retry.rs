@@ -1,0 +1,109 @@
+use zstm_util::Backoff;
+
+use crate::{Abort, AbortReason, RetryExhausted, TmThread, TmTx, TxKind};
+
+/// Retry policy for [`atomically`].
+///
+/// # Examples
+///
+/// ```
+/// use zstm_core::RetryPolicy;
+///
+/// let policy = RetryPolicy::default().with_max_attempts(100);
+/// assert_eq!(policy.max_attempts(), 100);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    max_attempts: u64,
+    backoff_on_abort: bool,
+}
+
+impl RetryPolicy {
+    /// Effectively unbounded retries (the benchmark default: throughput
+    /// collapse, not failure, is the observable outcome the paper plots).
+    pub fn unbounded() -> Self {
+        Self {
+            max_attempts: u64::MAX,
+            backoff_on_abort: true,
+        }
+    }
+
+    /// Limits the number of attempts per atomic block.
+    pub fn with_max_attempts(mut self, attempts: u64) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Enables or disables exponential backoff between attempts.
+    pub fn with_backoff(mut self, enabled: bool) -> Self {
+        self.backoff_on_abort = enabled;
+        self
+    }
+
+    /// Maximum number of attempts per atomic block.
+    pub fn max_attempts(&self) -> u64 {
+        self.max_attempts
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 1_000_000,
+            backoff_on_abort: true,
+        }
+    }
+}
+
+/// Runs `body` as a transaction of kind `kind` on `thread`, retrying on
+/// aborts according to `policy`.
+///
+/// The body receives the active transaction handle and must propagate
+/// [`Abort`] errors from reads and writes with `?`. Returning `Ok` leads to
+/// a commit attempt; a failed commit restarts the body as a fresh
+/// transaction (the paper's model: an aborted transaction is re-executed).
+///
+/// # Errors
+///
+/// Returns [`RetryExhausted`] when `policy.max_attempts()` attempts all
+/// aborted.
+///
+/// # Examples
+///
+/// See the crate-level documentation; every STM crate's tests use this
+/// function.
+pub fn atomically<Th, F, R>(
+    thread: &mut Th,
+    kind: TxKind,
+    policy: &RetryPolicy,
+    mut body: F,
+) -> Result<R, RetryExhausted>
+where
+    Th: TmThread,
+    F: FnMut(&mut Th::Tx<'_>) -> Result<R, Abort>,
+{
+    let mut backoff = Backoff::new();
+    let mut last_reason = AbortReason::Explicit;
+    for attempt in 0..policy.max_attempts {
+        let mut tx = thread.begin(kind);
+        match body(&mut tx) {
+            Ok(result) => match tx.commit() {
+                Ok(()) => return Ok(result),
+                Err(abort) => last_reason = abort.reason(),
+            },
+            Err(abort) => {
+                last_reason = abort.reason();
+                tx.rollback(abort.reason());
+            }
+        }
+        if policy.backoff_on_abort {
+            backoff.spin();
+        }
+        // Saturated backoff resets so long waits do not grow unboundedly
+        // under persistent contention.
+        if attempt % 64 == 63 {
+            backoff.reset();
+        }
+    }
+    Err(RetryExhausted::new(policy.max_attempts, last_reason))
+}

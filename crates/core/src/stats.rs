@@ -1,0 +1,240 @@
+use core::fmt;
+
+use crate::{AbortReason, TxKind};
+
+/// Per-thread transaction statistics.
+///
+/// Every [`crate::TmThread`] owns one of these and updates it without
+/// synchronization; the workload harness merges the per-thread values after
+/// the measurement interval. Commits and aborts are broken down by
+/// [`TxKind`] because the paper's evaluation plots long (Compute-Total) and
+/// short (transfer) throughput separately.
+///
+/// # Examples
+///
+/// ```
+/// use zstm_core::{AbortReason, TxKind, TxStats};
+///
+/// let mut stats = TxStats::default();
+/// stats.record_commit(TxKind::Short);
+/// stats.record_abort(TxKind::Long, AbortReason::ReadValidation);
+/// assert_eq!(stats.commits(TxKind::Short), 1);
+/// assert_eq!(stats.total_aborts(), 1);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct TxStats {
+    commits_short: u64,
+    commits_long: u64,
+    aborts_short: u64,
+    aborts_long: u64,
+    aborts_by_reason: [u64; AbortReason::ALL.len()],
+    reads: u64,
+    writes: u64,
+    retries_exhausted: u64,
+}
+
+impl TxStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a committed transaction of the given kind.
+    pub fn record_commit(&mut self, kind: TxKind) {
+        match kind {
+            TxKind::Short => self.commits_short += 1,
+            TxKind::Long => self.commits_long += 1,
+        }
+    }
+
+    /// Records an aborted transaction attempt.
+    pub fn record_abort(&mut self, kind: TxKind, reason: AbortReason) {
+        match kind {
+            TxKind::Short => self.aborts_short += 1,
+            TxKind::Long => self.aborts_long += 1,
+        }
+        self.aborts_by_reason[reason.index()] += 1;
+    }
+
+    /// Records a transactional read.
+    pub fn record_read(&mut self) {
+        self.reads += 1;
+    }
+
+    /// Records a transactional write.
+    pub fn record_write(&mut self) {
+        self.writes += 1;
+    }
+
+    /// Records an atomic block that gave up after exhausting its retries.
+    pub fn record_retry_exhausted(&mut self) {
+        self.retries_exhausted += 1;
+    }
+
+    /// Commits of the given kind.
+    pub fn commits(&self, kind: TxKind) -> u64 {
+        match kind {
+            TxKind::Short => self.commits_short,
+            TxKind::Long => self.commits_long,
+        }
+    }
+
+    /// Total commits across kinds.
+    pub fn total_commits(&self) -> u64 {
+        self.commits_short + self.commits_long
+    }
+
+    /// Aborted attempts of the given kind.
+    pub fn aborts(&self, kind: TxKind) -> u64 {
+        match kind {
+            TxKind::Short => self.aborts_short,
+            TxKind::Long => self.aborts_long,
+        }
+    }
+
+    /// Total aborted attempts.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts_short + self.aborts_long
+    }
+
+    /// Aborts attributed to `reason`.
+    pub fn aborts_for(&self, reason: AbortReason) -> u64 {
+        self.aborts_by_reason[reason.index()]
+    }
+
+    /// Transactional reads performed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Transactional writes performed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Atomic blocks that exhausted their retry budget.
+    pub fn retries_exhausted(&self) -> u64 {
+        self.retries_exhausted
+    }
+
+    /// Fraction of attempts that aborted, in `[0, 1]`; zero when idle.
+    pub fn abort_ratio(&self) -> f64 {
+        let attempts = self.total_commits() + self.total_aborts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.total_aborts() as f64 / attempts as f64
+        }
+    }
+
+    /// Accumulates `other` into `self` (for merging per-thread stats).
+    pub fn merge(&mut self, other: &TxStats) {
+        self.commits_short += other.commits_short;
+        self.commits_long += other.commits_long;
+        self.aborts_short += other.aborts_short;
+        self.aborts_long += other.aborts_long;
+        for (mine, theirs) in self
+            .aborts_by_reason
+            .iter_mut()
+            .zip(other.aborts_by_reason.iter())
+        {
+            *mine += theirs;
+        }
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.retries_exhausted += other.retries_exhausted;
+    }
+}
+
+impl fmt::Debug for TxStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut by_reason = f.debug_struct("TxStats");
+        by_reason
+            .field("commits_short", &self.commits_short)
+            .field("commits_long", &self.commits_long)
+            .field("aborts_short", &self.aborts_short)
+            .field("aborts_long", &self.aborts_long)
+            .field("reads", &self.reads)
+            .field("writes", &self.writes);
+        for reason in AbortReason::ALL {
+            let count = self.aborts_for(reason);
+            if count > 0 {
+                by_reason.field(reason.label(), &count);
+            }
+        }
+        by_reason.finish()
+    }
+}
+
+impl std::iter::Sum for TxStats {
+    fn sum<I: Iterator<Item = TxStats>>(iter: I) -> Self {
+        let mut total = TxStats::default();
+        for stats in iter {
+            total.merge(&stats);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commits_and_aborts_split_by_kind() {
+        let mut stats = TxStats::new();
+        stats.record_commit(TxKind::Short);
+        stats.record_commit(TxKind::Short);
+        stats.record_commit(TxKind::Long);
+        stats.record_abort(TxKind::Long, AbortReason::ZonePassed);
+        assert_eq!(stats.commits(TxKind::Short), 2);
+        assert_eq!(stats.commits(TxKind::Long), 1);
+        assert_eq!(stats.total_commits(), 3);
+        assert_eq!(stats.aborts(TxKind::Long), 1);
+        assert_eq!(stats.aborts_for(AbortReason::ZonePassed), 1);
+    }
+
+    #[test]
+    fn abort_ratio_handles_idle() {
+        let stats = TxStats::new();
+        assert_eq!(stats.abort_ratio(), 0.0);
+    }
+
+    #[test]
+    fn abort_ratio_is_fractional() {
+        let mut stats = TxStats::new();
+        stats.record_commit(TxKind::Short);
+        stats.record_abort(TxKind::Short, AbortReason::WriteConflict);
+        assert!((stats.abort_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_and_sum_accumulate_everything() {
+        let mut a = TxStats::new();
+        a.record_commit(TxKind::Short);
+        a.record_read();
+        a.record_retry_exhausted();
+        let mut b = TxStats::new();
+        b.record_abort(TxKind::Short, AbortReason::Killed);
+        b.record_write();
+
+        let total: TxStats = [a.clone(), b.clone()].into_iter().sum();
+        assert_eq!(total.total_commits(), 1);
+        assert_eq!(total.total_aborts(), 1);
+        assert_eq!(total.reads(), 1);
+        assert_eq!(total.writes(), 1);
+        assert_eq!(total.retries_exhausted(), 1);
+
+        a.merge(&b);
+        assert_eq!(a, total);
+    }
+
+    #[test]
+    fn debug_lists_active_reasons_only() {
+        let mut stats = TxStats::new();
+        stats.record_abort(TxKind::Short, AbortReason::ZoneCross);
+        let repr = format!("{stats:?}");
+        assert!(repr.contains("zone-cross"));
+        assert!(!repr.contains("precedence-cycle"));
+    }
+}

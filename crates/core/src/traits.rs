@@ -1,0 +1,120 @@
+use std::sync::Arc;
+
+use crate::{Abort, AbortReason, ThreadId, TxId, TxKind, TxStats};
+
+/// Values that can live in transactional variables.
+///
+/// Reads return owned clones (invisible reads hand out snapshots, so the
+/// caller must own the data), hence `Clone`; versions are shared between
+/// threads, hence `Send + Sync`. Implemented automatically for every
+/// suitable type.
+pub trait TxValue: Clone + Send + Sync + 'static {}
+
+impl<T: Clone + Send + Sync + 'static> TxValue for T {}
+
+/// One STM instance: a factory for transactional variables and per-thread
+/// contexts.
+///
+/// Each of the five STMs (LSA, TL2, CS, S, Z) implements this trait, which
+/// is what lets a single workload/benchmark harness drive all of them. The
+/// factory is shared behind an [`Arc`]; variables and threads borrow it
+/// internally.
+pub trait TmFactory: Send + Sync + Sized + 'static {
+    /// STM-specific transactional variable holding a `T`.
+    type Var<T: TxValue>: Send + Sync;
+    /// STM-specific per-logical-thread context.
+    type Thread: TmThread<Factory = Self>;
+
+    /// Creates a transactional variable with the given initial value (the
+    /// initial version has version sequence 0).
+    fn new_var<T: TxValue>(&self, init: T) -> Self::Var<T>;
+
+    /// Registers the next logical thread and returns its context.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when more threads are registered than the
+    /// STM was configured for.
+    fn register_thread(self: &Arc<Self>) -> Self::Thread;
+
+    /// Short name of the STM ("lsa", "z", ...) used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Per-logical-thread context of an STM.
+///
+/// Logical threads are explicit objects rather than OS-thread-locals so a
+/// deterministic scenario driver can own several of them and interleave
+/// their transactions from a single OS thread (how the paper's figures are
+/// replayed as tests). A `TmThread` must still only be used by one OS
+/// thread at a time (`&mut self` everywhere).
+pub trait TmThread: Send + 'static {
+    /// The owning factory type.
+    type Factory: TmFactory;
+    /// Active-transaction handle borrowing this context.
+    type Tx<'a>: TmTx<Factory = Self::Factory>
+    where
+        Self: 'a;
+
+    /// Starts a transaction of the given kind.
+    fn begin(&mut self, kind: TxKind) -> Self::Tx<'_>;
+
+    /// This context's logical thread id.
+    fn thread_id(&self) -> ThreadId;
+
+    /// Statistics accumulated by this thread so far.
+    fn stats(&self) -> &TxStats;
+
+    /// Takes the accumulated statistics, leaving zeroes behind.
+    fn take_stats(&mut self) -> TxStats;
+}
+
+/// An active transaction.
+///
+/// Reads and writes return `Err(Abort)` when the transaction must restart;
+/// user code propagates the error with `?` and the [`crate::atomically`]
+/// loop retries. After an `Err`, the transaction is already doomed: the
+/// only valid next step is [`TmTx::rollback`] (which the retry loop does).
+pub trait TmTx {
+    /// The owning factory type.
+    type Factory: TmFactory;
+
+    /// Reads the variable, returning a snapshot of its value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if no consistent version can be provided.
+    fn read<T: TxValue>(
+        &mut self,
+        var: &<Self::Factory as TmFactory>::Var<T>,
+    ) -> Result<T, Abort>;
+
+    /// Writes the variable (buffered or tentative until commit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] on write conflicts resolved against this
+    /// transaction.
+    fn write<T: TxValue>(
+        &mut self,
+        var: &<Self::Factory as TmFactory>::Var<T>,
+        value: T,
+    ) -> Result<(), Abort>;
+
+    /// Attempts to commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if validation fails; the transaction is rolled
+    /// back.
+    fn commit(self) -> Result<(), Abort>;
+
+    /// Abandons the transaction, releasing every resource it holds.
+    fn rollback(self, reason: AbortReason);
+
+    /// This attempt's id.
+    fn id(&self) -> TxId;
+
+    /// The transaction's short/long classification.
+    fn kind(&self) -> TxKind;
+}

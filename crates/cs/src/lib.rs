@@ -1,0 +1,918 @@
+//! CS-STM — the causally serializable STM of the paper's Algorithm 1,
+//! generic over the causal time base (exact vector clocks or plausible REV
+//! clocks, Section 4.3).
+//!
+//! The algorithm, line for line:
+//!
+//! * **Start** — the tentative commit timestamp `T.ct` is initialized from
+//!   the thread's vector clock `VC_p`, i.e. the timestamp of the last
+//!   transaction committed by this thread (line 3);
+//! * **Open** — every access joins the accessed version's timestamp into
+//!   `T.ct` (element-wise maximum, line 8); writes acquire the single
+//!   writer reservation, arbitrated by the contention manager
+//!   (lines 10–13); reads are invisible and return the current committed
+//!   version (old versions are not kept, matching the paper's footnote 1);
+//! * **Validate** — at commit, for every version `vᵢ` in the read set the
+//!   transaction checks that no successor `vᵢ₊₁` exists with
+//!   `vᵢ₊₁.ct ≺ T.ct` (line 22): such a successor would mean the
+//!   transaction both causally follows the overwrite (its timestamp
+//!   dominates it) and precedes it (it read the overwritten version);
+//! * **Commit** — on success the thread's component of the vector clock is
+//!   incremented with an atomic get-and-increment on the (possibly shared)
+//!   clock entry and the thread remembers `T.ct` as its new `VC_p`
+//!   (lines 29–31).
+//!
+//! Because timestamps are only partially ordered, transactions that touch
+//! disjoint objects commit *unordered* — this is what lets the long
+//! transaction of the paper's Figure 1 commit where a single-clock TBTM
+//! must abort it (see `tests/paper_figures.rs` at the workspace root).
+//!
+//! With a plausible clock (`r < n` entries) some concurrent transactions
+//! appear ordered and abort unnecessarily, but correctness is preserved —
+//! exactly the accuracy/size trade-off of Section 4.3.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use zstm_clock::RevClock;
+//! use zstm_core::{atomically, RetryPolicy, StmConfig, TmFactory, TmThread, TmTx, TxKind};
+//! use zstm_cs::CsStm;
+//!
+//! # fn main() -> Result<(), zstm_core::RetryExhausted> {
+//! // Vector clock with one entry per thread:
+//! let stm = Arc::new(CsStm::new(StmConfig::new(2), RevClock::vector(2)));
+//! let var = stm.new_var(0i64);
+//! let mut thread = stm.register_thread();
+//! atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+//!     let v = tx.read(&var)?;
+//!     tx.write(&var, v + 1)
+//! })?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use zstm_clock::{CausalStamp, CausalTimeBase, RevClock};
+use zstm_core::{
+    Abort, AbortReason, ContentionManager, ObjId, StmConfig, ThreadId, TmFactory, TmThread, TmTx,
+    TxEvent, TxEventKind, TxId, TxKind, TxShared, TxStats, TxStatus, TxValue, VersionSeq,
+};
+use zstm_util::Backoff;
+
+/// Transaction record shared through object reservations: the generic
+/// descriptor plus the (vector) commit timestamp, which is published just
+/// before the transaction enters its commit protocol.
+pub struct StampRec<S> {
+    shared: TxShared,
+    stamp: Mutex<Option<S>>,
+}
+
+impl<S: Clone> StampRec<S> {
+    /// Creates a record in the `Active` state (used by CS-STM and S-STM).
+    pub fn new_for(thread: ThreadId, kind: TxKind, karma: u64) -> Self {
+        Self {
+            shared: TxShared::start(thread, kind, karma),
+            stamp: Mutex::new(None),
+        }
+    }
+
+    fn new(thread: ThreadId, kind: TxKind, karma: u64) -> Self {
+        Self::new_for(thread, kind, karma)
+    }
+
+    /// The plain transaction descriptor.
+    pub fn shared(&self) -> &TxShared {
+        &self.shared
+    }
+
+    /// The committing/committed timestamp, if already published.
+    pub fn stamp(&self) -> Option<S> {
+        self.stamp.lock().clone()
+    }
+
+    /// Publishes the (tentative or final) commit timestamp so concurrent
+    /// validators can compare against it.
+    pub fn publish_stamp(&self, stamp: S) {
+        *self.stamp.lock() = Some(stamp);
+    }
+}
+
+struct Reservation<T, S> {
+    rec: Arc<StampRec<S>>,
+    tentative: T,
+}
+
+struct Inner<T, S> {
+    value: T,
+    ct: S,
+    seq: VersionSeq,
+    /// Timestamps of recent versions (seq, ct), oldest first, for the
+    /// validation successor test; bounded by the STM's `max_versions`.
+    ct_history: VecDeque<(VersionSeq, S)>,
+    writer: Option<Reservation<T, S>>,
+}
+
+/// A transactional variable managed by [`CsStm`]. Cheap to clone.
+pub struct CsVar<T: TxValue, C: CausalTimeBase> {
+    shared: Arc<VarShared<T, C::Stamp>>,
+}
+
+struct VarShared<T, S> {
+    id: ObjId,
+    max_history: usize,
+    sink: Arc<dyn zstm_core::EventSink>,
+    inner: Mutex<Inner<T, S>>,
+}
+
+impl<T: TxValue, C: CausalTimeBase> Clone for CsVar<T, C> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T: TxValue, C: CausalTimeBase> CsVar<T, C> {
+    /// The object's id in recorded histories.
+    pub fn id(&self) -> ObjId {
+        self.shared.id
+    }
+}
+
+impl<T: TxValue, C: CausalTimeBase> std::fmt::Debug for CsVar<T, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsVar").field("id", &self.shared.id).finish()
+    }
+}
+
+impl<T: TxValue, S: CausalStamp> VarShared<T, S> {
+    /// Locks the object with a settled writer: dead reservations cleaned,
+    /// committed reservations promoted. Committing writers are waited out
+    /// *only* when their published timestamp precedes `my_ct` (only those
+    /// can affect the caller's validation; waiting only on strictly smaller
+    /// timestamps keeps the wait relation acyclic). When `my_ct` is `None`
+    /// committing writers are always waited out.
+    fn lock_settled(
+        &self,
+        me: Option<&Arc<StampRec<S>>>,
+        my_ct: Option<&S>,
+    ) -> parking_lot::MutexGuard<'_, Inner<T, S>> {
+        let mut backoff = Backoff::new();
+        loop {
+            let mut guard = self.inner.lock();
+            let wait = match &guard.writer {
+                None => false,
+                Some(w) if me.is_some_and(|m| Arc::ptr_eq(m, &w.rec)) => false,
+                Some(w) => match w.rec.shared.status() {
+                    TxStatus::Active => false,
+                    TxStatus::Aborted => {
+                        guard.writer = None;
+                        false
+                    }
+                    TxStatus::Committed => {
+                        self.promote_locked(&mut guard);
+                        false
+                    }
+                    TxStatus::Committing => match (my_ct, w.rec.stamp()) {
+                        // Published pre-commit stamp not ≺ my_ct: the final
+                        // stamp only grows, so it cannot precede my_ct
+                        // either — ignore.
+                        (Some(mine), Some(theirs)) => theirs.precedes(mine),
+                        // Stamp not yet published (a short window) or no
+                        // comparison point: wait.
+                        _ => true,
+                    },
+                },
+            };
+            if !wait {
+                return guard;
+            }
+            drop(guard);
+            backoff.spin();
+        }
+    }
+
+    fn promote_locked(&self, inner: &mut Inner<T, S>) {
+        let Some(reservation) = inner.writer.take() else {
+            return;
+        };
+        debug_assert_eq!(reservation.rec.shared.status(), TxStatus::Committed);
+        let stamp = reservation
+            .rec
+            .stamp()
+            .expect("committed writers have published stamps");
+        let seq = inner.seq + 1;
+        inner.ct_history.push_back((inner.seq, inner.ct.clone()));
+        while inner.ct_history.len() > self.max_history {
+            inner.ct_history.pop_front();
+        }
+        inner.value = reservation.tentative;
+        inner.ct = stamp;
+        inner.seq = seq;
+        // Write events are emitted at promotion time so lazily promoted
+        // reservations are not lost from recorded histories.
+        if self.sink.enabled() {
+            self.sink.record(zstm_core::TxEvent::new(
+                reservation.rec.shared.id(),
+                reservation.rec.shared.thread(),
+                reservation.rec.shared.kind(),
+                zstm_core::TxEventKind::Write {
+                    obj: self.id,
+                    version: seq,
+                },
+            ));
+        }
+    }
+}
+
+/// The causally serializable STM (Algorithm 1). See the crate docs.
+pub struct CsStm<C: CausalTimeBase = RevClock> {
+    config: StmConfig,
+    clock: C,
+    cm: Arc<dyn ContentionManager>,
+    registered: AtomicUsize,
+}
+
+impl<C: CausalTimeBase> CsStm<C> {
+    /// Creates a CS-STM over the given causal time base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock serves fewer slots than the configured thread
+    /// count.
+    pub fn new(config: StmConfig, clock: C) -> Self {
+        assert!(
+            clock.slots() >= config.threads(),
+            "clock has {} slots for {} threads",
+            clock.slots(),
+            config.threads()
+        );
+        let cm = config.cm_policy().build();
+        Self {
+            config,
+            clock,
+            cm,
+            registered: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configuration this STM was built with.
+    pub fn config(&self) -> &StmConfig {
+        &self.config
+    }
+
+    /// The underlying causal time base.
+    pub fn clock(&self) -> &C {
+        &self.clock
+    }
+}
+
+impl CsStm<RevClock> {
+    /// Convenience constructor: CS-STM over an exact vector clock with one
+    /// entry per configured thread.
+    pub fn with_vector_clock(config: StmConfig) -> Self {
+        let threads = config.threads();
+        Self::new(config, RevClock::vector(threads))
+    }
+
+    /// Convenience constructor: CS-STM over a plausible REV clock with `r`
+    /// entries shared by the configured threads (Section 4.3).
+    pub fn with_plausible_clock(config: StmConfig, r: usize) -> Self {
+        let threads = config.threads();
+        Self::new(config, RevClock::new(threads, r.min(threads)))
+    }
+}
+
+impl<C: CausalTimeBase> TmFactory for CsStm<C> {
+    type Var<T: TxValue> = CsVar<T, C>;
+    type Thread = CsThread<C>;
+
+    fn new_var<T: TxValue>(&self, init: T) -> CsVar<T, C> {
+        CsVar {
+            shared: Arc::new(VarShared {
+                id: ObjId::fresh(),
+                max_history: self.config.max_versions_per_object(),
+                sink: Arc::clone(self.config.sink()),
+                inner: Mutex::new(Inner {
+                    value: init,
+                    ct: self.clock.zero(),
+                    seq: 0,
+                    ct_history: VecDeque::new(),
+                    writer: None,
+                }),
+            }),
+        }
+    }
+
+    fn register_thread(self: &Arc<Self>) -> CsThread<C> {
+        let slot = self.registered.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            slot < self.config.threads(),
+            "more threads registered than configured ({})",
+            self.config.threads()
+        );
+        CsThread {
+            stm: Arc::clone(self),
+            id: ThreadId::new(slot),
+            vc: self.clock.zero(),
+            stats: TxStats::new(),
+            pending_karma: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "cs"
+    }
+}
+
+/// Per-logical-thread context of [`CsStm`].
+pub struct CsThread<C: CausalTimeBase> {
+    stm: Arc<CsStm<C>>,
+    id: ThreadId,
+    /// `VC_p`: timestamp of the last transaction committed by this thread.
+    vc: C::Stamp,
+    stats: TxStats,
+    pending_karma: u64,
+}
+
+impl<C: CausalTimeBase> CsThread<C> {
+    /// The thread's current vector clock `VC_p` (diagnostics, tests).
+    pub fn vc(&self) -> &C::Stamp {
+        &self.vc
+    }
+}
+
+impl<C: CausalTimeBase> TmThread for CsThread<C> {
+    type Factory = CsStm<C>;
+    type Tx<'a> = CsTx<'a, C>;
+
+    fn begin(&mut self, kind: TxKind) -> CsTx<'_, C> {
+        let karma = std::mem::take(&mut self.pending_karma);
+        let rec = Arc::new(StampRec::new(self.id, kind, karma));
+        if self.stm.config.sink().enabled() {
+            self.stm.config.sink().record(TxEvent::new(
+                rec.shared.id(),
+                self.id,
+                kind,
+                TxEventKind::Begin,
+            ));
+        }
+        let ct = self.vc.clone();
+        CsTx {
+            thread: self,
+            rec,
+            ct,
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    fn thread_id(&self) -> ThreadId {
+        self.id
+    }
+
+    fn stats(&self) -> &TxStats {
+        &self.stats
+    }
+
+    fn take_stats(&mut self) -> TxStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+/// Type-erased per-object operations needed by the commit path.
+trait CsObject<S>: Send + Sync {
+    /// Validation (Algorithm 1 line 22): `true` iff version `seq` has no
+    /// successor whose timestamp precedes `my_ct`.
+    fn validate(&self, me: &Arc<StampRec<S>>, seq: VersionSeq, my_ct: &S) -> bool;
+    fn release(&self, me: &Arc<StampRec<S>>);
+    fn promote(&self, me: &Arc<StampRec<S>>) -> Option<VersionSeq>;
+}
+
+impl<T: TxValue, S: CausalStamp> CsObject<S> for VarShared<T, S> {
+    fn validate(&self, me: &Arc<StampRec<S>>, seq: VersionSeq, my_ct: &S) -> bool {
+        let guard = self.lock_settled(Some(me), Some(my_ct));
+        if guard.seq <= seq {
+            return true;
+        }
+        // Timestamps along the version chain are strictly increasing, so a
+        // successor preceding `my_ct` exists iff the *direct* successor
+        // precedes it.
+        let direct = if guard.seq == seq + 1 {
+            Some(&guard.ct)
+        } else {
+            guard
+                .ct_history
+                .iter()
+                .find(|(s, _)| *s == seq + 1)
+                .map(|(_, ct)| ct)
+        };
+        match direct {
+            // `my_ct` is the pre-increment tentative timestamp, so a
+            // successor the transaction causally follows satisfies
+            // `succ.ct ⪯ my_ct` (equality occurs when the successor is the
+            // newest stamp joined). Only `After`/`Concurrent` successors
+            // leave a valid causal serialization.
+            Some(succ_ct) => matches!(
+                succ_ct.causal_cmp(my_ct),
+                zstm_clock::ClockOrd::After | zstm_clock::ClockOrd::Concurrent
+            ),
+            // Successor timestamp fell out of the bounded history: assume
+            // the worst.
+            None => false,
+        }
+    }
+
+    fn release(&self, me: &Arc<StampRec<S>>) {
+        let mut guard = self.inner.lock();
+        if guard
+            .writer
+            .as_ref()
+            .is_some_and(|w| Arc::ptr_eq(&w.rec, me))
+        {
+            guard.writer = None;
+        }
+    }
+
+    fn promote(&self, me: &Arc<StampRec<S>>) -> Option<VersionSeq> {
+        let mut guard = self.inner.lock();
+        if guard
+            .writer
+            .as_ref()
+            .is_some_and(|w| Arc::ptr_eq(&w.rec, me) && w.rec.shared.status() == TxStatus::Committed)
+        {
+            self.promote_locked(&mut guard);
+            Some(guard.seq)
+        } else {
+            None
+        }
+    }
+}
+
+struct ReadEntry<S> {
+    obj: Arc<dyn CsObject<S>>,
+    seq: VersionSeq,
+}
+
+/// An active CS-STM transaction.
+pub struct CsTx<'a, C: CausalTimeBase> {
+    thread: &'a mut CsThread<C>,
+    rec: Arc<StampRec<C::Stamp>>,
+    /// `T.ct`: the tentative commit timestamp (Algorithm 1 line 3/8).
+    ct: C::Stamp,
+    reads: Vec<ReadEntry<C::Stamp>>,
+    writes: Vec<Arc<dyn CsObject<C::Stamp>>>,
+}
+
+impl<C: CausalTimeBase> CsTx<'_, C> {
+    fn record(&self, event: TxEventKind) {
+        let sink = self.thread.stm.config.sink();
+        if sink.enabled() {
+            sink.record(TxEvent::new(
+                self.rec.shared.id(),
+                self.rec.shared.thread(),
+                self.rec.shared.kind(),
+                event,
+            ));
+        }
+    }
+
+    fn check_alive(&self) -> Result<(), Abort> {
+        if self.rec.shared.is_active() {
+            Ok(())
+        } else {
+            Err(Abort::new(AbortReason::Killed))
+        }
+    }
+
+    fn finish_abort(mut self, reason: AbortReason) -> Abort {
+        self.rec.shared.abort();
+        for obj in &self.writes {
+            obj.release(&self.rec);
+        }
+        self.writes.clear();
+        self.thread.pending_karma = self.rec.shared.karma();
+        self.thread
+            .stats
+            .record_abort(self.rec.shared.kind(), reason);
+        self.record(TxEventKind::Abort { reason });
+        Abort::new(reason)
+    }
+
+    /// The current tentative commit timestamp (tests, diagnostics).
+    pub fn tentative_ct(&self) -> &C::Stamp {
+        &self.ct
+    }
+}
+
+impl<C: CausalTimeBase> TmTx for CsTx<'_, C> {
+    type Factory = CsStm<C>;
+
+    fn read<T: TxValue>(&mut self, var: &CsVar<T, C>) -> Result<T, Abort> {
+        self.check_alive()?;
+        self.thread.stats.record_read();
+        self.rec.shared.add_karma(1);
+        let guard = var.shared.lock_settled(Some(&self.rec), None);
+        // Read-your-own-write.
+        if let Some(w) = &guard.writer {
+            if Arc::ptr_eq(&w.rec, &self.rec) {
+                return Ok(w.tentative.clone());
+            }
+        }
+        // Line 8: T.ct ← max(T.ct, vi.ct).
+        self.ct.join(&guard.ct);
+        let (value, seq) = (guard.value.clone(), guard.seq);
+        drop(guard);
+        self.reads.push(ReadEntry {
+            obj: Arc::clone(&var.shared) as Arc<dyn CsObject<C::Stamp>>,
+            seq,
+        });
+        self.record(TxEventKind::Read {
+            obj: var.shared.id,
+            version: seq,
+        });
+        Ok(value)
+    }
+
+    fn write<T: TxValue>(&mut self, var: &CsVar<T, C>, value: T) -> Result<(), Abort> {
+        self.check_alive()?;
+        self.thread.stats.record_write();
+        self.rec.shared.add_karma(1);
+        let cm = Arc::clone(&self.thread.stm.cm);
+        let mut pending = Some(value);
+        let mut round = 0u64;
+        let mut backoff = Backoff::new();
+        loop {
+            if self.rec.shared.status() != TxStatus::Active {
+                return Err(Abort::new(AbortReason::Killed));
+            }
+            let mut guard = var.shared.lock_settled(Some(&self.rec), None);
+            // Line 8 applies to writes as well: join the current version.
+            self.ct.join(&guard.ct);
+            match &mut guard.writer {
+                slot @ None => {
+                    *slot = Some(Reservation {
+                        rec: Arc::clone(&self.rec),
+                        tentative: pending.take().expect("value pending"),
+                    });
+                    drop(guard);
+                    self.writes
+                        .push(Arc::clone(&var.shared) as Arc<dyn CsObject<C::Stamp>>);
+                    return Ok(());
+                }
+                Some(w) if Arc::ptr_eq(&w.rec, &self.rec) => {
+                    w.tentative = pending.take().expect("value pending");
+                    return Ok(());
+                }
+                Some(w) => match cm.resolve(&self.rec.shared, &w.rec.shared, round) {
+                    zstm_core::Resolution::AbortOther => {
+                        if w.rec.shared.try_kill() {
+                            guard.writer = Some(Reservation {
+                                rec: Arc::clone(&self.rec),
+                                tentative: pending.take().expect("value pending"),
+                            });
+                            drop(guard);
+                            self.writes
+                                .push(Arc::clone(&var.shared) as Arc<dyn CsObject<C::Stamp>>);
+                            return Ok(());
+                        }
+                    }
+                    zstm_core::Resolution::AbortSelf => {
+                        self.rec.shared.abort();
+                        return Err(Abort::new(AbortReason::WriteConflict));
+                    }
+                    zstm_core::Resolution::Wait => {
+                        drop(guard);
+                        self.rec.shared.set_waiting(true);
+                        backoff.spin();
+                        self.rec.shared.set_waiting(false);
+                        round += 1;
+                    }
+                },
+            }
+        }
+    }
+
+    fn commit(mut self) -> Result<(), Abort> {
+        let kind = self.rec.shared.kind();
+        // Publish the pre-increment timestamp so concurrent validators can
+        // compare against it, then enter the commit protocol.
+        self.rec.publish_stamp(self.ct.clone());
+        if !self.rec.shared.begin_commit() {
+            return Err(self.finish_abort(AbortReason::Killed));
+        }
+        // Validate (Algorithm 1 lines 20–26 / 28).
+        let valid = self
+            .reads
+            .iter()
+            .all(|entry| entry.obj.validate(&self.rec, entry.seq, &self.ct));
+        if !valid {
+            return Err(self.finish_abort(AbortReason::ReadValidation));
+        }
+        if self.writes.is_empty() {
+            // Read-only transactions need no timestamp increment (footnote
+            // to line 29).
+            self.rec.shared.finish_commit();
+            self.thread.vc.join(&self.ct);
+            self.thread.pending_karma = 0;
+            self.thread.stats.record_commit(kind);
+            self.record(TxEventKind::Commit { zone: None });
+            return Ok(());
+        }
+        // Line 29: increment p's component with a get-and-increment on the
+        // (possibly shared) clock entry, republish, and flip.
+        self.thread
+            .stm
+            .clock
+            .advance(self.thread.id.slot(), &mut self.ct);
+        self.rec.publish_stamp(self.ct.clone());
+        self.rec.shared.finish_commit();
+        for obj in &self.writes {
+            // Eager promotion; Write events are emitted by the promotion
+            // itself (it may also happen lazily on another thread).
+            obj.promote(&self.rec);
+        }
+        // Line 31: VC_p ← T.ct.
+        self.thread.vc = self.ct.clone();
+        self.thread.pending_karma = 0;
+        self.thread.stats.record_commit(kind);
+        self.record(TxEventKind::Commit { zone: None });
+        Ok(())
+    }
+
+    fn rollback(self, reason: AbortReason) {
+        let _ = self.finish_abort(reason);
+    }
+
+    fn id(&self) -> TxId {
+        self.rec.shared.id()
+    }
+
+    fn kind(&self) -> TxKind {
+        self.rec.shared.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zstm_core::{atomically, RetryPolicy};
+
+    fn vector_stm(threads: usize) -> Arc<CsStm> {
+        Arc::new(CsStm::with_vector_clock(StmConfig::new(threads)))
+    }
+
+    #[test]
+    fn read_and_increment() {
+        let stm = vector_stm(1);
+        let var = stm.new_var(0i64);
+        let mut thread = stm.register_thread();
+        for _ in 0..5 {
+            atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+                let v = tx.read(&var)?;
+                tx.write(&var, v + 1)
+            })
+            .expect("commit");
+        }
+        let v = atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+            tx.read(&var)
+        })
+        .expect("commit");
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn timestamps_grow_along_commits() {
+        let stm = vector_stm(1);
+        let var = stm.new_var(0i64);
+        let mut thread = stm.register_thread();
+        let before = thread.vc().clone();
+        atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+            tx.write(&var, 1)
+        })
+        .expect("commit");
+        assert!(before.precedes(thread.vc()));
+    }
+
+    #[test]
+    fn figure_1_schedule_commits_under_cs() {
+        // Paper Figure 1: T1 writes {o1, o2}; T2 writes {o3}; the long TL
+        // reads o1, o2 before T1's commit and o3 after T2's commit, then
+        // writes o4. A single-clock TBTM aborts TL; CS-STM with vector
+        // clocks commits all three because T1 ∥ T2.
+        let stm = vector_stm(3);
+        let o1 = stm.new_var(0i64);
+        let o2 = stm.new_var(0i64);
+        let o3 = stm.new_var(0i64);
+        let o4 = stm.new_var(0i64);
+        let mut p1 = stm.register_thread();
+        let mut p2 = stm.register_thread();
+        let mut p3 = stm.register_thread();
+
+        // TL starts and reads o1, o2 (pre-update versions).
+        let mut tl = p3.begin(TxKind::Long);
+        tl.read(&o1).expect("read o1");
+        tl.read(&o2).expect("read o2");
+
+        // T1 commits updates to o1, o2 — after TL read them.
+        let mut t1 = p1.begin(TxKind::Short);
+        t1.write(&o1, 1).expect("w o1");
+        t1.write(&o2, 1).expect("w o2");
+        t1.commit().expect("T1 commits");
+
+        // T2 commits an update to o3.
+        let mut t2 = p2.begin(TxKind::Short);
+        t2.write(&o3, 1).expect("w o3");
+        t2.commit().expect("T2 commits");
+
+        // TL reads o3 (T2's version) and writes o4: serialization
+        // T2 → TL → T1 is causally fine; CS-STM commits TL.
+        tl.read(&o3).expect("read o3");
+        tl.write(&o4, 1).expect("w o4");
+        tl.commit().expect("TL commits under causal serializability");
+    }
+
+    #[test]
+    fn figure_3_left_schedule_aborts() {
+        // Paper Figure 3 (T1's case): T1 reads o3, then T2 (which causally
+        // follows T1's... precedes T1's commit) overwrites o3 and commits
+        // with a timestamp that precedes T1's commit timestamp because T1
+        // later joins a version that causally follows T2. T1 must abort.
+        let stm = vector_stm(2);
+        let o1 = stm.new_var(0i64);
+        let o3 = stm.new_var(0i64);
+        let mut p1 = stm.register_thread();
+        let mut p2 = stm.register_thread();
+
+        // T1 reads o3 early.
+        let mut t1 = p1.begin(TxKind::Short);
+        t1.read(&o3).expect("read o3");
+
+        // T2 overwrites o3 and also writes o1, then commits.
+        let mut t2 = p2.begin(TxKind::Short);
+        t2.write(&o3, 2).expect("w o3");
+        t2.write(&o1, 2).expect("w o1");
+        t2.commit().expect("T2 commits");
+
+        // T1 now reads o1 — T2's version — so T2.ct ≺ T1.ct, yet T1 read
+        // the o3 version T2 overwrote: validation fails.
+        t1.read(&o1).expect("read o1");
+        t1.write(&o1, 3).expect("w o1");
+        let err = t1.commit().expect_err("T1 both precedes and follows T2");
+        assert_eq!(err.reason(), AbortReason::ReadValidation);
+    }
+
+    #[test]
+    fn disjoint_writers_are_concurrent() {
+        let stm = vector_stm(2);
+        let a = stm.new_var(0i64);
+        let b = stm.new_var(0i64);
+        let mut p0 = stm.register_thread();
+        let mut p1 = stm.register_thread();
+        atomically(&mut p0, TxKind::Short, &RetryPolicy::default(), |tx| {
+            tx.write(&a, 1)
+        })
+        .expect("commit");
+        atomically(&mut p1, TxKind::Short, &RetryPolicy::default(), |tx| {
+            tx.write(&b, 1)
+        })
+        .expect("commit");
+        use zstm_clock::ClockOrd;
+        assert_eq!(
+            p0.vc().causal_cmp(p1.vc()),
+            ClockOrd::Concurrent,
+            "disjoint commits must stay unordered under vector time"
+        );
+    }
+
+    #[test]
+    fn plausible_clock_r1_orders_disjoint_writers() {
+        let stm = Arc::new(CsStm::with_plausible_clock(StmConfig::new(2), 1));
+        let a = stm.new_var(0i64);
+        let b = stm.new_var(0i64);
+        let mut p0 = stm.register_thread();
+        let mut p1 = stm.register_thread();
+        atomically(&mut p0, TxKind::Short, &RetryPolicy::default(), |tx| {
+            tx.write(&a, 1)
+        })
+        .expect("commit");
+        atomically(&mut p1, TxKind::Short, &RetryPolicy::default(), |tx| {
+            tx.write(&b, 1)
+        })
+        .expect("commit");
+        assert!(
+            p0.vc().causal_cmp(p1.vc()).is_ordered(),
+            "r = 1 degenerates to a single clock: everything is ordered"
+        );
+    }
+
+    #[test]
+    fn figure_1_schedule_aborts_under_plausible_r1() {
+        // The same Figure 1 schedule that commits under vector clocks (see
+        // figure_1_schedule_commits_under_cs) aborts with a single shared
+        // clock entry: r = 1 totally orders T1 before T2, so TL's read of
+        // the pre-T1 versions can no longer be serialized — the
+        // "unnecessary abort" cost of plausible clocks (Section 4.3).
+        let stm = Arc::new(CsStm::with_plausible_clock(StmConfig::new(3), 1));
+        let o1 = stm.new_var(0i64);
+        let o2 = stm.new_var(0i64);
+        let o3 = stm.new_var(0i64);
+        let o4 = stm.new_var(0i64);
+        let mut p1 = stm.register_thread();
+        let mut p2 = stm.register_thread();
+        let mut p3 = stm.register_thread();
+
+        let mut tl = p3.begin(TxKind::Long);
+        tl.read(&o1).expect("read o1");
+        tl.read(&o2).expect("read o2");
+
+        let mut t1 = p1.begin(TxKind::Short);
+        t1.write(&o1, 1).expect("w o1");
+        t1.write(&o2, 1).expect("w o2");
+        t1.commit().expect("T1 commits");
+
+        let mut t2 = p2.begin(TxKind::Short);
+        t2.write(&o3, 1).expect("w o3");
+        t2.commit().expect("T2 commits");
+
+        tl.read(&o3).expect("read o3");
+        tl.write(&o4, 1).expect("w o4");
+        let err = tl
+            .commit()
+            .expect_err("r = 1 falsely orders T1 ≺ T2 ≺ TL and must abort TL");
+        assert_eq!(err.reason(), AbortReason::ReadValidation);
+    }
+
+    #[test]
+    fn write_write_conflict_single_writer() {
+        let mut config = StmConfig::new(2);
+        config.cm(zstm_core::CmPolicy::Suicide);
+        let stm = Arc::new(CsStm::with_vector_clock(config));
+        let var = stm.new_var(0i64);
+        let mut p0 = stm.register_thread();
+        let mut p1 = stm.register_thread();
+        let mut t0 = p0.begin(TxKind::Short);
+        t0.write(&var, 1).expect("reserve");
+        let mut t1 = p1.begin(TxKind::Short);
+        let err = t1.write(&var, 2).expect_err("suicide CM aborts attacker");
+        assert_eq!(err.reason(), AbortReason::WriteConflict);
+        t1.rollback(err.reason());
+        t0.commit().expect("winner commits");
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve_money() {
+        let stm = vector_stm(5);
+        let accounts: Arc<Vec<CsVar<i64, RevClock>>> =
+            Arc::new((0..16).map(|_| stm.new_var(100i64)).collect());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let stm = Arc::clone(&stm);
+                let accounts = Arc::clone(&accounts);
+                let mut thread = stm.register_thread();
+                std::thread::spawn(move || {
+                    for i in 0..300u64 {
+                        let from = ((i * 7 + t * 3) % 16) as usize;
+                        let to = ((i * 13 + t * 5) % 16) as usize;
+                        if from == to {
+                            continue;
+                        }
+                        atomically(
+                            &mut thread,
+                            TxKind::Short,
+                            &RetryPolicy::default(),
+                            |tx| {
+                                let a = tx.read(&accounts[from])?;
+                                let b = tx.read(&accounts[to])?;
+                                tx.write(&accounts[from], a - 1)?;
+                                tx.write(&accounts[to], b + 1)
+                            },
+                        )
+                        .expect("transfer commits");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        let mut checker = stm.register_thread();
+        let total = atomically(&mut checker, TxKind::Long, &RetryPolicy::default(), |tx| {
+            let mut sum = 0i64;
+            for acc in accounts.iter() {
+                sum += tx.read(acc)?;
+            }
+            Ok(sum)
+        })
+        .expect("sum commits");
+        assert_eq!(total, 1600);
+    }
+}

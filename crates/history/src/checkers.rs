@@ -1,0 +1,493 @@
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use zstm_core::{ObjId, TxId, TxKind, VersionSeq};
+
+use crate::{History, TxRecord};
+
+/// A consistency violation found by a checker.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which criterion was violated.
+    pub criterion: &'static str,
+    /// The committed transactions on the offending cycle.
+    pub cycle: Vec<TxId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violated: {} (cycle: {:?})", self.criterion, self.message, self.cycle)
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Node of the augmented precedence graph: a committed transaction, or a
+/// point on one of the real-time chains (chains encode the quadratic
+/// real-time relation with linearly many edges).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Node {
+    Tx(TxId),
+    /// `(lane, seq)` — a timestamp on chain `lane`.
+    Time(u64, u64),
+}
+
+#[derive(Default)]
+struct Graph {
+    adj: HashMap<Node, Vec<Node>>,
+}
+
+impl Graph {
+    fn add_edge(&mut self, from: Node, to: Node) {
+        if from == to {
+            return;
+        }
+        self.adj.entry(from).or_default().push(to);
+        self.adj.entry(to).or_default();
+    }
+
+    /// Adds a chain lane over the given (sorted, deduplicated) seq values.
+    fn add_chain(&mut self, lane: u64, mut seqs: Vec<u64>) {
+        seqs.sort_unstable();
+        seqs.dedup();
+        for pair in seqs.windows(2) {
+            self.add_edge(Node::Time(lane, pair[0]), Node::Time(lane, pair[1]));
+        }
+    }
+
+    /// Finds a cycle with an iterative three-color DFS; returns the nodes
+    /// on the cycle.
+    fn find_cycle(&self) -> Option<Vec<Node>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: HashMap<Node, Color> =
+            self.adj.keys().map(|&n| (n, Color::White)).collect();
+        let mut parent: HashMap<Node, Node> = HashMap::new();
+        for &start in self.adj.keys() {
+            if color[&start] != Color::White {
+                continue;
+            }
+            // Stack of (node, next-child-index).
+            let mut stack: Vec<(Node, usize)> = vec![(start, 0)];
+            color.insert(start, Color::Gray);
+            while let Some(&mut (node, ref mut index)) = stack.last_mut() {
+                let children = &self.adj[&node];
+                if *index < children.len() {
+                    let child = children[*index];
+                    *index += 1;
+                    match color[&child] {
+                        Color::White => {
+                            color.insert(child, Color::Gray);
+                            parent.insert(child, node);
+                            stack.push((child, 0));
+                        }
+                        Color::Gray => {
+                            // Found a back edge node → child: reconstruct.
+                            let mut cycle = vec![child];
+                            let mut current = node;
+                            while current != child {
+                                cycle.push(current);
+                                current = parent[&current];
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color.insert(node, Color::Black);
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Returns the transactions on a cycle (time nodes filtered out).
+fn cycle_txs(cycle: &[Node]) -> Vec<TxId> {
+    cycle
+        .iter()
+        .filter_map(|n| match n {
+            Node::Tx(id) => Some(*id),
+            Node::Time(..) => None,
+        })
+        .collect()
+}
+
+/// Adds the MVSG edges of the committed transactions in `history`:
+/// `writer(v) → reader(v)` (wr), `writer(v) → writer(v+1)` (ww) and, when
+/// `anti_deps_of` allows the reader, `reader(v) → writer(v+1)` (rw).
+fn add_mvsg_edges(
+    graph: &mut Graph,
+    history: &History,
+    anti_deps_of: impl Fn(&TxRecord) -> bool,
+) {
+    // ww edges along each object's version chain.
+    let mut writes_by_obj: HashMap<ObjId, Vec<(VersionSeq, TxId)>> = HashMap::new();
+    for record in history.committed() {
+        graph.adj.entry(Node::Tx(record.id)).or_default();
+        for &(obj, version) in &record.writes {
+            writes_by_obj.entry(obj).or_default().push((version, record.id));
+        }
+    }
+    for versions in writes_by_obj.values_mut() {
+        versions.sort_unstable();
+        for pair in versions.windows(2) {
+            if pair[1].0 == pair[0].0 + 1 {
+                graph.add_edge(Node::Tx(pair[0].1), Node::Tx(pair[1].1));
+            }
+        }
+    }
+    // wr and rw edges from reads.
+    for record in history.committed() {
+        for &(obj, version) in &record.reads {
+            // Skip reads of the transaction's own tentative write: either
+            // the recorded version is the one this transaction installed,
+            // or it is a read-own-write placeholder (version >= 1 with no
+            // committed writer, on an object this transaction wrote).
+            // Reads of the initial version 0 are always real reads.
+            let own_write = history.writer_of(obj, version) == Some(record.id)
+                || (version > 0
+                    && history.writer_of(obj, version).is_none()
+                    && record.writes.iter().any(|&(o, _)| o == obj));
+            if own_write {
+                continue;
+            }
+            if let Some(writer) = history.writer_of(obj, version) {
+                if writer != record.id {
+                    graph.add_edge(Node::Tx(writer), Node::Tx(record.id));
+                }
+            }
+            if anti_deps_of(record) {
+                if let Some(successor) = history.writer_of(obj, version + 1) {
+                    if successor != record.id {
+                        graph.add_edge(Node::Tx(record.id), Node::Tx(successor));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adds real-time edges among the given transactions through chain `lane`:
+/// a transaction that committed before another began precedes it.
+fn add_real_time_edges<'a>(
+    graph: &mut Graph,
+    lane: u64,
+    txs: impl Iterator<Item = &'a TxRecord>,
+) {
+    let mut seqs = Vec::new();
+    for record in txs {
+        let commit_seq = record.commit_seq.expect("committed transactions only");
+        graph.add_edge(Node::Tx(record.id), Node::Time(lane, commit_seq));
+        graph.add_edge(Node::Time(lane, record.begin_seq), Node::Tx(record.id));
+        seqs.push(record.begin_seq);
+        seqs.push(commit_seq);
+    }
+    graph.add_chain(lane, seqs);
+}
+
+/// Checks that the committed transactions are **serializable**: the
+/// multiversion serialization graph over the physically installed version
+/// order is acyclic.
+///
+/// # Errors
+///
+/// Returns the offending cycle as a [`Violation`].
+pub fn check_serializable(history: &History) -> Result<(), Violation> {
+    let mut graph = Graph::default();
+    add_mvsg_edges(&mut graph, history, |_| true);
+    match graph.find_cycle() {
+        None => Ok(()),
+        Some(cycle) => Err(Violation {
+            criterion: "serializability",
+            cycle: cycle_txs(&cycle),
+            message: "multiversion serialization graph has a cycle".into(),
+        }),
+    }
+}
+
+/// Checks that the committed transactions are **linearizable** (strictly
+/// serializable): serializable by [`check_serializable`]'s graph *plus*
+/// real-time edges — a transaction that committed before another began
+/// must serialize before it.
+///
+/// # Errors
+///
+/// Returns the offending cycle as a [`Violation`].
+pub fn check_linearizable(history: &History) -> Result<(), Violation> {
+    let mut graph = Graph::default();
+    add_mvsg_edges(&mut graph, history, |_| true);
+    add_real_time_edges(&mut graph, 0, history.committed());
+    match graph.find_cycle() {
+        None => Ok(()),
+        Some(cycle) => Err(Violation {
+            criterion: "linearizability",
+            cycle: cycle_txs(&cycle),
+            message: "no serialization respects the real-time order".into(),
+        }),
+    }
+}
+
+/// Checks **causal serializability** (Section 4.1 of the paper, after
+/// Raynal et al.): every thread must be able to explain the execution with
+/// a serial order that respects causality (wr/ww edges), its own program
+/// order and its *own* anti-dependencies; different threads may use
+/// different orders. Writers of the same object are ordered identically
+/// everywhere by construction (the single-writer rule fixes the version
+/// order).
+///
+/// # Errors
+///
+/// Returns the first thread-view cycle as a [`Violation`].
+pub fn check_causal_serializable(history: &History) -> Result<(), Violation> {
+    let threads: HashSet<_> = history.committed().map(|t| t.thread).collect();
+    for thread in threads {
+        let mut graph = Graph::default();
+        add_mvsg_edges(&mut graph, history, |record| record.thread == thread);
+        // Program order of this thread's transactions (chain by begin).
+        let lane = 1 + thread.slot() as u64;
+        let mut seqs = Vec::new();
+        for record in history.committed().filter(|t| t.thread == thread) {
+            let commit_seq = record.commit_seq.expect("committed");
+            graph.add_edge(Node::Tx(record.id), Node::Time(lane, commit_seq));
+            graph.add_edge(Node::Time(lane, record.begin_seq), Node::Tx(record.id));
+            seqs.push(record.begin_seq);
+            seqs.push(commit_seq);
+        }
+        graph.add_chain(lane, seqs);
+        if let Some(cycle) = graph.find_cycle() {
+            return Err(Violation {
+                criterion: "causal serializability",
+                cycle: cycle_txs(&cycle),
+                message: format!("thread {thread:?} cannot explain the execution"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks **z-linearizability** (Section 5 of the paper):
+///
+/// 1. the set of long transactions is linearizable (zone order must agree
+///    with real time and with the serialization),
+/// 2. short transactions within one zone are linearizable among themselves,
+/// 3. the set of all transactions is serializable,
+/// 4. the serialization respects each thread's program order.
+///
+/// Requires a history whose commits carry zone numbers (Z-STM). Long
+/// transactions anchor the zones: shorts with zone `z` serialize after the
+/// long transaction that opened zone `z` and before the next long
+/// transaction.
+///
+/// # Errors
+///
+/// Returns the offending cycle as a [`Violation`].
+pub fn check_z_linearizable(history: &History) -> Result<(), Violation> {
+    // Zone discipline: no committed transaction may observe a version
+    // written by a long transaction from a *later* zone than its own label
+    // (the crossing rules of Algorithm 3 / the passed check of Algorithm 2
+    // would have relabelled or aborted it). Note the label is only an
+    // upper bound on what the transaction observed — a zone-z transaction
+    // with no conflicting accesses may legitimately *serialize* on either
+    // side of the zone-z long transaction, so no label-based ordering
+    // edges are added beyond this read check and the MVSG.
+    let long_zone: HashMap<TxId, u64> = history
+        .committed()
+        .filter(|t| t.kind == TxKind::Long)
+        .map(|t| (t.id, t.zone.unwrap_or(0)))
+        .collect();
+    for record in history.committed() {
+        let label = record.zone.unwrap_or(0);
+        for &(obj, version) in &record.reads {
+            if let Some(writer) = history.writer_of(obj, version) {
+                if let Some(&writer_zone) = long_zone.get(&writer) {
+                    if writer_zone > label {
+                        return Err(Violation {
+                            criterion: "z-linearizability",
+                            cycle: vec![record.id, writer],
+                            message: format!(
+                                "zone-{label} transaction read a version written \
+                                 by the zone-{writer_zone} long transaction"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let mut graph = Graph::default();
+    // (3) serializability base.
+    add_mvsg_edges(&mut graph, history, |_| true);
+
+    // Long transactions, ordered by zone number.
+    let mut longs: Vec<&TxRecord> = history
+        .committed()
+        .filter(|t| t.kind == TxKind::Long)
+        .collect();
+    longs.sort_by_key(|t| t.zone.unwrap_or(0));
+    // (1) zone order + real time among longs.
+    for pair in longs.windows(2) {
+        graph.add_edge(Node::Tx(pair[0].id), Node::Tx(pair[1].id));
+    }
+    add_real_time_edges(&mut graph, 1, longs.iter().copied());
+
+    // (2) real time among the short transactions sharing a zone label.
+    // One lane over *all* shorts would be unsound: shorts from different
+    // zones may be real-time-inverted through a long transaction (the
+    // paper's Figure 4 point, encoded in the `zoned_history` scenario).
+    // Within one label it is sound: a same-label pair cannot be split by
+    // its own long transaction, because reading the pre-long state of an
+    // object after the long committed is impossible under LSA.
+    let mut shorts_by_zone: HashMap<u64, Vec<&TxRecord>> = HashMap::new();
+    for record in history.committed().filter(|t| t.kind == TxKind::Short) {
+        shorts_by_zone
+            .entry(record.zone.unwrap_or(0))
+            .or_default()
+            .push(record);
+    }
+    for (&zone, shorts) in &shorts_by_zone {
+        add_real_time_edges(&mut graph, 100 + zone, shorts.iter().copied());
+    }
+
+    // (4) per-thread program order.
+    let threads: HashSet<_> = history.committed().map(|t| t.thread).collect();
+    for thread in threads {
+        let lane = 1_000_000 + thread.slot() as u64;
+        let mut seqs = Vec::new();
+        for record in history.committed().filter(|t| t.thread == thread) {
+            let commit_seq = record.commit_seq.expect("committed");
+            graph.add_edge(Node::Tx(record.id), Node::Time(lane, commit_seq));
+            graph.add_edge(Node::Time(lane, record.begin_seq), Node::Tx(record.id));
+            seqs.push(record.begin_seq);
+            seqs.push(commit_seq);
+        }
+        graph.add_chain(lane, seqs);
+    }
+
+    match graph.find_cycle() {
+        None => Ok(()),
+        Some(cycle) => Err(Violation {
+            criterion: "z-linearizability",
+            cycle: cycle_txs(&cycle),
+            message: "zone-consistent serialization does not exist".into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+
+    #[test]
+    fn empty_history_satisfies_everything() {
+        let history = History::default();
+        assert!(check_serializable(&history).is_ok());
+        assert!(check_linearizable(&history).is_ok());
+        assert!(check_causal_serializable(&history).is_ok());
+        assert!(check_z_linearizable(&history).is_ok());
+    }
+
+    #[test]
+    fn figure_1_is_serializable_but_not_linearizable() {
+        let history = scenarios::figure_1();
+        assert!(check_serializable(&history).is_ok());
+        assert!(check_causal_serializable(&history).is_ok());
+        let violation = check_linearizable(&history).expect_err("TL breaks real time");
+        assert_eq!(violation.criterion, "linearizability");
+        assert!(!violation.cycle.is_empty());
+    }
+
+    #[test]
+    fn figure_2_is_causally_serializable_but_not_serializable() {
+        let history = scenarios::figure_2();
+        let violation = check_serializable(&history).expect_err("T3 and TL conflict");
+        assert_eq!(violation.criterion, "serializability");
+        assert!(check_causal_serializable(&history).is_ok());
+    }
+
+    #[test]
+    fn lost_update_violates_causal_serializability_too() {
+        let history = scenarios::lost_update();
+        assert!(check_serializable(&history).is_err());
+        assert!(
+            check_causal_serializable(&history).is_err(),
+            "both increments read version 0 and overwrote each other; even a \
+             single thread's view cannot explain it"
+        );
+    }
+
+    #[test]
+    fn serial_history_satisfies_everything() {
+        let history = scenarios::serial_chain(5);
+        assert!(check_serializable(&history).is_ok());
+        assert!(check_linearizable(&history).is_ok());
+        assert!(check_causal_serializable(&history).is_ok());
+        assert!(check_z_linearizable(&history).is_ok());
+    }
+
+    #[test]
+    fn zone_history_is_z_linearizable_but_not_linearizable() {
+        let history = scenarios::zoned_history();
+        assert!(check_serializable(&history).is_ok());
+        assert!(check_z_linearizable(&history).is_ok());
+        assert!(
+            check_linearizable(&history).is_err(),
+            "a short transaction violates real time while the long runs"
+        );
+    }
+
+    #[test]
+    fn crossing_short_violates_z_linearizability() {
+        let history = scenarios::zone_crossing();
+        let violation = check_z_linearizable(&history).expect_err("crossing short");
+        assert_eq!(violation.criterion, "z-linearizability");
+    }
+
+    #[test]
+    fn zone_discipline_is_checked_directly() {
+        use crate::scenarios::ScenarioBuilder;
+        use zstm_core::TxKind;
+        // A short transaction labelled zone 0 reads a version written by
+        // the zone-2 long transaction: forbidden regardless of graph
+        // cycles.
+        let mut b = ScenarioBuilder::new();
+        let o = b.object();
+        let long = b.begin(0, TxKind::Long);
+        b.write(long, o, 1);
+        b.commit(long, Some(2));
+        let short = b.begin(1, TxKind::Short);
+        b.read(short, o, 1);
+        b.commit(short, Some(0));
+        let violation = check_z_linearizable(&b.build()).expect_err("discipline");
+        assert!(violation.message.contains("zone-0"));
+        assert!(violation.message.contains("zone-2"));
+        // The same read with a correct label (>= 2) passes.
+        let mut b = ScenarioBuilder::new();
+        let o = b.object();
+        let long = b.begin(0, TxKind::Long);
+        b.write(long, o, 1);
+        b.commit(long, Some(2));
+        let short = b.begin(1, TxKind::Short);
+        b.read(short, o, 1);
+        b.commit(short, Some(2));
+        assert!(check_z_linearizable(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn violation_display_mentions_criterion() {
+        let history = scenarios::figure_2();
+        let violation = check_serializable(&history).expect_err("cycle");
+        let text = violation.to_string();
+        assert!(text.contains("serializability"));
+    }
+}

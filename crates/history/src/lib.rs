@@ -1,0 +1,63 @@
+//! Transactional history recording and consistency checking.
+//!
+//! Every STM in this workspace reports its events to an
+//! [`EventSink`](zstm_core::EventSink); the [`Recorder`] here captures them
+//! into a [`History`], and the checkers verify — on real executions — the
+//! exact guarantee each STM claims:
+//!
+//! | STM | guarantee | checker |
+//! |-----|-----------|---------|
+//! | LSA-STM, TL2 | linearizability | [`check_linearizable`] |
+//! | CS-STM | causal serializability | [`check_causal_serializable`] |
+//! | S-STM | serializability | [`check_serializable`] |
+//! | Z-STM | z-linearizability | [`check_z_linearizable`] |
+//!
+//! The checkers are built on the multiversion serialization graph (MVSG)
+//! over committed transactions: for every object, version `v+1` overwrites
+//! version `v`, giving
+//!
+//! * **wr** edges `writer(v) → reader(v)`,
+//! * **ww** edges `writer(v) → writer(v+1)`,
+//! * **rw** anti-dependency edges `reader(v) → writer(v+1)`.
+//!
+//! Acyclicity of the MVSG certifies serializability for the given version
+//! order (which our STMs fix physically, so the check is exact, not merely
+//! sufficient). The stronger criteria add more edges:
+//!
+//! * linearizability adds *real-time* edges (`A` committed before `B`
+//!   began ⇒ `A → B`);
+//! * causal serializability instead checks one graph **per thread**, with
+//!   anti-dependencies visible only to the thread that issued the reads —
+//!   each thread must be able to explain the execution, but different
+//!   threads may explain it differently (Section 4.1 of the paper);
+//! * z-linearizability (Section 5) adds zone-order edges between long
+//!   transactions, long↔short ordering by zone, real-time edges within
+//!   each zone and among long transactions, and per-thread program order.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use zstm_history::{check_serializable, Recorder};
+//!
+//! let recorder = Arc::new(Recorder::new());
+//! // ... configure an STM with `config.event_sink(recorder.clone())`,
+//! // run transactions ...
+//! let history = recorder.history();
+//! assert!(check_serializable(&history).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checkers;
+mod history;
+mod recorder;
+pub mod scenarios;
+
+pub use checkers::{
+    check_causal_serializable, check_linearizable, check_serializable, check_z_linearizable,
+    Violation,
+};
+pub use history::{History, TxRecord};
+pub use recorder::Recorder;

@@ -1,0 +1,97 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use zstm_core::{EventSink, TxEvent};
+
+use crate::History;
+
+/// An [`EventSink`] that captures the event stream for offline checking.
+///
+/// Events are stamped with a global sequence number on arrival; because
+/// STMs emit `Begin` before a transaction takes effect and `Commit` after
+/// its commit point, `seq(commit A) < seq(begin B)` soundly implies that A
+/// precedes B in real time (see `zstm_core::events`).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use zstm_history::Recorder;
+///
+/// let recorder = Arc::new(Recorder::new());
+/// assert!(recorder.history().is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct Recorder {
+    seq: AtomicU64,
+    events: Mutex<Vec<(u64, TxEvent)>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events captured so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Returns `true` if no events have been captured.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Builds a [`History`] from the events captured so far.
+    pub fn history(&self) -> History {
+        let events = self.events.lock();
+        History::from_events(events.iter().cloned())
+    }
+
+    /// Drops all captured events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+impl EventSink for Recorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: TxEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::AcqRel);
+        self.events.lock().push((seq, event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zstm_core::{ThreadId, TxEventKind, TxId, TxKind};
+
+    #[test]
+    fn records_in_order() {
+        let recorder = Recorder::new();
+        let tx = TxId::fresh();
+        recorder.record(TxEvent::new(
+            tx,
+            ThreadId::new(0),
+            TxKind::Short,
+            TxEventKind::Begin,
+        ));
+        recorder.record(TxEvent::new(
+            tx,
+            ThreadId::new(0),
+            TxKind::Short,
+            TxEventKind::Commit { zone: None },
+        ));
+        assert_eq!(recorder.len(), 2);
+        let history = recorder.history();
+        let record = history.get(tx).expect("recorded");
+        assert!(record.committed());
+        recorder.clear();
+        assert!(recorder.is_empty());
+    }
+}

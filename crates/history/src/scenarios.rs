@@ -1,0 +1,236 @@
+//! Hand-built histories reproducing the paper's example schedules
+//! (Figures 1–5) plus classic anomalies, used to validate the checkers
+//! and as executable documentation of the consistency criteria.
+
+use zstm_core::{ObjId, ThreadId, TxEvent, TxEventKind, TxId, TxKind, VersionSeq};
+
+use crate::History;
+
+/// Fluent builder for hand-written histories.
+///
+/// # Examples
+///
+/// ```
+/// use zstm_history::scenarios::ScenarioBuilder;
+/// use zstm_history::check_serializable;
+///
+/// let mut b = ScenarioBuilder::new();
+/// let o = b.object();
+/// let t = b.begin(0, zstm_core::TxKind::Short);
+/// b.read(t, o, 0);
+/// b.write(t, o, 1);
+/// b.commit(t, None);
+/// assert!(check_serializable(&b.build()).is_ok());
+/// ```
+#[derive(Debug, Default)]
+pub struct ScenarioBuilder {
+    events: Vec<(u64, TxEvent)>,
+    seq: u64,
+    kinds: Vec<(TxId, ThreadId, TxKind)>,
+}
+
+impl ScenarioBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh object id.
+    pub fn object(&mut self) -> ObjId {
+        ObjId::fresh()
+    }
+
+    fn push(&mut self, tx: TxId, event: TxEventKind) {
+        let &(_, thread, kind) = self
+            .kinds
+            .iter()
+            .find(|(id, _, _)| *id == tx)
+            .expect("transaction was begun");
+        self.events
+            .push((self.seq, TxEvent::new(tx, thread, kind, event)));
+        self.seq += 1;
+    }
+
+    /// Begins a transaction on logical thread `thread`.
+    pub fn begin(&mut self, thread: usize, kind: TxKind) -> TxId {
+        let tx = TxId::fresh();
+        self.kinds.push((tx, ThreadId::new(thread), kind));
+        self.push(tx, TxEventKind::Begin);
+        tx
+    }
+
+    /// Records a read of `(obj, version)`.
+    pub fn read(&mut self, tx: TxId, obj: ObjId, version: VersionSeq) {
+        self.push(tx, TxEventKind::Read { obj, version });
+    }
+
+    /// Records a committed write installing `(obj, version)`.
+    pub fn write(&mut self, tx: TxId, obj: ObjId, version: VersionSeq) {
+        self.push(tx, TxEventKind::Write { obj, version });
+    }
+
+    /// Commits the transaction (optionally in a zone).
+    pub fn commit(&mut self, tx: TxId, zone: Option<u64>) {
+        self.push(tx, TxEventKind::Commit { zone });
+    }
+
+    /// Builds the [`History`].
+    pub fn build(self) -> History {
+        History::from_events(self.events)
+    }
+}
+
+/// The paper's Figure 1: `T1: w(o1) w(o2)`, `T2: w(o3) w(o3)`,
+/// `TL: r(o1) r(o2) r(o3) w(o4)` — TL reads `o1`, `o2` *before* T1's
+/// commit and `o3` *after* T2's, then commits last.
+///
+/// Serializable as `T2 → TL → T1`, but not linearizable: real time orders
+/// T1 before T2.
+pub fn figure_1() -> History {
+    let mut b = ScenarioBuilder::new();
+    let (o1, o2, o3, o4) = (b.object(), b.object(), b.object(), b.object());
+    let tl = b.begin(2, TxKind::Long);
+    b.read(tl, o1, 0);
+    b.read(tl, o2, 0);
+    let t1 = b.begin(0, TxKind::Short);
+    b.write(t1, o1, 1);
+    b.write(t1, o2, 1);
+    b.commit(t1, None);
+    let t2 = b.begin(1, TxKind::Short);
+    b.write(t2, o3, 1);
+    b.commit(t2, None);
+    b.read(tl, o3, 1);
+    b.write(tl, o4, 1);
+    b.commit(tl, None);
+    b.build()
+}
+
+/// The paper's Figure 2: Figure 1 plus `T3: r(o3) w(o2)`, which imposes
+/// the order T1 → T3 → T2 while TL imposes T2 → TL → T1.
+///
+/// Causally serializable (each thread can explain its own view) but not
+/// serializable.
+pub fn figure_2() -> History {
+    let mut b = ScenarioBuilder::new();
+    let (o1, o2, o3, o4) = (b.object(), b.object(), b.object(), b.object());
+    let tl = b.begin(3, TxKind::Long);
+    b.read(tl, o1, 0);
+    b.read(tl, o2, 0);
+    let t3 = b.begin(2, TxKind::Short);
+    b.read(t3, o3, 0);
+    let t1 = b.begin(0, TxKind::Short);
+    b.write(t1, o1, 1);
+    b.write(t1, o2, 1);
+    b.commit(t1, None);
+    let t2 = b.begin(1, TxKind::Short);
+    b.write(t2, o3, 1);
+    b.commit(t2, None);
+    b.write(t3, o2, 2);
+    b.commit(t3, None);
+    b.read(tl, o3, 1);
+    b.write(tl, o4, 1);
+    b.commit(tl, None);
+    b.build()
+}
+
+/// A lost update: two transactions read version 0 of the same object and
+/// both commit increments (versions 1 and 2). Violates serializability
+/// *and* causal serializability — no thread can explain both writes.
+pub fn lost_update() -> History {
+    let mut b = ScenarioBuilder::new();
+    let o = b.object();
+    let t1 = b.begin(0, TxKind::Short);
+    let t2 = b.begin(1, TxKind::Short);
+    b.read(t1, o, 0);
+    b.read(t2, o, 0);
+    b.write(t1, o, 1);
+    b.commit(t1, None);
+    b.write(t2, o, 2);
+    b.commit(t2, None);
+    b.build()
+}
+
+/// `n` transactions on one thread, each reading the previous version and
+/// installing the next. Satisfies every criterion.
+pub fn serial_chain(n: usize) -> History {
+    let mut b = ScenarioBuilder::new();
+    let o = b.object();
+    for i in 0..n {
+        let t = b.begin(0, TxKind::Short);
+        b.read(t, o, i as VersionSeq);
+        b.write(t, o, (i + 1) as VersionSeq);
+        b.commit(t, None);
+    }
+    b.build()
+}
+
+/// A z-linearizable but not linearizable history, following the paper's
+/// Figure 4 discussion: the long transaction `L` (zone 1) must serialize
+/// after `T4` (zone 0) and before `T5` (zone 1), yet `T5` commits before
+/// `T4` begins in real time.
+pub fn zoned_history() -> History {
+    let mut b = ScenarioBuilder::new();
+    let (o1, o2) = (b.object(), b.object());
+    // L reads o1 at version 0 (T5 will overwrite it) and o2 at T4's
+    // version.
+    let l = b.begin(2, TxKind::Long);
+    b.read(l, o1, 0);
+    // T5, in L's zone, overwrites o1 and commits while L runs.
+    let t5 = b.begin(0, TxKind::Short);
+    b.read(t5, o1, 0);
+    b.write(t5, o1, 1);
+    b.commit(t5, Some(1));
+    // T4 begins *after* T5 committed (real time!) but belongs to zone 0:
+    // it serializes before L and hence before T5.
+    let t4 = b.begin(1, TxKind::Short);
+    b.write(t4, o2, 1);
+    b.commit(t4, Some(0));
+    // L reads T4's write and commits zone 1.
+    b.read(l, o2, 1);
+    b.commit(l, Some(1));
+    b.build()
+}
+
+/// A short transaction that "crosses" an active long transaction: it is
+/// labelled zone 0 (before the long) yet reads the long transaction's
+/// write. Violates z-linearizability.
+pub fn zone_crossing() -> History {
+    let mut b = ScenarioBuilder::new();
+    let o = b.object();
+    let l = b.begin(0, TxKind::Long);
+    b.write(l, o, 1);
+    b.commit(l, Some(1));
+    let s = b.begin(1, TxKind::Short);
+    b.read(s, o, 1);
+    b.commit(s, Some(0));
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_have_expected_shapes() {
+        assert_eq!(figure_1().committed().count(), 3);
+        assert_eq!(figure_2().committed().count(), 4);
+        assert_eq!(lost_update().committed().count(), 2);
+        assert_eq!(serial_chain(4).committed().count(), 4);
+        assert_eq!(zoned_history().committed().count(), 3);
+        assert_eq!(zone_crossing().committed().count(), 2);
+    }
+
+    #[test]
+    fn scenarios_have_no_dirty_reads() {
+        for history in [
+            figure_1(),
+            figure_2(),
+            lost_update(),
+            serial_chain(3),
+            zoned_history(),
+            zone_crossing(),
+        ] {
+            assert!(history.find_dirty_read().is_none());
+        }
+    }
+}

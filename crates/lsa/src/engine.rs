@@ -1,0 +1,1014 @@
+//! The versioned-object engine underneath LSA-STM and Z-STM.
+//!
+//! Each transactional variable owns a [`VarCore`]: a bounded list of
+//! committed versions plus at most one *writer reservation* (the paper's
+//! single-writer rule and DSTM-style eager write acquisition). The commit
+//! point of a writing transaction is the atomic status flip of its
+//! [`TxShared`] descriptor; tentative values are *promoted* to committed
+//! versions lazily by whoever touches the object next (and eagerly by the
+//! committer itself), mirroring "updates become visible to other
+//! transactions when the update transaction's status changes from active to
+//! committed" (Section 5.4).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard};
+use zstm_core::{
+    Abort, AbortReason, ContentionManager, EventSink, ObjId, Resolution, TxEvent, TxEventKind,
+    TxShared, TxStatus, TxValue, VersionSeq,
+};
+use zstm_util::Backoff;
+
+/// One committed version of an object.
+#[derive(Clone, Debug)]
+pub struct Version<T> {
+    /// The committed value.
+    pub value: T,
+    /// Commit time of the transaction that installed this version. The
+    /// validity of the version is `[ct, succ.ct)` where `succ` is the next
+    /// version (Section 4.1).
+    pub ct: u64,
+    /// Dense per-object sequence number; the initial version is 0.
+    pub seq: VersionSeq,
+}
+
+struct Reservation<T> {
+    tx: Arc<TxShared>,
+    tentative: T,
+}
+
+struct Inner<T> {
+    /// Committed versions, oldest first; `ct` and `seq` strictly increase.
+    versions: VecDeque<Version<T>>,
+    writer: Option<Reservation<T>>,
+}
+
+/// Outcome of a versioned read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadHit<T> {
+    /// Value of the chosen version.
+    pub value: T,
+    /// Sequence number of the chosen version.
+    pub seq: VersionSeq,
+    /// Commit time of the chosen version.
+    pub ct: u64,
+    /// `true` if the chosen version is the newest committed one.
+    pub is_latest: bool,
+}
+
+/// The shared core of one transactional variable.
+///
+/// `VarCore` enforces the single-writer rule (write/write conflicts are
+/// resolved by the contention manager at open time), keeps a bounded
+/// version history for multi-version reads, and carries the per-object zone
+/// counter `o.zc` used by Z-STM (zero-cost for the other STMs).
+pub struct VarCore<T> {
+    id: ObjId,
+    max_versions: usize,
+    /// Z-STM's per-object zone counter `o.zc` (Algorithm 2 lines 6–7).
+    zc: AtomicU64,
+    sink: Arc<dyn EventSink>,
+    inner: Mutex<Inner<T>>,
+}
+
+impl<T: TxValue> VarCore<T> {
+    /// Creates a core whose initial version is `init` at time 0, seq 0.
+    pub fn new(init: T, max_versions: usize, sink: Arc<dyn EventSink>) -> Self {
+        let mut versions = VecDeque::with_capacity(max_versions.min(16));
+        versions.push_back(Version {
+            value: init,
+            ct: 0,
+            seq: 0,
+        });
+        Self {
+            id: ObjId::fresh(),
+            max_versions: max_versions.max(1),
+            zc: AtomicU64::new(0),
+            sink,
+            inner: Mutex::new(Inner {
+                versions,
+                writer: None,
+            }),
+        }
+    }
+
+    /// This object's id (used in recorded histories).
+    pub fn id(&self) -> ObjId {
+        self.id
+    }
+
+    /// Reads the per-object zone counter `o.zc`.
+    pub fn zc(&self) -> u64 {
+        self.zc.load(Ordering::Acquire)
+    }
+
+    /// Monotonically raises `o.zc` to `zc` (Algorithm 2 line 7). Returns
+    /// the previous value.
+    pub fn raise_zc(&self, zc: u64) -> u64 {
+        self.zc.fetch_max(zc, Ordering::AcqRel)
+    }
+
+    /// Locks the object with a *settled* writer: dead reservations are
+    /// cleaned up, reservations of committed transactions are promoted to
+    /// versions, and reservations of transactions in their commit protocol
+    /// are waited out (they are no longer killable, so the wait is short).
+    fn lock_settled(&self, me: Option<&Arc<TxShared>>) -> MutexGuard<'_, Inner<T>> {
+        let mut backoff = Backoff::new();
+        loop {
+            let mut guard = self.inner.lock();
+            let settled = match &guard.writer {
+                None => true,
+                Some(w) if me.is_some_and(|m| Arc::ptr_eq(m, &w.tx)) => true,
+                Some(w) => match w.tx.status() {
+                    TxStatus::Active => true,
+                    TxStatus::Aborted => {
+                        guard.writer = None;
+                        true
+                    }
+                    TxStatus::Committed => {
+                        Self::promote_locked(
+                            &mut guard,
+                            self.max_versions,
+                            self.id,
+                            &self.sink,
+                        );
+                        true
+                    }
+                    TxStatus::Committing => false,
+                },
+            };
+            if settled {
+                return guard;
+            }
+            drop(guard);
+            backoff.spin();
+        }
+    }
+
+    /// Promotes the committed writer's tentative value to a version.
+    fn promote_locked(
+        inner: &mut Inner<T>,
+        max_versions: usize,
+        id: ObjId,
+        sink: &Arc<dyn EventSink>,
+    ) {
+        let Some(reservation) = inner.writer.take() else {
+            return;
+        };
+        debug_assert_eq!(reservation.tx.status(), TxStatus::Committed);
+        let ct = reservation.tx.commit_ct();
+        let seq = inner.versions.back().map_or(0, |v| v.seq + 1);
+        debug_assert!(
+            inner.versions.back().is_none_or(|v| v.ct < ct),
+            "commit times must increase along the version list"
+        );
+        inner.versions.push_back(Version {
+            value: reservation.tentative,
+            ct,
+            seq,
+        });
+        while inner.versions.len() > max_versions {
+            inner.versions.pop_front();
+        }
+        if sink.enabled() {
+            sink.record(TxEvent::new(
+                reservation.tx.id(),
+                reservation.tx.thread(),
+                reservation.tx.kind(),
+                TxEventKind::Write { obj: id, version: seq },
+            ));
+        }
+    }
+
+    /// Reads the newest version with `ct <= ub`.
+    ///
+    /// Returns `None` when every retained version is newer than `ub` (the
+    /// bounded history has been pruned past the snapshot time).
+    pub fn read_at(&self, me: Option<&Arc<TxShared>>, ub: u64) -> Option<ReadHit<T>> {
+        let guard = self.lock_settled(me);
+        // Own tentative write: read-your-own-writes.
+        if let (Some(me), Some(w)) = (me, &guard.writer) {
+            if Arc::ptr_eq(me, &w.tx) {
+                let seq = guard.versions.back().map_or(0, |v| v.seq + 1);
+                return Some(ReadHit {
+                    value: w.tentative.clone(),
+                    seq,
+                    ct: ub,
+                    is_latest: true,
+                });
+            }
+        }
+        let newest_seq = guard.versions.back().map(|v| v.seq);
+        guard
+            .versions
+            .iter()
+            .rev()
+            .find(|v| v.ct <= ub)
+            .map(|v| ReadHit {
+                value: v.value.clone(),
+                seq: v.seq,
+                ct: v.ct,
+                is_latest: Some(v.seq) == newest_seq,
+            })
+    }
+
+    /// Reads the newest committed version regardless of snapshot time
+    /// (update-mode reads; the caller extends its snapshot first).
+    pub fn read_latest(&self, me: Option<&Arc<TxShared>>) -> ReadHit<T> {
+        let guard = self.lock_settled(me);
+        if let (Some(me), Some(w)) = (me, &guard.writer) {
+            if Arc::ptr_eq(me, &w.tx) {
+                let seq = guard.versions.back().map_or(0, |v| v.seq + 1);
+                return ReadHit {
+                    value: w.tentative.clone(),
+                    seq,
+                    ct: u64::MAX,
+                    is_latest: true,
+                };
+            }
+        }
+        let v = guard.versions.back().expect("version list never empty");
+        ReadHit {
+            value: v.value.clone(),
+            seq: v.seq,
+            ct: v.ct,
+            is_latest: true,
+        }
+    }
+
+    /// Commit time of the successor of version `seq`, if one is known.
+    ///
+    /// Returns `Ok(None)` when `seq` is still the newest version,
+    /// `Ok(Some(ct))` when the direct successor is retained, and `Err(())`
+    /// when the successor has been pruned (the caller must assume the worst).
+    pub fn successor_ct(&self, me: Option<&Arc<TxShared>>, seq: VersionSeq) -> Result<Option<u64>, ()> {
+        let guard = self.lock_settled(me);
+        let newest = guard.versions.back().expect("version list never empty");
+        if newest.seq <= seq {
+            return Ok(None);
+        }
+        guard
+            .versions
+            .iter()
+            .find(|v| v.seq == seq + 1)
+            .map(|v| Some(v.ct))
+            .ok_or(())
+    }
+
+    /// Commit-time validation of a read of version `seq` against commit
+    /// time `my_ct`: returns `true` iff the version is still valid at
+    /// `my_ct` (no successor with `ct <= my_ct` exists or can appear).
+    ///
+    /// Unlike [`VarCore::successor_ct`] this only waits for committing
+    /// writers whose commit time is *smaller* than `my_ct` (their outcome
+    /// decides the verdict); writers with larger commit times cannot
+    /// invalidate a snapshot at `my_ct` and are ignored. Waiting only on
+    /// smaller commit times makes concurrent validations acyclic, so two
+    /// committing transactions that read each other's write sets cannot
+    /// deadlock.
+    pub fn validate_read(&self, me: &Arc<TxShared>, seq: VersionSeq, my_ct: u64) -> bool {
+        let mut backoff = Backoff::new();
+        loop {
+            let mut guard = self.inner.lock();
+            let mut must_wait = false;
+            if let Some(w) = &guard.writer {
+                if !Arc::ptr_eq(&w.tx, me) {
+                    match w.tx.status() {
+                        TxStatus::Active => {
+                            // Will draw its commit time after ours was
+                            // drawn, hence > my_ct: cannot affect us.
+                        }
+                        TxStatus::Aborted => guard.writer = None,
+                        TxStatus::Committed => Self::promote_locked(
+                            &mut guard,
+                            self.max_versions,
+                            self.id,
+                            &self.sink,
+                        ),
+                        TxStatus::Committing => {
+                            let w_ct = w.tx.commit_ct();
+                            // w_ct == 0 means the writer has not stored its
+                            // stamp yet (a two-instruction window).
+                            if w_ct == 0 || w_ct < my_ct {
+                                must_wait = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if must_wait {
+                drop(guard);
+                backoff.spin();
+                continue;
+            }
+            let newest = guard.versions.back().expect("version list never empty");
+            if newest.seq <= seq {
+                return true;
+            }
+            return match guard.versions.iter().find(|v| v.seq == seq + 1) {
+                Some(succ) => succ.ct > my_ct,
+                // Successor pruned: its commit time is unknown, assume the
+                // worst.
+                None => false,
+            };
+        }
+    }
+
+    /// Acquires (or refreshes) this transaction's writer reservation with
+    /// tentative value `value`, arbitrating write/write conflicts through
+    /// the contention manager (Algorithm 1 lines 10–13).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if the contention manager rules against `me`, or
+    /// if `me` was killed while waiting.
+    pub fn reserve(
+        &self,
+        me: &Arc<TxShared>,
+        value: T,
+        cm: &dyn ContentionManager,
+    ) -> Result<(), Abort> {
+        let mut pending = Some(value);
+        let mut round = 0u64;
+        let mut backoff = Backoff::new();
+        loop {
+            if me.status() != TxStatus::Active {
+                return Err(Abort::new(AbortReason::Killed));
+            }
+            let mut guard = self.lock_settled(Some(me));
+            match &mut guard.writer {
+                slot @ None => {
+                    *slot = Some(Reservation {
+                        tx: Arc::clone(me),
+                        tentative: pending.take().expect("value pending"),
+                    });
+                    return Ok(());
+                }
+                Some(w) if Arc::ptr_eq(&w.tx, me) => {
+                    w.tentative = pending.take().expect("value pending");
+                    return Ok(());
+                }
+                Some(w) => {
+                    let decision = cm.resolve(me, &w.tx, round);
+                    match decision {
+                        Resolution::AbortOther => {
+                            if w.tx.try_kill() {
+                                guard.writer = Some(Reservation {
+                                    tx: Arc::clone(me),
+                                    tentative: pending.take().expect("value pending"),
+                                });
+                                return Ok(());
+                            }
+                            // The opponent reached its commit protocol
+                            // first; re-settle and retry.
+                        }
+                        Resolution::AbortSelf => {
+                            me.abort();
+                            return Err(Abort::new(AbortReason::WriteConflict));
+                        }
+                        Resolution::Wait => {}
+                    }
+                    drop(guard);
+                    me.set_waiting(true);
+                    backoff.spin();
+                    me.set_waiting(false);
+                    round += 1;
+                }
+            }
+        }
+    }
+
+    /// Atomic long-transaction open in read mode (Algorithm 2 lines 5–18):
+    /// raises `o.zc` to `zc` (aborting if passed by a higher zone),
+    /// arbitrates any pending writer, and returns the version that was
+    /// current at stamp time.
+    ///
+    /// The paper's `Openlong` executes atomically and always ends with the
+    /// long transaction winning the arbitration ("T won", line 10), which
+    /// guarantees that no short transaction adopting the freshly stamped
+    /// zone can commit *between* the stamp and the read. We reproduce that
+    /// with a single lock hold in the common case; when the conflicting
+    /// writer is already in its commit protocol (unkillable), we wait it
+    /// out and then read exactly the version determined by its outcome —
+    /// any later version was installed by a post-stamp transaction that
+    /// must serialize after us.
+    ///
+    /// Contention-manager policies are consulted with a saturated round
+    /// count: a policy that would wait instead escalates to aborting the
+    /// short opponent, matching the paper's pro-long arbitration at
+    /// long-open time.
+    ///
+    /// # Errors
+    ///
+    /// [`AbortReason::ZonePassed`] if a long transaction with a higher
+    /// zone already stamped the object; [`AbortReason::WriteConflict`] if
+    /// the contention manager rules against `me`;
+    /// [`AbortReason::SnapshotUnavailable`] if the stamped version was
+    /// pruned while waiting; [`AbortReason::Killed`] if `me` was killed.
+    pub fn open_long_read(
+        &self,
+        me: &Arc<TxShared>,
+        zc: u64,
+        cm: &dyn ContentionManager,
+    ) -> Result<ReadHit<T>, Abort> {
+        // Fast path: one lock hold covers stamp + read when no conflicting
+        // writer is present (the common case by far).
+        let pin = {
+            let guard = self.lock_settled(Some(me));
+            let prev = self.zc.fetch_max(zc, Ordering::AcqRel);
+            if prev > zc {
+                me.abort();
+                return Err(Abort::new(AbortReason::ZonePassed));
+            }
+            match &guard.writer {
+                None => {
+                    let v = guard.versions.back().expect("version list never empty");
+                    return Ok(ReadHit {
+                        value: v.value.clone(),
+                        seq: v.seq,
+                        ct: v.ct,
+                        is_latest: true,
+                    });
+                }
+                Some(w) if Arc::ptr_eq(&w.tx, me) => {
+                    let seq = guard.versions.back().map_or(0, |v| v.seq + 1);
+                    return Ok(ReadHit {
+                        value: w.tentative.clone(),
+                        seq,
+                        ct: u64::MAX,
+                        is_latest: true,
+                    });
+                }
+                Some(w) => {
+                    // Conflict: remember the stamp-time pin for the slow
+                    // path (the stamp has already been placed, so anything
+                    // committing from here on is post-stamp).
+                    let newest_seq = guard.versions.back().map_or(0, |v| v.seq);
+                    Some((newest_seq, Some(Arc::clone(&w.tx))))
+                }
+            }
+        };
+        loop {
+            let allowed_seq = self.open_long_settle(me, zc, cm, pin.clone())?;
+            let guard = self.lock_settled(Some(me));
+            if let Some(w) = &guard.writer {
+                if Arc::ptr_eq(&w.tx, me) {
+                    let seq = guard.versions.back().map_or(0, |v| v.seq + 1);
+                    return Ok(ReadHit {
+                        value: w.tentative.clone(),
+                        seq,
+                        ct: u64::MAX,
+                        is_latest: true,
+                    });
+                }
+            }
+            let newest = guard.versions.back().expect("version list never empty");
+            let target = allowed_seq.min(newest.seq);
+            let hit = guard.versions.iter().find(|v| v.seq == target).map(|v| ReadHit {
+                value: v.value.clone(),
+                seq: v.seq,
+                ct: v.ct,
+                is_latest: v.seq == newest.seq,
+            });
+            match hit {
+                Some(hit) => return Ok(hit),
+                None => {
+                    me.abort();
+                    return Err(Abort::new(AbortReason::SnapshotUnavailable));
+                }
+            }
+        }
+    }
+
+    /// Atomic long-transaction open in write mode: raises the zone counter
+    /// like [`VarCore::open_long_read`] and acquires the writer
+    /// reservation. Returns the sequence number of the newest committed
+    /// version the long transaction is allowed to build on; the caller
+    /// compares it against the version it read earlier (read-then-write
+    /// patterns) to detect intervening post-stamp commits.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VarCore::open_long_read`], plus
+    /// [`AbortReason::WriteConflict`] when a post-stamp transaction
+    /// committed a newer version before the reservation could be taken
+    /// (the long transaction would overwrite a successor that must
+    /// serialize after it).
+    pub fn reserve_long(
+        &self,
+        me: &Arc<TxShared>,
+        zc: u64,
+        value: T,
+        cm: &dyn ContentionManager,
+    ) -> Result<VersionSeq, Abort> {
+        let allowed_seq = self.open_long_settle(me, zc, cm, None)?;
+        let mut pending = Some(value);
+        loop {
+            if me.status() != TxStatus::Active {
+                return Err(Abort::new(AbortReason::Killed));
+            }
+            let mut guard = self.lock_settled(Some(me));
+            let newest_seq = guard.versions.back().map_or(0, |v| v.seq);
+            if newest_seq > allowed_seq {
+                // A post-stamp transaction committed in between: it must
+                // serialize after us, so we cannot overwrite its version.
+                me.abort();
+                return Err(Abort::new(AbortReason::WriteConflict));
+            }
+            match &mut guard.writer {
+                slot @ None => {
+                    *slot = Some(Reservation {
+                        tx: Arc::clone(me),
+                        tentative: pending.take().expect("value pending"),
+                    });
+                    return Ok(newest_seq);
+                }
+                Some(w) if Arc::ptr_eq(&w.tx, me) => {
+                    w.tentative = pending.take().expect("value pending");
+                    return Ok(newest_seq);
+                }
+                Some(w) => match cm.resolve(me, &w.tx, u64::MAX) {
+                    Resolution::AbortOther => {
+                        if w.tx.try_kill() {
+                            guard.writer = Some(Reservation {
+                                tx: Arc::clone(me),
+                                tentative: pending.take().expect("value pending"),
+                            });
+                            return Ok(newest_seq);
+                        }
+                        // Reached its commit protocol; re-settle and let the
+                        // allowed_seq check decide.
+                    }
+                    _ => {
+                        me.abort();
+                        return Err(Abort::new(AbortReason::WriteConflict));
+                    }
+                },
+            }
+            drop(guard);
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Shared prefix of the long-open paths: stamps the zone and resolves
+    /// any *pre-stamp* writer, returning the highest version sequence the
+    /// long transaction is allowed to observe (versions beyond it were
+    /// committed by post-stamp transactions that serialize after it).
+    ///
+    /// The boundary is pinned at the first post-settlement visit — the
+    /// stamp moment: `newest_seq` at that instant, plus one if the writer
+    /// reservation that existed *at that instant* goes on to commit.
+    /// Writers that appear later reserved after the stamp, belong to the
+    /// freshly stamped zone, and must serialize after the long
+    /// transaction, so they never extend the boundary.
+    fn open_long_settle(
+        &self,
+        me: &Arc<TxShared>,
+        zc: u64,
+        cm: &dyn ContentionManager,
+        initial_pin: Option<(VersionSeq, Option<Arc<TxShared>>)>,
+    ) -> Result<VersionSeq, Abort> {
+        let mut backoff = Backoff::new();
+        // (newest version at stamp time, writer present at stamp time)
+        let mut pin: Option<(VersionSeq, Option<Arc<TxShared>>)> = initial_pin;
+        loop {
+            if me.status() != TxStatus::Active {
+                return Err(Abort::new(AbortReason::Killed));
+            }
+            let mut guard = self.lock_settled(Some(me));
+            let prev = self.zc.fetch_max(zc, Ordering::AcqRel);
+            if prev > zc {
+                me.abort();
+                return Err(Abort::new(AbortReason::ZonePassed));
+            }
+            if pin.is_none() {
+                let newest_seq = guard.versions.back().map_or(0, |v| v.seq);
+                let writer = guard
+                    .writer
+                    .as_ref()
+                    .filter(|w| !Arc::ptr_eq(&w.tx, me))
+                    .map(|w| Arc::clone(&w.tx));
+                pin = Some((newest_seq, writer));
+            }
+            let (pin_seq, pin_writer) = pin.clone().expect("pinned above");
+            let boundary_of = |writer: &Option<Arc<TxShared>>| {
+                pin_seq
+                    + match writer {
+                        Some(w) if w.is_committed() => 1,
+                        _ => 0,
+                    }
+            };
+            match &guard.writer {
+                None => return Ok(boundary_of(&pin_writer)),
+                Some(w) if Arc::ptr_eq(&w.tx, me) => {
+                    return Ok(boundary_of(&pin_writer));
+                }
+                Some(w) => {
+                    let is_pre_stamp = pin_writer
+                        .as_ref()
+                        .is_some_and(|p| Arc::ptr_eq(p, &w.tx));
+                    if !is_pre_stamp {
+                        // Post-stamp writer: it serializes after us and its
+                        // tentative value is invisible to us — ignore it.
+                        // The pre-stamp writer (if any) is terminal by now,
+                        // since its reservation slot has been taken over.
+                        return Ok(boundary_of(&pin_writer));
+                    }
+                    // The pre-stamp writer: the paper's Openlong always ends
+                    // with the long transaction winning, so consult the
+                    // contention manager with a saturated round count.
+                    match cm.resolve(me, &w.tx, u64::MAX) {
+                        Resolution::AbortOther => {
+                            let w_tx = Arc::clone(&w.tx);
+                            if w_tx.try_kill() {
+                                guard.writer = None;
+                                return Ok(pin_seq);
+                            }
+                            // Unkillable: it reached its commit protocol.
+                            // Wait for the outcome, which fixes the
+                            // boundary.
+                            drop(guard);
+                            while w_tx.status() == TxStatus::Committing {
+                                backoff.spin();
+                            }
+                            let adjusted = Some(w_tx);
+                            return Ok(boundary_of(&adjusted));
+                        }
+                        Resolution::AbortSelf => {
+                            me.abort();
+                            return Err(Abort::new(AbortReason::WriteConflict));
+                        }
+                        Resolution::Wait => {
+                            // The opponent is mid-commit or already
+                            // finished; re-settle and re-examine.
+                            drop(guard);
+                            backoff.spin();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Arbitrates away any foreign *active* writer reservation without
+    /// reserving the object for `me` (Algorithm 2 lines 8–11: a long
+    /// transaction opening an object in *either* mode resolves a pending
+    /// write conflict through the contention manager first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if the contention manager rules against `me`, or
+    /// if `me` was killed while waiting.
+    pub fn arbitrate_writer(
+        &self,
+        me: &Arc<TxShared>,
+        cm: &dyn ContentionManager,
+    ) -> Result<(), Abort> {
+        self.arbitrate_writer_filtered(me, cm, false)
+    }
+
+    /// Like [`VarCore::arbitrate_writer`], but only conflicts with *long*
+    /// writers.
+    ///
+    /// Z-STM long transactions use **visible writes** and keep no read
+    /// set: a short transaction that read the pre-long version of a
+    /// long-write-reserved object would serialize *before* the long
+    /// transaction, which is inconsistent with the zone order if the same
+    /// short also updates objects the long transaction already read
+    /// (found by schedule fuzzing; see `z_regression_read_of_long_reserved`
+    /// at the workspace root). Short readers therefore wait out — or, per
+    /// the contention manager, kill — an active long writer before
+    /// reading. Short writers are unaffected: LSA's commit-time
+    /// validation orders them correctly.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VarCore::arbitrate_writer`].
+    pub fn arbitrate_long_writer(
+        &self,
+        me: &Arc<TxShared>,
+        cm: &dyn ContentionManager,
+    ) -> Result<(), Abort> {
+        self.arbitrate_writer_filtered(me, cm, true)
+    }
+
+    fn arbitrate_writer_filtered(
+        &self,
+        me: &Arc<TxShared>,
+        cm: &dyn ContentionManager,
+        only_long: bool,
+    ) -> Result<(), Abort> {
+        let mut round = 0u64;
+        let mut backoff = Backoff::new();
+        loop {
+            if me.status() != TxStatus::Active {
+                return Err(Abort::new(AbortReason::Killed));
+            }
+            let mut guard = self.lock_settled(Some(me));
+            let Some(w) = &guard.writer else {
+                return Ok(());
+            };
+            if Arc::ptr_eq(&w.tx, me) {
+                return Ok(());
+            }
+            if only_long && !w.tx.kind().is_long() {
+                return Ok(());
+            }
+            match cm.resolve(me, &w.tx, round) {
+                Resolution::AbortOther => {
+                    if w.tx.try_kill() {
+                        guard.writer = None;
+                        return Ok(());
+                    }
+                }
+                Resolution::AbortSelf => {
+                    me.abort();
+                    return Err(Abort::new(AbortReason::WriteConflict));
+                }
+                Resolution::Wait => {}
+            }
+            drop(guard);
+            me.set_waiting(true);
+            backoff.spin();
+            me.set_waiting(false);
+            round += 1;
+        }
+    }
+
+    /// Returns `true` if `me` currently holds the writer reservation.
+    pub fn reserved_by(&self, me: &Arc<TxShared>) -> bool {
+        let guard = self.inner.lock();
+        guard
+            .writer
+            .as_ref()
+            .is_some_and(|w| Arc::ptr_eq(&w.tx, me))
+    }
+
+    /// Releases `me`'s reservation (on abort).
+    pub fn release(&self, me: &Arc<TxShared>) {
+        let mut guard = self.inner.lock();
+        if guard
+            .writer
+            .as_ref()
+            .is_some_and(|w| Arc::ptr_eq(&w.tx, me))
+        {
+            guard.writer = None;
+        }
+    }
+
+    /// Eagerly promotes `me`'s committed reservation (the committer calls
+    /// this right after its status flip so readers rarely have to).
+    pub fn promote_if_committed(&self, me: &Arc<TxShared>) {
+        let mut guard = self.inner.lock();
+        if guard
+            .writer
+            .as_ref()
+            .is_some_and(|w| Arc::ptr_eq(&w.tx, me) && w.tx.status() == TxStatus::Committed)
+        {
+            Self::promote_locked(&mut guard, self.max_versions, self.id, &self.sink);
+        }
+    }
+
+    /// Number of retained committed versions (for tests and diagnostics).
+    pub fn version_count(&self) -> usize {
+        self.inner.lock().versions.len()
+    }
+
+    /// Snapshot of the retained committed versions (tests, diagnostics).
+    pub fn versions_snapshot(&self) -> Vec<Version<T>> {
+        self.inner.lock().versions.iter().cloned().collect()
+    }
+
+    /// Commit time of the newest committed version.
+    pub fn latest_ct(&self, me: Option<&Arc<TxShared>>) -> u64 {
+        let guard = self.lock_settled(me);
+        guard.versions.back().expect("version list never empty").ct
+    }
+}
+
+impl<T: TxValue> std::fmt::Debug for VarCore<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("VarCore")
+            .field("id", &self.id)
+            .field("zc", &self.zc())
+            .field("versions", &inner.versions.len())
+            .field("reserved", &inner.writer.is_some())
+            .finish()
+    }
+}
+
+/// Type-erased view of a [`VarCore`] so heterogeneous read/write sets can
+/// hold objects of different value types.
+pub trait DynObject: Send + Sync {
+    /// The object's id.
+    fn id(&self) -> ObjId;
+    /// See [`VarCore::successor_ct`].
+    fn successor_ct_dyn(&self, me: &Arc<TxShared>, seq: VersionSeq) -> Result<Option<u64>, ()>;
+    /// See [`VarCore::validate_read`].
+    fn validate_read_dyn(&self, me: &Arc<TxShared>, seq: VersionSeq, my_ct: u64) -> bool;
+    /// See [`VarCore::release`].
+    fn release_dyn(&self, me: &Arc<TxShared>);
+    /// See [`VarCore::promote_if_committed`].
+    fn promote_dyn(&self, me: &Arc<TxShared>);
+}
+
+impl<T: TxValue> DynObject for VarCore<T> {
+    fn id(&self) -> ObjId {
+        self.id
+    }
+
+    fn successor_ct_dyn(&self, me: &Arc<TxShared>, seq: VersionSeq) -> Result<Option<u64>, ()> {
+        self.successor_ct(Some(me), seq)
+    }
+
+    fn validate_read_dyn(&self, me: &Arc<TxShared>, seq: VersionSeq, my_ct: u64) -> bool {
+        self.validate_read(me, seq, my_ct)
+    }
+
+    fn release_dyn(&self, me: &Arc<TxShared>) {
+        self.release(me);
+    }
+
+    fn promote_dyn(&self, me: &Arc<TxShared>) {
+        self.promote_if_committed(me);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zstm_core::{CmPolicy, NullSink, ThreadId, TxKind};
+
+    fn sink() -> Arc<dyn EventSink> {
+        Arc::new(NullSink)
+    }
+
+    fn tx() -> Arc<TxShared> {
+        Arc::new(TxShared::start(ThreadId::new(0), TxKind::Short, 0))
+    }
+
+    fn commit_write(core: &VarCore<i64>, value: i64, ct: u64) {
+        let me = tx();
+        let cm = CmPolicy::Aggressive.build();
+        core.reserve(&me, value, cm.as_ref()).expect("reserve");
+        assert!(me.begin_commit());
+        me.set_commit_ct(ct);
+        me.finish_commit();
+        core.promote_if_committed(&me);
+    }
+
+    #[test]
+    fn initial_version_is_time_zero() {
+        let core = VarCore::new(7i64, 4, sink());
+        let hit = core.read_latest(None);
+        assert_eq!(hit.value, 7);
+        assert_eq!(hit.seq, 0);
+        assert_eq!(hit.ct, 0);
+        assert!(hit.is_latest);
+    }
+
+    #[test]
+    fn committed_writes_append_versions() {
+        let core = VarCore::new(0i64, 4, sink());
+        commit_write(&core, 1, 10);
+        commit_write(&core, 2, 20);
+        let hit = core.read_latest(None);
+        assert_eq!((hit.value, hit.seq, hit.ct), (2, 2, 20));
+        assert_eq!(core.version_count(), 3);
+    }
+
+    #[test]
+    fn read_at_selects_version_valid_at_snapshot_time() {
+        let core = VarCore::new(0i64, 4, sink());
+        commit_write(&core, 1, 10);
+        commit_write(&core, 2, 20);
+        let hit = core.read_at(None, 15).expect("version at 15");
+        assert_eq!((hit.value, hit.seq), (1, 1));
+        assert!(!hit.is_latest);
+        let old = core.read_at(None, 0).expect("initial version");
+        assert_eq!(old.seq, 0);
+    }
+
+    #[test]
+    fn pruning_bounds_history_and_fails_old_snapshots() {
+        let core = VarCore::new(0i64, 2, sink());
+        for i in 1..=5 {
+            commit_write(&core, i, i as u64 * 10);
+        }
+        assert_eq!(core.version_count(), 2);
+        assert!(core.read_at(None, 5).is_none(), "time 5 pruned away");
+        assert!(core.read_at(None, 50).is_some());
+    }
+
+    #[test]
+    fn successor_ct_distinguishes_open_known_and_pruned() {
+        let core = VarCore::new(0i64, 2, sink());
+        commit_write(&core, 1, 10);
+        // seq 1 is newest: open validity.
+        assert_eq!(core.successor_ct(None, 1), Ok(None));
+        // seq 0's successor is seq 1 at ct 10.
+        assert_eq!(core.successor_ct(None, 0), Ok(Some(10)));
+        commit_write(&core, 2, 20);
+        commit_write(&core, 3, 30);
+        // seq 0 and its successor are pruned now.
+        assert_eq!(core.successor_ct(None, 0), Err(()));
+    }
+
+    #[test]
+    fn single_writer_rule_resolved_by_cm() {
+        let core = VarCore::new(0i64, 4, sink());
+        let first = tx();
+        let second = tx();
+        let aggressive = CmPolicy::Aggressive.build();
+        core.reserve(&first, 1, aggressive.as_ref()).expect("first");
+        // Aggressive second writer steals the reservation by killing first.
+        core.reserve(&second, 2, aggressive.as_ref()).expect("steal");
+        assert_eq!(first.status(), TxStatus::Aborted);
+        assert!(core.reserved_by(&second));
+    }
+
+    #[test]
+    fn suicide_cm_aborts_the_attacker() {
+        let core = VarCore::new(0i64, 4, sink());
+        let first = tx();
+        let second = tx();
+        let suicide = CmPolicy::Suicide.build();
+        core.reserve(&first, 1, suicide.as_ref()).expect("first");
+        let err = core.reserve(&second, 2, suicide.as_ref()).expect_err("loses");
+        assert_eq!(err.reason(), AbortReason::WriteConflict);
+        assert_eq!(second.status(), TxStatus::Aborted);
+        assert!(core.reserved_by(&first));
+    }
+
+    #[test]
+    fn dead_reservations_are_cleaned_lazily() {
+        let core = VarCore::new(0i64, 4, sink());
+        let dead = tx();
+        let cm = CmPolicy::Polite.build();
+        core.reserve(&dead, 1, cm.as_ref()).expect("reserve");
+        dead.abort();
+        // A fresh reader settles the object and sees the old version.
+        let hit = core.read_latest(None);
+        assert_eq!(hit.value, 0);
+        // And a fresh writer acquires without conflict.
+        let next = tx();
+        core.reserve(&next, 2, cm.as_ref()).expect("after death");
+    }
+
+    #[test]
+    fn read_your_own_write() {
+        let core = VarCore::new(0i64, 4, sink());
+        let me = tx();
+        let cm = CmPolicy::Polite.build();
+        core.reserve(&me, 42, cm.as_ref()).expect("reserve");
+        let hit = core.read_latest(Some(&me));
+        assert_eq!(hit.value, 42);
+        let snap = core.read_at(Some(&me), 0).expect("own write visible");
+        assert_eq!(snap.value, 42);
+    }
+
+    #[test]
+    fn promotion_happens_on_next_access() {
+        let core = VarCore::new(0i64, 4, sink());
+        let me = tx();
+        let cm = CmPolicy::Polite.build();
+        core.reserve(&me, 9, cm.as_ref()).expect("reserve");
+        assert!(me.begin_commit());
+        me.set_commit_ct(33);
+        me.finish_commit();
+        // No eager promotion: a reader promotes lazily.
+        let hit = core.read_latest(None);
+        assert_eq!((hit.value, hit.ct, hit.seq), (9, 33, 1));
+    }
+
+    #[test]
+    fn committing_writer_blocks_readers_until_resolved() {
+        let core = Arc::new(VarCore::new(0i64, 4, sink()));
+        let me = tx();
+        let cm = CmPolicy::Polite.build();
+        core.reserve(&me, 5, cm.as_ref()).expect("reserve");
+        assert!(me.begin_commit());
+        me.set_commit_ct(12);
+        let reader = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || core.read_latest(None))
+        };
+        // Give the reader a moment to block on the committing writer.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        me.finish_commit();
+        let hit = reader.join().expect("reader panicked");
+        assert_eq!((hit.value, hit.ct), (5, 12));
+    }
+
+    #[test]
+    fn zone_counter_is_monotonic() {
+        let core = VarCore::new(0i64, 4, sink());
+        assert_eq!(core.zc(), 0);
+        assert_eq!(core.raise_zc(5), 0);
+        assert_eq!(core.raise_zc(3), 5, "fetch_max keeps the maximum");
+        assert_eq!(core.zc(), 5);
+    }
+}

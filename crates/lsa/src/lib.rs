@@ -1,0 +1,15 @@
+//! LSA-STM — the multi-version Lazy Snapshot Algorithm (the paper's
+//! baseline time-based STM, from its reference \[8\]), plus the
+//! versioned-object [`engine`] that Z-STM reuses.
+//!
+//! See [`LsaStm`] for the algorithm description and examples, and
+//! `DESIGN.md` at the workspace root for how this crate maps onto the
+//! paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+mod stm;
+
+pub use stm::{LsaStm, LsaThread, LsaTx, LsaVar};

@@ -1,0 +1,452 @@
+//! Deterministic schedule driver for the `zstm` STMs.
+//!
+//! A [`Schedule`] scripts, per logical thread, a sequence of transactions
+//! (each a list of reads and writes over a shared object pool) plus a
+//! global *interleaving*: the exact order in which threads take steps.
+//! [`run_schedule`] replays the schedule against any STM implementing
+//! [`zstm_core::TmFactory`] one step at a time, so racy
+//! interleavings become reproducible test cases.
+//!
+//! Combined with [`zstm_history`]'s checkers this turns into a
+//! property-based consistency test: generate random schedules, run them,
+//! and assert the STM's claimed criterion on the recorded history
+//! (see `tests/random_schedules.rs` at the workspace root).
+//!
+//! Each logical thread runs on its own OS thread but only advances when
+//! the driver hands it a step token over a rendezvous channel, so the
+//! interleaving is exactly the scripted one (up to the STM's own internal
+//! waiting).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use zstm_core::{StmConfig, TxKind};
+//! use zstm_sim::{run_schedule, Op, Schedule, TxScript};
+//! use zstm_lsa::LsaStm;
+//!
+//! let schedule = Schedule {
+//!     objects: 2,
+//!     threads: vec![
+//!         vec![TxScript {
+//!             kind: TxKind::Short,
+//!             ops: vec![Op::Read(0), Op::Write(1)],
+//!         }],
+//!         vec![TxScript {
+//!             kind: TxKind::Short,
+//!             ops: vec![Op::Read(1), Op::Write(0)],
+//!         }],
+//!     ],
+//!     // Interleave the two transactions step by step.
+//!     interleaving: vec![0, 1, 0, 1, 0, 1],
+//! };
+//! let stm = Arc::new(LsaStm::new(StmConfig::new(2)));
+//! let outcome = run_schedule(&stm, &schedule);
+//! assert_eq!(outcome.attempted, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use zstm_core::{TmFactory, TmThread, TmTx, TxKind};
+
+/// One scripted transactional operation over the shared object pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Read object `i`.
+    Read(usize),
+    /// Write object `i` (the driver supplies a unique value).
+    Write(usize),
+}
+
+/// One scripted transaction.
+#[derive(Clone, Debug)]
+pub struct TxScript {
+    /// Short or long.
+    pub kind: TxKind,
+    /// Operations in program order; the transaction commits after the
+    /// last one.
+    pub ops: Vec<Op>,
+}
+
+/// A complete scripted execution.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Size of the shared object pool (objects are `i64` variables).
+    pub objects: usize,
+    /// Per logical thread: the transactions it runs, in order.
+    pub threads: Vec<Vec<TxScript>>,
+    /// Which thread takes the next step. A *step* is one operation or the
+    /// commit that follows a transaction's last operation. Extra entries
+    /// for finished threads are skipped; if the interleaving ends early,
+    /// remaining work is driven round-robin.
+    pub interleaving: Vec<usize>,
+}
+
+impl Schedule {
+    /// Total number of steps the schedule needs (ops + one commit per
+    /// transaction).
+    pub fn total_steps(&self) -> usize {
+        self.threads
+            .iter()
+            .flatten()
+            .map(|tx| tx.ops.len() + 1)
+            .sum()
+    }
+
+    /// Steps required by thread `t`.
+    pub fn steps_of(&self, t: usize) -> usize {
+        self.threads[t].iter().map(|tx| tx.ops.len() + 1).sum()
+    }
+}
+
+/// Enumerates **every** interleaving of the given per-thread step counts
+/// (all multiset permutations), enabling exhaustive systematic concurrency
+/// testing of small schedules.
+///
+/// The count is `(Σ steps)! / Π steps!` — keep the schedules tiny (e.g.
+/// two transactions of ≤3 operations give at most a few hundred
+/// interleavings).
+///
+/// # Examples
+///
+/// ```
+/// use zstm_sim::enumerate_interleavings;
+///
+/// let all = enumerate_interleavings(&[2, 1]);
+/// assert_eq!(all, vec![
+///     vec![0, 0, 1],
+///     vec![0, 1, 0],
+///     vec![1, 0, 0],
+/// ]);
+/// ```
+pub fn enumerate_interleavings(steps: &[usize]) -> Vec<Vec<usize>> {
+    fn go(
+        remaining: &mut [usize],
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if remaining.iter().all(|&r| r == 0) {
+            out.push(current.clone());
+            return;
+        }
+        for thread in 0..remaining.len() {
+            if remaining[thread] > 0 {
+                remaining[thread] -= 1;
+                current.push(thread);
+                go(remaining, current, out);
+                current.pop();
+                remaining[thread] += 1;
+            }
+        }
+    }
+    let mut remaining = steps.to_vec();
+    let mut out = Vec::new();
+    go(&mut remaining, &mut Vec::new(), &mut out);
+    out
+}
+
+/// What happened when a schedule ran.
+#[derive(Clone, Debug, Default)]
+pub struct Outcome {
+    /// Transactions attempted (each script is attempted exactly once — the
+    /// driver does not retry aborted transactions, so the recorded history
+    /// matches the script).
+    pub attempted: usize,
+    /// Transactions that committed.
+    pub committed: usize,
+    /// Transactions that aborted (at an operation or at commit).
+    pub aborted: usize,
+    /// Values read, per thread, in program order (committed and aborted
+    /// transactions both contribute; useful for result checking).
+    pub reads: Vec<Vec<i64>>,
+}
+
+enum WorkerMsg {
+    /// Perform one step; reply on the embedded channel when done.
+    Step(Sender<()>),
+    /// No more steps; shut down.
+    Done,
+}
+
+/// Replays `schedule` against `stm`, driving the scripted interleaving
+/// step by step.
+///
+/// The STM must be configured for at least `schedule.threads.len()`
+/// logical threads. Aborted transactions are *not* retried: the point is
+/// to observe exactly the scripted attempt.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics or an interleaving entry names a
+/// nonexistent thread.
+pub fn run_schedule<F: TmFactory>(stm: &Arc<F>, schedule: &Schedule) -> Outcome {
+    let objects: Arc<Vec<F::Var<i64>>> =
+        Arc::new((0..schedule.objects.max(1)).map(|_| stm.new_var(0i64)).collect());
+
+    let mut senders: Vec<Sender<WorkerMsg>> = Vec::new();
+    let mut steps_left: Vec<usize> = Vec::new();
+    let mut handles = Vec::new();
+
+    for scripts in schedule.threads.iter().cloned() {
+        let (tx_msg, rx_msg): (Sender<WorkerMsg>, Receiver<WorkerMsg>) = bounded(1);
+        senders.push(tx_msg);
+        steps_left.push(scripts.iter().map(|s| s.ops.len() + 1).sum());
+        let mut thread = stm.register_thread();
+        let objects = Arc::clone(&objects);
+        handles.push(std::thread::spawn(move || {
+            let mut reads: Vec<i64> = Vec::new();
+            let mut attempted = 0usize;
+            let mut committed = 0usize;
+            let mut aborted = 0usize;
+            let mut value_counter = 1_000 * (thread.thread_id().slot() as i64 + 1);
+
+            for script in scripts {
+                attempted += 1;
+                let mut tx = Some(thread.begin(script.kind));
+                let mut doomed = false;
+                for op in &script.ops {
+                    // Wait for our step token.
+                    match recv_step(&rx_msg) {
+                        None => return (attempted, committed, aborted, reads),
+                        Some(ack) => {
+                            if let Some(tx) = tx.as_mut() {
+                                match op {
+                                    Op::Read(i) => match tx.read(&objects[i % objects.len()]) {
+                                        Ok(v) => reads.push(v),
+                                        Err(_) => doomed = true,
+                                    },
+                                    Op::Write(i) => {
+                                        value_counter += 1;
+                                        if tx
+                                            .write(&objects[i % objects.len()], value_counter)
+                                            .is_err()
+                                        {
+                                            doomed = true;
+                                        }
+                                    }
+                                }
+                            }
+                            let _ = ack.send(());
+                            if doomed {
+                                break;
+                            }
+                        }
+                    }
+                }
+                // Consume remaining op tokens if we bailed early, then the
+                // commit token.
+                let consumed = if doomed {
+                    // Tokens for the unexecuted ops still arrive; drain
+                    // them as no-ops.
+                    true
+                } else {
+                    false
+                };
+                let _ = consumed;
+                match recv_step(&rx_msg) {
+                    None => return (attempted, committed, aborted, reads),
+                    Some(ack) => {
+                        let tx = tx.take().expect("transaction present");
+                        if doomed {
+                            tx.rollback(zstm_core::AbortReason::Explicit);
+                            aborted += 1;
+                        } else {
+                            match tx.commit() {
+                                Ok(()) => committed += 1,
+                                Err(_) => aborted += 1,
+                            }
+                        }
+                        let _ = ack.send(());
+                    }
+                }
+            }
+            // Drain any leftover tokens.
+            while let Some(ack) = recv_step(&rx_msg) {
+                let _ = ack.send(());
+            }
+            (attempted, committed, aborted, reads)
+        }));
+    }
+
+    fn recv_step(rx: &Receiver<WorkerMsg>) -> Option<Sender<()>> {
+        match rx.recv() {
+            Ok(WorkerMsg::Step(ack)) => Some(ack),
+            Ok(WorkerMsg::Done) | Err(_) => None,
+        }
+    }
+
+    // Drive the interleaving. A doomed transaction still consumes its
+    // scripted steps (as no-ops), keeping the schedule aligned.
+    fn drive(senders: &[Sender<WorkerMsg>], steps_left: &mut [usize], thread: usize) {
+        if thread < senders.len() && steps_left[thread] > 0 {
+            let (ack_tx, ack_rx) = bounded(0);
+            if senders[thread].send(WorkerMsg::Step(ack_tx)).is_ok() {
+                let _ = ack_rx.recv();
+                steps_left[thread] -= 1;
+            }
+        }
+    }
+    for &thread in &schedule.interleaving {
+        drive(
+            &senders,
+            &mut steps_left,
+            thread % schedule.threads.len().max(1),
+        );
+    }
+    // Finish any remaining work round-robin so every script completes.
+    loop {
+        let mut progressed = false;
+        for thread in 0..steps_left.len() {
+            if steps_left[thread] > 0 {
+                drive(&senders, &mut steps_left, thread);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    for sender in &senders {
+        let _ = sender.send(WorkerMsg::Done);
+    }
+
+    let mut outcome = Outcome::default();
+    for handle in handles {
+        let (attempted, committed, aborted, reads) =
+            handle.join().expect("schedule worker panicked");
+        outcome.attempted += attempted;
+        outcome.committed += committed;
+        outcome.aborted += aborted;
+        outcome.reads.push(reads);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zstm_core::StmConfig;
+    use zstm_lsa::LsaStm;
+    use zstm_z::ZStm;
+
+    fn rmw(kind: TxKind, obj: usize) -> TxScript {
+        TxScript {
+            kind,
+            ops: vec![Op::Read(obj), Op::Write(obj)],
+        }
+    }
+
+    #[test]
+    fn serial_schedule_commits_everything() {
+        let schedule = Schedule {
+            objects: 2,
+            threads: vec![
+                vec![rmw(TxKind::Short, 0), rmw(TxKind::Short, 1)],
+                vec![rmw(TxKind::Short, 0)],
+            ],
+            // Thread 0 completes both transactions, then thread 1 runs.
+            interleaving: vec![0, 0, 0, 0, 0, 0, 1, 1, 1],
+        };
+        let stm = Arc::new(LsaStm::new(StmConfig::new(2)));
+        let outcome = run_schedule(&stm, &schedule);
+        assert_eq!(outcome.attempted, 3);
+        assert_eq!(outcome.committed, 3);
+        assert_eq!(outcome.aborted, 0);
+    }
+
+    #[test]
+    fn interleaved_rmw_conflict_aborts_exactly_one() {
+        // Two read-modify-writes of the same object, fully interleaved:
+        // reads first, then writes — at most one can commit under any of
+        // our STMs (single writer + validation).
+        let schedule = Schedule {
+            objects: 1,
+            threads: vec![
+                vec![TxScript {
+                    kind: TxKind::Short,
+                    ops: vec![Op::Read(0), Op::Write(0)],
+                }],
+                vec![TxScript {
+                    kind: TxKind::Short,
+                    ops: vec![Op::Read(0), Op::Write(0)],
+                }],
+            ],
+            interleaving: vec![0, 1, 0, 1, 0, 1],
+        };
+        let stm = Arc::new(LsaStm::new(StmConfig::new(2)));
+        let outcome = run_schedule(&stm, &schedule);
+        assert_eq!(outcome.attempted, 2);
+        assert_eq!(outcome.committed, 1, "lost update must be prevented");
+        assert_eq!(outcome.aborted, 1);
+    }
+
+    #[test]
+    fn long_and_short_zone_interaction_on_z() {
+        // A long transaction scans both objects while a short updates one
+        // in its zone — the exact Figure 4 T5 pattern.
+        let schedule = Schedule {
+            objects: 2,
+            threads: vec![
+                vec![TxScript {
+                    kind: TxKind::Long,
+                    ops: vec![Op::Read(0), Op::Read(1)],
+                }],
+                vec![TxScript {
+                    kind: TxKind::Short,
+                    ops: vec![Op::Read(0), Op::Write(0)],
+                }],
+            ],
+            // L reads 0; S reads+writes 0 (joining the zone) and commits;
+            // L reads 1 and commits.
+            interleaving: vec![0, 1, 1, 1, 0, 0],
+        };
+        let stm = Arc::new(ZStm::new(StmConfig::new(2)));
+        let outcome = run_schedule(&stm, &schedule);
+        assert_eq!(outcome.committed, 2, "both must commit under Z-STM");
+    }
+
+    #[test]
+    fn short_interleaving_is_padded_round_robin() {
+        let schedule = Schedule {
+            objects: 1,
+            threads: vec![vec![rmw(TxKind::Short, 0)]],
+            interleaving: vec![], // entirely driven by the round-robin tail
+        };
+        let stm = Arc::new(LsaStm::new(StmConfig::new(1)));
+        let outcome = run_schedule(&stm, &schedule);
+        assert_eq!(outcome.committed, 1);
+    }
+
+    #[test]
+    fn enumerator_counts_multiset_permutations() {
+        // (2+2)! / (2! 2!) = 6
+        assert_eq!(enumerate_interleavings(&[2, 2]).len(), 6);
+        // (3+2)! / (3! 2!) = 10
+        assert_eq!(enumerate_interleavings(&[3, 2]).len(), 10);
+        // Each interleaving uses exactly the right step counts.
+        for inter in enumerate_interleavings(&[2, 3]) {
+            assert_eq!(inter.iter().filter(|&&t| t == 0).count(), 2);
+            assert_eq!(inter.iter().filter(|&&t| t == 1).count(), 3);
+        }
+    }
+
+    #[test]
+    fn reads_are_collected_per_thread() {
+        let schedule = Schedule {
+            objects: 1,
+            threads: vec![vec![TxScript {
+                kind: TxKind::Short,
+                ops: vec![Op::Read(0), Op::Read(0)],
+            }]],
+            interleaving: vec![0, 0, 0],
+        };
+        let stm = Arc::new(LsaStm::new(StmConfig::new(1)));
+        let outcome = run_schedule(&stm, &schedule);
+        assert_eq!(outcome.reads.len(), 1);
+        assert_eq!(outcome.reads[0], vec![0, 0]);
+    }
+}

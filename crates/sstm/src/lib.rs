@@ -1,0 +1,1008 @@
+//! S-STM — the serializable STM of the paper's Section 4.2.
+//!
+//! S-STM "works along the same lines as CS-STM, with the major following
+//! differences":
+//!
+//! 1. **Visible reads** — a reading transaction atomically inserts itself
+//!    into a *reader list* associated with the version it reads;
+//! 2. **Precedence tracking** — commit timestamps carry knowledge of the
+//!    transactions that were reading the overwritten versions, allowing the
+//!    construction of a partial precedence graph of transactions at
+//!    runtime. At commit, a transaction makes sure its timestamp dominates
+//!    every *committed* reader of the versions it overwrites, and a
+//!    conflict is declared "if we detect a cycle, i.e., an active
+//!    transaction causally precedes another active transaction and
+//!    conversely".
+//!
+//! The paper omits its implementation details "as they are quite
+//! intricate", relying on CAS + helping. This reproduction implements the
+//! described design with one documented substitution (`DESIGN.md` §4): the
+//! precedence graph is maintained under a global mutex taken only during
+//! the short commit step (execution, reads and writes stay concurrent), and
+//! instead of helping, readers wait out transactions that are in their
+//! commit protocol — the same effect as the paper's "a transaction that
+//! cannot progress ... helps that transaction commit", minus the wasted
+//! duplicated work.
+//!
+//! The precedence graph records, for committed and active transactions:
+//! * `W → r` when `r` read a version written by `W` (wr edges),
+//! * `W₁ → W₂` when `W₂` overwrote a version written by `W₁` (ww edges),
+//! * `r → W` when `W` overwrote a version that `r` read (rw
+//!   anti-dependency edges — the ones invisible reads cannot see and the
+//!   reason CS-STM admits non-serializable schedules like Figure 2).
+//!
+//! A commit is allowed iff adding its edges leaves the graph acyclic, which
+//! is precisely commit-time conflict-serializability certification.
+//! Committed nodes are pruned once no live transaction predates them, which
+//! bounds the graph by the number of transactions in flight.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use zstm_clock::RevClock;
+//! use zstm_core::{atomically, RetryPolicy, StmConfig, TmFactory, TmThread, TmTx, TxKind};
+//! use zstm_sstm::SStm;
+//!
+//! # fn main() -> Result<(), zstm_core::RetryExhausted> {
+//! let stm = Arc::new(SStm::with_vector_clock(StmConfig::new(2)));
+//! let var = stm.new_var(0i64);
+//! let mut thread = stm.register_thread();
+//! atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+//!     let v = tx.read(&var)?;
+//!     tx.write(&var, v + 1)
+//! })?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use zstm_clock::{CausalStamp, CausalTimeBase, RevClock};
+use zstm_core::{
+    Abort, AbortReason, ContentionManager, ObjId, StmConfig, ThreadId, TmFactory, TmThread, TmTx,
+    TxEvent, TxEventKind, TxId, TxKind, TxStats, TxStatus, TxValue, VersionSeq,
+};
+use zstm_cs::StampRec;
+use zstm_util::Backoff;
+
+// ---------------------------------------------------------------------------
+// Precedence graph
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Node {
+    succs: HashSet<TxId>,
+    committed: bool,
+    commit_epoch: u64,
+}
+
+/// The partial precedence graph of active and recently committed
+/// transactions (Section 4.2).
+#[derive(Default)]
+struct PrecGraph {
+    nodes: HashMap<TxId, Node>,
+    /// Start epoch of every live (uncommitted, unaborted) transaction.
+    active: HashMap<TxId, u64>,
+    epoch: u64,
+}
+
+impl PrecGraph {
+    fn begin(&mut self, tx: TxId) {
+        self.epoch += 1;
+        self.active.insert(tx, self.epoch);
+        self.nodes.entry(tx).or_default();
+    }
+
+    fn abort(&mut self, tx: TxId) {
+        self.active.remove(&tx);
+        self.nodes.remove(&tx);
+        for node in self.nodes.values_mut() {
+            node.succs.remove(&tx);
+        }
+    }
+
+    fn add_edge(&mut self, from: TxId, to: TxId) {
+        if from == to {
+            return;
+        }
+        // A missing endpoint is a pruned transaction: everything concurrent
+        // with it has finished, so it cannot lie on a new cycle — drop the
+        // edge instead of resurrecting the node.
+        if !self.nodes.contains_key(&to) {
+            return;
+        }
+        if let Some(node) = self.nodes.get_mut(&from) {
+            node.succs.insert(to);
+        }
+    }
+
+    /// Depth-first search: is `target` reachable from `start`?
+    fn reaches(&self, start: TxId, target: TxId) -> bool {
+        let mut stack: Vec<TxId> = match self.nodes.get(&start) {
+            Some(node) => node.succs.iter().copied().collect(),
+            None => return false,
+        };
+        let mut seen: HashSet<TxId> = stack.iter().copied().collect();
+        while let Some(current) = stack.pop() {
+            if current == target {
+                return true;
+            }
+            if let Some(node) = self.nodes.get(&current) {
+                for &next in &node.succs {
+                    if seen.insert(next) {
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Marks `tx` committed and prunes unreachable history.
+    ///
+    /// A committed node is prunable only when **both** hold:
+    ///
+    /// 1. no live transaction began before it committed — so no *new*
+    ///    edge into it can ever be added (incoming edges are rw edges
+    ///    from readers of versions it overwrote, all of whom were active
+    ///    at its commit, or ww/wr edges fixed at commits); and
+    /// 2. it has no incoming edge from a remaining node — otherwise a
+    ///    future commit could still close a cycle *through* it (a
+    ///    committed reader pointing at it while a live transaction later
+    ///    reads its still-current version; found by proptest, see
+    ///    `s_stm_regression_pruned_node_cycle`).
+    ///
+    /// Removing a node with in-degree 0 may expose its successors, so
+    /// pruning iterates to a fixpoint; along a committed chain this
+    /// cascades from the oldest node and keeps the graph bounded by the
+    /// transactions in flight.
+    fn commit_and_prune(&mut self, tx: TxId) {
+        self.active.remove(&tx);
+        self.epoch += 1;
+        let epoch = self.epoch;
+        if let Some(node) = self.nodes.get_mut(&tx) {
+            node.committed = true;
+            node.commit_epoch = epoch;
+        }
+        let min_active = self.active.values().copied().min().unwrap_or(u64::MAX);
+        loop {
+            let mut indegree: HashMap<TxId, usize> =
+                self.nodes.keys().map(|&id| (id, 0)).collect();
+            for node in self.nodes.values() {
+                for succ in &node.succs {
+                    if let Some(count) = indegree.get_mut(succ) {
+                        *count += 1;
+                    }
+                }
+            }
+            let dead: Vec<TxId> = self
+                .nodes
+                .iter()
+                .filter(|(id, n)| {
+                    n.committed && n.commit_epoch < min_active && indegree[*id] == 0
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            if dead.is_empty() {
+                break;
+            }
+            for id in &dead {
+                self.nodes.remove(id);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Objects
+// ---------------------------------------------------------------------------
+
+struct Reservation<T, S> {
+    rec: Arc<StampRec<S>>,
+    tentative: T,
+}
+
+struct Inner<T, S> {
+    value: T,
+    ct: S,
+    seq: VersionSeq,
+    /// Transaction that wrote the current version (`None` for the initial
+    /// version).
+    writer_of_current: Option<TxId>,
+    /// Recent overwritten versions: (seq, ct, writer).
+    history: VecDeque<(VersionSeq, S, Option<TxId>)>,
+    /// Visible readers of the *current* version.
+    readers: Vec<Arc<StampRec<S>>>,
+    writer: Option<Reservation<T, S>>,
+}
+
+struct VarShared<T, S> {
+    id: ObjId,
+    max_history: usize,
+    sink: Arc<dyn zstm_core::EventSink>,
+    inner: Mutex<Inner<T, S>>,
+}
+
+/// A transactional variable managed by [`SStm`]. Cheap to clone.
+pub struct SVar<T: TxValue, C: CausalTimeBase> {
+    shared: Arc<VarShared<T, C::Stamp>>,
+}
+
+impl<T: TxValue, C: CausalTimeBase> Clone for SVar<T, C> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T: TxValue, C: CausalTimeBase> SVar<T, C> {
+    /// The object's id in recorded histories.
+    pub fn id(&self) -> ObjId {
+        self.shared.id
+    }
+}
+
+impl<T: TxValue, C: CausalTimeBase> std::fmt::Debug for SVar<T, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SVar").field("id", &self.shared.id).finish()
+    }
+}
+
+impl<T: TxValue, S: CausalStamp> VarShared<T, S> {
+    /// Settled lock: clean dead reservations, promote committed writers,
+    /// wait out committing writers (S-STM readers are visible and must not
+    /// slip past a commit in progress).
+    fn lock_settled(
+        &self,
+        me: Option<&Arc<StampRec<S>>>,
+    ) -> parking_lot::MutexGuard<'_, Inner<T, S>> {
+        let mut backoff = Backoff::new();
+        loop {
+            let mut guard = self.inner.lock();
+            let wait = match &guard.writer {
+                None => false,
+                Some(w) if me.is_some_and(|m| Arc::ptr_eq(m, &w.rec)) => false,
+                Some(w) => match w.rec.shared().status() {
+                    TxStatus::Active => false,
+                    TxStatus::Aborted => {
+                        guard.writer = None;
+                        false
+                    }
+                    TxStatus::Committed => {
+                        self.promote_locked(&mut guard);
+                        false
+                    }
+                    TxStatus::Committing => true,
+                },
+            };
+            if !wait {
+                return guard;
+            }
+            drop(guard);
+            backoff.spin();
+        }
+    }
+
+    fn promote_locked(&self, inner: &mut Inner<T, S>) {
+        let Some(reservation) = inner.writer.take() else {
+            return;
+        };
+        debug_assert_eq!(reservation.rec.shared().status(), TxStatus::Committed);
+        let stamp = reservation
+            .rec
+            .stamp()
+            .expect("committed writers have published stamps");
+        let old_seq = inner.seq;
+        let old_ct = inner.ct.clone();
+        let old_writer = inner.writer_of_current;
+        inner.history.push_back((old_seq, old_ct, old_writer));
+        while inner.history.len() > self.max_history {
+            inner.history.pop_front();
+        }
+        inner.value = reservation.tentative;
+        inner.ct = stamp;
+        inner.seq = old_seq + 1;
+        inner.writer_of_current = Some(reservation.rec.shared().id());
+        inner.readers.clear();
+        if self.sink.enabled() {
+            self.sink.record(zstm_core::TxEvent::new(
+                reservation.rec.shared().id(),
+                reservation.rec.shared().thread(),
+                reservation.rec.shared().kind(),
+                zstm_core::TxEventKind::Write {
+                    obj: self.id,
+                    version: inner.seq,
+                },
+            ));
+        }
+    }
+}
+
+/// Type-erased object operations for the commit path.
+trait SObject<S>: Send + Sync {
+    /// CS-style validation: no successor of `seq` may be `⪯ my_ct`.
+    fn validate(&self, me: &Arc<StampRec<S>>, seq: VersionSeq, my_ct: &S) -> bool;
+    /// Writer of the direct successor of version `seq` (`Ok(None)` = still
+    /// newest, `Err(())` = pruned).
+    fn successor_writer(
+        &self,
+        me: &Arc<StampRec<S>>,
+        seq: VersionSeq,
+    ) -> Result<Option<Option<TxId>>, ()>;
+    /// For a written object: writer of the current version plus the
+    /// current readers (live records).
+    fn overwrite_info(&self, me: &Arc<StampRec<S>>) -> (Option<TxId>, Vec<Arc<StampRec<S>>>);
+    fn release(&self, me: &Arc<StampRec<S>>);
+    fn promote(&self, me: &Arc<StampRec<S>>) -> Option<VersionSeq>;
+}
+
+impl<T: TxValue, S: CausalStamp> SObject<S> for VarShared<T, S> {
+    fn validate(&self, me: &Arc<StampRec<S>>, seq: VersionSeq, my_ct: &S) -> bool {
+        let guard = self.lock_settled(Some(me));
+        if guard.seq <= seq {
+            return true;
+        }
+        let direct = if guard.seq == seq + 1 {
+            Some(&guard.ct)
+        } else {
+            guard
+                .history
+                .iter()
+                .find(|(s, _, _)| *s == seq + 1)
+                .map(|(_, ct, _)| ct)
+        };
+        match direct {
+            Some(succ_ct) => matches!(
+                succ_ct.causal_cmp(my_ct),
+                zstm_clock::ClockOrd::After | zstm_clock::ClockOrd::Concurrent
+            ),
+            None => false,
+        }
+    }
+
+    fn successor_writer(
+        &self,
+        me: &Arc<StampRec<S>>,
+        seq: VersionSeq,
+    ) -> Result<Option<Option<TxId>>, ()> {
+        let guard = self.lock_settled(Some(me));
+        if guard.seq <= seq {
+            return Ok(None);
+        }
+        if guard.seq == seq + 1 {
+            return Ok(Some(guard.writer_of_current));
+        }
+        guard
+            .history
+            .iter()
+            .find(|(s, _, _)| *s == seq + 1)
+            .map(|(_, _, writer)| Some(*writer))
+            .ok_or(())
+    }
+
+    fn overwrite_info(&self, me: &Arc<StampRec<S>>) -> (Option<TxId>, Vec<Arc<StampRec<S>>>) {
+        let mut guard = self.lock_settled(Some(me));
+        // Lazily drop aborted readers while we are here.
+        guard
+            .readers
+            .retain(|r| r.shared().status() != TxStatus::Aborted);
+        (guard.writer_of_current, guard.readers.clone())
+    }
+
+    fn release(&self, me: &Arc<StampRec<S>>) {
+        let mut guard = self.inner.lock();
+        if guard
+            .writer
+            .as_ref()
+            .is_some_and(|w| Arc::ptr_eq(&w.rec, me))
+        {
+            guard.writer = None;
+        }
+    }
+
+    fn promote(&self, me: &Arc<StampRec<S>>) -> Option<VersionSeq> {
+        let mut guard = self.inner.lock();
+        if guard.writer.as_ref().is_some_and(|w| {
+            Arc::ptr_eq(&w.rec, me) && w.rec.shared().status() == TxStatus::Committed
+        }) {
+            self.promote_locked(&mut guard);
+            Some(guard.seq)
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// STM
+// ---------------------------------------------------------------------------
+
+/// The serializable STM (Section 4.2). See the crate docs.
+pub struct SStm<C: CausalTimeBase = RevClock> {
+    config: StmConfig,
+    clock: C,
+    cm: Arc<dyn ContentionManager>,
+    graph: Mutex<PrecGraph>,
+    registered: AtomicUsize,
+}
+
+impl<C: CausalTimeBase> SStm<C> {
+    /// Creates an S-STM over the given causal time base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock serves fewer slots than the configured threads.
+    pub fn new(config: StmConfig, clock: C) -> Self {
+        assert!(
+            clock.slots() >= config.threads(),
+            "clock has {} slots for {} threads",
+            clock.slots(),
+            config.threads()
+        );
+        let cm = config.cm_policy().build();
+        Self {
+            config,
+            clock,
+            cm,
+            graph: Mutex::new(PrecGraph::default()),
+            registered: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configuration this STM was built with.
+    pub fn config(&self) -> &StmConfig {
+        &self.config
+    }
+
+    /// Number of transactions currently tracked in the precedence graph
+    /// (diagnostics: shows the pruning at work).
+    pub fn graph_len(&self) -> usize {
+        self.graph.lock().len()
+    }
+}
+
+impl SStm<RevClock> {
+    /// Convenience constructor: S-STM over an exact vector clock.
+    pub fn with_vector_clock(config: StmConfig) -> Self {
+        let threads = config.threads();
+        Self::new(config, RevClock::vector(threads))
+    }
+}
+
+impl<C: CausalTimeBase> TmFactory for SStm<C> {
+    type Var<T: TxValue> = SVar<T, C>;
+    type Thread = SThread<C>;
+
+    fn new_var<T: TxValue>(&self, init: T) -> SVar<T, C> {
+        SVar {
+            shared: Arc::new(VarShared {
+                id: ObjId::fresh(),
+                max_history: self.config.max_versions_per_object(),
+                sink: Arc::clone(self.config.sink()),
+                inner: Mutex::new(Inner {
+                    value: init,
+                    ct: self.clock.zero(),
+                    seq: 0,
+                    writer_of_current: None,
+                    history: VecDeque::new(),
+                    readers: Vec::new(),
+                    writer: None,
+                }),
+            }),
+        }
+    }
+
+    fn register_thread(self: &Arc<Self>) -> SThread<C> {
+        let slot = self.registered.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            slot < self.config.threads(),
+            "more threads registered than configured ({})",
+            self.config.threads()
+        );
+        SThread {
+            stm: Arc::clone(self),
+            id: ThreadId::new(slot),
+            vc: self.clock.zero(),
+            stats: TxStats::new(),
+            pending_karma: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "s-stm"
+    }
+}
+
+/// Per-logical-thread context of [`SStm`].
+pub struct SThread<C: CausalTimeBase> {
+    stm: Arc<SStm<C>>,
+    id: ThreadId,
+    vc: C::Stamp,
+    stats: TxStats,
+    pending_karma: u64,
+}
+
+impl<C: CausalTimeBase> TmThread for SThread<C> {
+    type Factory = SStm<C>;
+    type Tx<'a> = STx<'a, C>;
+
+    fn begin(&mut self, kind: TxKind) -> STx<'_, C> {
+        let karma = std::mem::take(&mut self.pending_karma);
+        let rec = Arc::new(StampRec::new_for(self.id, kind, karma));
+        if self.stm.config.sink().enabled() {
+            self.stm.config.sink().record(TxEvent::new(
+                rec.shared().id(),
+                self.id,
+                kind,
+                TxEventKind::Begin,
+            ));
+        }
+        self.stm.graph.lock().begin(rec.shared().id());
+        let ct = self.vc.clone();
+        STx {
+            thread: self,
+            rec,
+            ct,
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    fn thread_id(&self) -> ThreadId {
+        self.id
+    }
+
+    fn stats(&self) -> &TxStats {
+        &self.stats
+    }
+
+    fn take_stats(&mut self) -> TxStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+struct ReadEntry<S> {
+    obj: Arc<dyn SObject<S>>,
+    seq: VersionSeq,
+    version_writer: Option<TxId>,
+}
+
+/// An active S-STM transaction.
+pub struct STx<'a, C: CausalTimeBase> {
+    thread: &'a mut SThread<C>,
+    rec: Arc<StampRec<C::Stamp>>,
+    ct: C::Stamp,
+    reads: Vec<ReadEntry<C::Stamp>>,
+    writes: Vec<Arc<dyn SObject<C::Stamp>>>,
+}
+
+impl<C: CausalTimeBase> STx<'_, C> {
+    fn record(&self, event: TxEventKind) {
+        let sink = self.thread.stm.config.sink();
+        if sink.enabled() {
+            sink.record(TxEvent::new(
+                self.rec.shared().id(),
+                self.rec.shared().thread(),
+                self.rec.shared().kind(),
+                event,
+            ));
+        }
+    }
+
+    fn check_alive(&self) -> Result<(), Abort> {
+        if self.rec.shared().is_active() {
+            Ok(())
+        } else {
+            Err(Abort::new(AbortReason::Killed))
+        }
+    }
+
+    fn finish_abort(mut self, reason: AbortReason) -> Abort {
+        self.rec.shared().abort();
+        for obj in &self.writes {
+            obj.release(&self.rec);
+        }
+        self.writes.clear();
+        self.thread.stm.graph.lock().abort(self.rec.shared().id());
+        self.thread.pending_karma = self.rec.shared().karma();
+        self.thread
+            .stats
+            .record_abort(self.rec.shared().kind(), reason);
+        self.record(TxEventKind::Abort {
+            reason,
+        });
+        Abort::new(reason)
+    }
+}
+
+impl<C: CausalTimeBase> TmTx for STx<'_, C> {
+    type Factory = SStm<C>;
+
+    fn read<T: TxValue>(&mut self, var: &SVar<T, C>) -> Result<T, Abort> {
+        self.check_alive()?;
+        self.thread.stats.record_read();
+        self.rec.shared().add_karma(1);
+        let mut guard = var.shared.lock_settled(Some(&self.rec));
+        if let Some(w) = &guard.writer {
+            if Arc::ptr_eq(&w.rec, &self.rec) {
+                return Ok(w.tentative.clone());
+            }
+        }
+        self.ct.join(&guard.ct);
+        // Visible read: register in the version's reader list.
+        if !guard.readers.iter().any(|r| Arc::ptr_eq(r, &self.rec)) {
+            guard.readers.push(Arc::clone(&self.rec));
+        }
+        let (value, seq, writer) = (guard.value.clone(), guard.seq, guard.writer_of_current);
+        drop(guard);
+        self.reads.push(ReadEntry {
+            obj: Arc::clone(&var.shared) as Arc<dyn SObject<C::Stamp>>,
+            seq,
+            version_writer: writer,
+        });
+        self.record(TxEventKind::Read {
+            obj: var.shared.id,
+            version: seq,
+        });
+        Ok(value)
+    }
+
+    fn write<T: TxValue>(&mut self, var: &SVar<T, C>, value: T) -> Result<(), Abort> {
+        self.check_alive()?;
+        self.thread.stats.record_write();
+        self.rec.shared().add_karma(1);
+        let cm = Arc::clone(&self.thread.stm.cm);
+        let mut pending = Some(value);
+        let mut round = 0u64;
+        let mut backoff = Backoff::new();
+        loop {
+            if self.rec.shared().status() != TxStatus::Active {
+                return Err(Abort::new(AbortReason::Killed));
+            }
+            let mut guard = var.shared.lock_settled(Some(&self.rec));
+            self.ct.join(&guard.ct);
+            match &mut guard.writer {
+                slot @ None => {
+                    *slot = Some(Reservation {
+                        rec: Arc::clone(&self.rec),
+                        tentative: pending.take().expect("value pending"),
+                    });
+                    drop(guard);
+                    self.writes
+                        .push(Arc::clone(&var.shared) as Arc<dyn SObject<C::Stamp>>);
+                    return Ok(());
+                }
+                Some(w) if Arc::ptr_eq(&w.rec, &self.rec) => {
+                    w.tentative = pending.take().expect("value pending");
+                    return Ok(());
+                }
+                Some(w) => match cm.resolve(self.rec.shared(), w.rec.shared(), round) {
+                    zstm_core::Resolution::AbortOther => {
+                        if w.rec.shared().try_kill() {
+                            guard.writer = Some(Reservation {
+                                rec: Arc::clone(&self.rec),
+                                tentative: pending.take().expect("value pending"),
+                            });
+                            drop(guard);
+                            self.writes
+                                .push(Arc::clone(&var.shared) as Arc<dyn SObject<C::Stamp>>);
+                            return Ok(());
+                        }
+                    }
+                    zstm_core::Resolution::AbortSelf => {
+                        self.rec.shared().abort();
+                        return Err(Abort::new(AbortReason::WriteConflict));
+                    }
+                    zstm_core::Resolution::Wait => {
+                        drop(guard);
+                        self.rec.shared().set_waiting(true);
+                        backoff.spin();
+                        self.rec.shared().set_waiting(false);
+                        round += 1;
+                    }
+                },
+            }
+        }
+    }
+
+    fn commit(mut self) -> Result<(), Abort> {
+        let kind = self.rec.shared().kind();
+        let my_id = self.rec.shared().id();
+        self.rec.publish_stamp(self.ct.clone());
+        if !self.rec.shared().begin_commit() {
+            return Err(self.finish_abort(AbortReason::Killed));
+        }
+
+        // CS-style timestamp validation first (catches the causal
+        // violations cheaply, before touching the graph).
+        let valid = self
+            .reads
+            .iter()
+            .all(|entry| entry.obj.validate(&self.rec, entry.seq, &self.ct));
+        if !valid {
+            return Err(self.finish_abort(AbortReason::ReadValidation));
+        }
+
+        // Gather this transaction's edges and the committed readers whose
+        // timestamps the new versions must dominate.
+        let mut edges: Vec<(TxId, TxId)> = Vec::new();
+        let mut committed_reader_stamps: Vec<C::Stamp> = Vec::new();
+        for entry in &self.reads {
+            // wr edge: version writer → me.
+            if let Some(writer) = entry.version_writer {
+                edges.push((writer, my_id));
+            }
+            // rw edge: me → writer of the successor (if the version I read
+            // has already been overwritten by a *concurrent* — timestamp
+            // validation above ensured non-causally-related — writer).
+            match entry.obj.successor_writer(&self.rec, entry.seq) {
+                Ok(None) => {}
+                Ok(Some(writer)) => {
+                    if let Some(writer) = writer {
+                        edges.push((my_id, writer));
+                    }
+                }
+                Err(()) => {
+                    return Err(self.finish_abort(AbortReason::ReadValidation));
+                }
+            }
+        }
+        for obj in &self.writes {
+            let (prev_writer, readers) = obj.overwrite_info(&self.rec);
+            // ww edge: previous writer → me.
+            if let Some(writer) = prev_writer {
+                edges.push((writer, my_id));
+            }
+            for reader in readers {
+                if Arc::ptr_eq(&reader, &self.rec) {
+                    continue;
+                }
+                // rw edge: reader of the overwritten version → me.
+                edges.push((reader.shared().id(), my_id));
+                // "The timestamp of the transaction is larger than that of
+                // any committed transaction that causally precedes" — join
+                // committed readers' timestamps.
+                if reader.shared().is_committed() {
+                    if let Some(stamp) = reader.stamp() {
+                        committed_reader_stamps.push(stamp);
+                    }
+                }
+            }
+        }
+
+        // Cycle check under the graph lock: all new edges are incident to
+        // this transaction, so any new cycle passes through it.
+        {
+            let mut graph = self.thread.stm.graph.lock();
+            for &(from, to) in &edges {
+                graph.add_edge(from, to);
+            }
+            if graph.reaches(my_id, my_id) {
+                drop(graph);
+                return Err(self.finish_abort(AbortReason::PrecedenceCycle));
+            }
+            graph.commit_and_prune(my_id);
+        }
+
+        for stamp in &committed_reader_stamps {
+            self.ct.join(stamp);
+        }
+        if !self.writes.is_empty() {
+            self.thread
+                .stm
+                .clock
+                .advance(self.thread.id.slot(), &mut self.ct);
+        }
+        self.rec.publish_stamp(self.ct.clone());
+        self.rec.shared().finish_commit();
+        for obj in &self.writes {
+            // Eager promotion; Write events are emitted by the promotion
+            // itself (it may also happen lazily on another thread).
+            obj.promote(&self.rec);
+        }
+        self.thread.vc = self.ct.clone();
+        self.thread.pending_karma = 0;
+        self.thread.stats.record_commit(kind);
+        self.record(TxEventKind::Commit { zone: None });
+        Ok(())
+    }
+
+    fn rollback(self, reason: AbortReason) {
+        let _ = self.finish_abort(reason);
+    }
+
+    fn id(&self) -> TxId {
+        self.rec.shared().id()
+    }
+
+    fn kind(&self) -> TxKind {
+        self.rec.shared().kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zstm_core::{atomically, RetryPolicy};
+
+    fn stm(threads: usize) -> Arc<SStm> {
+        Arc::new(SStm::with_vector_clock(StmConfig::new(threads)))
+    }
+
+    #[test]
+    fn read_and_increment() {
+        let stm = stm(1);
+        let var = stm.new_var(0i64);
+        let mut thread = stm.register_thread();
+        for _ in 0..5 {
+            atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+                let v = tx.read(&var)?;
+                tx.write(&var, v + 1)
+            })
+            .expect("commit");
+        }
+        let v = atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+            tx.read(&var)
+        })
+        .expect("commit");
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn write_skew_is_rejected() {
+        // The canonical non-serializable schedule CS-STM admits:
+        // T1: r(x) w(y), T2: r(y) w(x), interleaved. One must abort.
+        let stm = stm(2);
+        let x = stm.new_var(0i64);
+        let y = stm.new_var(0i64);
+        let mut p0 = stm.register_thread();
+        let mut p1 = stm.register_thread();
+
+        let mut t1 = p0.begin(TxKind::Short);
+        let vx = t1.read(&x).expect("r x");
+        let mut t2 = p1.begin(TxKind::Short);
+        let vy = t2.read(&y).expect("r y");
+        t1.write(&y, vx + 1).expect("w y");
+        t2.write(&x, vy + 1).expect("w x");
+
+        let r1 = t1.commit();
+        let r2 = t2.commit();
+        assert!(
+            r1.is_ok() ^ r2.is_ok(),
+            "exactly one of the write-skew transactions commits: {r1:?} {r2:?}"
+        );
+        let loser = if r1.is_err() { r1 } else { r2 };
+        assert_eq!(
+            loser.expect_err("loser").reason(),
+            AbortReason::PrecedenceCycle
+        );
+    }
+
+    #[test]
+    fn figure_2_second_imposer_aborts() {
+        // Paper Figure 2: T1 w(o1) w(o2); T2 w(o3); T3 r(o3) w(o2);
+        // TL r(o1) r(o2) r(o3) w(o4). T3 and TL impose incompatible orders
+        // between T1 and T2; the first of them to commit wins, the other
+        // aborts (Section 4.2: "the first transaction of TL or T3 that
+        // commits will order T1 and T2; the other one will abort").
+        let stm = stm(4);
+        let o1 = stm.new_var(0i64);
+        let o2 = stm.new_var(0i64);
+        let o3 = stm.new_var(0i64);
+        let o4 = stm.new_var(0i64);
+        let mut p1 = stm.register_thread();
+        let mut p2 = stm.register_thread();
+        let mut p3 = stm.register_thread();
+        let mut pl = stm.register_thread();
+
+        // TL reads o1, o2 before T1 commits.
+        let mut tl = pl.begin(TxKind::Long);
+        tl.read(&o1).expect("r o1");
+        tl.read(&o2).expect("r o2");
+
+        // T3 reads o3 before T2 commits.
+        let mut t3 = p3.begin(TxKind::Short);
+        t3.read(&o3).expect("r o3");
+
+        // T1 commits o1, o2.
+        let mut t1 = p1.begin(TxKind::Short);
+        t1.write(&o1, 1).expect("w o1");
+        t1.write(&o2, 1).expect("w o2");
+        t1.commit().expect("T1 commits");
+
+        // T2 commits o3.
+        let mut t2 = p2.begin(TxKind::Short);
+        t2.write(&o3, 1).expect("w o3");
+        t2.commit().expect("T2 commits");
+
+        // T3 writes o2 (over T1's version) and commits: orders T1 → T3 → T2.
+        t3.write(&o2, 2).expect("w o2");
+        t3.commit().expect("T3 commits first");
+
+        // TL reads o3 (T2's version) and writes o4: needs T2 → TL → T1,
+        // i.e. the opposite order — must abort.
+        tl.read(&o3).expect("r o3");
+        tl.write(&o4, 1).expect("w o4");
+        let err = tl.commit().expect_err("TL must abort under serializability");
+        assert_eq!(err.reason(), AbortReason::PrecedenceCycle);
+    }
+
+    #[test]
+    fn graph_is_pruned() {
+        let stm = stm(1);
+        let var = stm.new_var(0i64);
+        let mut thread = stm.register_thread();
+        for _ in 0..100 {
+            atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+                let v = tx.read(&var)?;
+                tx.write(&var, v + 1)
+            })
+            .expect("commit");
+        }
+        assert!(
+            stm.graph_len() <= 4,
+            "graph must not grow without bound: {}",
+            stm.graph_len()
+        );
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve_money() {
+        let stm = stm(4);
+        let accounts: Arc<Vec<SVar<i64, RevClock>>> =
+            Arc::new((0..8).map(|_| stm.new_var(100i64)).collect());
+        let handles: Vec<_> = (0..3)
+            .map(|t| {
+                let stm = Arc::clone(&stm);
+                let accounts = Arc::clone(&accounts);
+                let mut thread = stm.register_thread();
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let from = ((i * 7 + t * 3) % 8) as usize;
+                        let to = ((i * 13 + t * 5) % 8) as usize;
+                        if from == to {
+                            continue;
+                        }
+                        atomically(
+                            &mut thread,
+                            TxKind::Short,
+                            &RetryPolicy::default(),
+                            |tx| {
+                                let a = tx.read(&accounts[from])?;
+                                let b = tx.read(&accounts[to])?;
+                                tx.write(&accounts[from], a - 1)?;
+                                tx.write(&accounts[to], b + 1)
+                            },
+                        )
+                        .expect("transfer commits");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        let mut checker = stm.register_thread();
+        let total = atomically(&mut checker, TxKind::Long, &RetryPolicy::default(), |tx| {
+            let mut sum = 0i64;
+            for acc in accounts.iter() {
+                sum += tx.read(acc)?;
+            }
+            Ok(sum)
+        })
+        .expect("sum commits");
+        assert_eq!(total, 800);
+    }
+}

@@ -1,0 +1,648 @@
+//! A TL2-style single-version time-based STM (after Dice, Shalev & Shavit,
+//! the paper's reference \[2\]).
+//!
+//! The paper describes TL2 as "optimized towards providing a lean STM and
+//! decreasing overheads as much as possible; only one version is maintained
+//! per object and no validity extensions are performed". This crate
+//! implements that design point as an extra baseline:
+//!
+//! * each object carries a versioned write-lock word (version number plus
+//!   lock bit),
+//! * reads are invisible and validated against the transaction's *read
+//!   version* `rv` sampled from the global clock at start — a version newer
+//!   than `rv` aborts the transaction immediately (no snapshot extension,
+//!   no old versions),
+//! * writes are buffered in the transaction and applied at commit under
+//!   short per-object locks,
+//! * commit: lock write set → acquire write version `wv` → validate read
+//!   set → apply and unlock with `wv`.
+//!
+//! Compared with `zstm_lsa::LsaStm` this trades abort rate (long
+//! transactions almost never survive) for per-access cost, which is exactly
+//! the trade-off the paper motivates z-linearizability with.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use zstm_core::{atomically, RetryPolicy, StmConfig, TmFactory, TmThread, TmTx, TxKind};
+//! use zstm_tl2::Tl2Stm;
+//!
+//! # fn main() -> Result<(), zstm_core::RetryExhausted> {
+//! let stm = Arc::new(Tl2Stm::new(StmConfig::new(1)));
+//! let var = stm.new_var(10i64);
+//! let mut thread = stm.register_thread();
+//! let seen = atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+//!     let v = tx.read(&var)?;
+//!     tx.write(&var, v * 2)?;
+//!     Ok(v)
+//! })?;
+//! assert_eq!(seen, 10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use zstm_clock::{ScalarClock, TimeBase};
+use zstm_core::{
+    Abort, AbortReason, ObjId, StmConfig, ThreadId, TmFactory, TmThread, TmTx, TxEvent,
+    TxEventKind, TxId, TxKind, TxShared, TxStats, TxValue, VersionSeq,
+};
+use zstm_util::Backoff;
+
+const LOCK_BIT: u64 = 1;
+
+/// How many backoff rounds a read or commit spins on a locked word before
+/// giving up and aborting.
+const LOCK_PATIENCE: u64 = 64;
+
+struct VarShared<T> {
+    id: ObjId,
+    /// `(version << 1) | lock_bit`; `version` is the commit stamp of the
+    /// last writer.
+    word: AtomicU64,
+    value: Mutex<T>,
+    /// Dense per-object version sequence for recorded histories.
+    seq: AtomicU64,
+}
+
+impl<T: TxValue> VarShared<T> {
+    fn word(&self) -> u64 {
+        self.word.load(Ordering::Acquire)
+    }
+
+    fn is_locked(word: u64) -> bool {
+        word & LOCK_BIT != 0
+    }
+
+    fn version(word: u64) -> u64 {
+        word >> 1
+    }
+
+    fn try_lock(&self) -> bool {
+        let word = self.word();
+        if Self::is_locked(word) {
+            return false;
+        }
+        self.word
+            .compare_exchange(word, word | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    fn unlock_with(&self, version: u64) {
+        self.word.store(version << 1, Ordering::Release);
+    }
+
+    fn unlock_unchanged(&self) {
+        let word = self.word();
+        debug_assert!(Self::is_locked(word));
+        self.word.store(word & !LOCK_BIT, Ordering::Release);
+    }
+}
+
+/// Type-erased commit operations on a write-set entry.
+trait WriteOp: Send {
+    fn obj_id(&self) -> ObjId;
+    fn try_lock(&self) -> bool;
+    fn unlock_unchanged(&self);
+    /// Applies the buffered value and unlocks with `wv`; returns the dense
+    /// version sequence installed (for history events).
+    fn apply_and_unlock(&self, wv: u64) -> VersionSeq;
+    fn as_any(&self) -> &dyn Any;
+}
+
+struct WriteEntry<T: TxValue> {
+    var: Arc<VarShared<T>>,
+    value: T,
+}
+
+impl<T: TxValue> WriteOp for WriteEntry<T> {
+    fn obj_id(&self) -> ObjId {
+        self.var.id
+    }
+
+    fn try_lock(&self) -> bool {
+        self.var.try_lock()
+    }
+
+    fn unlock_unchanged(&self) {
+        self.var.unlock_unchanged();
+    }
+
+    fn apply_and_unlock(&self, wv: u64) -> VersionSeq {
+        *self.var.value.lock() = self.value.clone();
+        let seq = self.var.seq.fetch_add(1, Ordering::AcqRel) + 1;
+        self.var.unlock_with(wv);
+        seq
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Type-erased read-set entry.
+struct ReadEntry {
+    obj: ObjId,
+    /// Lock-word version observed at read time.
+    version: u64,
+    /// Re-check hook: returns the current word.
+    word: Arc<dyn Fn() -> u64 + Send + Sync>,
+}
+
+/// A transactional variable managed by [`Tl2Stm`]. Cheap to clone.
+pub struct Tl2Var<T: TxValue> {
+    shared: Arc<VarShared<T>>,
+}
+
+impl<T: TxValue> Tl2Var<T> {
+    /// The object's id in recorded histories.
+    pub fn id(&self) -> ObjId {
+        self.shared.id
+    }
+}
+
+impl<T: TxValue> Clone for Tl2Var<T> {
+    fn clone(&self) -> Self {
+        Self {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T: TxValue> std::fmt::Debug for Tl2Var<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tl2Var")
+            .field("id", &self.shared.id)
+            .field("version", &VarShared::<T>::version(self.shared.word()))
+            .finish()
+    }
+}
+
+/// The TL2-style STM instance. See the crate documentation.
+pub struct Tl2Stm<B: TimeBase = ScalarClock> {
+    config: StmConfig,
+    clock: B,
+    registered: AtomicUsize,
+}
+
+impl Tl2Stm<ScalarClock> {
+    /// Creates a TL2 STM over the classic shared-counter time base.
+    pub fn new(config: StmConfig) -> Self {
+        Self::with_clock(config, ScalarClock::new())
+    }
+}
+
+impl<B: TimeBase> Tl2Stm<B> {
+    /// Creates a TL2 STM over an explicit time base.
+    pub fn with_clock(config: StmConfig, clock: B) -> Self {
+        Self {
+            config,
+            clock,
+            registered: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configuration this STM was built with.
+    pub fn config(&self) -> &StmConfig {
+        &self.config
+    }
+}
+
+impl<B: TimeBase> TmFactory for Tl2Stm<B> {
+    type Var<T: TxValue> = Tl2Var<T>;
+    type Thread = Tl2Thread<B>;
+
+    fn new_var<T: TxValue>(&self, init: T) -> Tl2Var<T> {
+        Tl2Var {
+            shared: Arc::new(VarShared {
+                id: ObjId::fresh(),
+                word: AtomicU64::new(0),
+                value: Mutex::new(init),
+                seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn register_thread(self: &Arc<Self>) -> Tl2Thread<B> {
+        let slot = self.registered.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            slot < self.config.threads(),
+            "more threads registered than configured ({})",
+            self.config.threads()
+        );
+        Tl2Thread {
+            stm: Arc::clone(self),
+            id: ThreadId::new(slot),
+            stats: TxStats::new(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "tl2"
+    }
+}
+
+/// Per-logical-thread context of [`Tl2Stm`].
+pub struct Tl2Thread<B: TimeBase = ScalarClock> {
+    stm: Arc<Tl2Stm<B>>,
+    id: ThreadId,
+    stats: TxStats,
+}
+
+impl<B: TimeBase> TmThread for Tl2Thread<B> {
+    type Factory = Tl2Stm<B>;
+    type Tx<'a> = Tl2Tx<'a, B>;
+
+    fn begin(&mut self, kind: TxKind) -> Tl2Tx<'_, B> {
+        let shared = Arc::new(TxShared::start(self.id, kind, 0));
+        let stm = Arc::clone(&self.stm);
+        if stm.config.sink().enabled() {
+            stm.config.sink().record(TxEvent::new(
+                shared.id(),
+                self.id,
+                kind,
+                TxEventKind::Begin,
+            ));
+        }
+        let rv = stm.clock.now(self.id.slot()).saturating_sub(stm.clock.snapshot_slack());
+        Tl2Tx {
+            thread: self,
+            shared,
+            rv,
+            reads: Vec::new(),
+            writes: Vec::new(),
+        }
+    }
+
+    fn thread_id(&self) -> ThreadId {
+        self.id
+    }
+
+    fn stats(&self) -> &TxStats {
+        &self.stats
+    }
+
+    fn take_stats(&mut self) -> TxStats {
+        std::mem::take(&mut self.stats)
+    }
+}
+
+/// An active TL2 transaction.
+pub struct Tl2Tx<'a, B: TimeBase = ScalarClock> {
+    thread: &'a mut Tl2Thread<B>,
+    shared: Arc<TxShared>,
+    /// Read version: reads of versions newer than this abort.
+    rv: u64,
+    reads: Vec<ReadEntry>,
+    writes: Vec<Box<dyn WriteOp>>,
+}
+
+impl<B: TimeBase> Tl2Tx<'_, B> {
+    fn record(&self, event: TxEventKind) {
+        let sink = self.thread.stm.config.sink();
+        if sink.enabled() {
+            sink.record(TxEvent::new(
+                self.shared.id(),
+                self.shared.thread(),
+                self.shared.kind(),
+                event,
+            ));
+        }
+    }
+
+    fn finish_abort(mut self, reason: AbortReason) -> Abort {
+        self.shared.abort();
+        self.writes.clear();
+        self.thread.stats.record_abort(self.shared.kind(), reason);
+        self.record(TxEventKind::Abort { reason });
+        Abort::new(reason)
+    }
+
+    fn abort_inline(&mut self, reason: AbortReason) -> Abort {
+        self.shared.abort();
+        Abort::new(reason)
+    }
+
+}
+
+impl<B: TimeBase> TmTx for Tl2Tx<'_, B> {
+    type Factory = Tl2Stm<B>;
+
+    fn read<T: TxValue>(&mut self, var: &Tl2Var<T>) -> Result<T, Abort> {
+        self.thread.stats.record_read();
+        // Read-your-own-write from the buffer.
+        let id = var.shared.id;
+        if let Some(entry) = self.writes.iter().find(|w| w.obj_id() == id) {
+            if let Some(typed) = entry.as_any().downcast_ref::<WriteEntry<T>>() {
+                return Ok(typed.value.clone());
+            }
+        }
+        let mut backoff = Backoff::new();
+        let mut rounds = 0u64;
+        loop {
+            let pre = var.shared.word();
+            if VarShared::<T>::is_locked(pre) {
+                rounds += 1;
+                if rounds > LOCK_PATIENCE {
+                    return Err(self.abort_inline(AbortReason::WriteConflict));
+                }
+                backoff.spin();
+                continue;
+            }
+            let value = var.shared.value.lock().clone();
+            let post = var.shared.word();
+            if post != pre {
+                rounds += 1;
+                if rounds > LOCK_PATIENCE {
+                    return Err(self.abort_inline(AbortReason::ReadValidation));
+                }
+                backoff.spin();
+                continue;
+            }
+            let version = VarShared::<T>::version(pre);
+            if version > self.rv {
+                // TL2 performs no snapshot extension: abort immediately.
+                return Err(self.abort_inline(AbortReason::ReadValidation));
+            }
+            let shared = Arc::clone(&var.shared);
+            self.reads.push(ReadEntry {
+                obj: id,
+                version,
+                word: Arc::new(move || shared.word.load(Ordering::Acquire)),
+            });
+            self.record(TxEventKind::Read {
+                obj: id,
+                version: var.shared.seq.load(Ordering::Acquire),
+            });
+            return Ok(value);
+        }
+    }
+
+    fn write<T: TxValue>(&mut self, var: &Tl2Var<T>, value: T) -> Result<(), Abort> {
+        self.thread.stats.record_write();
+        let id = var.shared.id;
+        // Last write wins: replace any earlier buffered write to this var.
+        self.writes.retain(|w| w.obj_id() != id);
+        self.writes.push(Box::new(WriteEntry {
+            var: Arc::clone(&var.shared),
+            value,
+        }));
+        Ok(())
+    }
+
+    fn commit(mut self) -> Result<(), Abort> {
+        let kind = self.shared.kind();
+        if self.writes.is_empty() {
+            // Read-only: reads were individually validated against rv and
+            // rv-consistency makes them a snapshot at rv.
+            if !self.shared.try_commit_directly() {
+                return Err(self.finish_abort(AbortReason::Killed));
+            }
+            self.thread.stats.record_commit(kind);
+            self.record(TxEventKind::Commit { zone: None });
+            return Ok(());
+        }
+        if !self.shared.begin_commit() {
+            return Err(self.finish_abort(AbortReason::Killed));
+        }
+        // Phase 1: lock the write set (sorted by id for determinism; TL2
+        // aborts on lock-acquisition failure after bounded spinning).
+        self.writes.sort_by_key(|w| w.obj_id());
+        let mut locked: Vec<usize> = Vec::with_capacity(self.writes.len());
+        for (i, entry) in self.writes.iter().enumerate() {
+            let mut backoff = Backoff::new();
+            let mut ok = false;
+            for _ in 0..LOCK_PATIENCE {
+                if entry.try_lock() {
+                    ok = true;
+                    break;
+                }
+                backoff.spin();
+            }
+            if !ok {
+                for &j in &locked {
+                    self.writes[j].unlock_unchanged();
+                }
+                return Err(self.finish_abort(AbortReason::WriteConflict));
+            }
+            locked.push(i);
+        }
+        // Phase 2: write version.
+        let wv = self
+            .thread
+            .stm
+            .clock
+            .commit_stamp(self.thread.id.slot());
+        self.shared.set_commit_ct(wv);
+        // Phase 3: validate the read set (skippable iff wv == rv + 1, the
+        // classic TL2 fast path: nobody committed in between).
+        if wv != self.rv + 1 {
+            let write_ids: Vec<ObjId> = self.writes.iter().map(|w| w.obj_id()).collect();
+            for entry in &self.reads {
+                let word = (entry.word)();
+                let locked_by_other =
+                    word & LOCK_BIT != 0 && !write_ids.contains(&entry.obj);
+                if locked_by_other || (word >> 1) != entry.version {
+                    for &j in &locked {
+                        self.writes[j].unlock_unchanged();
+                    }
+                    return Err(self.finish_abort(AbortReason::ReadValidation));
+                }
+            }
+        }
+        // Phase 4: apply and unlock with wv. The status flip makes the
+        // transaction irrevocable first.
+        self.shared.finish_commit();
+        let mut installed = Vec::with_capacity(self.writes.len());
+        for entry in &self.writes {
+            let seq = entry.apply_and_unlock(wv);
+            installed.push((entry.obj_id(), seq));
+        }
+        self.thread.stats.record_commit(kind);
+        for (obj, version) in installed {
+            self.record(TxEventKind::Write { obj, version });
+        }
+        self.record(TxEventKind::Commit { zone: None });
+        Ok(())
+    }
+
+    fn rollback(self, reason: AbortReason) {
+        let _ = self.finish_abort(reason);
+    }
+
+    fn id(&self) -> TxId {
+        self.shared.id()
+    }
+
+    fn kind(&self) -> TxKind {
+        self.shared.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zstm_core::{atomically, RetryPolicy};
+
+    fn stm(threads: usize) -> Arc<Tl2Stm> {
+        Arc::new(Tl2Stm::new(StmConfig::new(threads)))
+    }
+
+    #[test]
+    fn read_and_increment() {
+        let stm = stm(1);
+        let var = stm.new_var(0i64);
+        let mut thread = stm.register_thread();
+        for _ in 0..5 {
+            atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+                let v = tx.read(&var)?;
+                tx.write(&var, v + 1)
+            })
+            .expect("commit");
+        }
+        let v = atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+            tx.read(&var)
+        })
+        .expect("commit");
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn read_your_own_write() {
+        let stm = stm(1);
+        let var = stm.new_var(1i64);
+        let mut thread = stm.register_thread();
+        let seen = atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+            tx.write(&var, 7)?;
+            tx.read(&var)
+        })
+        .expect("commit");
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn overwritten_writes_last_value_wins() {
+        let stm = stm(1);
+        let var = stm.new_var(0i64);
+        let mut thread = stm.register_thread();
+        atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+            tx.write(&var, 1)?;
+            tx.write(&var, 2)?;
+            tx.write(&var, 3)
+        })
+        .expect("commit");
+        let v = atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+            tx.read(&var)
+        })
+        .expect("commit");
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn stale_read_fails_validation() {
+        let stm = stm(2);
+        let var = stm.new_var(0i64);
+        let out = stm.new_var(0i64);
+        let mut t0 = stm.register_thread();
+        let mut t1 = stm.register_thread();
+
+        let mut tx0 = t0.begin(TxKind::Short);
+        let v = tx0.read(&var).expect("read");
+        // t1 commits an update to var; tx0's rv predates it.
+        atomically(&mut t1, TxKind::Short, &RetryPolicy::default(), |tx| {
+            tx.write(&var, 9)
+        })
+        .expect("commit");
+        tx0.write(&out, v + 1).expect("buffered");
+        let err = tx0.commit().expect_err("validation must fail");
+        assert_eq!(err.reason(), AbortReason::ReadValidation);
+    }
+
+    #[test]
+    fn reads_newer_than_rv_abort_immediately() {
+        let stm = stm(2);
+        let var = stm.new_var(0i64);
+        let mut t0 = stm.register_thread();
+        let mut t1 = stm.register_thread();
+
+        let mut tx0 = t0.begin(TxKind::Short);
+        atomically(&mut t1, TxKind::Short, &RetryPolicy::default(), |tx| {
+            tx.write(&var, 1)
+        })
+        .expect("commit");
+        let err = tx0.read(&var).expect_err("no extension in TL2");
+        assert_eq!(err.reason(), AbortReason::ReadValidation);
+        tx0.rollback(err.reason());
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve_money() {
+        let stm = stm(5);
+        let accounts: Arc<Vec<Tl2Var<i64>>> =
+            Arc::new((0..16).map(|_| stm.new_var(100i64)).collect());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let stm = Arc::clone(&stm);
+                let accounts = Arc::clone(&accounts);
+                let mut thread = stm.register_thread();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let from = ((i * 7 + t * 3) % 16) as usize;
+                        let to = ((i * 13 + t * 5) % 16) as usize;
+                        if from == to {
+                            continue;
+                        }
+                        atomically(
+                            &mut thread,
+                            TxKind::Short,
+                            &RetryPolicy::default(),
+                            |tx| {
+                                let a = tx.read(&accounts[from])?;
+                                let b = tx.read(&accounts[to])?;
+                                tx.write(&accounts[from], a - 1)?;
+                                tx.write(&accounts[to], b + 1)
+                            },
+                        )
+                        .expect("transfer commits");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        let mut checker = stm.register_thread();
+        let total = atomically(&mut checker, TxKind::Long, &RetryPolicy::default(), |tx| {
+            let mut sum = 0i64;
+            for acc in accounts.iter() {
+                sum += tx.read(acc)?;
+            }
+            Ok(sum)
+        })
+        .expect("sum commits");
+        assert_eq!(total, 1600);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let stm = stm(1);
+        let var = stm.new_var(0i64);
+        let mut thread = stm.register_thread();
+        atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+            let v = tx.read(&var)?;
+            tx.write(&var, v + 1)
+        })
+        .expect("commit");
+        assert_eq!(thread.stats().total_commits(), 1);
+        assert_eq!(thread.stats().reads(), 1);
+        assert_eq!(thread.stats().writes(), 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Low-level concurrency utilities shared by every `zstm` crate.
+//!
+//! This crate deliberately has no dependencies: it provides the tiny
+//! primitives — cache-line padding, bounded exponential backoff and a fast
+//! deterministic PRNG — that the time bases, the STM runtimes and the
+//! benchmark harness all build on.
+//!
+//! # Examples
+//!
+//! ```
+//! use zstm_util::{Backoff, CachePadded, XorShift64};
+//!
+//! let counter = CachePadded::new(std::sync::atomic::AtomicU64::new(0));
+//! counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+//!
+//! let mut rng = XorShift64::new(42);
+//! let _die = rng.next_range(6);
+//!
+//! let mut backoff = Backoff::new();
+//! backoff.spin(); // first conflict: spin briefly
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backoff;
+mod pad;
+mod rng;
+
+pub use backoff::Backoff;
+pub use pad::CachePadded;
+pub use rng::XorShift64;

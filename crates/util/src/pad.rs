@@ -1,0 +1,116 @@
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to 128 bytes so that neighbouring values never
+/// share a cache line.
+///
+/// Shared-counter time bases (see `zstm-clock`) and per-thread statistics
+/// slots are the prime users: without padding, logically independent atomic
+/// counters false-share a line and the "contention on the time base" effect
+/// the paper discusses in Section 2 is badly distorted.
+///
+/// 128 bytes (not 64) because modern x86 prefetches cache lines in pairs and
+/// Apple/ARM big cores use 128-byte lines; this matches what `crossbeam`
+/// does.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use zstm_util::CachePadded;
+///
+/// let slots: Vec<CachePadded<AtomicU64>> =
+///     (0..4).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+/// slots[1].store(7, Ordering::Relaxed);
+/// assert_eq!(slots[1].load(Ordering::Relaxed), 7);
+/// ```
+#[derive(Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in a cache-line-aligned cell.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Consumes the padding wrapper and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+impl<T: Clone> Clone for CachePadded<T> {
+    fn clone(&self) -> Self {
+        Self::new(self.value.clone())
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::mem::{align_of, size_of};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn alignment_is_128() {
+        assert_eq!(align_of::<CachePadded<u8>>(), 128);
+        assert!(size_of::<CachePadded<u8>>() >= 128);
+    }
+
+    #[test]
+    fn deref_reads_and_writes() {
+        let mut cell = CachePadded::new(5u32);
+        assert_eq!(*cell, 5);
+        *cell = 6;
+        assert_eq!(cell.into_inner(), 6);
+    }
+
+    #[test]
+    fn atomic_inside_padding() {
+        let cell = CachePadded::new(AtomicU64::new(1));
+        cell.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(cell.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let cell = CachePadded::new(42u8);
+        assert!(format!("{cell:?}").contains("42"));
+    }
+
+    #[test]
+    fn from_and_clone() {
+        let cell: CachePadded<i32> = 9.into();
+        let copy = cell.clone();
+        assert_eq!(*copy, 9);
+    }
+}

@@ -1,0 +1,158 @@
+use core::fmt;
+
+/// Minimal xorshift64* pseudo-random generator.
+///
+/// The workload generators need a PRNG that is (a) deterministic given a
+/// seed, so experiments are reproducible run-to-run, and (b) cheap enough
+/// that drawing two random account indices does not dominate a bank-transfer
+/// transaction. `rand`'s `StdRng` satisfies (a) but its setup cost and the
+/// trait plumbing are overkill inside the STM hot paths (contention-manager
+/// jitter, plausible-clock tests), so the tiny generator lives here and the
+/// heavyweight one stays in the harness.
+///
+/// Not cryptographically secure; do not use for anything security-relevant.
+///
+/// # Examples
+///
+/// ```
+/// use zstm_util::XorShift64;
+///
+/// let mut a = XorShift64::new(7);
+/// let mut b = XorShift64::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// let pick = a.next_range(10);
+/// assert!(pick < 10);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from `seed`. A zero seed is remapped to a fixed
+    /// non-zero constant because the all-zero state is a fixed point of the
+    /// xorshift recurrence.
+    pub const fn new(seed: u64) -> Self {
+        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        Self { state }
+    }
+
+    /// Returns the next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Returns a value uniformly-ish distributed in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift bounded mapping; bias is negligible for the bounds
+        // used in the workloads (< 2^20).
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Returns `true` with probability `percent / 100`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `percent > 100`.
+    pub fn next_percent(&mut self, percent: u8) -> bool {
+        assert!(percent <= 100, "percent must be at most 100");
+        self.next_range(100) < u64::from(percent)
+    }
+
+    /// Derives an independent-ish stream for a child context (e.g. one per
+    /// worker thread from a single experiment seed).
+    pub fn fork(&mut self, stream: u64) -> Self {
+        let mixed = self
+            .next_u64()
+            .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Self::new(mixed | 1)
+    }
+}
+
+impl fmt::Debug for XorShift64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("XorShift64").field("state", &self.state).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = XorShift64::new(123);
+        let mut b = XorShift64::new(123);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = XorShift64::new(0);
+        let first = rng.next_u64();
+        let second = rng.next_u64();
+        assert_ne!(first, 0);
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn range_respects_bound() {
+        let mut rng = XorShift64::new(9);
+        for _ in 0..1000 {
+            assert!(rng.next_range(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        XorShift64::new(1).next_range(0);
+    }
+
+    #[test]
+    fn percent_edges() {
+        let mut rng = XorShift64::new(5);
+        for _ in 0..100 {
+            assert!(!rng.next_percent(0));
+            assert!(rng.next_percent(100));
+        }
+    }
+
+    #[test]
+    fn percent_is_roughly_calibrated() {
+        let mut rng = XorShift64::new(77);
+        let hits = (0..10_000).filter(|_| rng.next_percent(20)).count();
+        assert!((1_500..2_500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn forked_streams_diverge() {
+        let mut root = XorShift64::new(42);
+        let mut a = root.fork(0);
+        let mut b = root.fork(1);
+        let equal = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(equal, 0);
+    }
+
+    #[test]
+    fn range_covers_all_values_eventually() {
+        let mut rng = XorShift64::new(3);
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            seen[rng.next_range(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

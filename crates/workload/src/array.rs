@@ -1,0 +1,184 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use zstm_core::{atomically, RetryPolicy, TmFactory, TmThread, TmTx, TxKind, TxStats};
+use zstm_util::XorShift64;
+
+/// Configuration of the random-array workload used by the ablation
+/// benchmarks: every transaction touches `tx_size` random elements of an
+/// array of `objects` variables, reading each and updating it with
+/// probability `write_pct`.
+#[derive(Clone, Debug)]
+pub struct ArrayConfig {
+    /// Number of transactional variables.
+    pub objects: usize,
+    /// Accesses per transaction.
+    pub tx_size: usize,
+    /// Probability (percent) that an access also writes.
+    pub write_pct: u8,
+    /// Worker threads.
+    pub threads: usize,
+    /// Wall-clock measurement duration.
+    pub duration: Duration,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl ArrayConfig {
+    /// A moderate default: 256 objects, 4 accesses, 20 % writes.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            objects: 256,
+            tx_size: 4,
+            write_pct: 20,
+            threads,
+            duration: Duration::from_millis(500),
+            seed: 0xa11a,
+        }
+    }
+
+    /// Scaled-down variant for tests.
+    pub fn quick(threads: usize) -> Self {
+        Self {
+            duration: Duration::from_millis(60),
+            objects: 32,
+            ..Self::new(threads)
+        }
+    }
+}
+
+/// Result of one array-workload run.
+#[derive(Clone, Debug)]
+pub struct ArrayReport {
+    /// Name of the STM that was measured.
+    pub stm: &'static str,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Measured wall-clock duration.
+    pub elapsed: Duration,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Commits per second.
+    pub commits_per_sec: f64,
+    /// Merged per-thread statistics (abort breakdown etc.).
+    pub stats: TxStats,
+}
+
+impl ArrayReport {
+    /// Fraction of attempts that aborted.
+    pub fn abort_ratio(&self) -> f64 {
+        self.stats.abort_ratio()
+    }
+}
+
+/// Runs the random-array workload against `stm`. Registers
+/// `config.threads` logical threads.
+pub fn run_array<F: TmFactory>(stm: &Arc<F>, config: &ArrayConfig) -> ArrayReport {
+    let objects: Arc<Vec<F::Var<i64>>> =
+        Arc::new((0..config.objects).map(|_| stm.new_var(0i64)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(config.threads + 1));
+    let policy = RetryPolicy::default();
+
+    let mut handles = Vec::with_capacity(config.threads);
+    for t in 0..config.threads {
+        let mut thread = stm.register_thread();
+        let objects = Arc::clone(&objects);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let config = config.clone();
+        let mut rng = XorShift64::new(config.seed.wrapping_add(t as u64 * 6271));
+        handles.push(std::thread::spawn(move || {
+            let mut commits = 0u64;
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                // Pre-draw the access pattern so the transaction body is
+                // deterministic across retries.
+                let picks: Vec<(usize, bool)> = (0..config.tx_size)
+                    .map(|_| {
+                        (
+                            rng.next_range(objects.len() as u64) as usize,
+                            rng.next_percent(config.write_pct),
+                        )
+                    })
+                    .collect();
+                let result = atomically(&mut thread, TxKind::Short, &policy, |tx| {
+                    for &(index, write) in &picks {
+                        let value = tx.read(&objects[index])?;
+                        if write {
+                            tx.write(&objects[index], value + 1)?;
+                        }
+                    }
+                    Ok(())
+                });
+                if result.is_ok() {
+                    commits += 1;
+                }
+            }
+            (commits, thread.take_stats())
+        }));
+    }
+
+    barrier.wait();
+    let started = Instant::now();
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = started.elapsed();
+
+    let mut commits = 0u64;
+    let mut stats = TxStats::new();
+    for handle in handles {
+        let (thread_commits, thread_stats) = handle.join().expect("array worker panicked");
+        commits += thread_commits;
+        stats.merge(&thread_stats);
+    }
+    ArrayReport {
+        stm: stm.name(),
+        threads: config.threads,
+        elapsed,
+        commits,
+        commits_per_sec: commits as f64 / elapsed.as_secs_f64(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zstm_clock::RevClock;
+    use zstm_core::StmConfig;
+    use zstm_cs::CsStm;
+    use zstm_sstm::SStm;
+
+    #[test]
+    fn array_runs_on_cs_stm() {
+        let config = ArrayConfig::quick(2);
+        let stm = Arc::new(CsStm::with_vector_clock(StmConfig::new(config.threads)));
+        let report = run_array(&stm, &config);
+        assert!(report.commits > 0);
+        assert_eq!(report.stm, "cs");
+        assert!(report.abort_ratio() < 1.0);
+    }
+
+    #[test]
+    fn array_runs_on_plausible_cs_stm() {
+        let config = ArrayConfig::quick(2);
+        let stm = Arc::new(CsStm::with_plausible_clock(
+            StmConfig::new(config.threads),
+            1,
+        ));
+        let report = run_array(&stm, &config);
+        assert!(report.commits > 0);
+    }
+
+    #[test]
+    fn array_runs_on_s_stm() {
+        let config = ArrayConfig::quick(2);
+        let stm = Arc::new(SStm::<RevClock>::with_vector_clock(StmConfig::new(
+            config.threads,
+        )));
+        let report = run_array(&stm, &config);
+        assert!(report.commits > 0);
+    }
+}

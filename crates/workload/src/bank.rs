@@ -1,0 +1,302 @@
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use zstm_core::{
+    atomically, RetryPolicy, TmFactory, TmThread, TmTx, TxKind, TxStats,
+};
+use zstm_util::XorShift64;
+
+/// Whether Compute-Total transactions are read-only (Figure 6) or update
+/// private transactional state (Figure 7).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LongMode {
+    /// Compute-Total only reads the accounts.
+    ReadOnly,
+    /// Compute-Total additionally writes the sum to a private (but
+    /// transactional) variable, making it an update transaction.
+    Update,
+}
+
+/// Configuration of the bank micro-benchmark (Section 5.5 of the paper).
+#[derive(Clone, Debug)]
+pub struct BankConfig {
+    /// Number of accounts (the paper uses 1 000).
+    pub accounts: usize,
+    /// Initial balance per account.
+    pub initial_balance: i64,
+    /// Worker threads (the paper sweeps 1, 2, 8, 16, 32).
+    pub threads: usize,
+    /// Wall-clock measurement duration.
+    pub duration: Duration,
+    /// Percentage of Compute-Total transactions on the mixed thread
+    /// (thread 0); the paper uses 20 %.
+    pub total_pct: u8,
+    /// Read-only or update Compute-Total.
+    pub long_mode: LongMode,
+    /// Attempts per Compute-Total before the harness gives up on that
+    /// instance (bounded so that an STM unable to commit long transactions
+    /// shows ~0 throughput instead of hanging, matching the paper's
+    /// "LSA-STM is not able to execute them anymore").
+    pub long_attempts: u64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl BankConfig {
+    /// The paper's configuration: 1 000 accounts, 20 % Compute-Total on
+    /// the mixed thread, read-only Compute-Total.
+    pub fn paper(threads: usize) -> Self {
+        Self {
+            accounts: 1_000,
+            initial_balance: 1_000,
+            threads,
+            duration: Duration::from_secs(2),
+            total_pct: 20,
+            long_mode: LongMode::ReadOnly,
+            long_attempts: 200,
+            seed: 0x5eed,
+        }
+    }
+
+    /// A scaled-down configuration for unit tests and smoke benches.
+    pub fn quick(threads: usize) -> Self {
+        Self {
+            accounts: 64,
+            initial_balance: 100,
+            threads,
+            duration: Duration::from_millis(100),
+            total_pct: 20,
+            long_mode: LongMode::ReadOnly,
+            long_attempts: 100,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Switches Compute-Total to the update variant (Figure 7).
+    pub fn with_update_totals(mut self) -> Self {
+        self.long_mode = LongMode::Update;
+        self
+    }
+}
+
+/// Result of one bank-benchmark run; the two throughput numbers are the
+/// series plotted in the paper's Figures 6 and 7.
+#[derive(Clone, Debug)]
+pub struct BankReport {
+    /// Name of the STM that was measured.
+    pub stm: &'static str,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Measured wall-clock duration.
+    pub elapsed: Duration,
+    /// Committed transfer transactions.
+    pub transfer_commits: u64,
+    /// Committed Compute-Total transactions.
+    pub total_commits: u64,
+    /// Compute-Total instances that exhausted their attempt budget.
+    pub totals_given_up: u64,
+    /// Transfers per second.
+    pub transfers_per_sec: f64,
+    /// Compute-Total transactions per second.
+    pub totals_per_sec: f64,
+    /// Merged per-thread statistics.
+    pub stats: TxStats,
+    /// `true` iff a final audit found the money conserved and every
+    /// committed Compute-Total observed the correct sum.
+    pub conserved: bool,
+}
+
+/// Runs the bank micro-benchmark against `stm`.
+///
+/// Thread 0 is the paper's mixed thread (80 % transfers, 20 %
+/// Compute-Total); the remaining threads only transfer. The function
+/// registers `config.threads + 1` logical threads on the STM (one extra
+/// for the final audit), so configure the STM accordingly.
+///
+/// # Panics
+///
+/// Panics if a transfer permanently fails to commit (transfers are
+/// expected to succeed under every STM in this workspace).
+pub fn run_bank<F: TmFactory>(stm: &Arc<F>, config: &BankConfig) -> BankReport {
+    let accounts: Arc<Vec<F::Var<i64>>> = Arc::new(
+        (0..config.accounts)
+            .map(|_| stm.new_var(config.initial_balance))
+            .collect(),
+    );
+    let expected_total = config.initial_balance * config.accounts as i64;
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(config.threads + 1));
+    let transfer_policy = RetryPolicy::default();
+    let long_policy = RetryPolicy::default().with_max_attempts(config.long_attempts);
+
+    let mut handles = Vec::with_capacity(config.threads);
+    for t in 0..config.threads {
+        let mut thread = stm.register_thread();
+        let accounts = Arc::clone(&accounts);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let config = config.clone();
+        // The mixed thread's private transactional output variable
+        // (the paper: "update transactions that write to private but
+        // transactional state").
+        let private_total = stm.new_var(0i64);
+        let mut rng = XorShift64::new(config.seed.wrapping_add(t as u64 * 7919));
+        handles.push(std::thread::spawn(move || {
+            let mut transfer_commits = 0u64;
+            let mut total_commits = 0u64;
+            let mut totals_given_up = 0u64;
+            let mut sums_ok = true;
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let is_total = t == 0 && rng.next_percent(config.total_pct);
+                if is_total {
+                    let result = atomically(
+                        &mut thread,
+                        TxKind::Long,
+                        &long_policy,
+                        |tx| {
+                            let mut sum = 0i64;
+                            for account in accounts.iter() {
+                                sum += tx.read(account)?;
+                            }
+                            if config.long_mode == LongMode::Update {
+                                tx.write(&private_total, sum)?;
+                            }
+                            Ok(sum)
+                        },
+                    );
+                    match result {
+                        Ok(sum) => {
+                            total_commits += 1;
+                            sums_ok &= sum == config.initial_balance * accounts.len() as i64;
+                        }
+                        Err(_) => totals_given_up += 1,
+                    }
+                } else {
+                    let from = rng.next_range(accounts.len() as u64) as usize;
+                    let to = rng.next_range(accounts.len() as u64) as usize;
+                    if from == to {
+                        continue;
+                    }
+                    atomically(&mut thread, TxKind::Short, &transfer_policy, |tx| {
+                        let a = tx.read(&accounts[from])?;
+                        let b = tx.read(&accounts[to])?;
+                        tx.write(&accounts[from], a - 1)?;
+                        tx.write(&accounts[to], b + 1)
+                    })
+                    .expect("transfers must eventually commit");
+                    transfer_commits += 1;
+                }
+            }
+            let stats = thread.take_stats();
+            (transfer_commits, total_commits, totals_given_up, sums_ok, stats)
+        }));
+    }
+
+    barrier.wait();
+    let started = Instant::now();
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = started.elapsed();
+
+    let mut transfer_commits = 0u64;
+    let mut total_commits = 0u64;
+    let mut totals_given_up = 0u64;
+    let mut sums_ok = true;
+    let mut stats = TxStats::new();
+    for handle in handles {
+        let (transfers, totals, given_up, ok, thread_stats) =
+            handle.join().expect("bank worker panicked");
+        transfer_commits += transfers;
+        total_commits += totals;
+        totals_given_up += given_up;
+        sums_ok &= ok;
+        stats.merge(&thread_stats);
+    }
+
+    // Final audit on a quiescent system.
+    let mut audit_thread = stm.register_thread();
+    let audited = atomically(
+        &mut audit_thread,
+        TxKind::Long,
+        &RetryPolicy::default(),
+        |tx| {
+            let mut sum = 0i64;
+            for account in accounts.iter() {
+                sum += tx.read(account)?;
+            }
+            Ok(sum)
+        },
+    )
+    .map(|sum| sum == expected_total)
+    .unwrap_or(false);
+
+    let secs = elapsed.as_secs_f64();
+    BankReport {
+        stm: stm.name(),
+        threads: config.threads,
+        elapsed,
+        transfer_commits,
+        total_commits,
+        totals_given_up,
+        transfers_per_sec: transfer_commits as f64 / secs,
+        totals_per_sec: total_commits as f64 / secs,
+        stats,
+        conserved: audited && sums_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zstm_core::StmConfig;
+    use zstm_lsa::LsaStm;
+    use zstm_tl2::Tl2Stm;
+    use zstm_z::ZStm;
+
+    fn quick(threads: usize) -> BankConfig {
+        let mut config = BankConfig::quick(threads);
+        config.duration = Duration::from_millis(80);
+        config
+    }
+
+    #[test]
+    fn bank_on_z_stm_conserves_and_commits_totals() {
+        let config = quick(2);
+        let stm = Arc::new(ZStm::new(StmConfig::new(config.threads + 1)));
+        let report = run_bank(&stm, &config);
+        assert!(report.conserved);
+        assert!(report.transfer_commits > 0);
+        assert_eq!(report.stm, "z-stm");
+    }
+
+    #[test]
+    fn bank_on_lsa_conserves() {
+        let config = quick(2);
+        let stm = Arc::new(LsaStm::new(StmConfig::new(config.threads + 1)));
+        let report = run_bank(&stm, &config);
+        assert!(report.conserved);
+        assert!(report.transfer_commits > 0);
+    }
+
+    #[test]
+    fn bank_on_tl2_conserves() {
+        let config = quick(2);
+        let stm = Arc::new(Tl2Stm::new(StmConfig::new(config.threads + 1)));
+        let report = run_bank(&stm, &config);
+        assert!(report.conserved);
+    }
+
+    #[test]
+    fn update_totals_on_z_stm_still_commit() {
+        let config = quick(2).with_update_totals();
+        let stm = Arc::new(ZStm::new(StmConfig::new(config.threads + 1)));
+        let report = run_bank(&stm, &config);
+        assert!(report.conserved);
+        assert!(
+            report.total_commits > 0,
+            "Z-STM must sustain update Compute-Total (Figure 7)"
+        );
+    }
+}

@@ -1,0 +1,413 @@
+use zstm_core::{Abort, TmFactory, TmTx};
+
+/// A node of the transactional sorted list: a value plus the pool index of
+/// the next node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Node {
+    value: i64,
+    next: Option<usize>,
+}
+
+/// A sorted singly-linked integer set built from transactional variables —
+/// the classic STM data-structure benchmark, and a demonstration that the
+/// one `TmFactory` API supports dynamic structures on every STM in this
+/// workspace.
+///
+/// Nodes live in a fixed pool of transactional variables; a transactional
+/// free list hands out slots, so allocation itself is atomic with the
+/// structural update (an aborted insert leaks nothing).
+///
+/// All operations take an active transaction, so callers can compose them:
+/// move an element between two lists atomically, or run a long read-only
+/// sum over the whole list under Z-STM's zone protection.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use zstm_core::{atomically, RetryPolicy, StmConfig, TmFactory, TxKind};
+/// use zstm_workload::TxList;
+/// use zstm_z::ZStm;
+///
+/// # fn main() -> Result<(), zstm_core::RetryExhausted> {
+/// let stm = Arc::new(ZStm::new(StmConfig::new(1)));
+/// let list = TxList::new(&*stm, 16);
+/// let mut thread = stm.register_thread();
+/// atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+///     list.insert(tx, 30)?;
+///     list.insert(tx, 10)?;
+///     list.insert(tx, 20)
+/// })?;
+/// let contents = atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+///     list.to_vec(tx)
+/// })?;
+/// assert_eq!(contents, vec![10, 20, 30]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct TxList<F: TmFactory> {
+    head: F::Var<Option<usize>>,
+    nodes: Vec<F::Var<Node>>,
+    free: F::Var<Vec<usize>>,
+}
+
+impl<F: TmFactory> TxList<F> {
+    /// Creates an empty list with room for `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(stm: &F, capacity: usize) -> Self {
+        assert!(capacity > 0, "a list needs at least one node slot");
+        let nodes = (0..capacity)
+            .map(|_| {
+                stm.new_var(Node {
+                    value: 0,
+                    next: None,
+                })
+            })
+            .collect();
+        // Free slots, popped from the back.
+        let free: Vec<usize> = (0..capacity).rev().collect();
+        Self {
+            head: stm.new_var(None),
+            nodes,
+            free: stm.new_var(free),
+        }
+    }
+
+    /// Maximum number of elements.
+    pub fn capacity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Inserts `value`, keeping the list sorted. Returns `false` if the
+    /// value was already present (set semantics) or the pool is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn insert<T>(&self, tx: &mut T, value: i64) -> Result<bool, Abort>
+    where
+        T: TmTx<Factory = F>,
+    {
+        // Find the insertion point: prev (if any) and the index that will
+        // follow the new node.
+        let mut prev: Option<usize> = None;
+        let mut current = tx.read(&self.head)?;
+        while let Some(index) = current {
+            let node = tx.read(&self.nodes[index])?;
+            if node.value == value {
+                return Ok(false);
+            }
+            if node.value > value {
+                break;
+            }
+            prev = Some(index);
+            current = node.next;
+        }
+        // Allocate a slot transactionally.
+        let mut free = tx.read(&self.free)?;
+        let Some(slot) = free.pop() else {
+            return Ok(false);
+        };
+        tx.write(&self.free, free)?;
+        tx.write(
+            &self.nodes[slot],
+            Node {
+                value,
+                next: current,
+            },
+        )?;
+        match prev {
+            None => tx.write(&self.head, Some(slot))?,
+            Some(prev_index) => {
+                let mut prev_node = tx.read(&self.nodes[prev_index])?;
+                prev_node.next = Some(slot);
+                tx.write(&self.nodes[prev_index], prev_node)?;
+            }
+        }
+        Ok(true)
+    }
+
+    /// Removes `value`. Returns `true` if it was present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn remove<T>(&self, tx: &mut T, value: i64) -> Result<bool, Abort>
+    where
+        T: TmTx<Factory = F>,
+    {
+        let mut prev: Option<usize> = None;
+        let mut current = tx.read(&self.head)?;
+        while let Some(index) = current {
+            let node = tx.read(&self.nodes[index])?;
+            if node.value == value {
+                match prev {
+                    None => tx.write(&self.head, node.next)?,
+                    Some(prev_index) => {
+                        let mut prev_node = tx.read(&self.nodes[prev_index])?;
+                        prev_node.next = node.next;
+                        tx.write(&self.nodes[prev_index], prev_node)?;
+                    }
+                }
+                let mut free = tx.read(&self.free)?;
+                free.push(index);
+                tx.write(&self.free, free)?;
+                return Ok(true);
+            }
+            if node.value > value {
+                return Ok(false);
+            }
+            prev = Some(index);
+            current = node.next;
+        }
+        Ok(false)
+    }
+
+    /// Membership test.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn contains<T>(&self, tx: &mut T, value: i64) -> Result<bool, Abort>
+    where
+        T: TmTx<Factory = F>,
+    {
+        let mut current = tx.read(&self.head)?;
+        while let Some(index) = current {
+            let node = tx.read(&self.nodes[index])?;
+            if node.value == value {
+                return Ok(true);
+            }
+            if node.value > value {
+                return Ok(false);
+            }
+            current = node.next;
+        }
+        Ok(false)
+    }
+
+    /// Sum of all elements (a natural *long* transaction on big lists).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn sum<T>(&self, tx: &mut T) -> Result<i64, Abort>
+    where
+        T: TmTx<Factory = F>,
+    {
+        let mut sum = 0;
+        let mut current = tx.read(&self.head)?;
+        while let Some(index) = current {
+            let node = tx.read(&self.nodes[index])?;
+            sum += node.value;
+            current = node.next;
+        }
+        Ok(sum)
+    }
+
+    /// Snapshot of the list contents, in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transactional aborts.
+    pub fn to_vec<T>(&self, tx: &mut T) -> Result<Vec<i64>, Abort>
+    where
+        T: TmTx<Factory = F>,
+    {
+        let mut out = Vec::new();
+        let mut current = tx.read(&self.head)?;
+        while let Some(index) = current {
+            let node = tx.read(&self.nodes[index])?;
+            out.push(node.value);
+            current = node.next;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use zstm_core::{atomically, RetryPolicy, StmConfig, TmFactory, TxKind};
+    use zstm_lsa::LsaStm;
+    use zstm_sstm::SStm;
+    use zstm_z::ZStm;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy::default()
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order_and_set_semantics() {
+        let stm = Arc::new(LsaStm::new(StmConfig::new(1)));
+        let list = TxList::new(&*stm, 8);
+        let mut thread = stm.register_thread();
+        let inserted = atomically(&mut thread, TxKind::Short, &policy(), |tx| {
+            let mut results = Vec::new();
+            for v in [5, 1, 9, 5, 3] {
+                results.push(list.insert(tx, v)?);
+            }
+            Ok(results)
+        })
+        .expect("commit");
+        assert_eq!(inserted, vec![true, true, true, false, true]);
+        let contents = atomically(&mut thread, TxKind::Short, &policy(), |tx| {
+            list.to_vec(tx)
+        })
+        .expect("commit");
+        assert_eq!(contents, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn remove_relinks_and_frees() {
+        let stm = Arc::new(LsaStm::new(StmConfig::new(1)));
+        let list = TxList::new(&*stm, 4);
+        let mut thread = stm.register_thread();
+        atomically(&mut thread, TxKind::Short, &policy(), |tx| {
+            for v in [1, 2, 3, 4] {
+                list.insert(tx, v)?;
+            }
+            Ok(())
+        })
+        .expect("fill");
+        // Pool exhausted: further inserts refuse.
+        let full = atomically(&mut thread, TxKind::Short, &policy(), |tx| {
+            list.insert(tx, 99)
+        })
+        .expect("commit");
+        assert!(!full);
+        // Remove the middle and the head; slots recycle.
+        atomically(&mut thread, TxKind::Short, &policy(), |tx| {
+            assert!(list.remove(tx, 2)?);
+            assert!(list.remove(tx, 1)?);
+            assert!(!list.remove(tx, 42)?);
+            Ok(())
+        })
+        .expect("commit");
+        let contents = atomically(&mut thread, TxKind::Short, &policy(), |tx| {
+            assert!(list.insert(tx, 0)?, "freed slots are reusable");
+            list.to_vec(tx)
+        })
+        .expect("commit");
+        assert_eq!(contents, vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn contains_and_sum() {
+        let stm = Arc::new(SStm::with_vector_clock(StmConfig::new(1)));
+        let list = TxList::new(&*stm, 8);
+        let mut thread = stm.register_thread();
+        atomically(&mut thread, TxKind::Short, &policy(), |tx| {
+            for v in [10, 20, 30] {
+                list.insert(tx, v)?;
+            }
+            Ok(())
+        })
+        .expect("commit");
+        let (has_20, has_25, total) = atomically(&mut thread, TxKind::Short, &policy(), |tx| {
+            Ok((
+                list.contains(tx, 20)?,
+                list.contains(tx, 25)?,
+                list.sum(tx)?,
+            ))
+        })
+        .expect("commit");
+        assert!(has_20);
+        assert!(!has_25);
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_land() {
+        let stm = Arc::new(ZStm::new(StmConfig::new(4)));
+        let list = Arc::new(TxList::new(&*stm, 64));
+        let handles: Vec<_> = (0..3i64)
+            .map(|t| {
+                let stm = Arc::clone(&stm);
+                let list = Arc::clone(&list);
+                let mut thread = stm.register_thread();
+                std::thread::spawn(move || {
+                    for k in 0..16 {
+                        let value = k * 3 + t; // disjoint residue classes
+                        atomically(&mut thread, TxKind::Short, &policy(), |tx| {
+                            list.insert(tx, value)
+                        })
+                        .expect("insert commits");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        let mut thread = stm.register_thread();
+        let contents = atomically(&mut thread, TxKind::Short, &policy(), |tx| {
+            list.to_vec(tx)
+        })
+        .expect("commit");
+        assert_eq!(contents, (0..48).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn long_sum_runs_against_concurrent_updates_on_z() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stm = Arc::new(ZStm::new(StmConfig::new(3)));
+        let list = Arc::new(TxList::new(&*stm, 64));
+        let mut seeder = stm.register_thread();
+        atomically(&mut seeder, TxKind::Short, &policy(), |tx| {
+            for v in 0..32 {
+                list.insert(tx, v)?;
+            }
+            Ok(())
+        })
+        .expect("seed");
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let churner = {
+            let stm = Arc::clone(&stm);
+            let list = Arc::clone(&list);
+            let stop = Arc::clone(&stop);
+            let mut thread = stm.register_thread();
+            std::thread::spawn(move || {
+                let mut i = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let v = 100 + (i % 16);
+                    let _ = atomically(
+                        &mut thread,
+                        TxKind::Short,
+                        &RetryPolicy::default().with_max_attempts(1_000),
+                        |tx| {
+                            if i % 2 == 0 {
+                                list.insert(tx, v).map(|_| ())
+                            } else {
+                                list.remove(tx, v).map(|_| ())
+                            }
+                        },
+                    );
+                    i += 1;
+                }
+            })
+        };
+        // The base 0..32 sum is invariant under the churner's add/remove
+        // pairs only in aggregate, so check a weaker but sharp invariant:
+        // every committed long sum sees the base elements exactly once.
+        for _ in 0..10 {
+            let contents = atomically(&mut seeder, TxKind::Long, &policy(), |tx| {
+                list.to_vec(tx)
+            })
+            .expect("long scan commits under churn");
+            let base: Vec<i64> = contents.iter().copied().filter(|v| *v < 100).collect();
+            assert_eq!(base, (0..32).collect::<Vec<i64>>());
+            let mut sorted = contents.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted, contents, "snapshot must be sorted and duplicate-free");
+        }
+        stop.store(true, Ordering::Relaxed);
+        churner.join().expect("churner panicked");
+    }
+}

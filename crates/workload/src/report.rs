@@ -1,0 +1,127 @@
+use std::fmt::Write as _;
+
+/// One named data series, e.g. "Z-STM Compute-Total throughput" over
+/// thread counts — the unit the figure-reproduction harness prints.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label (matches the paper's figure legends).
+    pub label: String,
+    /// `(x, y)` points; `x` is typically the thread count.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Renders the series in gnuplot-ready two-column format.
+    pub fn to_gnuplot(&self) -> String {
+        let mut out = format!("# {}\n", self.label);
+        for &(x, y) in &self.points {
+            let _ = writeln!(out, "{x} {y}");
+        }
+        out
+    }
+
+    /// Renders the series as one CSV row per point
+    /// (`label,x,y`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for &(x, y) in &self.points {
+            let _ = writeln!(out, "{},{x},{y}", self.label);
+        }
+        out
+    }
+}
+
+/// Prints an aligned comparison table of several series sharing the same
+/// x-axis (as the paper's figures do: thread counts on x).
+///
+/// # Examples
+///
+/// ```
+/// use zstm_workload::Series;
+///
+/// let mut a = Series::new("LSA-STM");
+/// a.push(1.0, 100.0);
+/// let mut b = Series::new("Z-STM");
+/// b.push(1.0, 110.0);
+/// let table = zstm_workload::print_table("transfers/s", &[a, b]);
+/// assert!(table.contains("Z-STM"));
+/// ```
+pub fn print_table(title: &str, series: &[Series]) -> String {
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x values"));
+    xs.dedup();
+
+    let mut out = format!("## {title}\n");
+    let _ = write!(out, "{:>8}", "x");
+    for s in series {
+        let _ = write!(out, " {:>22}", s.label);
+    }
+    out.push('\n');
+    for &x in &xs {
+        let _ = write!(out, "{x:>8}");
+        for s in series {
+            match s.points.iter().find(|&&(px, _)| px == x) {
+                Some(&(_, y)) => {
+                    let _ = write!(out, " {y:>22.3}");
+                }
+                None => {
+                    let _ = write!(out, " {:>22}", "-");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnuplot_format() {
+        let mut s = Series::new("test");
+        s.push(1.0, 2.0);
+        s.push(2.0, 4.0);
+        let text = s.to_gnuplot();
+        assert!(text.starts_with("# test\n"));
+        assert!(text.contains("1 2"));
+        assert!(text.contains("2 4"));
+    }
+
+    #[test]
+    fn csv_format() {
+        let mut s = Series::new("z");
+        s.push(8.0, 123.5);
+        assert_eq!(s.to_csv(), "z,8,123.5\n");
+    }
+
+    #[test]
+    fn table_aligns_multiple_series() {
+        let mut a = Series::new("A");
+        a.push(1.0, 10.0);
+        a.push(2.0, 20.0);
+        let mut b = Series::new("B");
+        b.push(2.0, 99.0);
+        let table = print_table("tps", &[a, b]);
+        assert!(table.contains("## tps"));
+        assert!(table.contains('A'));
+        assert!(table.contains('-'), "missing points print a dash");
+    }
+}

@@ -1,0 +1,91 @@
+//! Model-based property test: the transactional sorted list behaves like
+//! `BTreeSet<i64>` under arbitrary sequential operation mixes, on several
+//! STMs.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use zstm_core::{atomically, RetryPolicy, StmConfig, TmFactory, TmThread, TxKind};
+use zstm_cs::CsStm;
+use zstm_lsa::LsaStm;
+use zstm_workload::TxList;
+use zstm_z::ZStm;
+
+#[derive(Clone, Debug)]
+enum ListOp {
+    Insert(i64),
+    Remove(i64),
+    Contains(i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = ListOp> {
+    prop_oneof![
+        (0i64..24).prop_map(ListOp::Insert),
+        (0i64..24).prop_map(ListOp::Remove),
+        (0i64..24).prop_map(ListOp::Contains),
+    ]
+}
+
+fn check_against_model<F: TmFactory>(stm: Arc<F>, ops: &[ListOp]) -> Result<(), TestCaseError> {
+    let list = TxList::new(&*stm, 32);
+    let mut model = BTreeSet::new();
+    let mut thread = stm.register_thread();
+    let policy = RetryPolicy::default();
+    for op in ops {
+        match *op {
+            ListOp::Insert(v) => {
+                let inserted = atomically(&mut thread, TxKind::Short, &policy, |tx| {
+                    list.insert(tx, v)
+                })
+                .expect("commit");
+                prop_assert_eq!(inserted, model.insert(v));
+            }
+            ListOp::Remove(v) => {
+                let removed = atomically(&mut thread, TxKind::Short, &policy, |tx| {
+                    list.remove(tx, v)
+                })
+                .expect("commit");
+                prop_assert_eq!(removed, model.remove(&v));
+            }
+            ListOp::Contains(v) => {
+                let present = atomically(&mut thread, TxKind::Short, &policy, |tx| {
+                    list.contains(tx, v)
+                })
+                .expect("commit");
+                prop_assert_eq!(present, model.contains(&v));
+            }
+        }
+    }
+    // Final structural comparison.
+    let contents = atomically(&mut thread, TxKind::Long, &policy, |tx| list.to_vec(tx))
+        .expect("commit");
+    let expected: Vec<i64> = model.iter().copied().collect();
+    prop_assert_eq!(contents.clone(), expected);
+    let total = atomically(&mut thread, TxKind::Long, &policy, |tx| list.sum(tx))
+        .expect("commit");
+    prop_assert_eq!(total, model.iter().sum::<i64>());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn list_matches_btreeset_on_lsa(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        check_against_model(Arc::new(LsaStm::new(StmConfig::new(1))), &ops)?;
+    }
+
+    #[test]
+    fn list_matches_btreeset_on_z(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        check_against_model(Arc::new(ZStm::new(StmConfig::new(1))), &ops)?;
+    }
+
+    #[test]
+    fn list_matches_btreeset_on_cs(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        check_against_model(
+            Arc::new(CsStm::with_vector_clock(StmConfig::new(1))),
+            &ops,
+        )?;
+    }
+}

@@ -1,0 +1,117 @@
+//! Focused repro harness for the audit-tear hunt (kept as a regression
+//! stress test).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use zstm_core::{
+    atomically, EventSink, RetryPolicy, StmConfig, TmFactory, TmTx, TxEvent, TxKind,
+};
+use zstm_z::{ZStm, ZVar};
+
+struct VecSink {
+    seq: AtomicU64,
+    events: Mutex<Vec<(u64, TxEvent)>>,
+}
+
+impl EventSink for VecSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+    fn record(&self, event: TxEvent) {
+        let seq = self.seq.fetch_add(1, Ordering::AcqRel);
+        self.events.lock().push((seq, event));
+    }
+}
+
+#[test]
+fn audit_never_tears() {
+    for round in 0..30 {
+        run_round(round);
+    }
+}
+
+fn run_round(round: u64) {
+    let sink = Arc::new(VecSink {
+        seq: AtomicU64::new(0),
+        events: Mutex::new(Vec::new()),
+    });
+    let mut config = StmConfig::new(3);
+    config.event_sink(sink.clone());
+    let stm: Arc<ZStm> = Arc::new(ZStm::new(config));
+    let n = 8usize;
+    let accounts: Arc<Vec<ZVar<i64>>> = Arc::new((0..n).map(|_| stm.new_var(100i64)).collect());
+    let ids: Vec<_> = accounts.iter().map(|a| a.id()).collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..2u64)
+        .map(|t| {
+            let stm = Arc::clone(&stm);
+            let accounts = Arc::clone(&accounts);
+            let stop = Arc::clone(&stop);
+            let mut thread = stm.register_thread();
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let from = ((i * 7 + t + round) % n as u64) as usize;
+                    let to = ((i * 13 + t * 5 + 1) % n as u64) as usize;
+                    if from != to {
+                        let _ = atomically(
+                            &mut thread,
+                            TxKind::Short,
+                            &RetryPolicy::default().with_max_attempts(100),
+                            |tx| {
+                                let a = tx.read(&accounts[from])?;
+                                let b = tx.read(&accounts[to])?;
+                                tx.write(&accounts[from], a - 1)?;
+                                tx.write(&accounts[to], b + 1)
+                            },
+                        );
+                    }
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    let mut auditor = stm.register_thread();
+    for audit_no in 0..200 {
+        let reads = atomically(&mut auditor, TxKind::Long, &RetryPolicy::default(), |tx| {
+            let mut reads = Vec::with_capacity(n);
+            for account in accounts.iter() {
+                reads.push((account.id(), tx.read(account)?));
+            }
+            Ok(reads)
+        })
+        .expect("audit commits");
+        let total: i64 = reads.iter().map(|(_, v)| v).sum();
+        if total != (n as i64) * 100 {
+            stop.store(true, Ordering::Relaxed);
+            std::thread::sleep(std::time::Duration::from_millis(200));
+            eprintln!("=== TEAR round {round} audit {audit_no}: total {total} ===");
+            eprintln!("audit reads: {reads:?}");
+            for (i, account) in accounts.iter().enumerate() {
+                eprintln!(
+                    "account {i} id={:?} zc={} versions={:?}",
+                    ids[i],
+                    account.zc(),
+                    account
+                        .versions_for_test()
+                        .iter()
+                        .map(|v| (v.seq, v.ct, v.value))
+                        .collect::<Vec<_>>()
+                );
+            }
+            let events = sink.events.lock();
+            let tail_start = events.len().saturating_sub(400);
+            for (seq, ev) in &events[tail_start..] {
+                eprintln!("[{seq}] {:?} {:?} {:?} {:?}", ev.thread, ev.kind, ev.tx, ev.event);
+            }
+            panic!("torn audit: {total}");
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().expect("worker");
+    }
+}

@@ -1,0 +1,132 @@
+//! Runs the same randomized workload on all five STMs with history
+//! recording enabled and checks each against the consistency criterion it
+//! claims — plus, instructively, against the criteria it does *not* claim,
+//! showing where each STM sits on the paper's spectrum from causal
+//! serializability to linearizability.
+//!
+//! Run with `cargo run --release --example consistency_audit`.
+
+use std::sync::Arc;
+
+use zstm::core::{StmConfig, TmFactory};
+use zstm::history::{
+    check_causal_serializable, check_linearizable, check_serializable, check_z_linearizable,
+    History, Recorder,
+};
+use zstm::prelude::*;
+use zstm::util::XorShift64;
+
+/// Runs a randomized mixed workload (transfers + occasional scans) on the
+/// given STM from several OS threads and returns the recorded history.
+fn run_recorded<F: TmFactory>(stm: Arc<F>, recorder: Arc<Recorder>, threads: usize) -> History {
+    let vars: Arc<Vec<F::Var<i64>>> = Arc::new((0..12).map(|_| stm.new_var(10i64)).collect());
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let stm = Arc::clone(&stm);
+            let vars = Arc::clone(&vars);
+            let mut thread = stm.register_thread();
+            std::thread::spawn(move || {
+                let mut rng = XorShift64::new(0xdecaf + t as u64);
+                let policy = RetryPolicy::default().with_max_attempts(10_000);
+                for i in 0..200u64 {
+                    if i % 17 == 16 {
+                        // A long scan.
+                        let _ = atomically(&mut thread, TxKind::Long, &policy, |tx| {
+                            let mut sum = 0;
+                            for var in vars.iter() {
+                                sum += tx.read(var)?;
+                            }
+                            Ok(sum)
+                        });
+                    } else {
+                        let a = rng.next_range(vars.len() as u64) as usize;
+                        let b = rng.next_range(vars.len() as u64) as usize;
+                        if a == b {
+                            continue;
+                        }
+                        let _ = atomically(&mut thread, TxKind::Short, &policy, |tx| {
+                            let va = tx.read(&vars[a])?;
+                            let vb = tx.read(&vars[b])?;
+                            tx.write(&vars[a], va - 1)?;
+                            tx.write(&vars[b], vb + 1)
+                        });
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("worker panicked");
+    }
+    recorder.history()
+}
+
+fn verdict(result: Result<(), zstm::history::Violation>) -> &'static str {
+    match result {
+        Ok(()) => "ok",
+        Err(_) => "VIOLATED",
+    }
+}
+
+fn audit(name: &str, history: &History, claims_linearizable: bool) {
+    let committed = history.committed().count();
+    println!("--- {name}: {committed} committed transactions ---");
+    println!("  serializable          : {}", verdict(check_serializable(history)));
+    println!(
+        "  causally serializable : {}",
+        verdict(check_causal_serializable(history))
+    );
+    println!(
+        "  linearizable          : {}{}",
+        verdict(check_linearizable(history)),
+        if claims_linearizable { "  (claimed)" } else { "  (not claimed)" }
+    );
+    println!(
+        "  z-linearizable        : {}",
+        verdict(check_z_linearizable(history))
+    );
+    assert!(history.find_dirty_read().is_none(), "dirty read detected");
+}
+
+fn config(recorder: &Arc<Recorder>, threads: usize) -> StmConfig {
+    let mut config = StmConfig::new(threads);
+    config.event_sink(Arc::clone(recorder) as Arc<dyn zstm::core::EventSink>);
+    config
+}
+
+fn main() {
+    let threads = 3;
+
+    let recorder = Arc::new(Recorder::new());
+    let stm = Arc::new(LsaStm::new(config(&recorder, threads)));
+    let history = run_recorded(stm, Arc::clone(&recorder), threads);
+    audit("LSA-STM", &history, true);
+    assert!(check_linearizable(&history).is_ok());
+
+    let recorder = Arc::new(Recorder::new());
+    let stm = Arc::new(Tl2Stm::new(config(&recorder, threads)));
+    let history = run_recorded(stm, Arc::clone(&recorder), threads);
+    audit("TL2", &history, true);
+    assert!(check_linearizable(&history).is_ok());
+
+    let recorder = Arc::new(Recorder::new());
+    let stm = Arc::new(CsStm::with_vector_clock(config(&recorder, threads)));
+    let history = run_recorded(stm, Arc::clone(&recorder), threads);
+    audit("CS-STM (vector)", &history, false);
+    assert!(check_causal_serializable(&history).is_ok());
+
+    let recorder = Arc::new(Recorder::new());
+    let stm = Arc::new(SStm::with_vector_clock(config(&recorder, threads)));
+    let history = run_recorded(stm, Arc::clone(&recorder), threads);
+    audit("S-STM", &history, false);
+    assert!(check_serializable(&history).is_ok());
+
+    let recorder = Arc::new(Recorder::new());
+    let stm = Arc::new(ZStm::new(config(&recorder, threads)));
+    let history = run_recorded(stm, Arc::clone(&recorder), threads);
+    audit("Z-STM", &history, false);
+    assert!(check_serializable(&history).is_ok());
+    assert!(check_z_linearizable(&history).is_ok());
+
+    println!("\nAll STMs satisfied their claimed criteria.");
+}

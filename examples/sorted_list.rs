@@ -1,0 +1,110 @@
+//! A transactional sorted list under concurrent churn, with automatic
+//! long-transaction marking.
+//!
+//! Demonstrates two things on top of the bank benchmark:
+//!
+//! 1. the `TmFactory` API supports *dynamic* data structures (the classic
+//!    STM linked-list benchmark), not just fixed variable pools;
+//! 2. the paper's future-work idea (Section 5.3) of marking transactions
+//!    long "based on past behaviors" — the [`AutoMarker`] watches how many
+//!    objects the scan block touches and flips it to `TxKind::Long`
+//!    automatically, at which point Z-STM protects it with a zone.
+//!
+//! Run with `cargo run --release --example sorted_list`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use zstm::core::{AutoMarker, StmConfig, TmFactory, TmThread};
+use zstm::prelude::*;
+use zstm::workload::TxList;
+
+fn main() {
+    let stm = Arc::new(ZStm::new(StmConfig::new(3)));
+    let list = Arc::new(TxList::new(&*stm, 256));
+    let policy = RetryPolicy::default();
+
+    // Seed the list.
+    let mut main_thread = stm.register_thread();
+    atomically(&mut main_thread, TxKind::Short, &policy, |tx| {
+        for v in (0..200).step_by(2) {
+            list.insert(tx, v)?;
+        }
+        Ok(())
+    })
+    .expect("seed");
+
+    // Two churner threads insert/remove odd values concurrently.
+    let stop = Arc::new(AtomicBool::new(false));
+    let churners: Vec<_> = (0..2i64)
+        .map(|t| {
+            let stm = Arc::clone(&stm);
+            let list = Arc::clone(&list);
+            let stop = Arc::clone(&stop);
+            let mut thread = stm.register_thread();
+            std::thread::spawn(move || {
+                let mut i = 0i64;
+                let mut committed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let v = 1 + 2 * ((i * 7 + t * 13) % 100);
+                    let insert = i % 2 == 0;
+                    let ok = atomically(
+                        &mut thread,
+                        TxKind::Short,
+                        &RetryPolicy::default().with_max_attempts(10_000),
+                        |tx| {
+                            if insert {
+                                list.insert(tx, v).map(|_| ())
+                            } else {
+                                list.remove(tx, v).map(|_| ())
+                            }
+                        },
+                    );
+                    committed += u64::from(ok.is_ok());
+                    i += 1;
+                }
+                committed
+            })
+        })
+        .collect();
+
+    // The scan block: its kind is decided by the AutoMarker. The first
+    // run goes in as Short; the marker sees ~100+ opens and flips it.
+    let marker = AutoMarker::with_threshold(32);
+    let mut flipped_at = None;
+    for round in 0..12 {
+        let kind = marker.kind();
+        let reads_before = main_thread.stats().reads();
+        let contents = atomically(&mut main_thread, kind, &policy, |tx| list.to_vec(tx))
+            .expect("scan commits");
+        let opens = main_thread.stats().reads() - reads_before;
+        marker.observe(opens);
+        if flipped_at.is_none() && marker.kind() == TxKind::Long {
+            flipped_at = Some(round);
+        }
+        // The even seed values are never touched by the churners: every
+        // consistent snapshot contains them all.
+        let evens: Vec<i64> = contents.iter().copied().filter(|v| v % 2 == 0).collect();
+        assert_eq!(evens, (0..200).step_by(2).collect::<Vec<i64>>());
+        println!(
+            "scan {round:>2}: kind={kind}, {} elements, marker average {} opens",
+            contents.len(),
+            marker.average()
+        );
+    }
+    stop.store(true, Ordering::Relaxed);
+    let committed: u64 = churners
+        .into_iter()
+        .map(|h| h.join().expect("churner panicked"))
+        .sum();
+
+    match flipped_at {
+        Some(round) => println!(
+            "\nAutoMarker classified the scan as LONG from round {} on \
+             ({} churner transactions ran concurrently).",
+            round + 1,
+            committed
+        ),
+        None => println!("\nAutoMarker never flipped — scans were too small."),
+    }
+}

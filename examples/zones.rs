@@ -1,0 +1,68 @@
+//! Visualizing z-linearizability's *time zones* (Figures 4 and 5 of the
+//! paper): long transactions partition short transactions into zones; the
+//! example walks through zone creation, adoption, crossing and the
+//! thread-order rule, printing the zone state at each step.
+//!
+//! Run with `cargo run --example zones`.
+
+use std::sync::Arc;
+
+use zstm::core::TmFactory;
+use zstm::prelude::*;
+use zstm::z::ZStm;
+
+fn main() {
+    let stm = Arc::new(ZStm::new(StmConfig::new(3)));
+    let o1 = stm.new_var("o1 v0".to_string());
+    let o2 = stm.new_var("o2 v0".to_string());
+    let mut p0 = stm.register_thread();
+    let mut p1 = stm.register_thread();
+    let mut p2 = stm.register_thread();
+
+    let zones = |stm: &ZStm| format!("ZC={} CT={} active-zone={}", stm.zc(), stm.ct(), stm.has_active_zone());
+    println!("initially:                {}", zones(&stm));
+
+    // A long transaction opens zone 1.
+    let mut long = p0.begin(TxKind::Long);
+    println!("long TL begins:           {}   TL.zc={}", zones(&stm), long.zone());
+    long.read(&o1).expect("TL reads o1");
+    println!("TL opens o1:              o1.zc={} (stamped)", o1.zc());
+
+    // A short transaction whose first object is o1 joins TL's zone and may
+    // update o1 — TL already took its snapshot of it.
+    let mut s_in = p1.begin(TxKind::Short);
+    let v = s_in.read(&o1).expect("reads o1");
+    println!("short S1 opens o1:        S1.zc={} (adopted TL's zone); read {v:?}", s_in.zone());
+    s_in.write(&o1, "o1 v1 (zone 1)".into()).expect("updates o1");
+    s_in.commit().expect("S1 commits");
+    println!("S1 commits in zone 1      (TL's snapshot of o1 is unaffected)");
+
+    // A short transaction in the old zone cannot cross into TL's zone.
+    let mut s_cross = p2.begin(TxKind::Short);
+    s_cross.read(&o2).expect("reads o2 (old zone)");
+    println!("short S2 opens o2:        S2.zc={} (old zone)", s_cross.zone());
+    let err = s_cross.read(&o1).expect_err("S2 must not cross TL");
+    println!("S2 opens o1 -> abort:     {} (cannot cross the active long)", err.reason());
+    s_cross.rollback(err.reason());
+
+    // TL finishes its snapshot and commits, closing zone 1.
+    long.read(&o2).expect("TL reads o2");
+    let sum = long.commit();
+    println!("TL commits: {:?}           {}", sum.is_ok(), zones(&stm));
+
+    // The thread-order rule: p1 committed in zone 1; with the zone now
+    // closed it may of course go anywhere.
+    let both = atomically(&mut p1, TxKind::Short, &RetryPolicy::default(), |tx| {
+        Ok((tx.read(&o1)?, tx.read(&o2)?))
+    })
+    .expect("post-zone transaction");
+    println!("after the zone closes, p1 reads: {both:?}");
+
+    // A second long transaction opens zone 2; zones are strictly ordered.
+    let total = atomically(&mut p2, TxKind::Long, &RetryPolicy::default(), |tx| {
+        Ok(format!("{} | {}", tx.read(&o1)?, tx.read(&o2)?))
+    })
+    .expect("second long transaction");
+    println!("second long (zone 2) saw: {total:?}");
+    println!("finally:                  {}", zones(&stm));
+}

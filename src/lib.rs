@@ -1,0 +1,139 @@
+//! # zstm — From Causal to z-Linearizable Transactional Memory
+//!
+//! A from-scratch Rust reproduction of Riegel, Sturzrehm, Felber & Fetzer,
+//! *"From Causal to z-Linearizable Transactional Memory"* (PODC 2007):
+//! five software transactional memories sharing one API, the time bases
+//! they are built on, consistency checkers for every guarantee the paper
+//! discusses, and the paper's bank benchmark.
+//!
+//! | module | STM | consistency guarantee |
+//! |--------|-----|----------------------|
+//! | [`lsa`] | LSA-STM (multi-version lazy snapshot) | linearizability (opacity) |
+//! | [`tl2`] | TL2-style single-version | linearizability |
+//! | [`cs`]  | CS-STM over vector/plausible clocks | causal serializability |
+//! | [`sstm`] | S-STM with precedence graph | serializability |
+//! | [`z`]   | **Z-STM** (the paper's contribution) | **z-linearizability** |
+//!
+//! All five implement [`TmFactory`](core::TmFactory) /
+//! [`TmThread`](core::TmThread) / [`TmTx`](core::TmTx), so workloads are
+//! generic over the STM. The [`history`] module records executions and
+//! checks them against the claimed criterion; [`workload`] contains the
+//! paper's bank micro-benchmark.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use zstm::prelude::*;
+//!
+//! # fn main() -> Result<(), zstm::core::RetryExhausted> {
+//! // The paper's contribution: a z-linearizable STM.
+//! let stm = Arc::new(ZStm::new(StmConfig::new(1)));
+//! let account = stm.new_var(100i64);
+//! let mut thread = stm.register_thread();
+//!
+//! // Short transactions are plain LSA underneath:
+//! atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+//!     let balance = tx.read(&account)?;
+//!     tx.write(&account, balance - 30)
+//! })?;
+//!
+//! // Long transactions use zone-based optimistic timestamp ordering and
+//! // keep no read sets:
+//! let balance = atomically(&mut thread, TxKind::Long, &RetryPolicy::default(), |tx| {
+//!     tx.read(&account)
+//! })?;
+//! assert_eq!(balance, 70);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `DESIGN.md` for the paper-to-code map and `EXPERIMENTS.md` for the
+//! reproduced figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Time bases: shared counters, simulated synchronized real-time clocks,
+/// vector clocks and plausible (REV) clocks. Re-export of [`zstm_clock`].
+pub mod clock {
+    pub use zstm_clock::*;
+}
+
+/// The shared STM framework: traits, contention managers, statistics,
+/// events. Re-export of [`zstm_core`].
+pub mod core {
+    pub use zstm_core::*;
+}
+
+/// LSA-STM, the multi-version baseline. Re-export of [`zstm_lsa`].
+pub mod lsa {
+    pub use zstm_lsa::*;
+}
+
+/// TL2-style single-version baseline. Re-export of [`zstm_tl2`].
+pub mod tl2 {
+    pub use zstm_tl2::*;
+}
+
+/// CS-STM: causal serializability over vector time. Re-export of
+/// [`zstm_cs`].
+pub mod cs {
+    pub use zstm_cs::*;
+}
+
+/// S-STM: full serializability with visible reads and a precedence graph.
+/// Re-export of [`zstm_sstm`].
+pub mod sstm {
+    pub use zstm_sstm::*;
+}
+
+/// Z-STM: the paper's z-linearizable STM. Re-export of [`zstm_z`].
+pub mod z {
+    pub use zstm_z::*;
+}
+
+/// History recording and consistency checkers. Re-export of
+/// [`zstm_history`].
+pub mod history {
+    pub use zstm_history::*;
+}
+
+/// Workloads and the measurement harness. Re-export of [`zstm_workload`].
+pub mod workload {
+    pub use zstm_workload::*;
+}
+
+/// Low-level utilities. Re-export of [`zstm_util`].
+pub mod util {
+    pub use zstm_util::*;
+}
+
+/// The items almost every user needs.
+pub mod prelude {
+    pub use zstm_clock::{RevClock, ScalarClock, SimRealTimeClock, TimeBase};
+    pub use zstm_core::{
+        atomically, Abort, AbortReason, CmPolicy, RetryExhausted, RetryPolicy, StmConfig,
+        TmFactory, TmThread, TmTx, TxKind,
+    };
+    pub use zstm_cs::CsStm;
+    pub use zstm_lsa::LsaStm;
+    pub use zstm_sstm::SStm;
+    pub use zstm_tl2::Tl2Stm;
+    pub use zstm_z::ZStm;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn facade_builds_every_stm() {
+        let _ = Arc::new(LsaStm::new(StmConfig::new(1)));
+        let _ = Arc::new(Tl2Stm::new(StmConfig::new(1)));
+        let _ = Arc::new(CsStm::with_vector_clock(StmConfig::new(1)));
+        let _ = Arc::new(SStm::with_vector_clock(StmConfig::new(1)));
+        let _ = Arc::new(ZStm::new(StmConfig::new(1)));
+    }
+}

@@ -1,0 +1,130 @@
+//! The bank benchmark's money-conservation invariant on every STM, in
+//! both Compute-Total modes.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use zstm::core::StmConfig;
+use zstm::prelude::*;
+use zstm::workload::{run_bank, BankConfig, LongMode};
+
+fn quick(threads: usize, mode: LongMode) -> BankConfig {
+    let mut config = BankConfig::quick(threads);
+    config.duration = Duration::from_millis(150);
+    config.long_mode = mode;
+    config
+}
+
+#[test]
+fn lsa_bank_readonly_totals() {
+    let config = quick(3, LongMode::ReadOnly);
+    let stm = Arc::new(LsaStm::new(StmConfig::new(config.threads + 1)));
+    let report = run_bank(&stm, &config);
+    assert!(report.conserved);
+    assert!(report.transfer_commits > 0);
+    assert!(
+        report.total_commits > 0,
+        "read-only Compute-Total must commit under LSA (Figure 6)"
+    );
+}
+
+#[test]
+fn lsa_noreadsets_bank_readonly_totals() {
+    let config = quick(3, LongMode::ReadOnly);
+    let mut stm_config = StmConfig::new(config.threads + 1);
+    stm_config.readonly_readsets(false);
+    let stm = Arc::new(LsaStm::new(stm_config));
+    let report = run_bank(&stm, &config);
+    assert!(report.conserved);
+    assert!(report.total_commits > 0);
+    assert_eq!(report.stm, "lsa-noreadsets");
+}
+
+#[test]
+fn tl2_bank() {
+    let config = quick(3, LongMode::ReadOnly);
+    let stm = Arc::new(Tl2Stm::new(StmConfig::new(config.threads + 1)));
+    let report = run_bank(&stm, &config);
+    assert!(report.conserved);
+    assert!(report.transfer_commits > 0);
+}
+
+#[test]
+fn cs_bank() {
+    let config = quick(3, LongMode::ReadOnly);
+    let stm = Arc::new(CsStm::with_vector_clock(StmConfig::new(config.threads + 1)));
+    let report = run_bank(&stm, &config);
+    assert!(report.conserved);
+    assert!(report.transfer_commits > 0);
+}
+
+#[test]
+fn s_stm_bank() {
+    let config = quick(3, LongMode::ReadOnly);
+    let stm = Arc::new(SStm::with_vector_clock(StmConfig::new(config.threads + 1)));
+    let report = run_bank(&stm, &config);
+    assert!(report.conserved);
+    assert!(report.transfer_commits > 0);
+}
+
+#[test]
+fn z_bank_readonly_totals() {
+    let config = quick(3, LongMode::ReadOnly);
+    let stm = Arc::new(ZStm::new(StmConfig::new(config.threads + 1)));
+    let report = run_bank(&stm, &config);
+    assert!(report.conserved);
+    assert!(report.total_commits > 0);
+}
+
+#[test]
+fn z_bank_update_totals_sustains() {
+    let config = quick(3, LongMode::Update);
+    let stm = Arc::new(ZStm::new(StmConfig::new(config.threads + 1)));
+    let report = run_bank(&stm, &config);
+    assert!(report.conserved);
+    assert!(
+        report.total_commits > 0,
+        "Z-STM sustains update Compute-Total (Figure 7): {report:?}"
+    );
+}
+
+#[test]
+fn lsa_bank_update_totals_conserves_even_when_starved() {
+    // LSA may or may not commit update Compute-Total transactions under
+    // contention (Figure 7 shows ~0 throughput at scale) — but money must
+    // be conserved regardless.
+    let config = quick(3, LongMode::Update);
+    let stm = Arc::new(LsaStm::new(StmConfig::new(config.threads + 1)));
+    let report = run_bank(&stm, &config);
+    assert!(report.conserved);
+    assert!(report.transfer_commits > 0);
+}
+
+#[test]
+fn figure7_separation_at_higher_contention() {
+    // The headline claim, as a test: with more threads than cores and
+    // update Compute-Total transactions, Z-STM's Compute-Total throughput
+    // beats LSA's (which collapses towards zero). Throughput comparisons
+    // on a loaded CI box are noisy, so the comparison is retried.
+    let mut config = BankConfig::quick(4).with_update_totals();
+    config.accounts = 128;
+    config.duration = Duration::from_millis(400);
+    config.long_attempts = 100;
+
+    let mut last = (0, 0);
+    for _attempt in 0..3 {
+        let lsa = Arc::new(LsaStm::new(StmConfig::new(config.threads + 1)));
+        let lsa_report = run_bank(&lsa, &config);
+        let z = Arc::new(ZStm::new(StmConfig::new(config.threads + 1)));
+        let z_report = run_bank(&z, &config);
+        assert!(lsa_report.conserved && z_report.conserved);
+        if z_report.total_commits > lsa_report.total_commits {
+            return;
+        }
+        last = (z_report.total_commits, lsa_report.total_commits);
+    }
+    panic!(
+        "Z-STM ({}) must beat LSA ({}) on update Compute-Total commits",
+        last.0, last.1
+    );
+}

@@ -1,0 +1,186 @@
+//! The consistency matrix: every STM, run under a randomized concurrent
+//! workload with history recording, must satisfy its claimed criterion —
+//! across several seeds.
+//!
+//! | STM | claimed criterion |
+//! |-----|-------------------|
+//! | LSA-STM (both read-set modes) | linearizability |
+//! | TL2 | linearizability |
+//! | CS-STM (vector and plausible clocks) | causal serializability |
+//! | S-STM | serializability |
+//! | Z-STM | z-linearizability |
+
+use std::sync::Arc;
+
+use zstm::core::{EventSink, StmConfig, TmFactory};
+use zstm::history::{
+    check_causal_serializable, check_linearizable, check_serializable, check_z_linearizable,
+    History, Recorder,
+};
+use zstm::prelude::*;
+use zstm::util::XorShift64;
+
+const THREADS: usize = 3;
+const OBJECTS: usize = 10;
+const TXS_PER_THREAD: u64 = 150;
+
+fn run_workload<F: TmFactory>(stm: Arc<F>, recorder: Arc<Recorder>, seed: u64) -> History {
+    let vars: Arc<Vec<F::Var<i64>>> = Arc::new((0..OBJECTS).map(|_| stm.new_var(5i64)).collect());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let stm = Arc::clone(&stm);
+            let vars = Arc::clone(&vars);
+            let mut thread = stm.register_thread();
+            std::thread::spawn(move || {
+                let mut rng = XorShift64::new(seed ^ (t as u64 * 0x9e37));
+                let policy = RetryPolicy::default().with_max_attempts(50_000);
+                for i in 0..TXS_PER_THREAD {
+                    match i % 13 {
+                        12 => {
+                            // Long scan.
+                            let _ = atomically(&mut thread, TxKind::Long, &policy, |tx| {
+                                let mut sum = 0;
+                                for var in vars.iter() {
+                                    sum += tx.read(var)?;
+                                }
+                                Ok(sum)
+                            });
+                        }
+                        11 => {
+                            // Read-only pair.
+                            let a = rng.next_range(OBJECTS as u64) as usize;
+                            let b = rng.next_range(OBJECTS as u64) as usize;
+                            let _ = atomically(&mut thread, TxKind::Short, &policy, |tx| {
+                                Ok(tx.read(&vars[a])? + tx.read(&vars[b])?)
+                            });
+                        }
+                        _ => {
+                            let a = rng.next_range(OBJECTS as u64) as usize;
+                            let b = rng.next_range(OBJECTS as u64) as usize;
+                            if a == b {
+                                continue;
+                            }
+                            let _ = atomically(&mut thread, TxKind::Short, &policy, |tx| {
+                                let va = tx.read(&vars[a])?;
+                                let vb = tx.read(&vars[b])?;
+                                tx.write(&vars[a], va - 1)?;
+                                tx.write(&vars[b], vb + 1)
+                            });
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("worker panicked");
+    }
+    recorder.history()
+}
+
+fn recorded_config(recorder: &Arc<Recorder>) -> StmConfig {
+    let mut config = StmConfig::new(THREADS);
+    config.event_sink(Arc::clone(recorder) as Arc<dyn EventSink>);
+    config
+}
+
+fn no_dirty_reads(history: &History) {
+    assert!(
+        history.find_dirty_read().is_none(),
+        "committed transaction observed a never-committed version"
+    );
+}
+
+#[test]
+fn lsa_histories_are_linearizable() {
+    for seed in [1u64, 2, 3] {
+        let recorder = Arc::new(Recorder::new());
+        let stm = Arc::new(LsaStm::new(recorded_config(&recorder)));
+        let history = run_workload(stm, Arc::clone(&recorder), seed);
+        no_dirty_reads(&history);
+        check_linearizable(&history).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+    }
+}
+
+#[test]
+fn lsa_noreadsets_histories_are_linearizable() {
+    for seed in [4u64, 5] {
+        let recorder = Arc::new(Recorder::new());
+        let mut config = recorded_config(&recorder);
+        config.readonly_readsets(false);
+        let stm = Arc::new(LsaStm::new(config));
+        let history = run_workload(stm, Arc::clone(&recorder), seed);
+        no_dirty_reads(&history);
+        check_linearizable(&history).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+    }
+}
+
+#[test]
+fn tl2_histories_are_linearizable() {
+    for seed in [6u64, 7] {
+        let recorder = Arc::new(Recorder::new());
+        let stm = Arc::new(Tl2Stm::new(recorded_config(&recorder)));
+        let history = run_workload(stm, Arc::clone(&recorder), seed);
+        no_dirty_reads(&history);
+        check_linearizable(&history).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+    }
+}
+
+#[test]
+fn cs_vector_histories_are_causally_serializable() {
+    for seed in [8u64, 9] {
+        let recorder = Arc::new(Recorder::new());
+        let stm = Arc::new(CsStm::with_vector_clock(recorded_config(&recorder)));
+        let history = run_workload(stm, Arc::clone(&recorder), seed);
+        no_dirty_reads(&history);
+        check_causal_serializable(&history).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+    }
+}
+
+#[test]
+fn cs_plausible_histories_are_causally_serializable() {
+    // Plausible clocks over-order but never mis-order: the guarantee holds
+    // for every r.
+    for r in [1usize, 2] {
+        let recorder = Arc::new(Recorder::new());
+        let stm = Arc::new(CsStm::with_plausible_clock(recorded_config(&recorder), r));
+        let history = run_workload(stm, Arc::clone(&recorder), 10 + r as u64);
+        no_dirty_reads(&history);
+        check_causal_serializable(&history).unwrap_or_else(|v| panic!("r {r}: {v}"));
+    }
+}
+
+#[test]
+fn s_stm_histories_are_serializable() {
+    for seed in [12u64, 13] {
+        let recorder = Arc::new(Recorder::new());
+        let stm = Arc::new(SStm::with_vector_clock(recorded_config(&recorder)));
+        let history = run_workload(stm, Arc::clone(&recorder), seed);
+        no_dirty_reads(&history);
+        check_serializable(&history).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+    }
+}
+
+#[test]
+fn z_stm_histories_are_z_linearizable_and_serializable() {
+    for seed in [14u64, 15, 16] {
+        let recorder = Arc::new(Recorder::new());
+        let stm = Arc::new(ZStm::new(recorded_config(&recorder)));
+        let history = run_workload(stm, Arc::clone(&recorder), seed);
+        no_dirty_reads(&history);
+        check_serializable(&history).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        check_z_linearizable(&history).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+    }
+}
+
+/// The hierarchy of criteria on real histories: every linearizable history
+/// is serializable and causally serializable.
+#[test]
+fn criteria_hierarchy_on_real_histories() {
+    let recorder = Arc::new(Recorder::new());
+    let stm = Arc::new(LsaStm::new(recorded_config(&recorder)));
+    let history = run_workload(stm, Arc::clone(&recorder), 99);
+    assert!(check_linearizable(&history).is_ok());
+    assert!(check_serializable(&history).is_ok());
+    assert!(check_causal_serializable(&history).is_ok());
+}

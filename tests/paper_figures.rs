@@ -1,0 +1,258 @@
+//! The paper's example schedules (Figures 1–4), replayed deterministically
+//! against the real STM implementations.
+//!
+//! Logical threads are explicit objects, so one OS thread can interleave
+//! several transactions exactly as drawn in the figures.
+
+use std::sync::Arc;
+
+use zstm::core::{AbortReason, StmConfig, TmFactory, TmThread, TmTx, TxKind};
+use zstm::prelude::*;
+
+/// Figure 1 on a single-clock TBTM (LSA-STM): linearizability schedules T1
+/// before T2 and forces the long transaction TL to abort.
+#[test]
+fn figure_1_lsa_aborts_the_long_transaction() {
+    let stm = Arc::new(LsaStm::new(StmConfig::new(3)));
+    let o1 = stm.new_var(0i64);
+    let o2 = stm.new_var(0i64);
+    let o3 = stm.new_var(0i64);
+    let o4 = stm.new_var(0i64);
+    let mut p1 = stm.register_thread();
+    let mut p2 = stm.register_thread();
+    let mut p3 = stm.register_thread();
+
+    let mut tl = p3.begin(TxKind::Long);
+    tl.read(&o1).expect("TL r(o1)");
+    tl.read(&o2).expect("TL r(o2)");
+
+    let mut t1 = p1.begin(TxKind::Short);
+    t1.write(&o1, 1).expect("T1 w(o1)");
+    t1.write(&o2, 1).expect("T1 w(o2)");
+    t1.commit().expect("T1 commits");
+
+    let mut t2 = p2.begin(TxKind::Short);
+    t2.write(&o3, 1).expect("T2 w(o3)");
+    t2.write(&o3, 2).expect("T2 w(o3) again");
+    t2.commit().expect("T2 commits");
+
+    // TL continues: reads o3 (must be T2's version — latest) and writes
+    // o4. Its earlier reads of o1/o2 are now invalid at any commit time
+    // after T1: validation must abort it.
+    tl.read(&o3).expect("TL r(o3): snapshot still consistent at begin time");
+    tl.write(&o4, 1).expect("TL w(o4)");
+    let err = tl.commit().expect_err("linearizability forbids TL's commit");
+    assert_eq!(err.reason(), AbortReason::ReadValidation);
+}
+
+/// Figure 1 on CS-STM: vector time leaves T1 and T2 unordered, so the
+/// serialization T2 → TL → T1 is admitted and everything commits.
+#[test]
+fn figure_1_cs_stm_commits_everything() {
+    let stm = Arc::new(CsStm::with_vector_clock(StmConfig::new(3)));
+    let o1 = stm.new_var(0i64);
+    let o2 = stm.new_var(0i64);
+    let o3 = stm.new_var(0i64);
+    let o4 = stm.new_var(0i64);
+    let mut p1 = stm.register_thread();
+    let mut p2 = stm.register_thread();
+    let mut p3 = stm.register_thread();
+
+    let mut tl = p3.begin(TxKind::Long);
+    tl.read(&o1).expect("TL r(o1)");
+    tl.read(&o2).expect("TL r(o2)");
+
+    let mut t1 = p1.begin(TxKind::Short);
+    t1.write(&o1, 1).expect("T1 w(o1)");
+    t1.write(&o2, 1).expect("T1 w(o2)");
+    t1.commit().expect("T1 commits");
+
+    let mut t2 = p2.begin(TxKind::Short);
+    t2.write(&o3, 1).expect("T2 w(o3)");
+    t2.commit().expect("T2 commits");
+
+    tl.read(&o3).expect("TL r(o3)");
+    tl.write(&o4, 1).expect("TL w(o4)");
+    tl.commit()
+        .expect("causal serializability admits T2 → TL → T1");
+}
+
+/// Figure 2 on CS-STM: all four transactions commit — the execution is
+/// causally serializable even though it is not serializable.
+#[test]
+fn figure_2_cs_stm_commits_all_four() {
+    let stm = Arc::new(CsStm::with_vector_clock(StmConfig::new(4)));
+    let o1 = stm.new_var(0i64);
+    let o2 = stm.new_var(0i64);
+    let o3 = stm.new_var(0i64);
+    let o4 = stm.new_var(0i64);
+    let mut p1 = stm.register_thread();
+    let mut p2 = stm.register_thread();
+    let mut p3 = stm.register_thread();
+    let mut pl = stm.register_thread();
+
+    let mut tl = pl.begin(TxKind::Long);
+    tl.read(&o1).expect("TL r(o1)");
+    tl.read(&o2).expect("TL r(o2)");
+
+    let mut t3 = p3.begin(TxKind::Short);
+    t3.read(&o3).expect("T3 r(o3)");
+
+    let mut t1 = p1.begin(TxKind::Short);
+    t1.write(&o1, 1).expect("T1 w(o1)");
+    t1.write(&o2, 1).expect("T1 w(o2)");
+    t1.commit().expect("T1 commits");
+
+    let mut t2 = p2.begin(TxKind::Short);
+    t2.write(&o3, 1).expect("T2 w(o3)");
+    t2.commit().expect("T2 commits");
+
+    // T3 orders T1 → T3 → T2; TL orders T2 → TL → T1. Incompatible — but
+    // causal serializability lets each thread keep its own view.
+    t3.write(&o2, 2).expect("T3 w(o2)");
+    t3.commit().expect("T3 commits under CS");
+
+    tl.read(&o3).expect("TL r(o3)");
+    tl.write(&o4, 1).expect("TL w(o4)");
+    tl.commit().expect("TL commits under CS");
+}
+
+/// The same Figure 2 schedule on S-STM: the second of {T3, TL} to commit
+/// must abort (Section 4.2: "the first transaction of TL or T3 that
+/// commits will order T1 and T2; the other one will abort").
+#[test]
+fn figure_2_s_stm_aborts_the_second_imposer() {
+    let stm = Arc::new(SStm::with_vector_clock(StmConfig::new(4)));
+    let o1 = stm.new_var(0i64);
+    let o2 = stm.new_var(0i64);
+    let o3 = stm.new_var(0i64);
+    let o4 = stm.new_var(0i64);
+    let mut p1 = stm.register_thread();
+    let mut p2 = stm.register_thread();
+    let mut p3 = stm.register_thread();
+    let mut pl = stm.register_thread();
+
+    let mut tl = pl.begin(TxKind::Long);
+    tl.read(&o1).expect("TL r(o1)");
+    tl.read(&o2).expect("TL r(o2)");
+
+    let mut t3 = p3.begin(TxKind::Short);
+    t3.read(&o3).expect("T3 r(o3)");
+
+    let mut t1 = p1.begin(TxKind::Short);
+    t1.write(&o1, 1).expect("T1 w(o1)");
+    t1.write(&o2, 1).expect("T1 w(o2)");
+    t1.commit().expect("T1 commits");
+
+    let mut t2 = p2.begin(TxKind::Short);
+    t2.write(&o3, 1).expect("T2 w(o3)");
+    t2.commit().expect("T2 commits");
+
+    t3.write(&o2, 2).expect("T3 w(o2)");
+    t3.commit().expect("T3 commits first and wins");
+
+    tl.read(&o3).expect("TL r(o3)");
+    tl.write(&o4, 1).expect("TL w(o4)");
+    let err = tl.commit().expect_err("serializability rejects TL");
+    assert_eq!(err.reason(), AbortReason::PrecedenceCycle);
+}
+
+/// Figure 3, left side: T1 reads an object version that is overwritten by
+/// a transaction T1 later causally follows — CS-STM validation aborts it.
+#[test]
+fn figure_3_cs_stm_validation_failures() {
+    let stm = Arc::new(CsStm::with_vector_clock(StmConfig::new(2)));
+    let o1 = stm.new_var(0i64);
+    let o3 = stm.new_var(0i64);
+    let mut p1 = stm.register_thread();
+    let mut p2 = stm.register_thread();
+
+    let mut t1 = p1.begin(TxKind::Short);
+    t1.read(&o3).expect("T1 r(o3)");
+
+    let mut t2 = p2.begin(TxKind::Short);
+    t2.write(&o3, 2).expect("T2 w(o3)");
+    t2.write(&o1, 2).expect("T2 w(o1)");
+    t2.commit().expect("T2 commits");
+
+    // T1 reads o1 — a version causally after T2 — while holding a read of
+    // the o3 version T2 overwrote: it would both precede and follow T2.
+    t1.read(&o1).expect("T1 r(o1)");
+    t1.write(&o1, 3).expect("T1 w(o1)");
+    let err = t1.commit().expect_err("T1 cannot be causally serialized");
+    assert_eq!(err.reason(), AbortReason::ReadValidation);
+}
+
+/// Figure 4's crossing rule on Z-STM: a short transaction whose objects
+/// span an active long transaction's zone boundary is aborted, and the
+/// thread-order rule forbids going back to a past zone.
+#[test]
+fn figure_4_zone_crossing_rules() {
+    let stm = Arc::new(ZStm::new(StmConfig::new(3)));
+    let o_old = stm.new_var(0i64);
+    let o_zone = stm.new_var(0i64);
+    let mut p0 = stm.register_thread();
+    let mut p1 = stm.register_thread();
+
+    // TL1 opens a zone and stamps o_zone.
+    let mut tl1 = p0.begin(TxKind::Long);
+    tl1.read(&o_zone).expect("TL1 r(o_zone)");
+
+    // T1-like short transaction crossing from the old zone into TL1's: abort.
+    let mut t1 = p1.begin(TxKind::Short);
+    t1.read(&o_old).expect("old zone");
+    let err = t1.read(&o_zone).expect_err("crossing TL1");
+    assert_eq!(err.reason(), AbortReason::ZoneCross);
+    t1.rollback(err.reason());
+
+    // T5-like short transaction fully inside TL1's zone: fine.
+    let mut t5 = p1.begin(TxKind::Short);
+    let v = t5.read(&o_zone).expect("inside the zone");
+    t5.write(&o_zone, v + 1).expect("update inside the zone");
+    t5.commit().expect("T5 commits in the zone");
+
+    // T4-like: the same thread may not now start in the old zone
+    // (serialization order must observe the thread's own order).
+    let mut t4 = p1.begin(TxKind::Short);
+    let err = t4.read(&o_old).expect_err("backwards crossing");
+    assert_eq!(err.reason(), AbortReason::ZoneCross);
+    t4.rollback(err.reason());
+
+    tl1.commit().expect("TL1 commits");
+}
+
+/// Figure 4's first-committer-wins problem on LSA: any short transaction
+/// updating an object read by the long transaction aborts it; Z-STM lets
+/// the same schedule commit.
+#[test]
+fn figure_4_short_update_kills_lsa_long_but_not_z() {
+    // LSA: T5 updates o after TL read it; TL (update tx) must abort.
+    let lsa = Arc::new(LsaStm::new(StmConfig::new(2)));
+    let o = lsa.new_var(0i64);
+    let out = lsa.new_var(0i64);
+    let mut p0 = lsa.register_thread();
+    let mut p1 = lsa.register_thread();
+    let mut tl = p0.begin(TxKind::Long);
+    tl.read(&o).expect("TL r(o)");
+    let mut t5 = p1.begin(TxKind::Short);
+    let v = t5.read(&o).expect("T5 r(o)");
+    t5.write(&o, v + 1).expect("T5 w(o)");
+    t5.commit().expect("T5 commits first");
+    tl.write(&out, 1).expect("TL w(out)");
+    assert!(tl.commit().is_err(), "first committer wins under LSA");
+
+    // Z-STM: the same schedule commits — T5 joins TL's zone.
+    let z = Arc::new(ZStm::new(StmConfig::new(2)));
+    let o = z.new_var(0i64);
+    let out = z.new_var(0i64);
+    let mut p0 = z.register_thread();
+    let mut p1 = z.register_thread();
+    let mut tl = p0.begin(TxKind::Long);
+    tl.read(&o).expect("TL r(o)");
+    let mut t5 = p1.begin(TxKind::Short);
+    let v = t5.read(&o).expect("T5 r(o) joins the zone");
+    t5.write(&o, v + 1).expect("T5 w(o)");
+    t5.commit().expect("T5 commits in the zone");
+    tl.write(&out, 1).expect("TL w(out)");
+    tl.commit().expect("Z-STM commits the long transaction");
+}

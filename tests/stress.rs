@@ -1,0 +1,138 @@
+//! Cross-STM stress: heavier mixed workloads with invariants checked both
+//! during the run (committed long scans) and at the end.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use zstm::core::{StmConfig, TmFactory};
+use zstm::prelude::*;
+use zstm::util::XorShift64;
+
+/// Runs transfers on `writer_threads` threads while the main thread audits
+/// via long transactions; every committed audit must see the exact total.
+fn stress_audits<F: TmFactory>(stm: Arc<F>, writer_threads: usize, audits: usize, strict: bool) {
+    const ACCOUNTS: usize = 48;
+    const INITIAL: i64 = 25;
+    let accounts: Arc<Vec<F::Var<i64>>> =
+        Arc::new((0..ACCOUNTS).map(|_| stm.new_var(INITIAL)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..writer_threads)
+        .map(|t| {
+            let stm = Arc::clone(&stm);
+            let accounts = Arc::clone(&accounts);
+            let stop = Arc::clone(&stop);
+            let mut thread = stm.register_thread();
+            std::thread::spawn(move || {
+                let mut rng = XorShift64::new(0xfeed + t as u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let a = rng.next_range(ACCOUNTS as u64) as usize;
+                    let b = rng.next_range(ACCOUNTS as u64) as usize;
+                    if a == b {
+                        continue;
+                    }
+                    let _ = atomically(
+                        &mut thread,
+                        TxKind::Short,
+                        &RetryPolicy::default().with_max_attempts(100_000),
+                        |tx| {
+                            let va = tx.read(&accounts[a])?;
+                            let vb = tx.read(&accounts[b])?;
+                            tx.write(&accounts[a], va - 1)?;
+                            tx.write(&accounts[b], vb + 1)
+                        },
+                    );
+                }
+            })
+        })
+        .collect();
+
+    let mut auditor = stm.register_thread();
+    let mut committed_audits = 0usize;
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while committed_audits < audits && std::time::Instant::now() < deadline {
+        let result = atomically(
+            &mut auditor,
+            TxKind::Long,
+            &RetryPolicy::default().with_max_attempts(500),
+            |tx| {
+                let mut sum = 0i64;
+                for account in accounts.iter() {
+                    sum += tx.read(account)?;
+                }
+                Ok(sum)
+            },
+        );
+        if let Ok(sum) = result {
+            assert_eq!(
+                sum,
+                INITIAL * ACCOUNTS as i64,
+                "a committed audit saw a torn state"
+            );
+            committed_audits += 1;
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in writers {
+        w.join().expect("writer panicked");
+    }
+    if strict {
+        assert!(
+            committed_audits >= audits,
+            "only {committed_audits}/{audits} audits committed"
+        );
+    }
+    // Quiescent final check.
+    let total = atomically(&mut auditor, TxKind::Long, &RetryPolicy::default(), |tx| {
+        let mut sum = 0i64;
+        for account in accounts.iter() {
+            sum += tx.read(account)?;
+        }
+        Ok(sum)
+    })
+    .expect("final audit");
+    assert_eq!(total, INITIAL * ACCOUNTS as i64);
+}
+
+#[test]
+fn stress_z_stm_audits_under_churn() {
+    let stm = Arc::new(ZStm::new(StmConfig::new(4)));
+    // Z-STM must commit every audit promptly (that is its raison d'être).
+    stress_audits(stm, 2, 40, true);
+}
+
+#[test]
+fn stress_lsa_audits_under_churn() {
+    let stm = Arc::new(LsaStm::new(StmConfig::new(4)));
+    // LSA read-only audits use the multi-version history: strict too.
+    stress_audits(stm, 2, 20, true);
+}
+
+#[test]
+fn stress_lsa_noreadsets_audits_under_churn() {
+    let mut config = StmConfig::new(4);
+    config.readonly_readsets(false);
+    let stm = Arc::new(LsaStm::new(config));
+    stress_audits(stm, 2, 20, true);
+}
+
+#[test]
+fn stress_tl2_audits_under_churn() {
+    let stm = Arc::new(Tl2Stm::new(StmConfig::new(4)));
+    // TL2 has no old versions: audits may starve, but any that commit
+    // must be consistent.
+    stress_audits(stm, 2, 3, false);
+}
+
+#[test]
+fn stress_cs_audits_under_churn() {
+    let stm = Arc::new(CsStm::with_vector_clock(StmConfig::new(4)));
+    // CS-STM is single-version as well: non-strict.
+    stress_audits(stm, 2, 3, false);
+}
+
+#[test]
+fn stress_s_stm_audits_under_churn() {
+    let stm = Arc::new(SStm::with_vector_clock(StmConfig::new(4)));
+    stress_audits(stm, 2, 3, false);
+}
