@@ -18,7 +18,10 @@ fn bench_contention(c: &mut Criterion) {
     let (throughput, aborts) = ablation_plausible_r(2, Duration::from_millis(150));
     println!(
         "\n{}",
-        print_table("Ablation A: CS-STM over plausible clocks (x = r)", &[throughput, aborts])
+        print_table(
+            "Ablation A: CS-STM over plausible clocks (x = r)",
+            &[throughput, aborts]
+        )
     );
 
     // A nominal criterion measurement so the bench integrates with

@@ -19,7 +19,10 @@ fn bench_fig6(c: &mut Criterion) {
     let figure = figure6(&threads, Duration::from_millis(150));
     println!(
         "\n{}",
-        print_table("Figure 6 left: Compute-Total (read-only) [Tx/s]", &figure.totals)
+        print_table(
+            "Figure 6 left: Compute-Total (read-only) [Tx/s]",
+            &figure.totals
+        )
     );
     println!(
         "{}",

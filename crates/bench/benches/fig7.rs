@@ -15,7 +15,10 @@ fn bench_fig7(c: &mut Criterion) {
     let figure = figure7(&threads, Duration::from_millis(150));
     println!(
         "\n{}",
-        print_table("Figure 7 left: Compute-Total (update) [Tx/s]", &figure.totals)
+        print_table(
+            "Figure 7 left: Compute-Total (update) [Tx/s]",
+            &figure.totals
+        )
     );
     println!(
         "{}",

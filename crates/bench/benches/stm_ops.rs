@@ -1,6 +1,6 @@
 //! Per-operation cost of each STM (single-threaded): a read-modify-write
 //! transaction over two variables, plus a read-only scan — the per-access
-//! overhead comparison behind DESIGN.md ablation B.
+//! overhead comparison behind ARCHITECTURE.md ablation B.
 
 use std::hint::black_box;
 use std::sync::Arc;

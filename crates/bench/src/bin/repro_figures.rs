@@ -1,4 +1,4 @@
-//! Regenerates the paper's figures and the DESIGN.md ablations.
+//! Regenerates the paper's figures and the ARCHITECTURE.md ablations.
 //!
 //! ```text
 //! repro-figures [fig6|fig7|ablation-r|ablation-overhead|ablation-longfrac|contention|all]
@@ -13,8 +13,8 @@ use std::path::Path;
 use std::time::Duration;
 
 use zstm_bench::{
-    ablation_contention, ablation_long_fraction, ablation_overhead, ablation_plausible_r,
-    figure6, figure7, BankFigure, PAPER_THREADS,
+    ablation_contention, ablation_long_fraction, ablation_overhead, ablation_plausible_r, figure6,
+    figure7, BankFigure, PAPER_THREADS,
 };
 use zstm_workload::{print_table, Series};
 
@@ -102,10 +102,22 @@ fn run_fig7(options: &Options) {
 
 fn run_ablation_r(options: &Options) {
     println!("=== Ablation A: plausible-clock size r (CS-STM, array workload) ===");
-    let threads = options.threads.iter().copied().max().unwrap_or(4).min(8).max(2);
+    let threads = options
+        .threads
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(4)
+        .clamp(2, 8);
     let (throughput, aborts) = ablation_plausible_r(threads, options.duration);
-    println!("{}", print_table("commits/s over r", &[throughput.clone()]));
-    println!("{}", print_table("abort ratio over r", &[aborts.clone()]));
+    println!(
+        "{}",
+        print_table("commits/s over r", std::slice::from_ref(&throughput))
+    );
+    println!(
+        "{}",
+        print_table("abort ratio over r", std::slice::from_ref(&aborts))
+    );
     save("ablation_r", &[throughput, aborts]);
 }
 
@@ -134,7 +146,13 @@ fn run_ablation_longfrac(options: &Options) {
 
 fn run_contention(options: &Options) {
     println!("=== Ablation C: contention managers (high-contention array) ===");
-    let threads = options.threads.iter().copied().max().unwrap_or(4).min(8).max(2);
+    let threads = options
+        .threads
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(4)
+        .clamp(2, 8);
     let rows = ablation_contention(threads, options.duration);
     println!("{:>12} {:>14} {:>12}", "policy", "commits/s", "abort ratio");
     for (policy, commits, aborts) in rows {
@@ -151,7 +169,7 @@ fn main() {
     );
     println!(
         "(absolute numbers depend on this machine; the paper's claims are \
-         about the relative shapes — see EXPERIMENTS.md)\n"
+         about the relative shapes — see ARCHITECTURE.md)\n"
     );
     match options.command.as_str() {
         "fig6" => run_fig6(&options),

@@ -1,8 +1,8 @@
 //! Shared sweep logic for the figure-reproduction binary and the criterion
 //! benches.
 //!
-//! Every public function regenerates one figure or ablation from
-//! `DESIGN.md` §3 and returns the series the paper plots. The caller
+//! Every public function regenerates one figure or ablation described in
+//! `ARCHITECTURE.md` and returns the series the paper plots. The caller
 //! chooses the measurement duration: the `repro-figures` binary uses
 //! seconds per point, the criterion benches use tens of milliseconds to
 //! stay fast.
@@ -17,9 +17,7 @@ use zstm_core::{CmPolicy, StmConfig, TmFactory};
 use zstm_cs::CsStm;
 use zstm_lsa::LsaStm;
 use zstm_tl2::Tl2Stm;
-use zstm_workload::{
-    run_array, run_bank, ArrayConfig, BankConfig, BankReport, LongMode, Series,
-};
+use zstm_workload::{run_array, run_bank, ArrayConfig, BankConfig, BankReport, LongMode, Series};
 use zstm_z::ZStm;
 
 /// Thread counts the paper sweeps in Figures 6 and 7.
@@ -185,10 +183,7 @@ pub fn ablation_overhead(threads: &[usize], duration: Duration) -> Vec<Series> {
 /// **Ablation C**: contention-manager comparison on a high-contention
 /// array workload (LSA-STM). Returns one (policy, commits/s, abort ratio)
 /// row per policy.
-pub fn ablation_contention(
-    threads: usize,
-    duration: Duration,
-) -> Vec<(&'static str, f64, f64)> {
+pub fn ablation_contention(threads: usize, duration: Duration) -> Vec<(&'static str, f64, f64)> {
     let mut rows = Vec::new();
     for policy in CmPolicy::ALL {
         let mut stm_config = StmConfig::new(threads);

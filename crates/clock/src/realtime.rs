@@ -28,7 +28,7 @@ use crate::TimeBase;
 ///
 /// This preserves exactly the behaviour that matters to a TBTM: snapshot
 /// times may be stale by at most the deviation, and commit stamps remain
-/// unique and monotonic. The substitution is recorded in `DESIGN.md` §4.
+/// unique and monotonic. The substitution is recorded in `ARCHITECTURE.md` (design notes).
 ///
 /// # Examples
 ///
@@ -152,7 +152,10 @@ mod tests {
             let observed = clock.now(slot);
             let truth = clock.now_truth_for_test();
             assert!(truth >= observed);
-            assert!(truth - observed <= deviation + 1_000_000, "slack for elapsed time");
+            assert!(
+                truth - observed <= deviation + 1_000_000,
+                "slack for elapsed time"
+            );
         }
     }
 
@@ -163,7 +166,9 @@ mod tests {
             .map(|slot| {
                 let clock = Arc::clone(&clock);
                 std::thread::spawn(move || {
-                    (0..500).map(|_| clock.commit_stamp(slot)).collect::<Vec<_>>()
+                    (0..500)
+                        .map(|_| clock.commit_stamp(slot))
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();

@@ -161,6 +161,12 @@ impl RevStamp {
         self.components.len()
     }
 
+    /// Returns `true` if the timestamp has no vector entries (`r == 0`,
+    /// never the case for stamps produced by a [`RevClock`]).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
     /// Returns `true` for the zero timestamp.
     pub fn is_zero(&self) -> bool {
         self.components.iter().all(|&c| c == 0)
@@ -328,15 +334,14 @@ mod plausibility_props {
     }
 
     fn steps(threads: usize) -> impl Strategy<Value = Vec<Step>> {
-        let step = (0..threads, 0..threads, any::<bool>()).prop_map(
-            move |(thread, from, local)| {
+        let step =
+            (0..threads, 0..threads, any::<bool>()).prop_map(move |(thread, from, local)| {
                 if local || thread == from {
                     Step::Local { thread }
                 } else {
                     Step::Receive { thread, from }
                 }
-            },
-        );
+            });
         proptest::collection::vec(step, 1..60)
     }
 

@@ -84,7 +84,9 @@ mod tests {
             .map(|slot| {
                 let clock = Arc::clone(&clock);
                 std::thread::spawn(move || {
-                    (0..1000).map(|_| clock.commit_stamp(slot)).collect::<Vec<_>>()
+                    (0..1000)
+                        .map(|_| clock.commit_stamp(slot))
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();

@@ -5,7 +5,7 @@
 //! wins — it delegates to a pluggable *contention manager* "responsible for
 //! the liveness of the system" (Section 4.1). This module provides the
 //! classic DSTM-lineage policies; the benchmarks compare them under the
-//! paper's long/short mix (ablation C in `DESIGN.md`).
+//! paper's long/short mix (ablation C in `ARCHITECTURE.md`).
 
 use core::fmt;
 use std::sync::Arc;

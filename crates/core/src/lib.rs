@@ -52,8 +52,7 @@ mod traits;
 mod tx;
 
 pub use cm::{
-    Aggressive, CmPolicy, ContentionManager, Greedy, Karma, Polite, Resolution, Suicide,
-    Timestamp,
+    Aggressive, CmPolicy, ContentionManager, Greedy, Karma, Polite, Resolution, Suicide, Timestamp,
 };
 pub use config::StmConfig;
 pub use error::{Abort, AbortReason, RetryExhausted};

@@ -79,8 +79,7 @@ impl AutoMarker {
         let mut current = self.ema_x16.load(Ordering::Relaxed);
         loop {
             let x16 = objects.saturating_mul(16);
-            let next = current + x16.saturating_sub(current) / 4
-                - current.saturating_sub(x16) / 4;
+            let next = current + x16.saturating_sub(current) / 4 - current.saturating_sub(x16) / 4;
             match self.ema_x16.compare_exchange_weak(
                 current,
                 next,
@@ -104,9 +103,7 @@ impl AutoMarker {
     pub fn kind(&self) -> TxKind {
         let ema_x16 = self.ema_x16.load(Ordering::Relaxed);
         let threshold_x16 = self.threshold * 16;
-        if ema_x16 >= threshold_x16 {
-            TxKind::Long
-        } else if ema_x16 >= threshold_x16 / 2 && self.was_long() {
+        if ema_x16 >= threshold_x16 || (ema_x16 >= threshold_x16 / 2 && self.was_long()) {
             TxKind::Long
         } else {
             TxKind::Short

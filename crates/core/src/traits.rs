@@ -84,10 +84,7 @@ pub trait TmTx {
     /// # Errors
     ///
     /// Returns [`Abort`] if no consistent version can be provided.
-    fn read<T: TxValue>(
-        &mut self,
-        var: &<Self::Factory as TmFactory>::Var<T>,
-    ) -> Result<T, Abort>;
+    fn read<T: TxValue>(&mut self, var: &<Self::Factory as TmFactory>::Var<T>) -> Result<T, Abort>;
 
     /// Writes the variable (buffered or tentative until commit).
     ///

@@ -168,7 +168,10 @@ impl TxShared {
     /// Panics if the descriptor is not in the `Committing` state.
     pub fn finish_commit(&self) {
         let previous = self.status.swap(COMMITTED, Ordering::AcqRel);
-        assert_eq!(previous, COMMITTING, "finish_commit outside commit protocol");
+        assert_eq!(
+            previous, COMMITTING,
+            "finish_commit outside commit protocol"
+        );
     }
 
     /// Attempts the one-shot commit used by STMs whose entire commit is the

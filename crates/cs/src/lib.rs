@@ -59,12 +59,12 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use zstm_clock::{CausalStamp, CausalTimeBase, RevClock};
 use zstm_core::{
     Abort, AbortReason, ContentionManager, ObjId, StmConfig, ThreadId, TmFactory, TmThread, TmTx,
     TxEvent, TxEventKind, TxId, TxKind, TxShared, TxStats, TxStatus, TxValue, VersionSeq,
 };
+use zstm_util::sync::Mutex;
 use zstm_util::Backoff;
 
 /// Transaction record shared through object reservations: the generic
@@ -149,7 +149,9 @@ impl<T: TxValue, C: CausalTimeBase> CsVar<T, C> {
 
 impl<T: TxValue, C: CausalTimeBase> std::fmt::Debug for CsVar<T, C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CsVar").field("id", &self.shared.id).finish()
+        f.debug_struct("CsVar")
+            .field("id", &self.shared.id)
+            .finish()
     }
 }
 
@@ -164,7 +166,7 @@ impl<T: TxValue, S: CausalStamp> VarShared<T, S> {
         &self,
         me: Option<&Arc<StampRec<S>>>,
         my_ct: Option<&S>,
-    ) -> parking_lot::MutexGuard<'_, Inner<T, S>> {
+    ) -> zstm_util::sync::MutexGuard<'_, Inner<T, S>> {
         let mut backoff = Backoff::new();
         loop {
             let mut guard = self.inner.lock();
@@ -444,11 +446,9 @@ impl<T: TxValue, S: CausalStamp> CsObject<S> for VarShared<T, S> {
 
     fn promote(&self, me: &Arc<StampRec<S>>) -> Option<VersionSeq> {
         let mut guard = self.inner.lock();
-        if guard
-            .writer
-            .as_ref()
-            .is_some_and(|w| Arc::ptr_eq(&w.rec, me) && w.rec.shared.status() == TxStatus::Committed)
-        {
+        if guard.writer.as_ref().is_some_and(|w| {
+            Arc::ptr_eq(&w.rec, me) && w.rec.shared.status() == TxStatus::Committed
+        }) {
             self.promote_locked(&mut guard);
             Some(guard.seq)
         } else {
@@ -737,7 +737,8 @@ mod tests {
         // T2 → TL → T1 is causally fine; CS-STM commits TL.
         tl.read(&o3).expect("read o3");
         tl.write(&o4, 1).expect("w o4");
-        tl.commit().expect("TL commits under causal serializability");
+        tl.commit()
+            .expect("TL commits under causal serializability");
     }
 
     #[test]
@@ -885,17 +886,12 @@ mod tests {
                         if from == to {
                             continue;
                         }
-                        atomically(
-                            &mut thread,
-                            TxKind::Short,
-                            &RetryPolicy::default(),
-                            |tx| {
-                                let a = tx.read(&accounts[from])?;
-                                let b = tx.read(&accounts[to])?;
-                                tx.write(&accounts[from], a - 1)?;
-                                tx.write(&accounts[to], b + 1)
-                            },
-                        )
+                        atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+                            let a = tx.read(&accounts[from])?;
+                            let b = tx.read(&accounts[to])?;
+                            tx.write(&accounts[from], a - 1)?;
+                            tx.write(&accounts[to], b + 1)
+                        })
                         .expect("transfer commits");
                     }
                 })

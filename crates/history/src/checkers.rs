@@ -18,7 +18,11 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} violated: {} (cycle: {:?})", self.criterion, self.message, self.cycle)
+        write!(
+            f,
+            "{} violated: {} (cycle: {:?})",
+            self.criterion, self.message, self.cycle
+        )
     }
 }
 
@@ -66,8 +70,7 @@ impl Graph {
             Gray,
             Black,
         }
-        let mut color: HashMap<Node, Color> =
-            self.adj.keys().map(|&n| (n, Color::White)).collect();
+        let mut color: HashMap<Node, Color> = self.adj.keys().map(|&n| (n, Color::White)).collect();
         let mut parent: HashMap<Node, Node> = HashMap::new();
         for &start in self.adj.keys() {
             if color[&start] != Color::White {
@@ -124,17 +127,16 @@ fn cycle_txs(cycle: &[Node]) -> Vec<TxId> {
 /// Adds the MVSG edges of the committed transactions in `history`:
 /// `writer(v) → reader(v)` (wr), `writer(v) → writer(v+1)` (ww) and, when
 /// `anti_deps_of` allows the reader, `reader(v) → writer(v+1)` (rw).
-fn add_mvsg_edges(
-    graph: &mut Graph,
-    history: &History,
-    anti_deps_of: impl Fn(&TxRecord) -> bool,
-) {
+fn add_mvsg_edges(graph: &mut Graph, history: &History, anti_deps_of: impl Fn(&TxRecord) -> bool) {
     // ww edges along each object's version chain.
     let mut writes_by_obj: HashMap<ObjId, Vec<(VersionSeq, TxId)>> = HashMap::new();
     for record in history.committed() {
         graph.adj.entry(Node::Tx(record.id)).or_default();
         for &(obj, version) in &record.writes {
-            writes_by_obj.entry(obj).or_default().push((version, record.id));
+            writes_by_obj
+                .entry(obj)
+                .or_default()
+                .push((version, record.id));
         }
     }
     for versions in writes_by_obj.values_mut() {
@@ -178,11 +180,7 @@ fn add_mvsg_edges(
 
 /// Adds real-time edges among the given transactions through chain `lane`:
 /// a transaction that committed before another began precedes it.
-fn add_real_time_edges<'a>(
-    graph: &mut Graph,
-    lane: u64,
-    txs: impl Iterator<Item = &'a TxRecord>,
-) {
+fn add_real_time_edges<'a>(graph: &mut Graph, lane: u64, txs: impl Iterator<Item = &'a TxRecord>) {
     let mut seqs = Vec::new();
     for record in txs {
         let commit_seq = record.commit_seq.expect("committed transactions only");

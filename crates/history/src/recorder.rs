@@ -1,7 +1,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
 use zstm_core::{EventSink, TxEvent};
+use zstm_util::sync::Mutex;
 
 use crate::History;
 

@@ -14,11 +14,11 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, MutexGuard};
 use zstm_core::{
     Abort, AbortReason, ContentionManager, EventSink, ObjId, Resolution, TxEvent, TxEventKind,
     TxShared, TxStatus, TxValue, VersionSeq,
 };
+use zstm_util::sync::{Mutex, MutexGuard};
 use zstm_util::Backoff;
 
 /// One committed version of an object.
@@ -128,12 +128,7 @@ impl<T: TxValue> VarCore<T> {
                         true
                     }
                     TxStatus::Committed => {
-                        Self::promote_locked(
-                            &mut guard,
-                            self.max_versions,
-                            self.id,
-                            &self.sink,
-                        );
+                        Self::promote_locked(&mut guard, self.max_versions, self.id, &self.sink);
                         true
                     }
                     TxStatus::Committing => false,
@@ -177,7 +172,10 @@ impl<T: TxValue> VarCore<T> {
                 reservation.tx.id(),
                 reservation.tx.thread(),
                 reservation.tx.kind(),
-                TxEventKind::Write { obj: id, version: seq },
+                TxEventKind::Write {
+                    obj: id,
+                    version: seq,
+                },
             ));
         }
     }
@@ -243,7 +241,13 @@ impl<T: TxValue> VarCore<T> {
     /// Returns `Ok(None)` when `seq` is still the newest version,
     /// `Ok(Some(ct))` when the direct successor is retained, and `Err(())`
     /// when the successor has been pruned (the caller must assume the worst).
-    pub fn successor_ct(&self, me: Option<&Arc<TxShared>>, seq: VersionSeq) -> Result<Option<u64>, ()> {
+    // The unit error genuinely carries no information beyond "pruned".
+    #[allow(clippy::result_unit_err)]
+    pub fn successor_ct(
+        &self,
+        me: Option<&Arc<TxShared>>,
+        seq: VersionSeq,
+    ) -> Result<Option<u64>, ()> {
         let guard = self.lock_settled(me);
         let newest = guard.versions.back().expect("version list never empty");
         if newest.seq <= seq {
@@ -281,12 +285,9 @@ impl<T: TxValue> VarCore<T> {
                             // drawn, hence > my_ct: cannot affect us.
                         }
                         TxStatus::Aborted => guard.writer = None,
-                        TxStatus::Committed => Self::promote_locked(
-                            &mut guard,
-                            self.max_versions,
-                            self.id,
-                            &self.sink,
-                        ),
+                        TxStatus::Committed => {
+                            Self::promote_locked(&mut guard, self.max_versions, self.id, &self.sink)
+                        }
                         TxStatus::Committing => {
                             let w_ct = w.tx.commit_ct();
                             // w_ct == 0 means the writer has not stored its
@@ -450,34 +451,36 @@ impl<T: TxValue> VarCore<T> {
                 }
             }
         };
-        loop {
-            let allowed_seq = self.open_long_settle(me, zc, cm, pin.clone())?;
-            let guard = self.lock_settled(Some(me));
-            if let Some(w) = &guard.writer {
-                if Arc::ptr_eq(&w.tx, me) {
-                    let seq = guard.versions.back().map_or(0, |v| v.seq + 1);
-                    return Ok(ReadHit {
-                        value: w.tentative.clone(),
-                        seq,
-                        ct: u64::MAX,
-                        is_latest: true,
-                    });
-                }
+        let allowed_seq = self.open_long_settle(me, zc, cm, pin.clone())?;
+        let guard = self.lock_settled(Some(me));
+        if let Some(w) = &guard.writer {
+            if Arc::ptr_eq(&w.tx, me) {
+                let seq = guard.versions.back().map_or(0, |v| v.seq + 1);
+                return Ok(ReadHit {
+                    value: w.tentative.clone(),
+                    seq,
+                    ct: u64::MAX,
+                    is_latest: true,
+                });
             }
-            let newest = guard.versions.back().expect("version list never empty");
-            let target = allowed_seq.min(newest.seq);
-            let hit = guard.versions.iter().find(|v| v.seq == target).map(|v| ReadHit {
+        }
+        let newest = guard.versions.back().expect("version list never empty");
+        let target = allowed_seq.min(newest.seq);
+        let hit = guard
+            .versions
+            .iter()
+            .find(|v| v.seq == target)
+            .map(|v| ReadHit {
                 value: v.value.clone(),
                 seq: v.seq,
                 ct: v.ct,
                 is_latest: v.seq == newest.seq,
             });
-            match hit {
-                Some(hit) => return Ok(hit),
-                None => {
-                    me.abort();
-                    return Err(Abort::new(AbortReason::SnapshotUnavailable));
-                }
+        match hit {
+            Some(hit) => Ok(hit),
+            None => {
+                me.abort();
+                Err(Abort::new(AbortReason::SnapshotUnavailable))
             }
         }
     }
@@ -606,9 +609,7 @@ impl<T: TxValue> VarCore<T> {
                     return Ok(boundary_of(&pin_writer));
                 }
                 Some(w) => {
-                    let is_pre_stamp = pin_writer
-                        .as_ref()
-                        .is_some_and(|p| Arc::ptr_eq(p, &w.tx));
+                    let is_pre_stamp = pin_writer.as_ref().is_some_and(|p| Arc::ptr_eq(p, &w.tx));
                     if !is_pre_stamp {
                         // Post-stamp writer: it serializes after us and its
                         // tentative value is invisible to us — ignore it.
@@ -806,6 +807,8 @@ pub trait DynObject: Send + Sync {
     /// The object's id.
     fn id(&self) -> ObjId;
     /// See [`VarCore::successor_ct`].
+    // The unit error genuinely carries no information beyond "pruned".
+    #[allow(clippy::result_unit_err)]
     fn successor_ct_dyn(&self, me: &Arc<TxShared>, seq: VersionSeq) -> Result<Option<u64>, ()>;
     /// See [`VarCore::validate_read`].
     fn validate_read_dyn(&self, me: &Arc<TxShared>, seq: VersionSeq, my_ct: u64) -> bool;
@@ -925,7 +928,8 @@ mod tests {
         let aggressive = CmPolicy::Aggressive.build();
         core.reserve(&first, 1, aggressive.as_ref()).expect("first");
         // Aggressive second writer steals the reservation by killing first.
-        core.reserve(&second, 2, aggressive.as_ref()).expect("steal");
+        core.reserve(&second, 2, aggressive.as_ref())
+            .expect("steal");
         assert_eq!(first.status(), TxStatus::Aborted);
         assert!(core.reserved_by(&second));
     }
@@ -937,7 +941,9 @@ mod tests {
         let second = tx();
         let suicide = CmPolicy::Suicide.build();
         core.reserve(&first, 1, suicide.as_ref()).expect("first");
-        let err = core.reserve(&second, 2, suicide.as_ref()).expect_err("loses");
+        let err = core
+            .reserve(&second, 2, suicide.as_ref())
+            .expect_err("loses");
         assert_eq!(err.reason(), AbortReason::WriteConflict);
         assert_eq!(second.status(), TxStatus::Aborted);
         assert!(core.reserved_by(&first));

@@ -3,7 +3,7 @@
 //! versioned-object [`engine`] that Z-STM reuses.
 //!
 //! See [`LsaStm`] for the algorithm description and examples, and
-//! `DESIGN.md` at the workspace root for how this crate maps onto the
+//! `ARCHITECTURE.md` at the workspace root for how this crate maps onto the
 //! paper.
 
 #![forbid(unsafe_code)]

@@ -183,18 +183,14 @@ impl<B: TimeBase> TmThread for LsaThread<B> {
         let shared = Arc::new(TxShared::start(self.id, kind, karma));
         let stm = Arc::clone(&self.stm);
         if stm.config.sink().enabled() {
-            stm.config.sink().record(TxEvent::new(
-                shared.id(),
-                self.id,
-                kind,
-                TxEventKind::Begin,
-            ));
+            stm.config
+                .sink()
+                .record(TxEvent::new(shared.id(), self.id, kind, TxEventKind::Begin));
         }
         let slack = stm.clock.snapshot_slack();
         let ub = stm.clock.now(self.id.slot()).saturating_sub(slack);
-        let snapshot_only = kind.is_long()
-            && !stm.config.readonly_uses_readsets()
-            && !self.long_upgrade_seen;
+        let snapshot_only =
+            kind.is_long() && !stm.config.readonly_uses_readsets() && !self.long_upgrade_seen;
         LsaTx {
             thread: self,
             shared,
@@ -493,12 +489,11 @@ mod tests {
         let stm = stm(1);
         let var = stm.new_var(1i64);
         let mut thread = stm.register_thread();
-        let observed =
-            atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
-                tx.write(&var, 99)?;
-                tx.read(&var)
-            })
-            .expect("commit");
+        let observed = atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+            tx.write(&var, 99)?;
+            tx.read(&var)
+        })
+        .expect("commit");
         assert_eq!(observed, 99);
     }
 
@@ -541,17 +536,12 @@ mod tests {
                         if from == to {
                             continue;
                         }
-                        atomically(
-                            &mut thread,
-                            TxKind::Short,
-                            &RetryPolicy::default(),
-                            |tx| {
-                                let a = tx.read(&accounts[from])?;
-                                let b = tx.read(&accounts[to])?;
-                                tx.write(&accounts[from], a - 1)?;
-                                tx.write(&accounts[to], b + 1)
-                            },
-                        )
+                        atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+                            let a = tx.read(&accounts[from])?;
+                            let b = tx.read(&accounts[to])?;
+                            tx.write(&accounts[from], a - 1)?;
+                            tx.write(&accounts[to], b + 1)
+                        })
                         .expect("transfer commits");
                     }
                 })
@@ -561,18 +551,13 @@ mod tests {
             h.join().expect("worker panicked");
         }
         let mut checker = stm.register_thread();
-        let total = atomically(
-            &mut checker,
-            TxKind::Long,
-            &RetryPolicy::default(),
-            |tx| {
-                let mut sum = 0i64;
-                for acc in accounts.iter() {
-                    sum += tx.read(acc)?;
-                }
-                Ok(sum)
-            },
-        )
+        let total = atomically(&mut checker, TxKind::Long, &RetryPolicy::default(), |tx| {
+            let mut sum = 0i64;
+            for acc in accounts.iter() {
+                sum += tx.read(acc)?;
+            }
+            Ok(sum)
+        })
         .expect("sum commits");
         assert_eq!(total, 1600);
     }

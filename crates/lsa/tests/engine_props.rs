@@ -5,8 +5,7 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use zstm_core::{CmPolicy, NullSink, StmConfig, ThreadId, TmFactory, TmTx, TxKind,
-    TxShared};
+use zstm_core::{CmPolicy, NullSink, StmConfig, ThreadId, TmFactory, TmTx, TxKind, TxShared};
 use zstm_lsa::engine::VarCore;
 use zstm_lsa::LsaStm;
 

@@ -50,7 +50,7 @@
 
 use std::sync::Arc;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::mpsc::{sync_channel as bounded, Receiver, SyncSender as Sender};
 use zstm_core::{TmFactory, TmThread, TmTx, TxKind};
 
 /// One scripted transactional operation over the shared object pool.
@@ -124,11 +124,7 @@ impl Schedule {
 /// ]);
 /// ```
 pub fn enumerate_interleavings(steps: &[usize]) -> Vec<Vec<usize>> {
-    fn go(
-        remaining: &mut [usize],
-        current: &mut Vec<usize>,
-        out: &mut Vec<Vec<usize>>,
-    ) {
+    fn go(remaining: &mut [usize], current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
         if remaining.iter().all(|&r| r == 0) {
             out.push(current.clone());
             return;
@@ -184,8 +180,11 @@ enum WorkerMsg {
 /// Panics if a worker thread panics or an interleaving entry names a
 /// nonexistent thread.
 pub fn run_schedule<F: TmFactory>(stm: &Arc<F>, schedule: &Schedule) -> Outcome {
-    let objects: Arc<Vec<F::Var<i64>>> =
-        Arc::new((0..schedule.objects.max(1)).map(|_| stm.new_var(0i64)).collect());
+    let objects: Arc<Vec<F::Var<i64>>> = Arc::new(
+        (0..schedule.objects.max(1))
+            .map(|_| stm.new_var(0i64))
+            .collect(),
+    );
 
     let mut senders: Vec<Sender<WorkerMsg>> = Vec::new();
     let mut steps_left: Vec<usize> = Vec::new();

@@ -16,7 +16,7 @@
 //!
 //! The paper omits its implementation details "as they are quite
 //! intricate", relying on CAS + helping. This reproduction implements the
-//! described design with one documented substitution (`DESIGN.md` §4): the
+//! described design with one documented substitution (`ARCHITECTURE.md`, design notes): the
 //! precedence graph is maintained under a global mutex taken only during
 //! the short commit step (execution, reads and writes stay concurrent), and
 //! instead of helping, readers wait out transactions that are in their
@@ -63,13 +63,13 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use zstm_clock::{CausalStamp, CausalTimeBase, RevClock};
 use zstm_core::{
     Abort, AbortReason, ContentionManager, ObjId, StmConfig, ThreadId, TmFactory, TmThread, TmTx,
     TxEvent, TxEventKind, TxId, TxKind, TxStats, TxStatus, TxValue, VersionSeq,
 };
 use zstm_cs::StampRec;
+use zstm_util::sync::Mutex;
 use zstm_util::Backoff;
 
 // ---------------------------------------------------------------------------
@@ -173,8 +173,7 @@ impl PrecGraph {
         }
         let min_active = self.active.values().copied().min().unwrap_or(u64::MAX);
         loop {
-            let mut indegree: HashMap<TxId, usize> =
-                self.nodes.keys().map(|&id| (id, 0)).collect();
+            let mut indegree: HashMap<TxId, usize> = self.nodes.keys().map(|&id| (id, 0)).collect();
             for node in self.nodes.values() {
                 for succ in &node.succs {
                     if let Some(count) = indegree.get_mut(succ) {
@@ -185,9 +184,7 @@ impl PrecGraph {
             let dead: Vec<TxId> = self
                 .nodes
                 .iter()
-                .filter(|(id, n)| {
-                    n.committed && n.commit_epoch < min_active && indegree[*id] == 0
-                })
+                .filter(|(id, n)| n.committed && n.commit_epoch < min_active && indegree[*id] == 0)
                 .map(|(&id, _)| id)
                 .collect();
             if dead.is_empty() {
@@ -267,7 +264,7 @@ impl<T: TxValue, S: CausalStamp> VarShared<T, S> {
     fn lock_settled(
         &self,
         me: Option<&Arc<StampRec<S>>>,
-    ) -> parking_lot::MutexGuard<'_, Inner<T, S>> {
+    ) -> zstm_util::sync::MutexGuard<'_, Inner<T, S>> {
         let mut backoff = Backoff::new();
         loop {
             let mut guard = self.inner.lock();
@@ -620,9 +617,7 @@ impl<C: CausalTimeBase> STx<'_, C> {
         self.thread
             .stats
             .record_abort(self.rec.shared().kind(), reason);
-        self.record(TxEventKind::Abort {
-            reason,
-        });
+        self.record(TxEventKind::Abort { reason });
         Abort::new(reason)
     }
 }
@@ -935,7 +930,9 @@ mod tests {
         // i.e. the opposite order — must abort.
         tl.read(&o3).expect("r o3");
         tl.write(&o4, 1).expect("w o4");
-        let err = tl.commit().expect_err("TL must abort under serializability");
+        let err = tl
+            .commit()
+            .expect_err("TL must abort under serializability");
         assert_eq!(err.reason(), AbortReason::PrecedenceCycle);
     }
 
@@ -975,17 +972,12 @@ mod tests {
                         if from == to {
                             continue;
                         }
-                        atomically(
-                            &mut thread,
-                            TxKind::Short,
-                            &RetryPolicy::default(),
-                            |tx| {
-                                let a = tx.read(&accounts[from])?;
-                                let b = tx.read(&accounts[to])?;
-                                tx.write(&accounts[from], a - 1)?;
-                                tx.write(&accounts[to], b + 1)
-                            },
-                        )
+                        atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+                            let a = tx.read(&accounts[from])?;
+                            let b = tx.read(&accounts[to])?;
+                            tx.write(&accounts[from], a - 1)?;
+                            tx.write(&accounts[to], b + 1)
+                        })
                         .expect("transfer commits");
                     }
                 })

@@ -49,12 +49,12 @@ use std::any::Any;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use zstm_clock::{ScalarClock, TimeBase};
 use zstm_core::{
     Abort, AbortReason, ObjId, StmConfig, ThreadId, TmFactory, TmThread, TmTx, TxEvent,
     TxEventKind, TxId, TxKind, TxShared, TxStats, TxValue, VersionSeq,
 };
+use zstm_util::sync::Mutex;
 use zstm_util::Backoff;
 
 const LOCK_BIT: u64 = 1;
@@ -265,14 +265,14 @@ impl<B: TimeBase> TmThread for Tl2Thread<B> {
         let shared = Arc::new(TxShared::start(self.id, kind, 0));
         let stm = Arc::clone(&self.stm);
         if stm.config.sink().enabled() {
-            stm.config.sink().record(TxEvent::new(
-                shared.id(),
-                self.id,
-                kind,
-                TxEventKind::Begin,
-            ));
+            stm.config
+                .sink()
+                .record(TxEvent::new(shared.id(), self.id, kind, TxEventKind::Begin));
         }
-        let rv = stm.clock.now(self.id.slot()).saturating_sub(stm.clock.snapshot_slack());
+        let rv = stm
+            .clock
+            .now(self.id.slot())
+            .saturating_sub(stm.clock.snapshot_slack());
         Tl2Tx {
             thread: self,
             shared,
@@ -330,7 +330,6 @@ impl<B: TimeBase> Tl2Tx<'_, B> {
         self.shared.abort();
         Abort::new(reason)
     }
-
 }
 
 impl<B: TimeBase> TmTx for Tl2Tx<'_, B> {
@@ -436,11 +435,7 @@ impl<B: TimeBase> TmTx for Tl2Tx<'_, B> {
             locked.push(i);
         }
         // Phase 2: write version.
-        let wv = self
-            .thread
-            .stm
-            .clock
-            .commit_stamp(self.thread.id.slot());
+        let wv = self.thread.stm.clock.commit_stamp(self.thread.id.slot());
         self.shared.set_commit_ct(wv);
         // Phase 3: validate the read set (skippable iff wv == rv + 1, the
         // classic TL2 fast path: nobody committed in between).
@@ -448,8 +443,7 @@ impl<B: TimeBase> TmTx for Tl2Tx<'_, B> {
             let write_ids: Vec<ObjId> = self.writes.iter().map(|w| w.obj_id()).collect();
             for entry in &self.reads {
                 let word = (entry.word)();
-                let locked_by_other =
-                    word & LOCK_BIT != 0 && !write_ids.contains(&entry.obj);
+                let locked_by_other = word & LOCK_BIT != 0 && !write_ids.contains(&entry.obj);
                 if locked_by_other || (word >> 1) != entry.version {
                     for &j in &locked {
                         self.writes[j].unlock_unchanged();
@@ -600,17 +594,12 @@ mod tests {
                         if from == to {
                             continue;
                         }
-                        atomically(
-                            &mut thread,
-                            TxKind::Short,
-                            &RetryPolicy::default(),
-                            |tx| {
-                                let a = tx.read(&accounts[from])?;
-                                let b = tx.read(&accounts[to])?;
-                                tx.write(&accounts[from], a - 1)?;
-                                tx.write(&accounts[to], b + 1)
-                            },
-                        )
+                        atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+                            let a = tx.read(&accounts[from])?;
+                            let b = tx.read(&accounts[to])?;
+                            tx.write(&accounts[from], a - 1)?;
+                            tx.write(&accounts[to], b + 1)
+                        })
                         .expect("transfer commits");
                     }
                 })

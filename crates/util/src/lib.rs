@@ -26,6 +26,7 @@
 mod backoff;
 mod pad;
 mod rng;
+pub mod sync;
 
 pub use backoff::Backoff;
 pub use pad::CachePadded;

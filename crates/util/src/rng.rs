@@ -33,7 +33,11 @@ impl XorShift64 {
     /// non-zero constant because the all-zero state is a fixed point of the
     /// xorshift recurrence.
     pub const fn new(seed: u64) -> Self {
-        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        let state = if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        };
         Self { state }
     }
 
@@ -81,7 +85,9 @@ impl XorShift64 {
 
 impl fmt::Debug for XorShift64 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("XorShift64").field("state", &self.state).finish()
+        f.debug_struct("XorShift64")
+            .field("state", &self.state)
+            .finish()
     }
 }
 

@@ -2,9 +2,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use zstm_core::{
-    atomically, RetryPolicy, TmFactory, TmThread, TmTx, TxKind, TxStats,
-};
+use zstm_core::{atomically, RetryPolicy, TmFactory, TmThread, TmTx, TxKind, TxStats};
 use zstm_util::XorShift64;
 
 /// Whether Compute-Total transactions are read-only (Figure 6) or update
@@ -151,21 +149,16 @@ pub fn run_bank<F: TmFactory>(stm: &Arc<F>, config: &BankConfig) -> BankReport {
             while !stop.load(Ordering::Relaxed) {
                 let is_total = t == 0 && rng.next_percent(config.total_pct);
                 if is_total {
-                    let result = atomically(
-                        &mut thread,
-                        TxKind::Long,
-                        &long_policy,
-                        |tx| {
-                            let mut sum = 0i64;
-                            for account in accounts.iter() {
-                                sum += tx.read(account)?;
-                            }
-                            if config.long_mode == LongMode::Update {
-                                tx.write(&private_total, sum)?;
-                            }
-                            Ok(sum)
-                        },
-                    );
+                    let result = atomically(&mut thread, TxKind::Long, &long_policy, |tx| {
+                        let mut sum = 0i64;
+                        for account in accounts.iter() {
+                            sum += tx.read(account)?;
+                        }
+                        if config.long_mode == LongMode::Update {
+                            tx.write(&private_total, sum)?;
+                        }
+                        Ok(sum)
+                    });
                     match result {
                         Ok(sum) => {
                             total_commits += 1;
@@ -190,7 +183,13 @@ pub fn run_bank<F: TmFactory>(stm: &Arc<F>, config: &BankConfig) -> BankReport {
                 }
             }
             let stats = thread.take_stats();
-            (transfer_commits, total_commits, totals_given_up, sums_ok, stats)
+            (
+                transfer_commits,
+                total_commits,
+                totals_given_up,
+                sums_ok,
+                stats,
+            )
         }));
     }
 

@@ -255,10 +255,8 @@ mod tests {
         })
         .expect("commit");
         assert_eq!(inserted, vec![true, true, true, false, true]);
-        let contents = atomically(&mut thread, TxKind::Short, &policy(), |tx| {
-            list.to_vec(tx)
-        })
-        .expect("commit");
+        let contents = atomically(&mut thread, TxKind::Short, &policy(), |tx| list.to_vec(tx))
+            .expect("commit");
         assert_eq!(contents, vec![1, 3, 5, 9]);
     }
 
@@ -345,10 +343,8 @@ mod tests {
             h.join().expect("worker panicked");
         }
         let mut thread = stm.register_thread();
-        let contents = atomically(&mut thread, TxKind::Short, &policy(), |tx| {
-            list.to_vec(tx)
-        })
-        .expect("commit");
+        let contents = atomically(&mut thread, TxKind::Short, &policy(), |tx| list.to_vec(tx))
+            .expect("commit");
         assert_eq!(contents, (0..48).collect::<Vec<i64>>());
     }
 
@@ -396,16 +392,17 @@ mod tests {
         // pairs only in aggregate, so check a weaker but sharp invariant:
         // every committed long sum sees the base elements exactly once.
         for _ in 0..10 {
-            let contents = atomically(&mut seeder, TxKind::Long, &policy(), |tx| {
-                list.to_vec(tx)
-            })
-            .expect("long scan commits under churn");
+            let contents = atomically(&mut seeder, TxKind::Long, &policy(), |tx| list.to_vec(tx))
+                .expect("long scan commits under churn");
             let base: Vec<i64> = contents.iter().copied().filter(|v| *v < 100).collect();
             assert_eq!(base, (0..32).collect::<Vec<i64>>());
             let mut sorted = contents.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            assert_eq!(sorted, contents, "snapshot must be sorted and duplicate-free");
+            assert_eq!(
+                sorted, contents,
+                "snapshot must be sorted and duplicate-free"
+            );
         }
         stop.store(true, Ordering::Relaxed);
         churner.join().expect("churner panicked");

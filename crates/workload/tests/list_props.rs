@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use zstm_core::{atomically, RetryPolicy, StmConfig, TmFactory, TmThread, TxKind};
+use zstm_core::{atomically, RetryPolicy, StmConfig, TmFactory, TxKind};
 use zstm_cs::CsStm;
 use zstm_lsa::LsaStm;
 use zstm_workload::TxList;
@@ -35,17 +35,15 @@ fn check_against_model<F: TmFactory>(stm: Arc<F>, ops: &[ListOp]) -> Result<(), 
     for op in ops {
         match *op {
             ListOp::Insert(v) => {
-                let inserted = atomically(&mut thread, TxKind::Short, &policy, |tx| {
-                    list.insert(tx, v)
-                })
-                .expect("commit");
+                let inserted =
+                    atomically(&mut thread, TxKind::Short, &policy, |tx| list.insert(tx, v))
+                        .expect("commit");
                 prop_assert_eq!(inserted, model.insert(v));
             }
             ListOp::Remove(v) => {
-                let removed = atomically(&mut thread, TxKind::Short, &policy, |tx| {
-                    list.remove(tx, v)
-                })
-                .expect("commit");
+                let removed =
+                    atomically(&mut thread, TxKind::Short, &policy, |tx| list.remove(tx, v))
+                        .expect("commit");
                 prop_assert_eq!(removed, model.remove(&v));
             }
             ListOp::Contains(v) => {
@@ -58,12 +56,11 @@ fn check_against_model<F: TmFactory>(stm: Arc<F>, ops: &[ListOp]) -> Result<(), 
         }
     }
     // Final structural comparison.
-    let contents = atomically(&mut thread, TxKind::Long, &policy, |tx| list.to_vec(tx))
-        .expect("commit");
+    let contents =
+        atomically(&mut thread, TxKind::Long, &policy, |tx| list.to_vec(tx)).expect("commit");
     let expected: Vec<i64> = model.iter().copied().collect();
     prop_assert_eq!(contents.clone(), expected);
-    let total = atomically(&mut thread, TxKind::Long, &policy, |tx| list.sum(tx))
-        .expect("commit");
+    let total = atomically(&mut thread, TxKind::Long, &policy, |tx| list.sum(tx)).expect("commit");
     prop_assert_eq!(total, model.iter().sum::<i64>());
     Ok(())
 }

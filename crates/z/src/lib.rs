@@ -230,12 +230,9 @@ impl<B: TimeBase> TmThread for ZThread<B> {
         let shared = Arc::new(TxShared::start(self.id, kind, karma));
         let stm = Arc::clone(&self.stm);
         if stm.config.sink().enabled() {
-            stm.config.sink().record(TxEvent::new(
-                shared.id(),
-                self.id,
-                kind,
-                TxEventKind::Begin,
-            ));
+            stm.config
+                .sink()
+                .record(TxEvent::new(shared.id(), self.id, kind, TxEventKind::Begin));
         }
         let zc = if kind.is_long() {
             // Algorithm 2 line 3: T.zc ← ZC++ (pre-incremented so zone 0
@@ -516,22 +513,20 @@ impl<B: TimeBase> TmTx for ZTx<'_, B> {
             // assumes each object is opened exactly once).
             let cm = Arc::clone(&self.stm().cm);
             let obj_id = var.core.id();
-            let hit = match self.long_opened.get(&obj_id).copied() {
-                Some(seq) => {
-                    let hit = var.core.open_long_read(&self.shared, self.zc, cm.as_ref())?;
-                    if hit.seq != seq {
-                        // A post-stamp transaction slid a version in
-                        // between: our earlier open no longer matches.
-                        return Err(self.abort_with(AbortReason::SnapshotUnavailable));
-                    }
-                    hit
+            let hit = var
+                .core
+                .open_long_read(&self.shared, self.zc, cm.as_ref())?;
+            match self.long_opened.get(&obj_id).copied() {
+                Some(seq) if hit.seq != seq => {
+                    // A post-stamp transaction slid a version in between:
+                    // our earlier open no longer matches.
+                    return Err(self.abort_with(AbortReason::SnapshotUnavailable));
                 }
+                Some(_) => {}
                 None => {
-                    let hit = var.core.open_long_read(&self.shared, self.zc, cm.as_ref())?;
                     self.long_opened.insert(obj_id, hit.seq);
-                    hit
                 }
-            };
+            }
             self.record(TxEventKind::Read {
                 obj: obj_id,
                 version: hit.seq,
@@ -844,8 +839,7 @@ mod tests {
         // The Figure 7 scenario in miniature: an updating Compute-Total
         // style long transaction must commit while transfers run.
         let stm = stm(3);
-        let accounts: Arc<Vec<ZVar<i64>>> =
-            Arc::new((0..32).map(|_| stm.new_var(10i64)).collect());
+        let accounts: Arc<Vec<ZVar<i64>>> = Arc::new((0..32).map(|_| stm.new_var(10i64)).collect());
         let total_out = stm.new_var(0i64);
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let workers: Vec<_> = (0..2)
@@ -879,19 +873,14 @@ mod tests {
             .collect();
         let mut thread = stm.register_thread();
         for _ in 0..20 {
-            let total = atomically(
-                &mut thread,
-                TxKind::Long,
-                &RetryPolicy::default(),
-                |tx| {
-                    let mut sum = 0i64;
-                    for account in accounts.iter() {
-                        sum += tx.read(account)?;
-                    }
-                    tx.write(&total_out, sum)?;
-                    Ok(sum)
-                },
-            )
+            let total = atomically(&mut thread, TxKind::Long, &RetryPolicy::default(), |tx| {
+                let mut sum = 0i64;
+                for account in accounts.iter() {
+                    sum += tx.read(account)?;
+                }
+                tx.write(&total_out, sum)?;
+                Ok(sum)
+            })
             .expect("long update transaction commits under load");
             assert_eq!(total, 320, "zone snapshot must be consistent");
         }
@@ -935,17 +924,12 @@ mod tests {
                             if from == to {
                                 continue;
                             }
-                            atomically(
-                                &mut thread,
-                                TxKind::Short,
-                                &RetryPolicy::default(),
-                                |tx| {
-                                    let a = tx.read(&accounts[from])?;
-                                    let b = tx.read(&accounts[to])?;
-                                    tx.write(&accounts[from], a - 1)?;
-                                    tx.write(&accounts[to], b + 1)
-                                },
-                            )
+                            atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+                                let a = tx.read(&accounts[from])?;
+                                let b = tx.read(&accounts[to])?;
+                                tx.write(&accounts[from], a - 1)?;
+                                tx.write(&accounts[to], b + 1)
+                            })
                             .expect("transfer commits");
                         }
                     }

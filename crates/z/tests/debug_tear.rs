@@ -4,10 +4,8 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use zstm_core::{
-    atomically, EventSink, RetryPolicy, StmConfig, TmFactory, TmTx, TxEvent, TxKind,
-};
+use zstm_core::{atomically, EventSink, RetryPolicy, StmConfig, TmFactory, TmTx, TxEvent, TxKind};
+use zstm_util::sync::Mutex;
 use zstm_z::{ZStm, ZVar};
 
 struct VecSink {
@@ -105,7 +103,10 @@ fn run_round(round: u64) {
             let events = sink.events.lock();
             let tail_start = events.len().saturating_sub(400);
             for (seq, ev) in &events[tail_start..] {
-                eprintln!("[{seq}] {:?} {:?} {:?} {:?}", ev.thread, ev.kind, ev.tx, ev.event);
+                eprintln!(
+                    "[{seq}] {:?} {:?} {:?} {:?}",
+                    ev.thread, ev.kind, ev.tx, ev.event
+                );
             }
             panic!("torn audit: {total}");
         }

@@ -61,7 +61,10 @@ fn accuracy(r: usize, steps: usize, seed: u64) -> (usize, usize) {
 
 fn main() {
     println!("Plausible-clock accuracy ({THREADS} threads, random history):");
-    println!("{:>6} {:>18} {:>22} {:>10}", "r", "truly concurrent", "reported concurrent", "accuracy");
+    println!(
+        "{:>6} {:>18} {:>22} {:>10}",
+        "r", "truly concurrent", "reported concurrent", "accuracy"
+    );
     for r in [1, 2, 4, 8] {
         let (truth, reported) = accuracy(r, 120, 0xc10c);
         let accuracy = if truth == 0 {

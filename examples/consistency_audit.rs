@@ -71,7 +71,10 @@ fn verdict(result: Result<(), zstm::history::Violation>) -> &'static str {
 fn audit(name: &str, history: &History, claims_linearizable: bool) {
     let committed = history.committed().count();
     println!("--- {name}: {committed} committed transactions ---");
-    println!("  serializable          : {}", verdict(check_serializable(history)));
+    println!(
+        "  serializable          : {}",
+        verdict(check_serializable(history))
+    );
     println!(
         "  causally serializable : {}",
         verdict(check_causal_serializable(history))
@@ -79,7 +82,11 @@ fn audit(name: &str, history: &History, claims_linearizable: bool) {
     println!(
         "  linearizable          : {}{}",
         verdict(check_linearizable(history)),
-        if claims_linearizable { "  (claimed)" } else { "  (not claimed)" }
+        if claims_linearizable {
+            "  (claimed)"
+        } else {
+            "  (not claimed)"
+        }
     );
     println!(
         "  z-linearizable        : {}",

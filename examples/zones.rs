@@ -19,12 +19,23 @@ fn main() {
     let mut p1 = stm.register_thread();
     let mut p2 = stm.register_thread();
 
-    let zones = |stm: &ZStm| format!("ZC={} CT={} active-zone={}", stm.zc(), stm.ct(), stm.has_active_zone());
+    let zones = |stm: &ZStm| {
+        format!(
+            "ZC={} CT={} active-zone={}",
+            stm.zc(),
+            stm.ct(),
+            stm.has_active_zone()
+        )
+    };
     println!("initially:                {}", zones(&stm));
 
     // A long transaction opens zone 1.
     let mut long = p0.begin(TxKind::Long);
-    println!("long TL begins:           {}   TL.zc={}", zones(&stm), long.zone());
+    println!(
+        "long TL begins:           {}   TL.zc={}",
+        zones(&stm),
+        long.zone()
+    );
     long.read(&o1).expect("TL reads o1");
     println!("TL opens o1:              o1.zc={} (stamped)", o1.zc());
 
@@ -32,17 +43,27 @@ fn main() {
     // update o1 — TL already took its snapshot of it.
     let mut s_in = p1.begin(TxKind::Short);
     let v = s_in.read(&o1).expect("reads o1");
-    println!("short S1 opens o1:        S1.zc={} (adopted TL's zone); read {v:?}", s_in.zone());
-    s_in.write(&o1, "o1 v1 (zone 1)".into()).expect("updates o1");
+    println!(
+        "short S1 opens o1:        S1.zc={} (adopted TL's zone); read {v:?}",
+        s_in.zone()
+    );
+    s_in.write(&o1, "o1 v1 (zone 1)".into())
+        .expect("updates o1");
     s_in.commit().expect("S1 commits");
     println!("S1 commits in zone 1      (TL's snapshot of o1 is unaffected)");
 
     // A short transaction in the old zone cannot cross into TL's zone.
     let mut s_cross = p2.begin(TxKind::Short);
     s_cross.read(&o2).expect("reads o2 (old zone)");
-    println!("short S2 opens o2:        S2.zc={} (old zone)", s_cross.zone());
+    println!(
+        "short S2 opens o2:        S2.zc={} (old zone)",
+        s_cross.zone()
+    );
     let err = s_cross.read(&o1).expect_err("S2 must not cross TL");
-    println!("S2 opens o1 -> abort:     {} (cannot cross the active long)", err.reason());
+    println!(
+        "S2 opens o1 -> abort:     {} (cannot cross the active long)",
+        err.reason()
+    );
     s_cross.rollback(err.reason());
 
     // TL finishes its snapshot and commits, closing zone 1.

@@ -48,7 +48,7 @@
 //! # }
 //! ```
 //!
-//! See `DESIGN.md` for the paper-to-code map and `EXPERIMENTS.md` for the
+//! See `ARCHITECTURE.md` for the paper-to-code map and `README.md` for the
 //! reproduced figures.
 
 #![forbid(unsafe_code)]

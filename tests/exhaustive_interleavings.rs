@@ -162,8 +162,11 @@ fn exhaustive_s_stm_is_serializable() {
 
 #[test]
 fn exhaustive_z_is_z_linearizable() {
-    explore(|c| Arc::new(ZStm::new(c)), |h| {
-        check_serializable(h)?;
-        check_z_linearizable(h)
-    });
+    explore(
+        |c| Arc::new(ZStm::new(c)),
+        |h| {
+            check_serializable(h)?;
+            check_z_linearizable(h)
+        },
+    );
 }

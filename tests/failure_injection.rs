@@ -162,10 +162,10 @@ fn retry_exhaustion_reports_reason() {
     let err = atomically(
         &mut thread,
         TxKind::Short,
-        &RetryPolicy::default().with_max_attempts(5).with_backoff(false),
-        |_tx| {
-            Err::<(), _>(zstm::core::Abort::new(zstm::core::AbortReason::Explicit))
-        },
+        &RetryPolicy::default()
+            .with_max_attempts(5)
+            .with_backoff(false),
+        |_tx| Err::<(), _>(zstm::core::Abort::new(zstm::core::AbortReason::Explicit)),
     )
     .expect_err("always aborts");
     assert_eq!(err.attempts(), 5);

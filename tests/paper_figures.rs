@@ -39,9 +39,12 @@ fn figure_1_lsa_aborts_the_long_transaction() {
     // TL continues: reads o3 (must be T2's version — latest) and writes
     // o4. Its earlier reads of o1/o2 are now invalid at any commit time
     // after T1: validation must abort it.
-    tl.read(&o3).expect("TL r(o3): snapshot still consistent at begin time");
+    tl.read(&o3)
+        .expect("TL r(o3): snapshot still consistent at begin time");
     tl.write(&o4, 1).expect("TL w(o4)");
-    let err = tl.commit().expect_err("linearizability forbids TL's commit");
+    let err = tl
+        .commit()
+        .expect_err("linearizability forbids TL's commit");
     assert_eq!(err.reason(), AbortReason::ReadValidation);
 }
 

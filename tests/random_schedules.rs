@@ -33,10 +33,8 @@ fn tx_strategy(objects: usize, allow_long: bool) -> impl Strategy<Value = TxScri
     } else {
         Just(TxKind::Short).boxed()
     };
-    (kind, proptest::collection::vec(op_strategy(objects), 1..5)).prop_map(|(kind, ops)| TxScript {
-        kind,
-        ops,
-    })
+    (kind, proptest::collection::vec(op_strategy(objects), 1..5))
+        .prop_map(|(kind, ops)| TxScript { kind, ops })
 }
 
 fn schedule_strategy(allow_long: bool) -> impl Strategy<Value = Schedule> {

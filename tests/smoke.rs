@@ -1,0 +1,70 @@
+//! Cross-STM smoke test: the quickstart transfer runs on all five
+//! factories through the shared `TmFactory`/`TmThread`/`TmTx` traits.
+//!
+//! This is deliberately the most boring test in the repository. Its job is
+//! to fail fast if a workspace/manifest/feature change drops one of the
+//! five STM crates from the build or breaks the trait contract the
+//! workloads and benches are generic over.
+
+use std::sync::Arc;
+
+use zstm::prelude::*;
+
+/// The quickstart from the crate docs, generic over the STM: a short
+/// transfer between two accounts followed by a long read-only audit.
+fn transfer_smoke<F: TmFactory>(stm: Arc<F>) {
+    let policy = RetryPolicy::default();
+    let a = stm.new_var(100i64);
+    let b = stm.new_var(0i64);
+    let mut thread = stm.register_thread();
+
+    atomically(&mut thread, TxKind::Short, &policy, |tx| {
+        let from = tx.read(&a)?;
+        let to = tx.read(&b)?;
+        tx.write(&a, from - 30)?;
+        tx.write(&b, to + 30)
+    })
+    .unwrap_or_else(|_| panic!("{}: transfer must commit uncontended", stm.name()));
+
+    let total = atomically(&mut thread, TxKind::Long, &policy, |tx| {
+        Ok(tx.read(&a)? + tx.read(&b)?)
+    })
+    .unwrap_or_else(|_| panic!("{}: audit must commit uncontended", stm.name()));
+
+    assert_eq!(total, 100, "{}: transfers preserve the total", stm.name());
+    assert!(
+        thread.stats().commits(TxKind::Short) >= 1,
+        "{}: stats must count the short commit",
+        stm.name()
+    );
+}
+
+#[test]
+fn lsa_runs_the_quickstart() {
+    transfer_smoke(Arc::new(LsaStm::new(StmConfig::new(1))));
+}
+
+#[test]
+fn tl2_runs_the_quickstart() {
+    transfer_smoke(Arc::new(Tl2Stm::new(StmConfig::new(1))));
+}
+
+#[test]
+fn cs_vector_runs_the_quickstart() {
+    transfer_smoke(Arc::new(CsStm::with_vector_clock(StmConfig::new(1))));
+}
+
+#[test]
+fn cs_plausible_runs_the_quickstart() {
+    transfer_smoke(Arc::new(CsStm::with_plausible_clock(StmConfig::new(1), 1)));
+}
+
+#[test]
+fn sstm_runs_the_quickstart() {
+    transfer_smoke(Arc::new(SStm::with_vector_clock(StmConfig::new(1))));
+}
+
+#[test]
+fn z_runs_the_quickstart() {
+    transfer_smoke(Arc::new(ZStm::new(StmConfig::new(1))));
+}

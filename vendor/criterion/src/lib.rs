@@ -1,0 +1,398 @@
+//! Offline stand-in for the crates.io `criterion` crate.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the real `criterion` cannot be fetched. This crate vendors
+//! the small API subset the `zstm-bench` targets use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`black_box`], [`criterion_group!`] and [`criterion_main!`] — backed by
+//! a straightforward wall-clock measurement loop: warm up briefly, pick an
+//! iteration count targeting the measurement time, run the samples and
+//! report mean/min/max per iteration.
+//!
+//! It is intentionally *not* statistically rigorous (no outlier analysis,
+//! no HTML reports); it exists so `cargo bench` produces useful numbers
+//! and so the bench targets keep compiling against the familiar API. Swap
+//! it for the real crate by pointing the workspace `criterion` dependency
+//! back at crates.io.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` groups setup outputs into measurement batches.
+///
+/// The stand-in measures per-invocation either way, so the variants only
+/// document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine output; batch many per sample.
+    SmallInput,
+    /// Large routine output; batch few per sample.
+    LargeInput,
+    /// One invocation per batch.
+    PerIteration,
+}
+
+/// Top-level benchmark driver, handed to every `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration.
+    ///
+    /// Recognizes a bare positional argument as a substring filter on
+    /// benchmark ids (the common `cargo bench -- <filter>` invocation) and
+    /// ignores the option flags the real criterion accepts.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--bench" || arg == "--test" {
+                continue;
+            }
+            if arg.starts_with("--") {
+                // `--flag=value` is self-contained; only the space-separated
+                // form consumes a value argument. Valueless boolean flags in
+                // that form are not distinguishable without a flag table and
+                // will swallow one argument — acceptable for a stand-in.
+                if !arg.contains('=') {
+                    let _ = args.next();
+                }
+                continue;
+            }
+            self.filter = Some(arg);
+        }
+        self
+    }
+
+    /// Default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Default measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Default warm-up time per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (sample_size, measurement_time, warm_up_time) =
+            (self.sample_size, self.measurement_time, self.warm_up_time);
+        self.run_one(
+            id.to_string(),
+            sample_size,
+            measurement_time,
+            warm_up_time,
+            f,
+        );
+        self
+    }
+
+    fn run_one<F>(
+        &mut self,
+        id: String,
+        sample_size: usize,
+        measurement_time: Duration,
+        warm_up_time: Duration,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            mode: Mode::Calibrate(warm_up_time),
+            iters: 1,
+            samples: Vec::new(),
+        };
+        // Warm-up / calibration pass: find an iteration count whose run
+        // time is roughly measurement_time / sample_size.
+        f(&mut bencher);
+        let per_iter = bencher.calibrated_per_iter();
+        let target = measurement_time.as_nanos() as f64 / sample_size as f64;
+        let iters = if per_iter > 0.0 {
+            (target / per_iter).clamp(1.0, 1e9) as u64
+        } else {
+            1000
+        };
+
+        bencher.mode = Mode::Measure;
+        bencher.iters = iters;
+        bencher.samples.clear();
+        for _ in 0..sample_size {
+            f(&mut bencher);
+        }
+
+        let per_iter: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / iters as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{:<48} time: [{} {} {}]  ({} samples × {} iters)",
+            id,
+            fmt_ns(min),
+            fmt_ns(mean),
+            fmt_ns(max),
+            per_iter.len(),
+            iters
+        );
+    }
+
+    /// Final summary hook (no-op in the stand-in).
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the measurement time for benchmarks in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up time for benchmarks in this group.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<S: std::fmt::Display, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let (s, m, w) = (self.sample_size, self.measurement_time, self.warm_up_time);
+        self.criterion.run_one(full, s, m, w, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+enum Mode {
+    /// Warm-up: run escalating iteration counts until the budget is spent.
+    Calibrate(Duration),
+    /// Measurement: run exactly `iters` iterations, record the duration.
+    Measure,
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine` back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Calibrate(budget) => {
+                let start = Instant::now();
+                let mut iters: u64 = 0;
+                let mut batch: u64 = 1;
+                while start.elapsed() < budget {
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    iters += batch;
+                    batch = batch.saturating_mul(2).min(1 << 20);
+                }
+                self.record_calibration(start.elapsed(), iters.max(1));
+            }
+            Mode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters {
+                    black_box(routine());
+                }
+                self.samples.push(start.elapsed());
+            }
+        }
+    }
+
+    /// Measures `routine` over inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Calibrate(budget) => {
+                let deadline = Instant::now() + budget;
+                let mut timed = Duration::ZERO;
+                let mut iters: u64 = 0;
+                while Instant::now() < deadline {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    timed += start.elapsed();
+                    iters += 1;
+                }
+                self.record_calibration(timed, iters.max(1));
+            }
+            Mode::Measure => {
+                // Bound the number of setup outputs materialized at once:
+                // with a ~ns routine the calibrated iteration count runs
+                // into the millions, and holding that many inputs in one
+                // Vec would dominate memory and skew the numbers.
+                const MAX_BATCH: u64 = 4096;
+                let mut remaining = self.iters;
+                let mut timed = Duration::ZERO;
+                while remaining > 0 {
+                    let batch = remaining.min(MAX_BATCH);
+                    let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+                    let start = Instant::now();
+                    for input in inputs {
+                        black_box(routine(input));
+                    }
+                    timed += start.elapsed();
+                    remaining -= batch;
+                }
+                self.samples.push(timed);
+            }
+        }
+    }
+
+    fn record_calibration(&mut self, elapsed: Duration, iters: u64) {
+        // Stash the calibration result as a single pseudo-sample; the
+        // driver reads it back via `calibrated_per_iter`.
+        self.iters = iters;
+        self.samples.push(elapsed);
+    }
+
+    fn calibrated_per_iter(&self) -> f64 {
+        match self.samples.first() {
+            Some(d) => d.as_nanos() as f64 / self.iters.max(1) as f64,
+            None => 0.0,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iteration_work() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(4));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

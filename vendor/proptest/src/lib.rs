@@ -1,0 +1,601 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the real `proptest` cannot be fetched. This crate vendors
+//! the API subset the `zstm` property tests use — the [`proptest!`],
+//! [`prop_oneof!`], [`prop_assert!`] and [`prop_assert_eq!`] macros, the
+//! [`Strategy`](strategy::Strategy) combinators (`prop_map`,
+//! `prop_flat_map`, `boxed`), range/tuple/`Just`/[`collection::vec`]
+//! strategies and [`any`](arbitrary::any) — backed by a deterministic
+//! xorshift PRNG seeded per test from the test's name.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports the generated inputs but
+//!   does not minimize them;
+//! * **fixed derandomized seeds** — every run explores the same cases
+//!   (the real crate's default is also reproducible via its regressions
+//!   file); set `PROPTEST_CASES` to raise the case count.
+//!
+//! Swap it for the real crate by pointing the workspace `proptest`
+//! dependency back at crates.io; the test sources need no changes.
+
+#![warn(missing_docs)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of random values of type `Self::Value`.
+    ///
+    /// The stand-in strategy is purely generative: no value tree, no
+    /// shrinking.
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+
+        /// Generates one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into `f` to produce a dependent
+        /// strategy, then samples it.
+        fn prop_flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            U: Strategy,
+            F: Fn(Self::Value) -> U,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).gen_value(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of its payload.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn gen_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        U: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> U::Value {
+            (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+        }
+    }
+
+    /// Weighted union of strategies; built by [`prop_oneof!`](crate::prop_oneof).
+    pub struct OneOf<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds a weighted union. Panics if `arms` is empty or all
+        /// weights are zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            OneOf { arms, total }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.next_below(self.total);
+            for (weight, strat) in &self.arms {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return strat.gen_value(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weights sum mismatch")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.next_below(span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = hi as i128 - lo as i128 + 1;
+                    if span > u64::MAX as i128 {
+                        // Full 64-bit range: every raw value is in range.
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.next_below(span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A range of collection sizes.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        /// Minimum length (inclusive).
+        pub min: usize,
+        /// Maximum length (inclusive).
+        pub max: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates `Vec`s with lengths drawn from `size` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + rng.next_below(span) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates an unconstrained value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Canonical strategy for `T` (full value range).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+}
+
+/// Test-runner configuration, error type and PRNG.
+pub mod test_runner {
+    /// Why a test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The property does not hold.
+        Fail(String),
+        /// The input was rejected (counted, not a failure).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed property with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError::Fail(message.into())
+        }
+
+        /// A rejected input with the given message.
+        pub fn reject(message: impl Into<String>) -> Self {
+            TestCaseError::Reject(message.into())
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// Per-`proptest!`-block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic xorshift64* PRNG.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator (zero is remapped to a fixed constant).
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: if seed == 0 {
+                    0x9E37_79B9_7F4A_7C15
+                } else {
+                    seed
+                },
+            }
+        }
+
+        /// Seeds from a test name so every test explores a distinct but
+        /// reproducible sequence.
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng::new(hash)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform value in `0..bound` (`bound` must be positive).
+        pub fn next_below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Modulo bias is irrelevant at test-generation scale.
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn it_holds(x in 0u64..100, flip in any::<bool>()) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+     $( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::gen_value(&($strategy), &mut rng);)+
+                    let described = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg,)+
+                    );
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match outcome {
+                        Ok(()) | Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(message)) => panic!(
+                            "proptest case {case} failed: {message}\n  inputs: {described}"
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Weighted or unweighted union of strategies. Mirrors
+/// `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy)),)+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy)),)+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the whole
+/// process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+))
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} (`{:?}` != `{:?}`)", format!($($fmt)+), left, right),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (3usize..9).gen_value(&mut rng);
+            assert!((3..9).contains(&v));
+            let w = (-5i64..=5).gen_value(&mut rng);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut rng = TestRng::new(8);
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u32..4, 1..5).gen_value(&mut rng);
+            assert!((1..=4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_honors_weights() {
+        let mut rng = TestRng::new(9);
+        let strat = prop_oneof![10 => Just(true), 1 => Just(false)];
+        let trues = (0..1000).filter(|_| strat.gen_value(&mut rng)).count();
+        assert!(trues > 700, "weighted arm should dominate, got {trues}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_and_checks(x in 0u64..50, flag in any::<bool>()) {
+            prop_assert!(x < 50);
+            if flag {
+                prop_assert_eq!(x, x);
+            }
+        }
+    }
+}
