@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
-use zstm_clock::{CausalStamp, CausalTimeBase, RevClock, ScalarClock, SimRealTimeClock, TimeBase};
+use zstm_clock::{
+    CausalStamp, CausalTimeBase, RevClock, ScalarClock, ShardedClock, SimRealTimeClock, TimeBase,
+};
 
 fn bench_clocks(c: &mut Criterion) {
     let mut group = c.benchmark_group("clocks");
@@ -14,6 +16,12 @@ fn bench_clocks(c: &mut Criterion) {
     group.bench_function("scalar_now", |b| b.iter(|| black_box(scalar.now(0))));
     group.bench_function("scalar_commit_stamp", |b| {
         b.iter(|| black_box(scalar.commit_stamp(0)))
+    });
+
+    let sharded = ShardedClock::new(16);
+    group.bench_function("sharded_now", |b| b.iter(|| black_box(sharded.now(0))));
+    group.bench_function("sharded_commit_stamp", |b| {
+        b.iter(|| black_box(sharded.commit_stamp(0)))
     });
 
     let realtime = SimRealTimeClock::new(4, 1_000, 42);

@@ -1,0 +1,197 @@
+//! The bench-baseline regression gate.
+//!
+//! ```text
+//! check-baselines [--fresh DIR] [--baselines DIR]
+//! ```
+//!
+//! Reads the JSON series a fresh `repro_figures` run wrote under `--fresh`
+//! (default `target/figures`) plus the committed reference series under
+//! `--baselines` (default `baselines/`), and asserts that the **relative
+//! shapes** still hold. Absolute throughput is machine-dependent and never
+//! compared; each rule checks a ratio between two series of one figure at
+//! the highest measured thread count, with a floor derived from the
+//! committed baseline's ratio so a genuine regression fails while run-to-
+//! run noise passes:
+//!
+//! * `clock_contention` — `ShardedClock` must beat `ScalarClock` (the
+//!   sharded time base exists to win under contention);
+//! * `fig7_totals` — Z-STM must sustain update Compute-Totals where LSA
+//!   degrades (the paper's headline separation);
+//! * `map` — LSA over the sharded clock must not regress against LSA over
+//!   the scalar clock on the read-dominated map.
+//!
+//! Exit status 0 when every rule passes, 1 otherwise — wire it after a
+//! short `repro_figures fig7 / map / clocks` run in CI.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use zstm_bench::json::{from_json, Figure};
+
+/// One relative-shape assertion: `numerator / denominator` at the highest
+/// common thread count of figure `file` must stay above a floor derived
+/// from the committed baseline's ratio.
+struct Rule {
+    /// Figure file stem (`<file>.json` in both directories).
+    file: &'static str,
+    numerator: &'static str,
+    denominator: &'static str,
+    /// What the rule enforces, for the report.
+    claim: &'static str,
+    /// Floor for the fresh ratio given the baseline ratio.
+    floor: fn(f64) -> f64,
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        file: "clock_contention",
+        numerator: "ShardedClock",
+        denominator: "ScalarClock",
+        claim: "sharded clock beats the scalar fetch-add clock at the top thread count",
+        // The sharded clock's win is a cache-coherence effect: it trades a
+        // couple of extra uncontended atomics per stamp for keeping the
+        // shared line read-mostly, which only pays off when threads run in
+        // parallel. On >= 8 hardware threads it must genuinely win
+        // (>= 1.0) and keep half of the committed headroom; on smaller
+        // boxes — the single-core paper-repro container, but also 2-4-vCPU
+        // shared CI runners, where the win is too noise-prone to hard-gate
+        // — only the baseline-relative shape is enforced.
+        floor: |baseline| {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            if cores >= 8 {
+                (baseline * 0.5).max(1.0)
+            } else {
+                baseline * 0.5
+            }
+        },
+    },
+    Rule {
+        file: "fig7_totals",
+        numerator: "Z-STM",
+        denominator: "LSA-STM",
+        claim: "Z-STM sustains update Compute-Totals vs LSA (Figure 7 separation)",
+        floor: |baseline| (baseline * 0.25).max(1.0),
+    },
+    Rule {
+        file: "map",
+        numerator: "LSA-STM (sharded)",
+        denominator: "LSA-STM (scalar)",
+        claim: "sharded time base does not regress the read-dominated map on LSA",
+        // Non-regression rule: the sharded clock must stay within noise of
+        // the scalar clock even on boxes too small for it to win (the 0.8
+        // cap keeps the floor below parity so run-to-run noise passes, and
+        // the baseline factor keeps a real 30 %+ regression failing).
+        floor: |baseline| (baseline * 0.7).min(0.8),
+    },
+];
+
+fn load_figure(dir: &Path, file: &str) -> Result<Figure, String> {
+    let path = dir.join(format!("{file}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Ratio `numerator / denominator` at the highest x the two series share.
+fn ratio_at_top(figure: &Figure, rule: &Rule) -> Result<(f64, f64), String> {
+    let num = figure
+        .series(rule.numerator)
+        .ok_or_else(|| format!("{}: no series '{}'", figure.name, rule.numerator))?;
+    let den = figure
+        .series(rule.denominator)
+        .ok_or_else(|| format!("{}: no series '{}'", figure.name, rule.denominator))?;
+    let top = num
+        .points
+        .iter()
+        .map(|&(x, _)| x)
+        .filter(|x| den.points.iter().any(|&(dx, _)| dx == *x))
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !top.is_finite() {
+        return Err(format!(
+            "{}: series '{}' and '{}' share no x values",
+            figure.name, rule.numerator, rule.denominator
+        ));
+    }
+    let at = |s: &zstm_workload::Series| {
+        s.points
+            .iter()
+            .find(|&&(x, _)| x == top)
+            .map(|&(_, y)| y)
+            .expect("top x chosen from shared points")
+    };
+    let (n, d) = (at(num), at(den));
+    if d <= 0.0 {
+        return Err(format!(
+            "{}: denominator series '{}' is zero at x = {top}",
+            figure.name, rule.denominator
+        ));
+    }
+    Ok((n / d, top))
+}
+
+fn check(rule: &Rule, fresh_dir: &Path, baseline_dir: &Path) -> Result<String, String> {
+    let fresh = load_figure(fresh_dir, rule.file)?;
+    let baseline = load_figure(baseline_dir, rule.file)?;
+    let (fresh_ratio, fresh_x) = ratio_at_top(&fresh, rule)?;
+    let (baseline_ratio, baseline_x) = ratio_at_top(&baseline, rule)?;
+    let floor = (rule.floor)(baseline_ratio);
+    let verdict = format!(
+        "{}: {} / {} = {:.3} at x = {} (baseline {:.3} at x = {}, floor {:.3})",
+        rule.file,
+        rule.numerator,
+        rule.denominator,
+        fresh_ratio,
+        fresh_x,
+        baseline_ratio,
+        baseline_x,
+        floor
+    );
+    if fresh_ratio >= floor {
+        Ok(verdict)
+    } else {
+        Err(format!("{verdict}\n    CLAIM VIOLATED: {}", rule.claim))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut fresh_dir = PathBuf::from("target/figures");
+    let mut baseline_dir = PathBuf::from("baselines");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fresh" => fresh_dir = PathBuf::from(args.next().expect("--fresh needs a path")),
+            "--baselines" => {
+                baseline_dir = PathBuf::from(args.next().expect("--baselines needs a path"))
+            }
+            other => {
+                eprintln!("unknown flag: {other} (expected --fresh DIR / --baselines DIR)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    println!(
+        "check-baselines: fresh = {}, baselines = {}",
+        fresh_dir.display(),
+        baseline_dir.display()
+    );
+    let mut failures = 0;
+    for rule in RULES {
+        match check(rule, &fresh_dir, &baseline_dir) {
+            Ok(verdict) => println!("  ok   {verdict}"),
+            Err(message) => {
+                println!("  FAIL {message}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        println!("all {} relative-shape rules hold", RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("{failures} rule(s) violated");
+        ExitCode::FAILURE
+    }
+}

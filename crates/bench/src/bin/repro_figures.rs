@@ -1,20 +1,24 @@
 //! Regenerates the paper's figures and the ARCHITECTURE.md ablations.
 //!
 //! ```text
-//! repro-figures [fig6|fig7|ablation-r|ablation-overhead|ablation-longfrac|contention|all]
-//!               [--duration-ms N] [--threads 1,2,8,16,32]
+//! repro-figures [fig6|fig7|map|clocks|ablation-r|ablation-overhead|ablation-longfrac|contention|all]
+//!               [--duration-ms N] [--threads 1,2,8,16,32] [--out-dir DIR]
 //! ```
 //!
 //! Prints the series as aligned tables (the same rows the paper plots) and
-//! writes gnuplot-ready data files under `target/figures/`.
+//! writes gnuplot-ready `.dat`, `.csv` and machine-readable `.json` data
+//! files under the output directory (default `target/figures/`). The
+//! `.json` files are what the CI bench-smoke gate feeds to
+//! `check_baselines`.
 
 use std::fs;
-use std::path::Path;
+use std::path::PathBuf;
 use std::time::Duration;
 
+use zstm_bench::json::{to_json, Figure};
 use zstm_bench::{
-    ablation_contention, ablation_long_fraction, ablation_overhead, ablation_plausible_r, figure6,
-    figure7, BankFigure, PAPER_THREADS,
+    ablation_contention, ablation_long_fraction, ablation_overhead, ablation_plausible_r,
+    clock_contention, figure6, figure7, figure_map, BankFigure, PAPER_THREADS,
 };
 use zstm_workload::{print_table, Series};
 
@@ -22,12 +26,14 @@ struct Options {
     command: String,
     duration: Duration,
     threads: Vec<usize>,
+    out_dir: PathBuf,
 }
 
 fn parse_args() -> Options {
     let mut command = "all".to_string();
     let mut duration = Duration::from_millis(1_000);
     let mut threads: Vec<usize> = PAPER_THREADS.to_vec();
+    let mut out_dir = PathBuf::from("target/figures");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,6 +51,9 @@ fn parse_args() -> Options {
                     .map(|t| t.parse().expect("thread counts are integers"))
                     .collect();
             }
+            "--out-dir" => {
+                out_dir = PathBuf::from(args.next().expect("--out-dir needs a path"));
+            }
             other if !other.starts_with('-') => command = other.to_string(),
             other => panic!("unknown flag: {other}"),
         }
@@ -53,12 +62,13 @@ fn parse_args() -> Options {
         command,
         duration,
         threads,
+        out_dir,
     }
 }
 
-fn save(name: &str, series: &[Series]) {
-    let dir = Path::new("target/figures");
-    fs::create_dir_all(dir).expect("create target/figures");
+fn save(options: &Options, name: &str, series: &[Series]) {
+    let dir = &options.out_dir;
+    fs::create_dir_all(dir).expect("create figure output directory");
     let mut gnuplot = String::new();
     let mut csv = String::from("label,x,y\n");
     for s in series {
@@ -68,20 +78,35 @@ fn save(name: &str, series: &[Series]) {
     }
     fs::write(dir.join(format!("{name}.dat")), gnuplot).expect("write .dat");
     fs::write(dir.join(format!("{name}.csv")), csv).expect("write .csv");
-    println!("(saved target/figures/{name}.dat and .csv)");
+    let figure = Figure {
+        name: name.to_string(),
+        series: series.to_vec(),
+    };
+    fs::write(dir.join(format!("{name}.json")), to_json(&figure)).expect("write .json");
+    println!(
+        "(saved {}/{name}.dat, .csv and .json)",
+        dir.to_string_lossy()
+    );
 }
 
-fn print_bank_figure(name: &str, title_left: &str, title_right: &str, figure: &BankFigure) {
+fn print_bank_figure(
+    options: &Options,
+    name: &str,
+    title_left: &str,
+    title_right: &str,
+    figure: &BankFigure,
+) {
     println!("{}", print_table(title_left, &figure.totals));
     println!("{}", print_table(title_right, &figure.transfers));
-    save(&format!("{name}_totals"), &figure.totals);
-    save(&format!("{name}_transfers"), &figure.transfers);
+    save(options, &format!("{name}_totals"), &figure.totals);
+    save(options, &format!("{name}_transfers"), &figure.transfers);
 }
 
 fn run_fig6(options: &Options) {
     println!("=== Figure 6: Bank benchmark, read-only Compute-Total ===");
     let figure = figure6(&options.threads, options.duration);
     print_bank_figure(
+        options,
         "fig6",
         "Compute-Total transactions (read-only) [Tx/s]",
         "Transfer transactions [Tx/s]",
@@ -93,11 +118,26 @@ fn run_fig7(options: &Options) {
     println!("=== Figure 7: Bank benchmark, update Compute-Total ===");
     let figure = figure7(&options.threads, options.duration);
     print_bank_figure(
+        options,
         "fig7",
         "Compute-Total transactions (update) [Tx/s]",
         "Transfer transactions [Tx/s]",
         &figure,
     );
+}
+
+fn run_map(options: &Options) {
+    println!("=== Map: read-dominated bucketed map, scalar vs sharded time base ===");
+    let series = figure_map(&options.threads, options.duration);
+    println!("{}", print_table("committed ops/s", &series));
+    save(options, "map", &series);
+}
+
+fn run_clocks(options: &Options) {
+    println!("=== Clocks: commit-stamp throughput, ScalarClock vs ShardedClock ===");
+    let series = clock_contention(&options.threads, options.duration);
+    println!("{}", print_table("commit stamps/s", &series));
+    save(options, "clock_contention", &series);
 }
 
 fn run_ablation_r(options: &Options) {
@@ -118,14 +158,14 @@ fn run_ablation_r(options: &Options) {
         "{}",
         print_table("abort ratio over r", std::slice::from_ref(&aborts))
     );
-    save("ablation_r", &[throughput, aborts]);
+    save(options, "ablation_r", &[throughput, aborts]);
 }
 
 fn run_ablation_overhead(options: &Options) {
     println!("=== Ablation B: time-base overhead (array workload) ===");
     let series = ablation_overhead(&options.threads, options.duration);
     println!("{}", print_table("commits/s", &series));
-    save("ablation_overhead", &series);
+    save(options, "ablation_overhead", &series);
 }
 
 fn run_ablation_longfrac(options: &Options) {
@@ -140,8 +180,8 @@ fn run_ablation_longfrac(options: &Options) {
         "{}",
         print_table("Transfers [Tx/s] over long-%", &figure.transfers)
     );
-    save("ablation_longfrac_totals", &figure.totals);
-    save("ablation_longfrac_transfers", &figure.transfers);
+    save(options, "ablation_longfrac_totals", &figure.totals);
+    save(options, "ablation_longfrac_transfers", &figure.transfers);
 }
 
 fn run_contention(options: &Options) {
@@ -174,6 +214,8 @@ fn main() {
     match options.command.as_str() {
         "fig6" => run_fig6(&options),
         "fig7" => run_fig7(&options),
+        "map" => run_map(&options),
+        "clocks" => run_clocks(&options),
         "ablation-r" => run_ablation_r(&options),
         "ablation-overhead" => run_ablation_overhead(&options),
         "ablation-longfrac" => run_ablation_longfrac(&options),
@@ -181,6 +223,8 @@ fn main() {
         "all" => {
             run_fig6(&options);
             run_fig7(&options);
+            run_map(&options);
+            run_clocks(&options);
             run_ablation_r(&options);
             run_ablation_overhead(&options);
             run_ablation_longfrac(&options);
@@ -188,8 +232,8 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command '{other}'; expected fig6 | fig7 | ablation-r | \
-                 ablation-overhead | ablation-longfrac | contention | all"
+                "unknown command '{other}'; expected fig6 | fig7 | map | clocks | \
+                 ablation-r | ablation-overhead | ablation-longfrac | contention | all"
             );
             std::process::exit(2);
         }

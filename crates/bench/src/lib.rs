@@ -10,14 +10,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::Arc;
-use std::time::Duration;
+pub mod json;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use zstm_clock::{ScalarClock, ShardedClock, TimeBase};
 use zstm_core::{CmPolicy, StmConfig, TmFactory};
 use zstm_cs::CsStm;
 use zstm_lsa::LsaStm;
 use zstm_tl2::Tl2Stm;
-use zstm_workload::{run_array, run_bank, ArrayConfig, BankConfig, BankReport, LongMode, Series};
+use zstm_workload::{
+    run_array, run_bank, run_map, ArrayConfig, BankConfig, BankReport, LongMode, MapConfig, Series,
+};
 use zstm_z::ZStm;
 
 /// Thread counts the paper sweeps in Figures 6 and 7.
@@ -221,6 +227,107 @@ pub fn ablation_long_fraction(threads: usize, duration: Duration) -> BankFigure 
     BankFigure { totals, transfers }
 }
 
+/// One data point of the clock-contention microbench: `threads` workers
+/// hammer [`TimeBase::commit_stamp`] (with a `now` thrown in every batch,
+/// the snapshot pattern) for `duration`; returns stamps drawn per second.
+pub fn stamp_throughput<B: TimeBase>(clock: Arc<B>, threads: usize, duration: Duration) -> f64 {
+    const BATCH: u64 = 64;
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|slot| {
+            let clock = Arc::clone(&clock);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut ops = 0u64;
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..BATCH {
+                        std::hint::black_box(clock.commit_stamp(slot));
+                    }
+                    std::hint::black_box(clock.now(slot));
+                    ops += BATCH;
+                }
+                ops
+            })
+        })
+        .collect();
+    barrier.wait();
+    let started = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = started.elapsed();
+    let total: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("clock worker panicked"))
+        .sum();
+    total as f64 / elapsed.as_secs_f64()
+}
+
+/// **Clock contention**: commit-stamp throughput of the shared-counter
+/// [`ScalarClock`] vs the sharded time base over thread counts — the
+/// microbench behind the "sharded/striped global clocks" scaling item.
+/// Returns one series per clock.
+pub fn clock_contention(threads: &[usize], duration: Duration) -> Vec<Series> {
+    let mut scalar = Series::new("ScalarClock");
+    let mut sharded = Series::new("ShardedClock");
+    for &n in threads {
+        scalar.push(
+            n as f64,
+            stamp_throughput(Arc::new(ScalarClock::new()), n, duration),
+        );
+        sharded.push(
+            n as f64,
+            stamp_throughput(Arc::new(ShardedClock::new(n)), n, duration),
+        );
+    }
+    vec![scalar, sharded]
+}
+
+fn run_map_point<F: TmFactory>(stm: Arc<F>, config: &MapConfig) -> f64 {
+    let report = run_map(&stm, config);
+    assert!(
+        report.consistent,
+        "{}: map scans must observe consistent snapshots at {} threads",
+        report.stm, config.threads
+    );
+    report.ops_per_sec
+}
+
+/// **Map figure**: the read-dominated map workload on LSA over the scalar
+/// and sharded clocks plus Z-STM over the sharded clock — the sweep that
+/// shows what the seqlock read path and the sharded time base buy on the
+/// workloads they target. Returns one throughput series per system.
+pub fn figure_map(threads: &[usize], duration: Duration) -> Vec<Series> {
+    let mut lsa_scalar = Series::new("LSA-STM (scalar)");
+    let mut lsa_sharded = Series::new("LSA-STM (sharded)");
+    let mut z_sharded = Series::new("Z-STM (sharded)");
+    for &n in threads {
+        let mut config = MapConfig::new(n);
+        config.duration = duration;
+        lsa_scalar.push(
+            n as f64,
+            run_map_point(Arc::new(LsaStm::new(StmConfig::new(n))), &config),
+        );
+        lsa_sharded.push(
+            n as f64,
+            run_map_point(
+                Arc::new(LsaStm::with_clock(StmConfig::new(n), ShardedClock::new(n))),
+                &config,
+            ),
+        );
+        z_sharded.push(
+            n as f64,
+            run_map_point(
+                Arc::new(ZStm::with_clock(StmConfig::new(n), ShardedClock::new(n))),
+                &config,
+            ),
+        );
+    }
+    vec![lsa_scalar, lsa_sharded, z_sharded]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,6 +352,25 @@ mod tests {
         // 40 ms window.
         let z = &figure.totals[1];
         assert_eq!(z.label, "Z-STM");
+    }
+
+    #[test]
+    fn clock_contention_smoke() {
+        let series = clock_contention(&[1, 2], FAST);
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert_eq!(s.points.len(), 2);
+            assert!(s.points.iter().all(|&(_, y)| y > 0.0));
+        }
+    }
+
+    #[test]
+    fn figure_map_smoke() {
+        let series = figure_map(&[2], FAST);
+        assert_eq!(series.len(), 3);
+        for s in &series {
+            assert!(s.points.iter().all(|&(_, y)| y > 0.0));
+        }
     }
 
     #[test]

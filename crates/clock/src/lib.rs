@@ -9,6 +9,12 @@
 //!   Implementations:
 //!   * [`ScalarClock`] — the classic shared integer counter (cheap, but
 //!     contended; used by LSA, TL2 and Z-STM's underlying LSA),
+//!   * [`ShardedClock`] — per-shard epoch counters with a cheap global
+//!     bound: commit stamps are `(epoch, shard)` pairs packed into one
+//!     `u64`, so the hot read-modify-write lands on a shard-private cache
+//!     line while snapshot reads still see one global notion of time. It
+//!     also implements [`CausalTimeBase`] with scalar stamps (a Lamport
+//!     clock), so all five STMs accept it,
 //!   * [`SimRealTimeClock`] — synchronized real-time clocks with bounded
 //!     deviation, as proposed in the paper's reference \[9\]. Real systems
 //!     would use hardware clocks; we *simulate* them with a monotonic
@@ -57,10 +63,12 @@ mod order;
 mod realtime;
 mod rev;
 mod scalar;
+mod sharded;
 mod traits;
 
 pub use order::ClockOrd;
 pub use realtime::SimRealTimeClock;
 pub use rev::{RevClock, RevStamp};
 pub use scalar::ScalarClock;
+pub use sharded::ShardedClock;
 pub use traits::{CausalStamp, CausalTimeBase, TimeBase};

@@ -56,7 +56,7 @@
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use zstm_clock::{CausalStamp, CausalTimeBase, RevClock};
@@ -120,15 +120,33 @@ struct Inner<T, S> {
     writer: Option<Reservation<T, S>>,
 }
 
+/// Snapshot of the current committed version, published for the seqlock
+/// read fast path (see [`VarShared::read_fast`]).
+struct Published<T, S> {
+    value: T,
+    ct: S,
+    seq: VersionSeq,
+}
+
 /// A transactional variable managed by [`CsStm`]. Cheap to clone.
 pub struct CsVar<T: TxValue, C: CausalTimeBase> {
     shared: Arc<VarShared<T, C::Stamp>>,
 }
 
+/// Bit of `VarShared::meta` set while a writer reservation exists.
+const WRITER_BIT: u64 = 1;
+
 struct VarShared<T, S> {
     id: ObjId,
     max_history: usize,
     sink: Arc<dyn zstm_core::EventSink>,
+    /// Seqlock word: `committed seq << 1 | WRITER_BIT`, updated (release)
+    /// under the `inner` lock after every reservation or promotion change.
+    meta: AtomicU64,
+    /// Publication cell for the committed version; refreshed under the
+    /// `inner` lock before `meta` advertises the new sequence. Held only
+    /// for an `Arc` clone on the read path.
+    latest: Mutex<Arc<Published<T, S>>>,
     inner: Mutex<Inner<T, S>>,
 }
 
@@ -156,6 +174,34 @@ impl<T: TxValue, C: CausalTimeBase> std::fmt::Debug for CsVar<T, C> {
 }
 
 impl<T: TxValue, S: CausalStamp> VarShared<T, S> {
+    /// Re-derives the seqlock word from `inner`; call while still holding
+    /// the lock after any mutation of the reservation or the version.
+    fn publish_meta(&self, inner: &Inner<T, S>) {
+        let writer = if inner.writer.is_some() {
+            WRITER_BIT
+        } else {
+            0
+        };
+        self.meta.store(inner.seq << 1 | writer, Ordering::Release);
+    }
+
+    /// Seqlock fast read: the committed version, iff the whole sampling
+    /// window saw no writer reservation and no promotion (same protocol as
+    /// `VarCore::read_latest_fast` in `zstm-lsa`; the only tolerated A-B-A
+    /// is a reservation taken and released *aborted* inside the window,
+    /// which never changes committed state).
+    fn read_fast(&self) -> Option<Arc<Published<T, S>>> {
+        let before = self.meta.load(Ordering::Acquire);
+        if before & WRITER_BIT != 0 {
+            return None;
+        }
+        let published = Arc::clone(&self.latest.lock());
+        if published.seq << 1 != before || self.meta.load(Ordering::Acquire) != before {
+            return None;
+        }
+        Some(published)
+    }
+
     /// Locks the object with a settled writer: dead reservations cleaned,
     /// committed reservations promoted. Committing writers are waited out
     /// *only* when their published timestamp precedes `my_ct` (only those
@@ -177,6 +223,7 @@ impl<T: TxValue, S: CausalStamp> VarShared<T, S> {
                     TxStatus::Active => false,
                     TxStatus::Aborted => {
                         guard.writer = None;
+                        self.publish_meta(&guard);
                         false
                     }
                     TxStatus::Committed => {
@@ -219,6 +266,14 @@ impl<T: TxValue, S: CausalStamp> VarShared<T, S> {
         inner.value = reservation.tentative;
         inner.ct = stamp;
         inner.seq = seq;
+        // Publication order matters for the fast path: the cell first, the
+        // seqlock word second (see `read_fast`).
+        *self.latest.lock() = Arc::new(Published {
+            value: inner.value.clone(),
+            ct: inner.ct.clone(),
+            seq,
+        });
+        self.publish_meta(inner);
         // Write events are emitted at promotion time so lazily promoted
         // reservations are not lost from recorded histories.
         if self.sink.enabled() {
@@ -277,6 +332,21 @@ impl<C: CausalTimeBase> CsStm<C> {
     }
 }
 
+impl<C: CausalTimeBase> CsStm<C> {
+    /// Creates a CS-STM over an explicit causal time base — the same
+    /// constructor shape as the scalar-clocked STMs, so factories can be
+    /// built uniformly (e.g. `CsStm::with_clock(config,
+    /// ShardedClock::new(n))`, since scalar time bases implement
+    /// [`CausalTimeBase`] under the total order of their stamps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock serves fewer slots than the configured threads.
+    pub fn with_clock(config: StmConfig, clock: C) -> Self {
+        Self::new(config, clock)
+    }
+}
+
 impl CsStm<RevClock> {
     /// Convenience constructor: CS-STM over an exact vector clock with one
     /// entry per configured thread.
@@ -303,6 +373,12 @@ impl<C: CausalTimeBase> TmFactory for CsStm<C> {
                 id: ObjId::fresh(),
                 max_history: self.config.max_versions_per_object(),
                 sink: Arc::clone(self.config.sink()),
+                meta: AtomicU64::new(0),
+                latest: Mutex::new(Arc::new(Published {
+                    value: init.clone(),
+                    ct: self.clock.zero(),
+                    seq: 0,
+                })),
                 inner: Mutex::new(Inner {
                     value: init,
                     ct: self.clock.zero(),
@@ -401,6 +477,13 @@ trait CsObject<S>: Send + Sync {
 
 impl<T: TxValue, S: CausalStamp> CsObject<S> for VarShared<T, S> {
     fn validate(&self, me: &Arc<StampRec<S>>, seq: VersionSeq, my_ct: &S) -> bool {
+        // Fast path: one seqlock-word load. No pending writer and `seq`
+        // still current means no successor exists at this instant — the
+        // same verdict the settled path reaches via `guard.seq <= seq`.
+        let meta = self.meta.load(Ordering::Acquire);
+        if meta & WRITER_BIT == 0 && meta >> 1 <= seq {
+            return true;
+        }
         let guard = self.lock_settled(Some(me), Some(my_ct));
         if guard.seq <= seq {
             return true;
@@ -441,6 +524,7 @@ impl<T: TxValue, S: CausalStamp> CsObject<S> for VarShared<T, S> {
             .is_some_and(|w| Arc::ptr_eq(&w.rec, me))
         {
             guard.writer = None;
+            self.publish_meta(&guard);
         }
     }
 
@@ -520,6 +604,21 @@ impl<C: CausalTimeBase> TmTx for CsTx<'_, C> {
         self.check_alive()?;
         self.thread.stats.record_read();
         self.rec.shared.add_karma(1);
+        // Seqlock fast path: a quiescent object needs no settled lock. A
+        // reservation held by this transaction keeps the writer bit set,
+        // so read-your-own-write always reaches the slow path below.
+        if let Some(published) = var.shared.read_fast() {
+            self.ct.join(&published.ct);
+            self.reads.push(ReadEntry {
+                obj: Arc::clone(&var.shared) as Arc<dyn CsObject<C::Stamp>>,
+                seq: published.seq,
+            });
+            self.record(TxEventKind::Read {
+                obj: var.shared.id,
+                version: published.seq,
+            });
+            return Ok(published.value.clone());
+        }
         let guard = var.shared.lock_settled(Some(&self.rec), None);
         // Read-your-own-write.
         if let Some(w) = &guard.writer {
@@ -563,6 +662,7 @@ impl<C: CausalTimeBase> TmTx for CsTx<'_, C> {
                         rec: Arc::clone(&self.rec),
                         tentative: pending.take().expect("value pending"),
                     });
+                    var.shared.publish_meta(&guard);
                     drop(guard);
                     self.writes
                         .push(Arc::clone(&var.shared) as Arc<dyn CsObject<C::Stamp>>);
@@ -579,6 +679,7 @@ impl<C: CausalTimeBase> TmTx for CsTx<'_, C> {
                                 rec: Arc::clone(&self.rec),
                                 tentative: pending.take().expect("value pending"),
                             });
+                            var.shared.publish_meta(&guard);
                             drop(guard);
                             self.writes
                                 .push(Arc::clone(&var.shared) as Arc<dyn CsObject<C::Stamp>>);

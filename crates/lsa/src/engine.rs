@@ -9,6 +9,31 @@
 //! committer itself), mirroring "updates become visible to other
 //! transactions when the update transaction's status changes from active to
 //! committed" (Section 5.4).
+//!
+//! # The seqlock-style read fast path
+//!
+//! Reads used to go through `VarCore::lock_settled`, a full mutex acquire
+//! per access — the hottest lock in the workspace on read-dominated
+//! workloads. The engine now keeps, next to the mutex-protected state, a
+//! small optimistically-readable publication:
+//!
+//! * `meta`, an atomic word packing `newest committed seq << 1 | writer
+//!   present`, and
+//! * `latest`, a cell holding an `Arc` of the newest committed version,
+//!   guarded by a lock that is only ever held for a pointer clone.
+//!
+//! Both are updated under the main object lock whenever the committed state
+//! or the reservation changes. A fast read samples `meta`, clones the
+//! published `Arc`, and revalidates `meta` (the seqlock pattern: sequence,
+//! data, sequence). It succeeds only when the whole window saw *no* writer
+//! reservation and an unchanged newest version, in which case the published
+//! version is exactly what the settled slow path would have returned. Any
+//! interference — a reservation appearing, a promotion, a pending committer
+//! — falls back to `lock_settled`, which preserves the original semantics
+//! (waiting out committing writers, lazy promotion, read-your-own-writes).
+//! The one tolerated A-B-A is a reservation that is taken and released
+//! *aborted* entirely inside the window: it never changes committed state,
+//! so the fast read is still linearizable.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -20,6 +45,10 @@ use zstm_core::{
 };
 use zstm_util::sync::{Mutex, MutexGuard};
 use zstm_util::Backoff;
+
+/// Bit of [`VarCore`]'s `meta` word that is set while a writer reservation
+/// exists (active, committing, committed-but-unpromoted, or dead).
+const WRITER_BIT: u64 = 1;
 
 /// One committed version of an object.
 #[derive(Clone, Debug)]
@@ -34,6 +63,29 @@ pub struct Version<T> {
     pub seq: VersionSeq,
 }
 
+/// Why a version-history lookup could not produce an answer.
+///
+/// Returned by [`VarCore::successor_ct`] and
+/// [`DynObject::successor_ct_dyn`]; callers treat a gap as "assume the
+/// worst" (the snapshot cannot be proven valid past its current time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HistoryGap {
+    /// The requested version's successor fell out of the bounded history
+    /// ([`zstm_core::StmConfig::max_versions`] versions are retained per
+    /// object), so its commit time is unknown.
+    Pruned,
+}
+
+impl std::fmt::Display for HistoryGap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HistoryGap::Pruned => f.write_str("successor version pruned from bounded history"),
+        }
+    }
+}
+
+impl std::error::Error for HistoryGap {}
+
 struct Reservation<T> {
     tx: Arc<TxShared>,
     tentative: T,
@@ -41,7 +93,7 @@ struct Reservation<T> {
 
 struct Inner<T> {
     /// Committed versions, oldest first; `ct` and `seq` strictly increase.
-    versions: VecDeque<Version<T>>,
+    versions: VecDeque<Arc<Version<T>>>,
     writer: Option<Reservation<T>>,
 }
 
@@ -63,12 +115,22 @@ pub struct ReadHit<T> {
 /// `VarCore` enforces the single-writer rule (write/write conflicts are
 /// resolved by the contention manager at open time), keeps a bounded
 /// version history for multi-version reads, and carries the per-object zone
-/// counter `o.zc` used by Z-STM (zero-cost for the other STMs).
+/// counter `o.zc` used by Z-STM (zero-cost for the other STMs). Reads of a
+/// quiescent object take the seqlock-style fast path described in the
+/// module docs instead of the settled lock.
 pub struct VarCore<T> {
     id: ObjId,
     max_versions: usize,
     /// Z-STM's per-object zone counter `o.zc` (Algorithm 2 lines 6–7).
     zc: AtomicU64,
+    /// Seqlock word: `newest committed seq << 1 | WRITER_BIT`. Updated
+    /// (release) under the `inner` lock after every change to the version
+    /// list or the reservation slot.
+    meta: AtomicU64,
+    /// Publication cell for the newest committed version; refreshed under
+    /// the `inner` lock *before* `meta` advertises the new sequence. The
+    /// lock is held only for an `Arc` clone, never while settling.
+    latest: Mutex<Arc<Version<T>>>,
     sink: Arc<dyn EventSink>,
     inner: Mutex<Inner<T>>,
 }
@@ -76,16 +138,19 @@ pub struct VarCore<T> {
 impl<T: TxValue> VarCore<T> {
     /// Creates a core whose initial version is `init` at time 0, seq 0.
     pub fn new(init: T, max_versions: usize, sink: Arc<dyn EventSink>) -> Self {
-        let mut versions = VecDeque::with_capacity(max_versions.min(16));
-        versions.push_back(Version {
+        let initial = Arc::new(Version {
             value: init,
             ct: 0,
             seq: 0,
         });
+        let mut versions = VecDeque::with_capacity(max_versions.min(16));
+        versions.push_back(Arc::clone(&initial));
         Self {
             id: ObjId::fresh(),
             max_versions: max_versions.max(1),
             zc: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            latest: Mutex::new(initial),
             sink,
             inner: Mutex::new(Inner {
                 versions,
@@ -110,6 +175,37 @@ impl<T: TxValue> VarCore<T> {
         self.zc.fetch_max(zc, Ordering::AcqRel)
     }
 
+    /// Re-derives the seqlock word from `inner`. Must be called (while
+    /// still holding the lock) after every mutation of the version list or
+    /// the reservation slot.
+    fn publish_meta(&self, inner: &Inner<T>) {
+        let seq = inner.versions.back().expect("version list never empty").seq;
+        let writer = if inner.writer.is_some() {
+            WRITER_BIT
+        } else {
+            0
+        };
+        self.meta.store(seq << 1 | writer, Ordering::Release);
+    }
+
+    /// Seqlock fast read: returns the newest committed version iff the
+    /// whole sampling window saw no writer reservation and no promotion.
+    /// `None` means "contended or stale — take the slow path".
+    fn read_latest_fast(&self) -> Option<Arc<Version<T>>> {
+        let before = self.meta.load(Ordering::Acquire);
+        if before & WRITER_BIT != 0 {
+            return None;
+        }
+        let published = Arc::clone(&self.latest.lock());
+        // The published pointer must match the sampled word (it may run
+        // ahead of a stale `meta` load), and the word must be unchanged
+        // afterwards — otherwise a writer touched the object meanwhile.
+        if published.seq << 1 != before || self.meta.load(Ordering::Acquire) != before {
+            return None;
+        }
+        Some(published)
+    }
+
     /// Locks the object with a *settled* writer: dead reservations are
     /// cleaned up, reservations of committed transactions are promoted to
     /// versions, and reservations of transactions in their commit protocol
@@ -125,10 +221,11 @@ impl<T: TxValue> VarCore<T> {
                     TxStatus::Active => true,
                     TxStatus::Aborted => {
                         guard.writer = None;
+                        self.publish_meta(&guard);
                         true
                     }
                     TxStatus::Committed => {
-                        Self::promote_locked(&mut guard, self.max_versions, self.id, &self.sink);
+                        self.promote_locked(&mut guard);
                         true
                     }
                     TxStatus::Committing => false,
@@ -143,12 +240,7 @@ impl<T: TxValue> VarCore<T> {
     }
 
     /// Promotes the committed writer's tentative value to a version.
-    fn promote_locked(
-        inner: &mut Inner<T>,
-        max_versions: usize,
-        id: ObjId,
-        sink: &Arc<dyn EventSink>,
-    ) {
+    fn promote_locked(&self, inner: &mut Inner<T>) {
         let Some(reservation) = inner.writer.take() else {
             return;
         };
@@ -159,21 +251,27 @@ impl<T: TxValue> VarCore<T> {
             inner.versions.back().is_none_or(|v| v.ct < ct),
             "commit times must increase along the version list"
         );
-        inner.versions.push_back(Version {
+        let version = Arc::new(Version {
             value: reservation.tentative,
             ct,
             seq,
         });
-        while inner.versions.len() > max_versions {
+        inner.versions.push_back(Arc::clone(&version));
+        while inner.versions.len() > self.max_versions {
             inner.versions.pop_front();
         }
-        if sink.enabled() {
-            sink.record(TxEvent::new(
+        // Publication order matters for the fast path: the cell first, the
+        // seqlock word second, so a reader that saw the new word also sees
+        // (at least) the new version in the cell.
+        *self.latest.lock() = version;
+        self.publish_meta(inner);
+        if self.sink.enabled() {
+            self.sink.record(TxEvent::new(
                 reservation.tx.id(),
                 reservation.tx.thread(),
                 reservation.tx.kind(),
                 TxEventKind::Write {
-                    obj: id,
+                    obj: self.id,
                     version: seq,
                 },
             ));
@@ -185,6 +283,19 @@ impl<T: TxValue> VarCore<T> {
     /// Returns `None` when every retained version is newer than `ub` (the
     /// bounded history has been pruned past the snapshot time).
     pub fn read_at(&self, me: Option<&Arc<TxShared>>, ub: u64) -> Option<ReadHit<T>> {
+        // Fast path: quiescent object whose newest version is inside the
+        // snapshot. A reservation held by `me` keeps the writer bit set, so
+        // read-your-own-writes always takes the slow path.
+        if let Some(v) = self.read_latest_fast() {
+            if v.ct <= ub {
+                return Some(ReadHit {
+                    value: v.value.clone(),
+                    seq: v.seq,
+                    ct: v.ct,
+                    is_latest: true,
+                });
+            }
+        }
         let guard = self.lock_settled(me);
         // Own tentative write: read-your-own-writes.
         if let (Some(me), Some(w)) = (me, &guard.writer) {
@@ -215,6 +326,14 @@ impl<T: TxValue> VarCore<T> {
     /// Reads the newest committed version regardless of snapshot time
     /// (update-mode reads; the caller extends its snapshot first).
     pub fn read_latest(&self, me: Option<&Arc<TxShared>>) -> ReadHit<T> {
+        if let Some(v) = self.read_latest_fast() {
+            return ReadHit {
+                value: v.value.clone(),
+                seq: v.seq,
+                ct: v.ct,
+                is_latest: true,
+            };
+        }
         let guard = self.lock_settled(me);
         if let (Some(me), Some(w)) = (me, &guard.writer) {
             if Arc::ptr_eq(me, &w.tx) {
@@ -239,15 +358,21 @@ impl<T: TxValue> VarCore<T> {
     /// Commit time of the successor of version `seq`, if one is known.
     ///
     /// Returns `Ok(None)` when `seq` is still the newest version,
-    /// `Ok(Some(ct))` when the direct successor is retained, and `Err(())`
-    /// when the successor has been pruned (the caller must assume the worst).
-    // The unit error genuinely carries no information beyond "pruned".
-    #[allow(clippy::result_unit_err)]
+    /// `Ok(Some(ct))` when the direct successor is retained, and
+    /// `Err(`[`HistoryGap::Pruned`]`)` when the successor has been pruned
+    /// (the caller must assume the worst).
     pub fn successor_ct(
         &self,
         me: Option<&Arc<TxShared>>,
         seq: VersionSeq,
-    ) -> Result<Option<u64>, ()> {
+    ) -> Result<Option<u64>, HistoryGap> {
+        // Fast path: one seqlock-word load. If there is no pending writer
+        // and `seq` is (still) the newest committed version, no successor
+        // exists at this instant — the linearization point of the lookup.
+        let meta = self.meta.load(Ordering::Acquire);
+        if meta & WRITER_BIT == 0 && meta >> 1 <= seq {
+            return Ok(None);
+        }
         let guard = self.lock_settled(me);
         let newest = guard.versions.back().expect("version list never empty");
         if newest.seq <= seq {
@@ -258,7 +383,7 @@ impl<T: TxValue> VarCore<T> {
             .iter()
             .find(|v| v.seq == seq + 1)
             .map(|v| Some(v.ct))
-            .ok_or(())
+            .ok_or(HistoryGap::Pruned)
     }
 
     /// Commit-time validation of a read of version `seq` against commit
@@ -273,6 +398,13 @@ impl<T: TxValue> VarCore<T> {
     /// committing transactions that read each other's write sets cannot
     /// deadlock.
     pub fn validate_read(&self, me: &Arc<TxShared>, seq: VersionSeq, my_ct: u64) -> bool {
+        // Fast path: no pending writer and `seq` still newest — nothing can
+        // retroactively install a successor with a smaller commit time,
+        // because any future committer draws its stamp after ours.
+        let meta = self.meta.load(Ordering::Acquire);
+        if meta & WRITER_BIT == 0 && meta >> 1 <= seq {
+            return true;
+        }
         let mut backoff = Backoff::new();
         loop {
             let mut guard = self.inner.lock();
@@ -284,10 +416,11 @@ impl<T: TxValue> VarCore<T> {
                             // Will draw its commit time after ours was
                             // drawn, hence > my_ct: cannot affect us.
                         }
-                        TxStatus::Aborted => guard.writer = None,
-                        TxStatus::Committed => {
-                            Self::promote_locked(&mut guard, self.max_versions, self.id, &self.sink)
+                        TxStatus::Aborted => {
+                            guard.writer = None;
+                            self.publish_meta(&guard);
                         }
+                        TxStatus::Committed => self.promote_locked(&mut guard),
                         TxStatus::Committing => {
                             let w_ct = w.tx.commit_ct();
                             // w_ct == 0 means the writer has not stored its
@@ -345,6 +478,7 @@ impl<T: TxValue> VarCore<T> {
                         tx: Arc::clone(me),
                         tentative: pending.take().expect("value pending"),
                     });
+                    self.publish_meta(&guard);
                     return Ok(());
                 }
                 Some(w) if Arc::ptr_eq(&w.tx, me) => {
@@ -360,6 +494,7 @@ impl<T: TxValue> VarCore<T> {
                                     tx: Arc::clone(me),
                                     tentative: pending.take().expect("value pending"),
                                 });
+                                self.publish_meta(&guard);
                                 return Ok(());
                             }
                             // The opponent reached its commit protocol
@@ -414,7 +549,44 @@ impl<T: TxValue> VarCore<T> {
         zc: u64,
         cm: &dyn ContentionManager,
     ) -> Result<ReadHit<T>, Abort> {
-        // Fast path: one lock hold covers stamp + read when no conflicting
+        // Seqlock fast path: sample the word and the published version
+        // *before* placing the stamp, so a conflict detected at that point
+        // leaves the object unstamped and falls through to the original
+        // locked protocol unchanged. Only a fully validated quiescent
+        // object gets the lock-free stamp; the word is re-checked *after*
+        // the stamp so the validated window covers it. Success means no
+        // reservation existed anywhere in the window and the newest
+        // version did not change — so there was no writer to arbitrate,
+        // and nothing post-stamp slipped in (that would need a reservation
+        // bit and a promotion bump, both of which the re-check catches).
+        let before = self.meta.load(Ordering::Acquire);
+        if before & WRITER_BIT == 0 {
+            let published = Arc::clone(&self.latest.lock());
+            if published.seq << 1 == before {
+                let prev = self.zc.fetch_max(zc, Ordering::AcqRel);
+                if prev > zc {
+                    me.abort();
+                    return Err(Abort::new(AbortReason::ZonePassed));
+                }
+                if self.meta.load(Ordering::Acquire) == before {
+                    return Ok(ReadHit {
+                        value: published.value.clone(),
+                        seq: published.seq,
+                        ct: published.ct,
+                        is_latest: true,
+                    });
+                }
+                // The object changed in the instants after the stamp
+                // landed. Re-pinning under the lock now could mistake a
+                // post-stamp commit for the stamp-time version (post-stamp
+                // short transactions of the freshly stamped zone must stay
+                // invisible to us), so abort instead of guessing — the
+                // retry draws a fresh zone and re-reads.
+                me.abort();
+                return Err(Abort::new(AbortReason::SnapshotUnavailable));
+            }
+        }
+        // Slow path: one lock hold covers stamp + read when no conflicting
         // writer is present (the common case by far).
         let pin = {
             let guard = self.lock_settled(Some(me));
@@ -466,6 +638,7 @@ impl<T: TxValue> VarCore<T> {
         }
         let newest = guard.versions.back().expect("version list never empty");
         let target = allowed_seq.min(newest.seq);
+        let newest_seq = newest.seq;
         let hit = guard
             .versions
             .iter()
@@ -474,7 +647,7 @@ impl<T: TxValue> VarCore<T> {
                 value: v.value.clone(),
                 seq: v.seq,
                 ct: v.ct,
-                is_latest: v.seq == newest.seq,
+                is_latest: v.seq == newest_seq,
             });
         match hit {
             Some(hit) => Ok(hit),
@@ -526,6 +699,7 @@ impl<T: TxValue> VarCore<T> {
                         tx: Arc::clone(me),
                         tentative: pending.take().expect("value pending"),
                     });
+                    self.publish_meta(&guard);
                     return Ok(newest_seq);
                 }
                 Some(w) if Arc::ptr_eq(&w.tx, me) => {
@@ -539,6 +713,7 @@ impl<T: TxValue> VarCore<T> {
                                 tx: Arc::clone(me),
                                 tentative: pending.take().expect("value pending"),
                             });
+                            self.publish_meta(&guard);
                             return Ok(newest_seq);
                         }
                         // Reached its commit protocol; re-settle and let the
@@ -625,6 +800,7 @@ impl<T: TxValue> VarCore<T> {
                             let w_tx = Arc::clone(&w.tx);
                             if w_tx.try_kill() {
                                 guard.writer = None;
+                                self.publish_meta(&guard);
                                 return Ok(pin_seq);
                             }
                             // Unkillable: it reached its commit protocol.
@@ -701,6 +877,11 @@ impl<T: TxValue> VarCore<T> {
         cm: &dyn ContentionManager,
         only_long: bool,
     ) -> Result<(), Abort> {
+        // Fast path: no reservation at all, hence nothing to arbitrate —
+        // the dominant case for short readers on read-mostly workloads.
+        if self.meta.load(Ordering::Acquire) & WRITER_BIT == 0 {
+            return Ok(());
+        }
         let mut round = 0u64;
         let mut backoff = Backoff::new();
         loop {
@@ -721,6 +902,7 @@ impl<T: TxValue> VarCore<T> {
                 Resolution::AbortOther => {
                     if w.tx.try_kill() {
                         guard.writer = None;
+                        self.publish_meta(&guard);
                         return Ok(());
                     }
                 }
@@ -740,6 +922,9 @@ impl<T: TxValue> VarCore<T> {
 
     /// Returns `true` if `me` currently holds the writer reservation.
     pub fn reserved_by(&self, me: &Arc<TxShared>) -> bool {
+        if self.meta.load(Ordering::Acquire) & WRITER_BIT == 0 {
+            return false;
+        }
         let guard = self.inner.lock();
         guard
             .writer
@@ -756,6 +941,7 @@ impl<T: TxValue> VarCore<T> {
             .is_some_and(|w| Arc::ptr_eq(&w.tx, me))
         {
             guard.writer = None;
+            self.publish_meta(&guard);
         }
     }
 
@@ -768,7 +954,7 @@ impl<T: TxValue> VarCore<T> {
             .as_ref()
             .is_some_and(|w| Arc::ptr_eq(&w.tx, me) && w.tx.status() == TxStatus::Committed)
         {
-            Self::promote_locked(&mut guard, self.max_versions, self.id, &self.sink);
+            self.promote_locked(&mut guard);
         }
     }
 
@@ -779,11 +965,19 @@ impl<T: TxValue> VarCore<T> {
 
     /// Snapshot of the retained committed versions (tests, diagnostics).
     pub fn versions_snapshot(&self) -> Vec<Version<T>> {
-        self.inner.lock().versions.iter().cloned().collect()
+        self.inner
+            .lock()
+            .versions
+            .iter()
+            .map(|v| Version::clone(v))
+            .collect()
     }
 
     /// Commit time of the newest committed version.
     pub fn latest_ct(&self, me: Option<&Arc<TxShared>>) -> u64 {
+        if let Some(v) = self.read_latest_fast() {
+            return v.ct;
+        }
         let guard = self.lock_settled(me);
         guard.versions.back().expect("version list never empty").ct
     }
@@ -807,9 +1001,11 @@ pub trait DynObject: Send + Sync {
     /// The object's id.
     fn id(&self) -> ObjId;
     /// See [`VarCore::successor_ct`].
-    // The unit error genuinely carries no information beyond "pruned".
-    #[allow(clippy::result_unit_err)]
-    fn successor_ct_dyn(&self, me: &Arc<TxShared>, seq: VersionSeq) -> Result<Option<u64>, ()>;
+    fn successor_ct_dyn(
+        &self,
+        me: &Arc<TxShared>,
+        seq: VersionSeq,
+    ) -> Result<Option<u64>, HistoryGap>;
     /// See [`VarCore::validate_read`].
     fn validate_read_dyn(&self, me: &Arc<TxShared>, seq: VersionSeq, my_ct: u64) -> bool;
     /// See [`VarCore::release`].
@@ -823,7 +1019,11 @@ impl<T: TxValue> DynObject for VarCore<T> {
         self.id
     }
 
-    fn successor_ct_dyn(&self, me: &Arc<TxShared>, seq: VersionSeq) -> Result<Option<u64>, ()> {
+    fn successor_ct_dyn(
+        &self,
+        me: &Arc<TxShared>,
+        seq: VersionSeq,
+    ) -> Result<Option<u64>, HistoryGap> {
         self.successor_ct(Some(me), seq)
     }
 
@@ -917,7 +1117,7 @@ mod tests {
         commit_write(&core, 2, 20);
         commit_write(&core, 3, 30);
         // seq 0 and its successor are pruned now.
-        assert_eq!(core.successor_ct(None, 0), Err(()));
+        assert_eq!(core.successor_ct(None, 0), Err(HistoryGap::Pruned));
     }
 
     #[test]
@@ -1016,5 +1216,70 @@ mod tests {
         assert_eq!(core.raise_zc(5), 0);
         assert_eq!(core.raise_zc(3), 5, "fetch_max keeps the maximum");
         assert_eq!(core.zc(), 5);
+    }
+
+    #[test]
+    fn fast_path_matches_slow_path_on_quiescent_objects() {
+        let core = VarCore::new(0i64, 4, sink());
+        commit_write(&core, 1, 10);
+        commit_write(&core, 2, 20);
+        // No reservation: the fast path serves these.
+        let fast = core.read_latest(None);
+        assert_eq!(
+            (fast.value, fast.seq, fast.ct, fast.is_latest),
+            (2, 2, 20, true)
+        );
+        let at = core.read_at(None, 25).expect("within snapshot");
+        assert_eq!((at.value, at.seq), (2, 2));
+        assert_eq!(core.latest_ct(None), 20);
+        assert_eq!(core.successor_ct(None, 2), Ok(None));
+    }
+
+    #[test]
+    fn fast_path_declines_while_reserved() {
+        let core = VarCore::new(0i64, 4, sink());
+        let me = tx();
+        let cm = CmPolicy::Polite.build();
+        core.reserve(&me, 7, cm.as_ref()).expect("reserve");
+        // Writer bit set: the optimistic read must decline so the slow
+        // path can settle/serve read-your-own-writes.
+        assert!(core.read_latest_fast().is_none());
+        core.release(&me);
+        assert!(core.read_latest_fast().is_some());
+    }
+
+    #[test]
+    fn concurrent_fast_readers_see_monotonic_versions() {
+        let core = Arc::new(VarCore::new(0i64, 6, sink()));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let core = Arc::clone(&core);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last_seq = 0;
+                    let mut last_ct = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let hit = core.read_latest(None);
+                        assert!(
+                            hit.seq >= last_seq && hit.ct >= last_ct,
+                            "versions observed by a reader must be monotonic"
+                        );
+                        assert_eq!(hit.value, hit.ct as i64, "value matches its version");
+                        last_seq = hit.seq;
+                        last_ct = hit.ct;
+                    }
+                })
+            })
+            .collect();
+        for i in 1..=200 {
+            commit_write(&core, i, i as u64);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().expect("reader panicked");
+        }
+        let hit = core.read_latest(None);
+        assert_eq!((hit.value, hit.ct), (200, 200));
     }
 }

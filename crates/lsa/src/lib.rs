@@ -12,4 +12,5 @@
 pub mod engine;
 mod stm;
 
+pub use engine::HistoryGap;
 pub use stm::{LsaStm, LsaThread, LsaTx, LsaVar};

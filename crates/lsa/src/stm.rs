@@ -10,7 +10,7 @@ use zstm_core::{
     TxEvent, TxEventKind, TxId, TxKind, TxShared, TxStats, TxValue, VersionSeq,
 };
 
-use crate::engine::{DynObject, VarCore};
+use crate::engine::{DynObject, HistoryGap, VarCore};
 
 /// A transactional variable managed by [`LsaStm`].
 ///
@@ -272,7 +272,7 @@ impl<B: TimeBase> LsaTx<'_, B> {
                 Ok(Some(succ_ct)) => new_ub = new_ub.min(succ_ct.saturating_sub(1)),
                 // Successor pruned: we cannot prove validity past the
                 // current snapshot time.
-                Err(()) => new_ub = new_ub.min(self.ub),
+                Err(HistoryGap::Pruned) => new_ub = new_ub.min(self.ub),
             }
         }
         self.ub = new_ub.max(self.ub);
@@ -385,7 +385,7 @@ impl<B: TimeBase> TmTx for LsaTx<'_, B> {
                 match entry.obj.successor_ct_dyn(&self.shared, entry.seq) {
                     Ok(None) => {}
                     Ok(Some(succ_ct)) => valid &= succ_ct > self.ub,
-                    Err(()) => valid = false,
+                    Err(HistoryGap::Pruned) => valid = false,
                 }
             }
             if !valid {

@@ -470,6 +470,20 @@ impl<C: CausalTimeBase> SStm<C> {
     }
 }
 
+impl<C: CausalTimeBase> SStm<C> {
+    /// Creates an S-STM over an explicit causal time base — the same
+    /// constructor shape as the scalar-clocked STMs (scalar time bases
+    /// such as `zstm_clock::ShardedClock` implement `CausalTimeBase`
+    /// under the total order of their stamps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock serves fewer slots than the configured threads.
+    pub fn with_clock(config: StmConfig, clock: C) -> Self {
+        Self::new(config, clock)
+    }
+}
+
 impl SStm<RevClock> {
     /// Convenience constructor: S-STM over an exact vector clock.
     pub fn with_vector_clock(config: StmConfig) -> Self {

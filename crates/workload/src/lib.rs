@@ -19,6 +19,12 @@
 //! ablation benchmarks (contention managers, plausible-clock sizes, time
 //! bases).
 //!
+//! [`run_map`] is a **read-dominated** bucketed-map workload (90 %
+//! lookups by default, with occasional updates and long consistent
+//! scans) — the scenario the seqlock read fast path and the sharded time
+//! base are built for; the bank benchmark's transfers are update-heavy
+//! and cannot show either.
+//!
 //! # Examples
 //!
 //! ```
@@ -42,9 +48,11 @@
 mod array;
 mod bank;
 mod list;
+mod map;
 mod report;
 
 pub use array::{run_array, ArrayConfig, ArrayReport};
 pub use bank::{run_bank, BankConfig, BankReport, LongMode};
 pub use list::TxList;
+pub use map::{run_map, MapConfig, MapReport};
 pub use report::{print_table, Series};

@@ -1,0 +1,266 @@
+//! A read-dominated transactional hash-map workload.
+//!
+//! The bank benchmark is update-heavy (every transfer writes two
+//! accounts), so it cannot show what the seqlock read fast path and the
+//! sharded time base buy on the workloads they target. This workload
+//! models a cache/lookup service instead: a fixed-capacity bucketed map
+//! whose operations are
+//!
+//! * **lookup** (default 90 %) — a short read-only transaction probing one
+//!   bucket;
+//! * **update** — a short transaction rewriting one key's value in place;
+//! * **scan** (a small slice of the non-lookup share) — a long read-only
+//!   transaction walking every bucket, checking that it observes each key
+//!   exactly once (a consistent snapshot).
+//!
+//! The map is seeded with `keys` entries spread over `buckets` buckets;
+//! every bucket holds a small `Vec` of `(key, value)` pairs, so lookups
+//! clone a handful of words per probe. The final report carries a
+//! `consistent` flag: `false` if any committed scan saw a torn map.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use zstm_core::{atomically, RetryPolicy, TmFactory, TmThread, TmTx, TxKind, TxStats};
+use zstm_util::XorShift64;
+
+/// Configuration of the read-dominated map workload.
+#[derive(Clone, Debug)]
+pub struct MapConfig {
+    /// Number of buckets (transactional variables).
+    pub buckets: usize,
+    /// Number of distinct keys seeded into the map.
+    pub keys: usize,
+    /// Percentage of operations that are pure lookups.
+    pub lookup_pct: u8,
+    /// Percentage of the *non-lookup* operations that are full scans
+    /// (long read-only transactions); the rest are updates.
+    pub scan_pct: u8,
+    /// Worker threads.
+    pub threads: usize,
+    /// Wall-clock measurement duration.
+    pub duration: Duration,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl MapConfig {
+    /// The default shape: 256 buckets, 1024 keys, 90 % lookups, scans on
+    /// 10 % of the remaining operations.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            buckets: 256,
+            keys: 1024,
+            lookup_pct: 90,
+            scan_pct: 10,
+            threads,
+            duration: Duration::from_millis(500),
+            seed: 0x4d41,
+        }
+    }
+
+    /// Scaled-down variant for tests.
+    pub fn quick(threads: usize) -> Self {
+        Self {
+            buckets: 32,
+            keys: 64,
+            duration: Duration::from_millis(60),
+            ..Self::new(threads)
+        }
+    }
+}
+
+/// Result of one map-workload run.
+#[derive(Clone, Debug)]
+pub struct MapReport {
+    /// Name of the STM that was measured.
+    pub stm: &'static str,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Measured wall-clock duration.
+    pub elapsed: Duration,
+    /// Committed lookup transactions.
+    pub lookups: u64,
+    /// Committed update transactions.
+    pub updates: u64,
+    /// Committed scan transactions.
+    pub scans: u64,
+    /// Committed operations per second (all kinds).
+    pub ops_per_sec: f64,
+    /// Merged per-thread statistics (abort breakdown etc.).
+    pub stats: TxStats,
+    /// `true` iff every committed scan observed each key exactly once.
+    pub consistent: bool,
+}
+
+impl MapReport {
+    /// Total committed operations.
+    pub fn commits(&self) -> u64 {
+        self.lookups + self.updates + self.scans
+    }
+
+    /// Fraction of attempts that aborted.
+    pub fn abort_ratio(&self) -> f64 {
+        self.stats.abort_ratio()
+    }
+}
+
+/// One bucket's contents: the `(key, value)` pairs hashing to it.
+type Bucket = Vec<(u64, u64)>;
+
+/// Runs the read-dominated map workload against `stm`. Registers
+/// `config.threads` logical threads.
+pub fn run_map<F: TmFactory>(stm: &Arc<F>, config: &MapConfig) -> MapReport {
+    // Seed: key k lives in bucket k % buckets with value k * 3.
+    let buckets: Arc<Vec<F::Var<Bucket>>> = Arc::new(
+        (0..config.buckets)
+            .map(|b| {
+                let entries: Bucket = (0..config.keys as u64)
+                    .filter(|k| *k as usize % config.buckets == b)
+                    .map(|k| (k, k * 3))
+                    .collect();
+                stm.new_var(entries)
+            })
+            .collect(),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(config.threads + 1));
+    let short_policy = RetryPolicy::default();
+    let scan_policy = RetryPolicy::default().with_max_attempts(200);
+
+    let mut handles = Vec::with_capacity(config.threads);
+    for t in 0..config.threads {
+        let mut thread = stm.register_thread();
+        let buckets = Arc::clone(&buckets);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let config = config.clone();
+        let mut rng = XorShift64::new(config.seed.wrapping_add(t as u64 * 104_729));
+        handles.push(std::thread::spawn(move || {
+            let mut lookups = 0u64;
+            let mut updates = 0u64;
+            let mut scans = 0u64;
+            let mut consistent = true;
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                if rng.next_percent(config.lookup_pct) {
+                    let key = rng.next_range(config.keys as u64);
+                    let bucket = key as usize % config.buckets;
+                    let found = atomically(&mut thread, TxKind::Short, &short_policy, |tx| {
+                        let entries = tx.read(&buckets[bucket])?;
+                        Ok(entries.iter().find(|(k, _)| *k == key).map(|(_, v)| *v))
+                    });
+                    if let Ok(found) = found {
+                        consistent &= found.is_some();
+                        lookups += 1;
+                    }
+                } else if rng.next_percent(config.scan_pct) {
+                    let seen = atomically(&mut thread, TxKind::Long, &scan_policy, |tx| {
+                        let mut seen = 0u64;
+                        for bucket in buckets.iter() {
+                            seen += tx.read(bucket)?.len() as u64;
+                        }
+                        Ok(seen)
+                    });
+                    if let Ok(seen) = seen {
+                        // Updates rewrite values in place, so a consistent
+                        // snapshot always holds exactly `keys` entries.
+                        consistent &= seen == config.keys as u64;
+                        scans += 1;
+                    }
+                } else {
+                    let key = rng.next_range(config.keys as u64);
+                    let bucket = key as usize % config.buckets;
+                    let value = rng.next_u64();
+                    let committed = atomically(&mut thread, TxKind::Short, &short_policy, |tx| {
+                        let mut entries = tx.read(&buckets[bucket])?;
+                        if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
+                            slot.1 = value;
+                        }
+                        tx.write(&buckets[bucket], entries)
+                    });
+                    if committed.is_ok() {
+                        updates += 1;
+                    }
+                }
+            }
+            (lookups, updates, scans, consistent, thread.take_stats())
+        }));
+    }
+
+    barrier.wait();
+    let started = Instant::now();
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = started.elapsed();
+
+    let mut lookups = 0u64;
+    let mut updates = 0u64;
+    let mut scans = 0u64;
+    let mut consistent = true;
+    let mut stats = TxStats::new();
+    for handle in handles {
+        let (l, u, s, ok, thread_stats) = handle.join().expect("map worker panicked");
+        lookups += l;
+        updates += u;
+        scans += s;
+        consistent &= ok;
+        stats.merge(&thread_stats);
+    }
+    let commits = lookups + updates + scans;
+    MapReport {
+        stm: stm.name(),
+        threads: config.threads,
+        elapsed,
+        lookups,
+        updates,
+        scans,
+        ops_per_sec: commits as f64 / elapsed.as_secs_f64(),
+        stats,
+        consistent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zstm_clock::ShardedClock;
+    use zstm_core::StmConfig;
+    use zstm_cs::CsStm;
+    use zstm_lsa::LsaStm;
+    use zstm_z::ZStm;
+
+    #[test]
+    fn map_runs_on_lsa() {
+        let config = MapConfig::quick(2);
+        let stm = Arc::new(LsaStm::new(StmConfig::new(config.threads)));
+        let report = run_map(&stm, &config);
+        assert!(report.lookups > 0);
+        assert!(report.consistent, "lookups and scans must be consistent");
+    }
+
+    #[test]
+    fn map_runs_on_sharded_z() {
+        let config = MapConfig::quick(2);
+        let stm = Arc::new(ZStm::with_clock(
+            StmConfig::new(config.threads),
+            ShardedClock::new(config.threads),
+        ));
+        let report = run_map(&stm, &config);
+        assert!(report.commits() > 0);
+        assert!(report.consistent);
+    }
+
+    #[test]
+    fn map_runs_on_sharded_cs() {
+        let config = MapConfig::quick(2);
+        let stm = Arc::new(CsStm::with_clock(
+            StmConfig::new(config.threads),
+            ShardedClock::new(config.threads),
+        ));
+        let report = run_map(&stm, &config);
+        assert!(report.commits() > 0);
+        assert!(report.consistent);
+    }
+}

@@ -66,7 +66,7 @@ use zstm_core::{
     Abort, AbortReason, ContentionManager, ObjId, StmConfig, ThreadId, TmFactory, TmThread, TmTx,
     TxEvent, TxEventKind, TxId, TxKind, TxShared, TxStats, TxValue, VersionSeq,
 };
-use zstm_lsa::engine::{DynObject, VarCore};
+use zstm_lsa::engine::{DynObject, HistoryGap, VarCore};
 use zstm_util::{Backoff, CachePadded};
 
 /// Rounds a short transaction waits on a cross-zone conflict before
@@ -406,7 +406,7 @@ impl<B: TimeBase> ZTx<'_, B> {
             match entry.obj.successor_ct_dyn(&self.shared, entry.seq) {
                 Ok(None) => {}
                 Ok(Some(succ_ct)) => new_ub = new_ub.min(succ_ct.saturating_sub(1)),
-                Err(()) => new_ub = new_ub.min(self.ub),
+                Err(HistoryGap::Pruned) => new_ub = new_ub.min(self.ub),
             }
         }
         self.ub = new_ub.max(self.ub);

@@ -17,6 +17,7 @@ use zstm::core::StmConfig;
 use zstm::prelude::*;
 use zstm::util::XorShift64;
 use zstm::workload::{run_array, ArrayConfig};
+use zstm_bench::stamp_throughput;
 
 const THREADS: usize = 8;
 
@@ -101,5 +102,21 @@ fn main() {
         threads,
         report.commits_per_sec,
         report.abort_ratio()
+    );
+
+    println!("\nScalar vs sharded commit-stamp throughput (stamps/s):");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "threads", "ScalarClock", "ShardedClock"
+    );
+    let window = Duration::from_millis(150);
+    for n in [1usize, 2, 4, 8] {
+        let scalar = stamp_throughput(Arc::new(ScalarClock::new()), n, window);
+        let sharded = stamp_throughput(Arc::new(ShardedClock::new(n)), n, window);
+        println!("{n:>8} {scalar:>16.0} {sharded:>16.0}");
+    }
+    println!(
+        "(the sharded clock trades a couple of uncontended atomics per stamp \
+         for a read-mostly shared line — it wins once threads run in parallel)"
     );
 }

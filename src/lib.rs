@@ -111,7 +111,7 @@ pub mod util {
 
 /// The items almost every user needs.
 pub mod prelude {
-    pub use zstm_clock::{RevClock, ScalarClock, SimRealTimeClock, TimeBase};
+    pub use zstm_clock::{RevClock, ScalarClock, ShardedClock, SimRealTimeClock, TimeBase};
     pub use zstm_core::{
         atomically, Abort, AbortReason, CmPolicy, RetryExhausted, RetryPolicy, StmConfig,
         TmFactory, TmThread, TmTx, TxKind,

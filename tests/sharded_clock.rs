@@ -1,0 +1,129 @@
+//! `ShardedClock` as a drop-in time base for all five STM factories, and
+//! correctness of the seqlock read fast path under it: the bank and map
+//! invariants must hold exactly as they do over `ScalarClock`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use zstm::core::StmConfig;
+use zstm::prelude::*;
+use zstm::workload::{run_bank, run_map, BankConfig, LongMode, MapConfig};
+
+/// The quickstart transfer + audit, generic over the STM.
+fn transfer_smoke<F: TmFactory>(stm: Arc<F>) {
+    let policy = RetryPolicy::default();
+    let a = stm.new_var(100i64);
+    let b = stm.new_var(0i64);
+    let mut thread = stm.register_thread();
+    atomically(&mut thread, TxKind::Short, &policy, |tx| {
+        let from = tx.read(&a)?;
+        let to = tx.read(&b)?;
+        tx.write(&a, from - 30)?;
+        tx.write(&b, to + 30)
+    })
+    .unwrap_or_else(|_| panic!("{}: transfer must commit", stm.name()));
+    let total = atomically(&mut thread, TxKind::Long, &policy, |tx| {
+        Ok(tx.read(&a)? + tx.read(&b)?)
+    })
+    .unwrap_or_else(|_| panic!("{}: audit must commit", stm.name()));
+    assert_eq!(total, 100, "{}: transfers preserve the total", stm.name());
+}
+
+#[test]
+fn all_five_factories_accept_the_sharded_clock() {
+    transfer_smoke(Arc::new(LsaStm::with_clock(
+        StmConfig::new(1),
+        ShardedClock::new(1),
+    )));
+    transfer_smoke(Arc::new(Tl2Stm::with_clock(
+        StmConfig::new(1),
+        ShardedClock::new(1),
+    )));
+    transfer_smoke(Arc::new(CsStm::with_clock(
+        StmConfig::new(1),
+        ShardedClock::new(1),
+    )));
+    transfer_smoke(Arc::new(SStm::with_clock(
+        StmConfig::new(1),
+        ShardedClock::new(1),
+    )));
+    transfer_smoke(Arc::new(ZStm::with_clock(
+        StmConfig::new(1),
+        ShardedClock::new(1),
+    )));
+}
+
+fn quick_bank(threads: usize, mode: LongMode) -> BankConfig {
+    let mut config = BankConfig::quick(threads);
+    config.duration = Duration::from_millis(150);
+    config.long_mode = mode;
+    config
+}
+
+#[test]
+fn sharded_lsa_bank_conserves() {
+    let config = quick_bank(3, LongMode::ReadOnly);
+    let stm = Arc::new(LsaStm::with_clock(
+        StmConfig::new(config.threads + 1),
+        ShardedClock::new(config.threads + 1),
+    ));
+    let report = run_bank(&stm, &config);
+    assert!(report.conserved, "sharded LSA must conserve money");
+    assert!(report.total_commits > 0);
+}
+
+#[test]
+fn sharded_z_bank_update_totals_conserve() {
+    let config = quick_bank(3, LongMode::Update);
+    let stm = Arc::new(ZStm::with_clock(
+        StmConfig::new(config.threads + 1),
+        ShardedClock::new(config.threads + 1),
+    ));
+    let report = run_bank(&stm, &config);
+    assert!(report.conserved, "sharded Z-STM must conserve money");
+    assert!(
+        report.total_commits > 0,
+        "update Compute-Totals must sustain over the sharded clock"
+    );
+}
+
+#[test]
+fn sharded_tl2_bank_conserves() {
+    let config = quick_bank(3, LongMode::ReadOnly);
+    let stm = Arc::new(Tl2Stm::with_clock(
+        StmConfig::new(config.threads + 1),
+        ShardedClock::new(config.threads + 1),
+    ));
+    let report = run_bank(&stm, &config);
+    assert!(report.conserved, "sharded TL2 must conserve money");
+}
+
+#[test]
+fn sharded_cs_bank_conserves() {
+    let config = quick_bank(3, LongMode::ReadOnly);
+    let stm = Arc::new(CsStm::with_clock(
+        StmConfig::new(config.threads + 1),
+        ShardedClock::new(config.threads + 1),
+    ));
+    let report = run_bank(&stm, &config);
+    assert!(report.conserved, "sharded CS-STM must conserve money");
+}
+
+#[test]
+fn sharded_map_scans_stay_consistent() {
+    let mut config = MapConfig::quick(4);
+    config.duration = Duration::from_millis(200);
+    // Higher update share to stress the fast-path fallback interleavings.
+    config.lookup_pct = 60;
+    config.scan_pct = 30;
+    let stm = Arc::new(ZStm::with_clock(
+        StmConfig::new(config.threads),
+        ShardedClock::new(config.threads),
+    ));
+    let report = run_map(&stm, &config);
+    assert!(report.commits() > 0);
+    assert!(
+        report.consistent,
+        "map scans over the sharded clock must see consistent snapshots"
+    );
+}
