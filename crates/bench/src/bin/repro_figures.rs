@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures and the ARCHITECTURE.md ablations.
 //!
 //! ```text
-//! repro-figures [fig6|fig7|map|clocks|ablation-r|ablation-overhead|ablation-longfrac|contention|all]
+//! repro-figures [fig6|fig7|map|clocks|read-hotspot|ablation-r|ablation-overhead|ablation-longfrac|contention|all]
 //!               [--duration-ms N] [--threads 1,2,8,16,32] [--out-dir DIR]
 //! ```
 //!
@@ -18,7 +18,7 @@ use std::time::Duration;
 use zstm_bench::json::{to_json, Figure};
 use zstm_bench::{
     ablation_contention, ablation_long_fraction, ablation_overhead, ablation_plausible_r,
-    clock_contention, figure6, figure7, figure_map, BankFigure, PAPER_THREADS,
+    clock_contention, figure6, figure7, figure_map, read_hotspot, BankFigure, PAPER_THREADS,
 };
 use zstm_workload::{print_table, Series};
 
@@ -133,6 +133,13 @@ fn run_map(options: &Options) {
     save(options, "map", &series);
 }
 
+fn run_read_hotspot(options: &Options) {
+    println!("=== Read hotspot: one hot variable, fast vs locked read path ===");
+    let series = read_hotspot(&options.threads, options.duration);
+    println!("{}", print_table("committed reads/s", &series));
+    save(options, "read_hotspot", &series);
+}
+
 fn run_clocks(options: &Options) {
     println!("=== Clocks: commit-stamp throughput, ScalarClock vs ShardedClock ===");
     let series = clock_contention(&options.threads, options.duration);
@@ -216,6 +223,7 @@ fn main() {
         "fig7" => run_fig7(&options),
         "map" => run_map(&options),
         "clocks" => run_clocks(&options),
+        "read-hotspot" => run_read_hotspot(&options),
         "ablation-r" => run_ablation_r(&options),
         "ablation-overhead" => run_ablation_overhead(&options),
         "ablation-longfrac" => run_ablation_longfrac(&options),
@@ -225,6 +233,7 @@ fn main() {
             run_fig7(&options);
             run_map(&options);
             run_clocks(&options);
+            run_read_hotspot(&options);
             run_ablation_r(&options);
             run_ablation_overhead(&options);
             run_ablation_longfrac(&options);
@@ -233,7 +242,8 @@ fn main() {
         other => {
             eprintln!(
                 "unknown command '{other}'; expected fig6 | fig7 | map | clocks | \
-                 ablation-r | ablation-overhead | ablation-longfrac | contention | all"
+                 read-hotspot | ablation-r | ablation-overhead | ablation-longfrac | \
+                 contention | all"
             );
             std::process::exit(2);
         }

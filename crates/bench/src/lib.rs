@@ -20,9 +20,11 @@ use zstm_clock::{ScalarClock, ShardedClock, TimeBase};
 use zstm_core::{CmPolicy, StmConfig, TmFactory};
 use zstm_cs::CsStm;
 use zstm_lsa::LsaStm;
+use zstm_sstm::SStm;
 use zstm_tl2::Tl2Stm;
 use zstm_workload::{
-    run_array, run_bank, run_map, ArrayConfig, BankConfig, BankReport, LongMode, MapConfig, Series,
+    run_array, run_bank, run_map, run_read_hotspot, ArrayConfig, BankConfig, BankReport,
+    HotspotConfig, LongMode, MapConfig, Series,
 };
 use zstm_z::ZStm;
 
@@ -285,6 +287,82 @@ pub fn clock_contention(threads: &[usize], duration: Duration) -> Vec<Series> {
     vec![scalar, sharded]
 }
 
+fn hotspot_point<F: TmFactory>(stm: Arc<F>, config: &HotspotConfig) -> f64 {
+    let report = run_read_hotspot(&stm, config);
+    assert!(
+        report.consistent,
+        "{}: hot reads must never tear at {} threads",
+        report.stm, config.threads
+    );
+    report.reads_per_sec
+}
+
+/// **Read hotspot**: every thread hammers one hot variable with short
+/// read-only transactions (plus a trickle of updates from thread 0) — the
+/// pure read-path stress behind the zero-mutex fast-read work. Each STM is
+/// measured in its default (fast) shape; the engines with a
+/// [`StmConfig::fast_reads`] knob are also measured with the fast paths
+/// disabled ("locked"), which is the pre-optimization mutex shape the
+/// `check_baselines` gate compares against. LSA and Z additionally run
+/// over the sharded time base. Returns one committed-reads/s series per
+/// configuration.
+pub fn read_hotspot(threads: &[usize], duration: Duration) -> Vec<Series> {
+    let mut series: Vec<Series> = [
+        "LSA-STM",
+        "LSA-STM (locked)",
+        "LSA-STM (sharded)",
+        "Z-STM",
+        "Z-STM (locked)",
+        "Z-STM (sharded)",
+        "CS-STM",
+        "CS-STM (locked)",
+        "S-STM",
+        "S-STM (locked)",
+        "TL2",
+    ]
+    .into_iter()
+    .map(Series::new)
+    .collect();
+    for &n in threads {
+        let mut config = HotspotConfig::new(n);
+        config.duration = duration;
+        let locked = |n: usize| {
+            let mut c = StmConfig::new(n);
+            c.fast_reads(false);
+            c
+        };
+        let points = [
+            hotspot_point(Arc::new(LsaStm::new(StmConfig::new(n))), &config),
+            hotspot_point(Arc::new(LsaStm::new(locked(n))), &config),
+            hotspot_point(
+                Arc::new(LsaStm::with_clock(StmConfig::new(n), ShardedClock::new(n))),
+                &config,
+            ),
+            hotspot_point(Arc::new(ZStm::new(StmConfig::new(n))), &config),
+            hotspot_point(Arc::new(ZStm::new(locked(n))), &config),
+            hotspot_point(
+                Arc::new(ZStm::with_clock(StmConfig::new(n), ShardedClock::new(n))),
+                &config,
+            ),
+            hotspot_point(
+                Arc::new(CsStm::with_vector_clock(StmConfig::new(n))),
+                &config,
+            ),
+            hotspot_point(Arc::new(CsStm::with_vector_clock(locked(n))), &config),
+            hotspot_point(
+                Arc::new(SStm::with_vector_clock(StmConfig::new(n))),
+                &config,
+            ),
+            hotspot_point(Arc::new(SStm::with_vector_clock(locked(n))), &config),
+            hotspot_point(Arc::new(Tl2Stm::new(StmConfig::new(n))), &config),
+        ];
+        for (s, y) in series.iter_mut().zip(points) {
+            s.push(n as f64, y);
+        }
+    }
+    series
+}
+
 fn run_map_point<F: TmFactory>(stm: Arc<F>, config: &MapConfig) -> f64 {
     let report = run_map(&stm, config);
     assert!(
@@ -370,6 +448,19 @@ mod tests {
         assert_eq!(series.len(), 3);
         for s in &series {
             assert!(s.points.iter().all(|&(_, y)| y > 0.0));
+        }
+    }
+
+    #[test]
+    fn read_hotspot_smoke() {
+        let series = read_hotspot(&[2], FAST);
+        assert_eq!(series.len(), 11);
+        for s in &series {
+            assert!(
+                s.points.iter().all(|&(_, y)| y > 0.0),
+                "{}: empty hotspot series",
+                s.label
+            );
         }
     }
 

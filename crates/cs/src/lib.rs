@@ -65,7 +65,7 @@ use zstm_core::{
     TxEvent, TxEventKind, TxId, TxKind, TxShared, TxStats, TxStatus, TxValue, VersionSeq,
 };
 use zstm_util::sync::Mutex;
-use zstm_util::Backoff;
+use zstm_util::{ArcCell, Backoff};
 
 /// Transaction record shared through object reservations: the generic
 /// descriptor plus the (vector) commit timestamp, which is published just
@@ -143,10 +143,13 @@ struct VarShared<T, S> {
     /// Seqlock word: `committed seq << 1 | WRITER_BIT`, updated (release)
     /// under the `inner` lock after every reservation or promotion change.
     meta: AtomicU64,
-    /// Publication cell for the committed version; refreshed under the
-    /// `inner` lock before `meta` advertises the new sequence. Held only
-    /// for an `Arc` clone on the read path.
-    latest: Mutex<Arc<Published<T, S>>>,
+    /// Lock-free publication cell for the committed version; refreshed
+    /// under the `inner` lock before `meta` advertises the new sequence
+    /// and loaded without any lock on the read path.
+    latest: ArcCell<Published<T, S>>,
+    /// Whether the mutex-free read fast path is enabled
+    /// ([`zstm_core::StmConfig::fast_reads`]).
+    fast: bool,
     inner: Mutex<Inner<T, S>>,
 }
 
@@ -191,11 +194,14 @@ impl<T: TxValue, S: CausalStamp> VarShared<T, S> {
     /// is a reservation taken and released *aborted* inside the window,
     /// which never changes committed state).
     fn read_fast(&self) -> Option<Arc<Published<T, S>>> {
+        if !self.fast {
+            return None;
+        }
         let before = self.meta.load(Ordering::Acquire);
         if before & WRITER_BIT != 0 {
             return None;
         }
-        let published = Arc::clone(&self.latest.lock());
+        let published = self.latest.load();
         if published.seq << 1 != before || self.meta.load(Ordering::Acquire) != before {
             return None;
         }
@@ -268,11 +274,11 @@ impl<T: TxValue, S: CausalStamp> VarShared<T, S> {
         inner.seq = seq;
         // Publication order matters for the fast path: the cell first, the
         // seqlock word second (see `read_fast`).
-        *self.latest.lock() = Arc::new(Published {
+        self.latest.store(Arc::new(Published {
             value: inner.value.clone(),
             ct: inner.ct.clone(),
             seq,
-        });
+        }));
         self.publish_meta(inner);
         // Write events are emitted at promotion time so lazily promoted
         // reservations are not lost from recorded histories.
@@ -374,11 +380,12 @@ impl<C: CausalTimeBase> TmFactory for CsStm<C> {
                 max_history: self.config.max_versions_per_object(),
                 sink: Arc::clone(self.config.sink()),
                 meta: AtomicU64::new(0),
-                latest: Mutex::new(Arc::new(Published {
+                latest: ArcCell::new(Arc::new(Published {
                     value: init.clone(),
                     ct: self.clock.zero(),
                     seq: 0,
                 })),
+                fast: self.config.fast_reads_enabled(),
                 inner: Mutex::new(Inner {
                     value: init,
                     ct: self.clock.zero(),

@@ -19,21 +19,37 @@
 //!
 //! * `meta`, an atomic word packing `newest committed seq << 1 | writer
 //!   present`, and
-//! * `latest`, a cell holding an `Arc` of the newest committed version,
-//!   guarded by a lock that is only ever held for a pointer clone.
+//! * `latest`, a lock-free [`zstm_util::ArcCell`] holding an `Arc` of the
+//!   newest committed version (hazard-slot protected; see the `zstm_util`
+//!   module docs for the reclamation protocol).
 //!
 //! Both are updated under the main object lock whenever the committed state
-//! or the reservation changes. A fast read samples `meta`, clones the
-//! published `Arc`, and revalidates `meta` (the seqlock pattern: sequence,
-//! data, sequence). It succeeds only when the whole window saw *no* writer
-//! reservation and an unchanged newest version, in which case the published
-//! version is exactly what the settled slow path would have returned. Any
-//! interference — a reservation appearing, a promotion, a pending committer
-//! — falls back to `lock_settled`, which preserves the original semantics
-//! (waiting out committing writers, lazy promotion, read-your-own-writes).
-//! The one tolerated A-B-A is a reservation that is taken and released
-//! *aborted* entirely inside the window: it never changes committed state,
-//! so the fast read is still linearizable.
+//! or the reservation changes. A fast read samples `meta`, loads the
+//! published `Arc` (no mutex anywhere — the cell load is a pointer load,
+//! a hazard-slot announce and a revalidating load), and revalidates `meta`
+//! (the seqlock pattern: sequence, data, sequence). It succeeds only when
+//! the whole window saw *no* writer reservation and an unchanged newest
+//! version, in which case the published version is exactly what the settled
+//! slow path would have returned. Any interference — a reservation
+//! appearing, a promotion, a pending committer — falls back to
+//! `lock_settled`, which preserves the original semantics (waiting out
+//! committing writers, lazy promotion, read-your-own-writes). The one
+//! tolerated A-B-A is a reservation that is taken and released *aborted*
+//! entirely inside the window: it never changes committed state, so the
+//! fast read is still linearizable.
+//!
+//! # The long-write fast reserve
+//!
+//! Z-STM's `Openlong` in write mode ([`VarCore::reserve_long`]) used to
+//! settle the object lock at least twice even when nothing conflicted. The
+//! uncontended case now goes through `VarCore::reserve_long_fast`: a
+//! compare-and-swap of the `meta` writer bit claims the object against
+//! every other optimistic path, the zone stamp lands, and one plain lock
+//! acquisition installs the reservation after verifying that no mutex-path
+//! writer or promotion raced in — falling back to the full
+//! `open_long_settle` arbitration otherwise. The speculative bit is
+//! re-derived from the settled state on every fallback, so a lost race
+//! leaves `meta` exactly as the locked protocol would.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,7 +60,7 @@ use zstm_core::{
     TxShared, TxStatus, TxValue, VersionSeq,
 };
 use zstm_util::sync::{Mutex, MutexGuard};
-use zstm_util::Backoff;
+use zstm_util::{ArcCell, Backoff};
 
 /// Bit of [`VarCore`]'s `meta` word that is set while a writer reservation
 /// exists (active, committing, committed-but-unpromoted, or dead).
@@ -127,17 +143,34 @@ pub struct VarCore<T> {
     /// (release) under the `inner` lock after every change to the version
     /// list or the reservation slot.
     meta: AtomicU64,
-    /// Publication cell for the newest committed version; refreshed under
-    /// the `inner` lock *before* `meta` advertises the new sequence. The
-    /// lock is held only for an `Arc` clone, never while settling.
-    latest: Mutex<Arc<Version<T>>>,
+    /// Lock-free publication cell for the newest committed version;
+    /// refreshed under the `inner` lock *before* `meta` advertises the new
+    /// sequence, and read without any lock by the fast paths.
+    latest: ArcCell<Version<T>>,
+    /// Whether the optimistic fast paths are enabled
+    /// ([`zstm_core::StmConfig::fast_reads`]); `false` forces every read
+    /// and long reserve through `lock_settled`.
+    fast: bool,
     sink: Arc<dyn EventSink>,
     inner: Mutex<Inner<T>>,
 }
 
 impl<T: TxValue> VarCore<T> {
-    /// Creates a core whose initial version is `init` at time 0, seq 0.
+    /// Creates a core whose initial version is `init` at time 0, seq 0,
+    /// with the optimistic fast paths enabled.
     pub fn new(init: T, max_versions: usize, sink: Arc<dyn EventSink>) -> Self {
+        Self::with_fast_paths(init, max_versions, sink, true)
+    }
+
+    /// Like [`VarCore::new`], with explicit control over the optimistic
+    /// fast paths (`fast = false` forces the settled-lock shape; see
+    /// [`zstm_core::StmConfig::fast_reads`]).
+    pub fn with_fast_paths(
+        init: T,
+        max_versions: usize,
+        sink: Arc<dyn EventSink>,
+        fast: bool,
+    ) -> Self {
         let initial = Arc::new(Version {
             value: init,
             ct: 0,
@@ -150,7 +183,8 @@ impl<T: TxValue> VarCore<T> {
             max_versions: max_versions.max(1),
             zc: AtomicU64::new(0),
             meta: AtomicU64::new(0),
-            latest: Mutex::new(initial),
+            latest: ArcCell::new(initial),
+            fast,
             sink,
             inner: Mutex::new(Inner {
                 versions,
@@ -192,11 +226,14 @@ impl<T: TxValue> VarCore<T> {
     /// whole sampling window saw no writer reservation and no promotion.
     /// `None` means "contended or stale — take the slow path".
     fn read_latest_fast(&self) -> Option<Arc<Version<T>>> {
+        if !self.fast {
+            return None;
+        }
         let before = self.meta.load(Ordering::Acquire);
         if before & WRITER_BIT != 0 {
             return None;
         }
-        let published = Arc::clone(&self.latest.lock());
+        let published = self.latest.load();
         // The published pointer must match the sampled word (it may run
         // ahead of a stale `meta` load), and the word must be unchanged
         // afterwards — otherwise a writer touched the object meanwhile.
@@ -263,7 +300,7 @@ impl<T: TxValue> VarCore<T> {
         // Publication order matters for the fast path: the cell first, the
         // seqlock word second, so a reader that saw the new word also sees
         // (at least) the new version in the cell.
-        *self.latest.lock() = version;
+        self.latest.store(version);
         self.publish_meta(inner);
         if self.sink.enabled() {
             self.sink.record(TxEvent::new(
@@ -560,8 +597,8 @@ impl<T: TxValue> VarCore<T> {
         // and nothing post-stamp slipped in (that would need a reservation
         // bit and a promotion bump, both of which the re-check catches).
         let before = self.meta.load(Ordering::Acquire);
-        if before & WRITER_BIT == 0 {
-            let published = Arc::clone(&self.latest.lock());
+        if self.fast && before & WRITER_BIT == 0 {
+            let published = self.latest.load();
             if published.seq << 1 == before {
                 let prev = self.zc.fetch_max(zc, Ordering::AcqRel);
                 if prev > zc {
@@ -679,8 +716,11 @@ impl<T: TxValue> VarCore<T> {
         value: T,
         cm: &dyn ContentionManager,
     ) -> Result<VersionSeq, Abort> {
-        let allowed_seq = self.open_long_settle(me, zc, cm, None)?;
         let mut pending = Some(value);
+        if let Some(seq) = self.reserve_long_fast(me, zc, &mut pending)? {
+            return Ok(seq);
+        }
+        let allowed_seq = self.open_long_settle(me, zc, cm, None)?;
         loop {
             if me.status() != TxStatus::Active {
                 return Err(Abort::new(AbortReason::Killed));
@@ -728,6 +768,87 @@ impl<T: TxValue> VarCore<T> {
             drop(guard);
             std::hint::spin_loop();
         }
+    }
+
+    /// Optimistic long-write open: claims a quiescent object with one
+    /// compare-and-swap of the `meta` writer bit, stamps the zone, and
+    /// installs the reservation under a single plain lock acquisition.
+    ///
+    /// The CAS succeeds only when no reservation existed; it immediately
+    /// turns every optimistic reader away, and the post-CAS lock
+    /// acquisition verifies that no mutex-path writer or promotion slipped
+    /// in between (their `publish_meta` stores overwrite the speculative
+    /// bit, which is re-derived from the settled state on every exit, so
+    /// `meta` always ends consistent). Returns `Ok(None)` when the claim
+    /// failed and the caller must run the full `open_long_settle`
+    /// arbitration — in which case `pending` still holds the value.
+    ///
+    /// The success case is exactly `open_long_settle` with an empty pin:
+    /// the object was quiescent from before the stamp until after the
+    /// reservation, so the newest committed version at that instant is the
+    /// boundary the long transaction may build on. Post-stamp commits are
+    /// impossible once the reservation is installed (single-writer rule),
+    /// preserving the slow path's post-stamp-mutation abort semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`AbortReason::ZonePassed`] if a higher zone already stamped the
+    /// object; [`AbortReason::Killed`] if `me` was killed.
+    fn reserve_long_fast(
+        &self,
+        me: &Arc<TxShared>,
+        zc: u64,
+        pending: &mut Option<T>,
+    ) -> Result<Option<VersionSeq>, Abort> {
+        if !self.fast {
+            return Ok(None);
+        }
+        let before = self.meta.load(Ordering::Acquire);
+        if before & WRITER_BIT != 0 {
+            return Ok(None);
+        }
+        if self
+            .meta
+            .compare_exchange(
+                before,
+                before | WRITER_BIT,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err()
+        {
+            return Ok(None);
+        }
+        // The claim is placed: stamp the zone (Algorithm 2 line 6–7).
+        let prev = self.zc.fetch_max(zc, Ordering::AcqRel);
+        if prev > zc {
+            // Passed by a higher zone; restore `meta` from the settled
+            // state before aborting.
+            let guard = self.inner.lock();
+            self.publish_meta(&guard);
+            drop(guard);
+            me.abort();
+            return Err(Abort::new(AbortReason::ZonePassed));
+        }
+        let mut guard = self.inner.lock();
+        let newest_seq = guard.versions.back().map_or(0, |v| v.seq);
+        if guard.writer.is_some() || newest_seq << 1 != before {
+            // A mutex-path writer installed concurrently (its publish_meta
+            // already fixed the bit) or a promotion landed between the
+            // sample and the claim: fall back to full arbitration.
+            self.publish_meta(&guard);
+            return Ok(None);
+        }
+        if me.status() != TxStatus::Active {
+            self.publish_meta(&guard);
+            return Err(Abort::new(AbortReason::Killed));
+        }
+        guard.writer = Some(Reservation {
+            tx: Arc::clone(me),
+            tentative: pending.take().expect("value pending"),
+        });
+        self.publish_meta(&guard);
+        Ok(Some(newest_seq))
     }
 
     /// Shared prefix of the long-open paths: stamps the zone and resolves
@@ -1245,6 +1366,71 @@ mod tests {
         // path can settle/serve read-your-own-writes.
         assert!(core.read_latest_fast().is_none());
         core.release(&me);
+        assert!(core.read_latest_fast().is_some());
+    }
+
+    #[test]
+    fn fast_paths_disabled_still_serves_reads() {
+        let core = VarCore::with_fast_paths(0i64, 4, sink(), false);
+        commit_write(&core, 3, 30);
+        assert!(
+            core.read_latest_fast().is_none(),
+            "fast path must decline when disabled"
+        );
+        let hit = core.read_latest(None);
+        assert_eq!((hit.value, hit.ct), (3, 30));
+    }
+
+    #[test]
+    fn uncontended_long_reserve_takes_the_fast_path() {
+        let core = VarCore::new(0i64, 4, sink());
+        commit_write(&core, 1, 10);
+        let me = tx();
+        let cm = CmPolicy::Polite.build();
+        // Quiescent object: the fast claim installs the reservation and
+        // reports the stamp-time newest version.
+        let seq = core.reserve_long(&me, 5, 7, cm.as_ref()).expect("reserve");
+        assert_eq!(seq, 1);
+        assert!(core.reserved_by(&me));
+        assert_eq!(core.zc(), 5, "fast path must stamp the zone");
+        // Fast readers decline while the reservation holds.
+        assert!(core.read_latest_fast().is_none());
+        // Commit and check the tentative value landed.
+        assert!(me.begin_commit());
+        me.set_commit_ct(20);
+        me.finish_commit();
+        core.promote_if_committed(&me);
+        assert_eq!(core.read_latest(None).value, 7);
+    }
+
+    #[test]
+    fn contended_long_reserve_falls_back_to_arbitration() {
+        let core = VarCore::new(0i64, 4, sink());
+        let short = tx();
+        let long = tx();
+        let aggressive = CmPolicy::Aggressive.build();
+        core.reserve(&short, 1, aggressive.as_ref()).expect("short");
+        // The writer bit is set, so the fast claim declines and the settled
+        // arbitration kills the short opponent (pro-long policy).
+        let seq = core
+            .reserve_long(&long, 3, 9, aggressive.as_ref())
+            .expect("long wins arbitration");
+        assert_eq!(seq, 0);
+        assert_eq!(short.status(), TxStatus::Aborted);
+        assert!(core.reserved_by(&long));
+    }
+
+    #[test]
+    fn passed_fast_long_reserve_aborts_and_restores_meta() {
+        let core = VarCore::new(0i64, 4, sink());
+        core.raise_zc(8);
+        let me = tx();
+        let cm = CmPolicy::Polite.build();
+        let err = core
+            .reserve_long(&me, 5, 1, cm.as_ref())
+            .expect_err("zone 5 was passed by zone 8");
+        assert_eq!(err.reason(), AbortReason::ZonePassed);
+        // The speculative writer bit must not leak: fast reads work again.
         assert!(core.read_latest_fast().is_some());
     }
 

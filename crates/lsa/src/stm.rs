@@ -128,10 +128,11 @@ impl<B: TimeBase> TmFactory for LsaStm<B> {
 
     fn new_var<T: TxValue>(&self, init: T) -> LsaVar<T> {
         LsaVar {
-            core: Arc::new(VarCore::new(
+            core: Arc::new(VarCore::with_fast_paths(
                 init,
                 self.config.max_versions_per_object(),
                 Arc::clone(self.config.sink()),
+                self.config.fast_reads_enabled(),
             )),
         }
     }

@@ -36,6 +36,32 @@
 //! Committed nodes are pruned once no live transaction predates them, which
 //! bounds the graph by the number of transactions in flight.
 //!
+//! # The mutex-free read fast path
+//!
+//! Reads used to take the object's `inner` mutex on every access — the
+//! hottest lock in this crate on read-dominated workloads. A quiescent
+//! object is now served without it, mirroring the CS-STM/LSA seqlock
+//! design plus one extra step for the *visible* part of the read:
+//!
+//! 1. sample the `meta` word (`committed seq << 1 | writer bit`); any
+//!    writer reservation ⇒ slow path;
+//! 2. load the published `(value, ct, seq, writer)` snapshot from a
+//!    lock-free [`zstm_util::ArcCell`];
+//! 3. **announce the read** by inserting the transaction record into a
+//!    lock-free [`zstm_util::ArcSlots`] reader slot (this is what keeps
+//!    the read visible to overwriting writers without the mutex);
+//! 4. revalidate `meta`: unchanged ⇒ the whole window was quiescent and
+//!    the registration is ordered before any future reservation (writers
+//!    drain the slots into the locked reader list under their own lock,
+//!    after publishing the writer bit — a Dekker race resolved with
+//!    sequentially consistent orderings on both sides).
+//!
+//! On any interference the reader withdraws its slot (a concurrent drain
+//! may have collected it already — that only leaves a spurious rw edge,
+//! which is conservative, never an unsound one) and falls back to the
+//! locked path. Commit-time `validate`/`successor_writer` checks take the
+//! same one-load fast path when the read version is still current.
+//!
 //! # Examples
 //!
 //! ```
@@ -60,7 +86,7 @@
 #![warn(missing_docs)]
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use zstm_clock::{CausalStamp, CausalTimeBase, RevClock};
@@ -70,7 +96,7 @@ use zstm_core::{
 };
 use zstm_cs::StampRec;
 use zstm_util::sync::Mutex;
-use zstm_util::Backoff;
+use zstm_util::{ArcCell, ArcSlots, Backoff};
 
 // ---------------------------------------------------------------------------
 // Precedence graph
@@ -224,10 +250,41 @@ struct Inner<T, S> {
     writer: Option<Reservation<T, S>>,
 }
 
+/// Bit of `VarShared::meta` set while a writer reservation exists.
+const WRITER_BIT: u64 = 1;
+
+/// Number of lock-free visible-reader slots per variable; readers that
+/// find every slot busy register under the lock instead.
+const READER_SLOTS: usize = 16;
+
+/// Snapshot of the current committed version, published for the lock-free
+/// read fast path (see [`VarShared::read_fast`]).
+struct Published<T, S> {
+    value: T,
+    ct: S,
+    seq: VersionSeq,
+    /// Transaction that wrote this version (`None` for the initial one).
+    writer: Option<TxId>,
+}
+
 struct VarShared<T, S> {
     id: ObjId,
     max_history: usize,
     sink: Arc<dyn zstm_core::EventSink>,
+    /// Whether the mutex-free read fast path is enabled
+    /// ([`zstm_core::StmConfig::fast_reads`]).
+    fast: bool,
+    /// Seqlock word: `committed seq << 1 | WRITER_BIT`, stored (SeqCst,
+    /// for the Dekker race with slot announcements) under the `inner`
+    /// lock after every reservation or promotion change.
+    meta: AtomicU64,
+    /// Lock-free publication cell for the committed version; refreshed
+    /// under the `inner` lock before `meta` advertises the new sequence.
+    latest: ArcCell<Published<T, S>>,
+    /// Lock-free visible-reader announcements; drained into
+    /// `Inner::readers` under the `inner` lock whenever a writer collects
+    /// or retires readers.
+    reader_slots: ArcSlots<StampRec<S>>,
     inner: Mutex<Inner<T, S>>,
 }
 
@@ -258,6 +315,66 @@ impl<T: TxValue, C: CausalTimeBase> std::fmt::Debug for SVar<T, C> {
 }
 
 impl<T: TxValue, S: CausalStamp> VarShared<T, S> {
+    /// Re-derives the seqlock word from `inner`; call while still holding
+    /// the lock after any mutation of the reservation or the version.
+    /// SeqCst: the store is one side of the Dekker race with fast-path
+    /// reader-slot announcements (see [`VarShared::read_fast`]).
+    fn publish_meta(&self, inner: &Inner<T, S>) {
+        let writer = if inner.writer.is_some() {
+            WRITER_BIT
+        } else {
+            0
+        };
+        self.meta.store(inner.seq << 1 | writer, Ordering::SeqCst);
+    }
+
+    /// Drains the lock-free reader announcements into the locked reader
+    /// list (dedup by record identity, dropping aborted readers). Must be
+    /// called while holding the `inner` lock.
+    fn collect_readers_locked(&self, inner: &mut Inner<T, S>) {
+        for reader in self.reader_slots.drain() {
+            if reader.shared().status() != TxStatus::Aborted
+                && !inner.readers.iter().any(|r| Arc::ptr_eq(r, &reader))
+            {
+                inner.readers.push(reader);
+            }
+        }
+    }
+
+    /// Lock-free visible read of a quiescent object: published snapshot
+    /// plus reader-slot announcement, validated by the seqlock word (see
+    /// the module docs for the full protocol and its Dekker argument).
+    /// `None` means "contended, slots full, or fast paths disabled — take
+    /// the locked path".
+    fn read_fast(&self, me: &Arc<StampRec<S>>) -> Option<Arc<Published<T, S>>> {
+        if !self.fast {
+            return None;
+        }
+        let before = self.meta.load(Ordering::SeqCst);
+        if before & WRITER_BIT != 0 {
+            return None;
+        }
+        let published = self.latest.load();
+        if published.seq << 1 != before {
+            return None;
+        }
+        let index = match self.reader_slots.try_insert(Arc::clone(me)) {
+            Ok(index) => index,
+            Err(_) => return None,
+        };
+        if self.meta.load(Ordering::SeqCst) != before {
+            // Interference after the announcement. A concurrent drain may
+            // already have collected the slot — then the collector keeps a
+            // spurious (conservative) rw edge; otherwise withdraw it.
+            self.reader_slots.try_remove(index, me);
+            return None;
+        }
+        // Quiescent window: any writer that reserves from here on stores
+        // the writer bit *before* draining the slots, so it must observe
+        // this announcement.
+        Some(published)
+    }
+
     /// Settled lock: clean dead reservations, promote committed writers,
     /// wait out committing writers (S-STM readers are visible and must not
     /// slip past a commit in progress).
@@ -275,6 +392,7 @@ impl<T: TxValue, S: CausalStamp> VarShared<T, S> {
                     TxStatus::Active => false,
                     TxStatus::Aborted => {
                         guard.writer = None;
+                        self.publish_meta(&guard);
                         false
                     }
                     TxStatus::Committed => {
@@ -312,7 +430,22 @@ impl<T: TxValue, S: CausalStamp> VarShared<T, S> {
         inner.ct = stamp;
         inner.seq = old_seq + 1;
         inner.writer_of_current = Some(reservation.rec.shared().id());
+        // Retire the overwritten version's readers. Slot announcements
+        // left at this point are in-flight fast reads that will fail their
+        // revalidation (the writer bit has been set since the reservation),
+        // so dropping them loses no edge; the committing writer collected
+        // the real readers in `overwrite_info` before flipping its status.
+        drop(self.reader_slots.drain());
         inner.readers.clear();
+        // Publication order matters for the fast path: the cell first, the
+        // seqlock word second (see `read_fast`).
+        self.latest.store(Arc::new(Published {
+            value: inner.value.clone(),
+            ct: inner.ct.clone(),
+            seq: inner.seq,
+            writer: inner.writer_of_current,
+        }));
+        self.publish_meta(inner);
         if self.sink.enabled() {
             self.sink.record(zstm_core::TxEvent::new(
                 reservation.rec.shared().id(),
@@ -347,6 +480,13 @@ trait SObject<S>: Send + Sync {
 
 impl<T: TxValue, S: CausalStamp> SObject<S> for VarShared<T, S> {
     fn validate(&self, me: &Arc<StampRec<S>>, seq: VersionSeq, my_ct: &S) -> bool {
+        // Fast path: one seqlock-word load. No pending writer and `seq`
+        // still current means no successor exists at this instant — the
+        // same verdict the settled path reaches via `guard.seq <= seq`.
+        let meta = self.meta.load(Ordering::SeqCst);
+        if self.fast && meta & WRITER_BIT == 0 && meta >> 1 <= seq {
+            return true;
+        }
         let guard = self.lock_settled(Some(me));
         if guard.seq <= seq {
             return true;
@@ -374,6 +514,12 @@ impl<T: TxValue, S: CausalStamp> SObject<S> for VarShared<T, S> {
         me: &Arc<StampRec<S>>,
         seq: VersionSeq,
     ) -> Result<Option<Option<TxId>>, ()> {
+        // Fast path mirroring `validate`: still the newest version ⇒ no
+        // successor, hence no rw edge to chase.
+        let meta = self.meta.load(Ordering::SeqCst);
+        if self.fast && meta & WRITER_BIT == 0 && meta >> 1 <= seq {
+            return Ok(None);
+        }
         let guard = self.lock_settled(Some(me));
         if guard.seq <= seq {
             return Ok(None);
@@ -391,6 +537,10 @@ impl<T: TxValue, S: CausalStamp> SObject<S> for VarShared<T, S> {
 
     fn overwrite_info(&self, me: &Arc<StampRec<S>>) -> (Option<TxId>, Vec<Arc<StampRec<S>>>) {
         let mut guard = self.lock_settled(Some(me));
+        // Pull in the lock-free announcements: every fast read that
+        // succeeded before our reservation published the writer bit is
+        // visible here (Dekker argument in the module docs).
+        self.collect_readers_locked(&mut guard);
         // Lazily drop aborted readers while we are here.
         guard
             .readers
@@ -406,6 +556,7 @@ impl<T: TxValue, S: CausalStamp> SObject<S> for VarShared<T, S> {
             .is_some_and(|w| Arc::ptr_eq(&w.rec, me))
         {
             guard.writer = None;
+            self.publish_meta(&guard);
         }
     }
 
@@ -502,6 +653,15 @@ impl<C: CausalTimeBase> TmFactory for SStm<C> {
                 id: ObjId::fresh(),
                 max_history: self.config.max_versions_per_object(),
                 sink: Arc::clone(self.config.sink()),
+                fast: self.config.fast_reads_enabled(),
+                meta: AtomicU64::new(0),
+                latest: ArcCell::new(Arc::new(Published {
+                    value: init.clone(),
+                    ct: self.clock.zero(),
+                    seq: 0,
+                    writer: None,
+                })),
+                reader_slots: ArcSlots::new(READER_SLOTS),
                 inner: Mutex::new(Inner {
                     value: init,
                     ct: self.clock.zero(),
@@ -643,7 +803,33 @@ impl<C: CausalTimeBase> TmTx for STx<'_, C> {
         self.check_alive()?;
         self.thread.stats.record_read();
         self.rec.shared().add_karma(1);
+        // Lock-free fast path: published snapshot + reader-slot
+        // announcement on a quiescent object. A reservation held by this
+        // transaction keeps the writer bit set, so read-your-own-write
+        // always reaches the locked path below.
+        if let Some(published) = var.shared.read_fast(&self.rec) {
+            self.ct.join(&published.ct);
+            self.reads.push(ReadEntry {
+                obj: Arc::clone(&var.shared) as Arc<dyn SObject<C::Stamp>>,
+                seq: published.seq,
+                version_writer: published.writer,
+            });
+            self.record(TxEventKind::Read {
+                obj: var.shared.id,
+                version: published.seq,
+            });
+            return Ok(published.value.clone());
+        }
         let mut guard = var.shared.lock_settled(Some(&self.rec));
+        // Reclaim the slot array while we hold the lock anyway: committed
+        // readers park their announcements until a writer collects them,
+        // so a rarely-written object would otherwise exhaust its slots
+        // permanently and pin the fast path in its fallback. Moving the
+        // entries into the locked reader list preserves every edge and
+        // frees the slots for subsequent fast reads.
+        if var.shared.fast {
+            var.shared.collect_readers_locked(&mut guard);
+        }
         if let Some(w) = &guard.writer {
             if Arc::ptr_eq(&w.rec, &self.rec) {
                 return Ok(w.tentative.clone());
@@ -688,6 +874,7 @@ impl<C: CausalTimeBase> TmTx for STx<'_, C> {
                         rec: Arc::clone(&self.rec),
                         tentative: pending.take().expect("value pending"),
                     });
+                    var.shared.publish_meta(&guard);
                     drop(guard);
                     self.writes
                         .push(Arc::clone(&var.shared) as Arc<dyn SObject<C::Stamp>>);
@@ -704,6 +891,7 @@ impl<C: CausalTimeBase> TmTx for STx<'_, C> {
                                 rec: Arc::clone(&self.rec),
                                 tentative: pending.take().expect("value pending"),
                             });
+                            var.shared.publish_meta(&guard);
                             drop(guard);
                             self.writes
                                 .push(Arc::clone(&var.shared) as Arc<dyn SObject<C::Stamp>>);
@@ -948,6 +1136,29 @@ mod tests {
             .commit()
             .expect_err("TL must abort under serializability");
         assert_eq!(err.reason(), AbortReason::PrecedenceCycle);
+    }
+
+    #[test]
+    fn reader_slots_are_reclaimed_on_fallback() {
+        // Committed read-only transactions park announcements in the
+        // lock-free reader slots; without reclamation on the fallback
+        // path, a never-written object would exhaust them permanently.
+        let stm = stm(1);
+        let var = stm.new_var(0i64);
+        let mut thread = stm.register_thread();
+        for _ in 0..(READER_SLOTS * 2 + 2) {
+            atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+                tx.read(&var)
+            })
+            .expect("read commits");
+        }
+        // The last slots-full read fell back and drained the array, so a
+        // fresh announcement must find room again.
+        let probe = Arc::new(StampRec::new_for(ThreadId::new(0), TxKind::Short, 0));
+        assert!(
+            var.shared.reader_slots.try_insert(probe).is_ok(),
+            "reader slots permanently exhausted by committed readers"
+        );
     }
 
     #[test]

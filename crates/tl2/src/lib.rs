@@ -17,6 +17,18 @@
 //! * commit: lock write set → acquire write version `wv` → validate read
 //!   set → apply and unlock with `wv`.
 //!
+//! # The mutex-free read path
+//!
+//! The value is published as a *version-stamped* pair `(wv, value)` in a
+//! lock-free [`zstm_util::ArcCell`], installed before the lock word is
+//! released with `wv`. A read samples the word (spinning past a locked
+//! word), loads the published pair without any lock, and accepts it iff
+//! the pair's stamp equals the sampled word's version: publication order
+//! guarantees the pair can only run *ahead* of an unlocked word, so a
+//! matching stamp proves the value is exactly the one the sampled version
+//! installed — the classic sample→value→resample dance collapses to
+//! sample→load→stamp-compare with no `Mutex` anywhere.
+//!
 //! Compared with `zstm_lsa::LsaStm` this trades abort rate (long
 //! transactions almost never survive) for per-access cost, which is exactly
 //! the trade-off the paper motivates z-linearizability with.
@@ -54,8 +66,7 @@ use zstm_core::{
     Abort, AbortReason, ObjId, StmConfig, ThreadId, TmFactory, TmThread, TmTx, TxEvent,
     TxEventKind, TxId, TxKind, TxShared, TxStats, TxValue, VersionSeq,
 };
-use zstm_util::sync::Mutex;
-use zstm_util::Backoff;
+use zstm_util::{ArcCell, Backoff};
 
 const LOCK_BIT: u64 = 1;
 
@@ -63,12 +74,22 @@ const LOCK_BIT: u64 = 1;
 /// giving up and aborting.
 const LOCK_PATIENCE: u64 = 64;
 
+/// A committed value together with the commit stamp that installed it, so
+/// readers can validate a lock-free load against the sampled lock word.
+struct Stamped<T> {
+    version: u64,
+    value: T,
+}
+
 struct VarShared<T> {
     id: ObjId,
     /// `(version << 1) | lock_bit`; `version` is the commit stamp of the
     /// last writer.
     word: AtomicU64,
-    value: Mutex<T>,
+    /// The version-stamped published value; stored (under the lock bit)
+    /// *before* the word is released with the new version, loaded without
+    /// any lock by readers.
+    value: ArcCell<Stamped<T>>,
     /// Dense per-object version sequence for recorded histories.
     seq: AtomicU64,
 }
@@ -137,7 +158,10 @@ impl<T: TxValue> WriteOp for WriteEntry<T> {
     }
 
     fn apply_and_unlock(&self, wv: u64) -> VersionSeq {
-        *self.var.value.lock() = self.value.clone();
+        self.var.value.store(Arc::new(Stamped {
+            version: wv,
+            value: self.value.clone(),
+        }));
         let seq = self.var.seq.fetch_add(1, Ordering::AcqRel) + 1;
         self.var.unlock_with(wv);
         seq
@@ -225,7 +249,10 @@ impl<B: TimeBase> TmFactory for Tl2Stm<B> {
             shared: Arc::new(VarShared {
                 id: ObjId::fresh(),
                 word: AtomicU64::new(0),
-                value: Mutex::new(init),
+                value: ArcCell::new(Arc::new(Stamped {
+                    version: 0,
+                    value: init,
+                })),
                 seq: AtomicU64::new(0),
             }),
         }
@@ -356,9 +383,11 @@ impl<B: TimeBase> TmTx for Tl2Tx<'_, B> {
                 backoff.spin();
                 continue;
             }
-            let value = var.shared.value.lock().clone();
-            let post = var.shared.word();
-            if post != pre {
+            let stamped = var.shared.value.load();
+            if stamped.version != VarShared::<T>::version(pre) {
+                // Publication order (value before word) means the pair can
+                // only run ahead of an unlocked word: a commit landed
+                // between the sample and the load. Resample.
                 rounds += 1;
                 if rounds > LOCK_PATIENCE {
                     return Err(self.abort_inline(AbortReason::ReadValidation));
@@ -366,22 +395,24 @@ impl<B: TimeBase> TmTx for Tl2Tx<'_, B> {
                 backoff.spin();
                 continue;
             }
-            let version = VarShared::<T>::version(pre);
-            if version > self.rv {
+            // The stamp matches the sampled word, so `stamped.value` is
+            // exactly the value version `pre` installed — no resample
+            // needed, and no lock was taken anywhere on this path.
+            if stamped.version > self.rv {
                 // TL2 performs no snapshot extension: abort immediately.
                 return Err(self.abort_inline(AbortReason::ReadValidation));
             }
             let shared = Arc::clone(&var.shared);
             self.reads.push(ReadEntry {
                 obj: id,
-                version,
+                version: stamped.version,
                 word: Arc::new(move || shared.word.load(Ordering::Acquire)),
             });
             self.record(TxEventKind::Read {
                 obj: id,
                 version: var.shared.seq.load(Ordering::Acquire),
             });
-            return Ok(value);
+            return Ok(stamped.value.clone());
         }
     }
 

@@ -1,0 +1,474 @@
+//! Lock-free [`Arc`] publication: [`ArcCell`] and [`ArcSlots`].
+//!
+//! The build environment cannot fetch `arc-swap`, so this module builds the
+//! primitive the STM read fast paths need from scratch: a cell holding an
+//! `Arc<T>` that readers can clone without ever taking a mutex and writers
+//! can replace without ever blocking readers.
+//!
+//! # The hazard-slot protocol
+//!
+//! A global, fixed array of *hazard slots* (shared by every cell in the
+//! process) protects readers from use-after-free:
+//!
+//! 1. **load** — the reader loads the cell's current pointer, *announces*
+//!    it by claiming a free hazard slot (one compare-and-swap, started at a
+//!    per-thread slot hint so the claim is uncontended in the common case),
+//!    and then **revalidates** that the cell still holds the same pointer.
+//!    If it does, the announcement is visible to every writer that could
+//!    retire the pointer, so bumping the strong count is safe; the slot is
+//!    released immediately after. If the pointer changed, the reader backs
+//!    out and retries with the new value.
+//! 2. **swap** — the writer atomically swaps the cell's pointer and then
+//!    waits (bounded exponential [`Backoff`]) until no hazard slot contains
+//!    the old pointer before reclaiming the old `Arc` reference.
+//!
+//! The announce/revalidate pair and the swap/scan pair form a classic
+//! store-buffering (Dekker) race, so all four operations use sequentially
+//! consistent ordering: either the reader's re-check observes the swap (and
+//! the reader retries without touching the count), or the writer's scan
+//! observes the announcement (and waits the reader out). A republished
+//! pointer (A-B-A) is harmless: publication always transfers a strong count
+//! *into* the cell, so the count a protected reader bumps is never the last
+//! one.
+//!
+//! Readers perform no mutex acquisition and no unbounded CAS loop: the only
+//! CAS is the slot claim, which retries solely on genuine slot collisions
+//! (bounded probing, then backoff).
+//!
+//! [`ArcSlots`] is the simpler cousin used by S-STM's visible reads: a
+//! bounded set of `Arc`-holding slots with lock-free insert/remove/drain.
+//! It needs no hazards because slots *own* their reference: whoever
+//! atomically empties a slot receives the count, so no reference is ever
+//! touched without ownership.
+#![allow(unsafe_code)]
+
+use core::marker::PhantomData;
+use core::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::ptr;
+use std::sync::Arc;
+
+use crate::{Backoff, CachePadded};
+
+/// Number of global hazard slots. More than the typical number of live
+/// threads, so claim collisions stay rare; readers that find every slot
+/// busy back off and retry (the window a slot is held for is a handful of
+/// instructions).
+const HAZARD_SLOTS: usize = 64;
+
+/// Slots probed past the per-thread hint before backing off.
+const CLAIM_PROBES: usize = 8;
+
+/// The process-wide hazard-slot array, shared by every [`ArcCell`]. Padded
+/// so concurrent announcements do not false-share.
+static SLOTS: [CachePadded<AtomicPtr<()>>; HAZARD_SLOTS] =
+    [const { CachePadded::new(AtomicPtr::new(ptr::null_mut())) }; HAZARD_SLOTS];
+
+/// Monotonic counter handing out per-thread slot hints.
+static NEXT_HINT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread starts probing at its own slot, so uncontended loads
+    /// claim on the first compare-and-swap.
+    static SLOT_HINT: usize = NEXT_HINT.fetch_add(1, Ordering::Relaxed) % HAZARD_SLOTS;
+}
+
+/// Claims a free hazard slot and announces `ptr` in it. Returns the slot
+/// on success, `None` when every probed slot is busy.
+fn announce(ptr: *mut (), hint: usize) -> Option<&'static AtomicPtr<()>> {
+    for probe in 0..CLAIM_PROBES {
+        let slot = &SLOTS[(hint + probe) % HAZARD_SLOTS];
+        if slot
+            .compare_exchange(ptr::null_mut(), ptr, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            return Some(slot);
+        }
+    }
+    None
+}
+
+/// Spins until no hazard slot announces `old` (writer-side reclamation
+/// barrier). Uses the shared [`Backoff`] schedule rather than ad-hoc
+/// spinning.
+fn wait_unprotected(old: *mut ()) {
+    let mut backoff = Backoff::new();
+    for slot in &SLOTS {
+        while ptr::eq(slot.load(Ordering::SeqCst), old) {
+            backoff.spin();
+        }
+    }
+}
+
+/// A lock-free cell holding an `Arc<T>`.
+///
+/// [`ArcCell::load`] clones the current `Arc` without a mutex (hazard-slot
+/// announce + revalidate); [`ArcCell::store`]/[`ArcCell::swap`] replace it
+/// and reclaim the previous reference once no reader still protects it.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use zstm_util::ArcCell;
+///
+/// let cell = ArcCell::new(Arc::new(1u64));
+/// assert_eq!(*cell.load(), 1);
+/// cell.store(Arc::new(2));
+/// assert_eq!(*cell.load(), 2);
+/// ```
+pub struct ArcCell<T> {
+    /// The published pointer, produced by [`Arc::into_raw`]; never null.
+    current: AtomicPtr<T>,
+    /// The cell logically owns one `Arc<T>` strong count.
+    _marker: PhantomData<Arc<T>>,
+}
+
+impl<T> ArcCell<T> {
+    /// Creates a cell publishing `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        Self {
+            current: AtomicPtr::new(Arc::into_raw(value).cast_mut()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Clones the currently published `Arc` without locking.
+    ///
+    /// Wait-free against writers in the common case (one pointer load, one
+    /// slot claim, one revalidating load); retries only when the published
+    /// value changes mid-read or every probed hazard slot is busy.
+    pub fn load(&self) -> Arc<T> {
+        let hint = SLOT_HINT.with(|hint| *hint);
+        let mut backoff = Backoff::new();
+        loop {
+            let ptr = self.current.load(Ordering::Acquire);
+            let Some(slot) = announce(ptr.cast::<()>(), hint) else {
+                backoff.spin();
+                continue;
+            };
+            // Dekker pair with `swap`: the announcement (SeqCst CAS) is
+            // ordered against this SeqCst re-check, so either we see the
+            // writer's swap here, or the writer's scan sees our slot and
+            // waits before reclaiming.
+            if self.current.load(Ordering::SeqCst) == ptr {
+                // The pointer is protected: a strong count is held by the
+                // cell (or a pending writer that must wait for our slot),
+                // so taking another count is safe.
+                unsafe { Arc::increment_strong_count(ptr) };
+                slot.store(ptr::null_mut(), Ordering::Release);
+                // We own the count just taken.
+                return unsafe { Arc::from_raw(ptr) };
+            }
+            slot.store(ptr::null_mut(), Ordering::Release);
+            // A writer replaced the value between the load and the
+            // announcement; retry against the new pointer.
+        }
+    }
+
+    /// Publishes `value`, returning the previously published `Arc`.
+    ///
+    /// Blocks only for readers inside their few-instruction announce
+    /// window (bounded [`Backoff`]); safe to call from several writers
+    /// concurrently, though callers in this workspace serialize writes
+    /// under their object lock anyway.
+    pub fn swap(&self, value: Arc<T>) -> Arc<T> {
+        let new = Arc::into_raw(value).cast_mut();
+        let old = self.current.swap(new, Ordering::SeqCst);
+        wait_unprotected(old.cast::<()>());
+        // No hazard slot protects `old` any more and the cell's count for
+        // it is now ours to reclaim.
+        unsafe { Arc::from_raw(old) }
+    }
+
+    /// Publishes `value`, dropping the previously published `Arc`.
+    pub fn store(&self, value: Arc<T>) {
+        drop(self.swap(value));
+    }
+}
+
+impl<T> Drop for ArcCell<T> {
+    fn drop(&mut self) {
+        // `&mut self`: no reader can be inside `load`, so no hazard slot
+        // refers to this cell's pointer.
+        let ptr = *self.current.get_mut();
+        drop(unsafe { Arc::from_raw(ptr) });
+    }
+}
+
+impl<T: core::fmt::Debug> core::fmt::Debug for ArcCell<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_tuple("ArcCell").field(&self.load()).finish()
+    }
+}
+
+/// A bounded set of lock-free slots each holding an `Arc<T>`.
+///
+/// Built for S-STM's visible reads: a reader inserts its transaction
+/// record without taking the object lock; the overwriting transaction
+/// drains the slots (under its own lock) to collect the readers. Ownership
+/// of each reference is unambiguous — it belongs to the slot while the
+/// slot is non-null, and to whoever atomically empties the slot — so no
+/// hazard machinery is needed.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use zstm_util::ArcSlots;
+///
+/// let slots: ArcSlots<u64> = ArcSlots::new(4);
+/// let value = Arc::new(7u64);
+/// let index = slots.try_insert(Arc::clone(&value)).expect("slot free");
+/// assert!(slots.try_remove(index, &value));
+/// assert!(slots.drain().is_empty());
+/// ```
+pub struct ArcSlots<T> {
+    slots: Box<[AtomicPtr<T>]>,
+    /// Each occupied slot owns one `Arc<T>` strong count.
+    _marker: PhantomData<Arc<T>>,
+}
+
+impl<T> ArcSlots<T> {
+    /// Creates `capacity` empty slots.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: (0..capacity.max(1))
+                .map(|_| AtomicPtr::new(ptr::null_mut()))
+                .collect(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Inserts `value` into a free slot (transferring one strong count into
+    /// it) and returns the slot index.
+    ///
+    /// # Errors
+    ///
+    /// Returns the value back when every slot is occupied — the caller
+    /// falls back to its locked registration path.
+    pub fn try_insert(&self, value: Arc<T>) -> Result<usize, Arc<T>> {
+        let ptr = Arc::into_raw(value).cast_mut();
+        for (index, slot) in self.slots.iter().enumerate() {
+            if slot
+                .compare_exchange(ptr::null_mut(), ptr, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Ok(index);
+            }
+        }
+        // Full: take the count back out of raw form.
+        Err(unsafe { Arc::from_raw(ptr) })
+    }
+
+    /// Empties slot `index` iff it still holds `value`, dropping the
+    /// slot's reference. Returns `false` when a concurrent [`drain`]
+    /// already collected it (the drainer then owns the reference).
+    ///
+    /// [`drain`]: ArcSlots::drain
+    pub fn try_remove(&self, index: usize, value: &Arc<T>) -> bool {
+        let ptr = Arc::as_ptr(value).cast_mut();
+        if self.slots[index]
+            .compare_exchange(ptr, ptr::null_mut(), Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            // The slot's count is ours now; release it.
+            drop(unsafe { Arc::from_raw(ptr) });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Empties every occupied slot, returning the collected `Arc`s (the
+    /// caller receives each slot's strong count).
+    pub fn drain(&self) -> Vec<Arc<T>> {
+        self.slots
+            .iter()
+            .filter_map(|slot| {
+                let ptr = slot.swap(ptr::null_mut(), Ordering::SeqCst);
+                (!ptr.is_null()).then(|| unsafe { Arc::from_raw(ptr) })
+            })
+            .collect()
+    }
+
+    /// Number of slots (occupied or not).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl<T> Drop for ArcSlots<T> {
+    fn drop(&mut self) {
+        drop(self.drain());
+    }
+}
+
+impl<T> core::fmt::Debug for ArcSlots<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ArcSlots")
+            .field("capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn load_returns_published_value() {
+        let cell = ArcCell::new(Arc::new(41u64));
+        assert_eq!(*cell.load(), 41);
+        let old = cell.swap(Arc::new(42));
+        assert_eq!(*old, 41);
+        assert_eq!(*cell.load(), 42);
+    }
+
+    #[test]
+    fn drop_releases_the_published_reference() {
+        let value = Arc::new(5u64);
+        {
+            let cell = ArcCell::new(Arc::clone(&value));
+            assert_eq!(Arc::strong_count(&value), 2);
+            let loaded = cell.load();
+            assert_eq!(Arc::strong_count(&value), 3);
+            drop(loaded);
+        }
+        assert_eq!(Arc::strong_count(&value), 1);
+    }
+
+    #[test]
+    fn swap_hands_back_exactly_one_count() {
+        let first = Arc::new(1u64);
+        let second = Arc::new(2u64);
+        let cell = ArcCell::new(Arc::clone(&first));
+        let returned = cell.swap(Arc::clone(&second));
+        assert!(Arc::ptr_eq(&returned, &first));
+        drop(returned);
+        assert_eq!(Arc::strong_count(&first), 1);
+        drop(cell);
+        assert_eq!(Arc::strong_count(&second), 1);
+    }
+
+    #[test]
+    fn concurrent_loads_and_swaps_never_tear() {
+        let cell = Arc::new(ArcCell::new(Arc::new((0u64, 0u64))));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0;
+                    while !stop.load(Ordering::Relaxed) {
+                        let pair = cell.load();
+                        assert_eq!(pair.1, pair.0 * 3, "published pair torn");
+                        assert!(pair.0 >= last, "reader went back in time");
+                        last = pair.0;
+                    }
+                })
+            })
+            .collect();
+        for i in 1..=10_000u64 {
+            cell.store(Arc::new((i, i * 3)));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            reader.join().expect("reader panicked");
+        }
+        assert_eq!(cell.load().0, 10_000);
+    }
+
+    #[test]
+    fn slots_insert_remove_round_trip() {
+        let slots: ArcSlots<u64> = ArcSlots::new(2);
+        let a = Arc::new(1u64);
+        let b = Arc::new(2u64);
+        let ia = slots.try_insert(Arc::clone(&a)).expect("free slot");
+        let _ib = slots.try_insert(Arc::clone(&b)).expect("free slot");
+        // Full now.
+        let c = Arc::new(3u64);
+        let back = slots.try_insert(Arc::clone(&c)).expect_err("full");
+        assert!(Arc::ptr_eq(&back, &c));
+        assert_eq!(Arc::strong_count(&c), 2);
+        assert!(slots.try_remove(ia, &a));
+        assert!(!slots.try_remove(ia, &a), "already empty");
+        assert_eq!(Arc::strong_count(&a), 1);
+        let drained = slots.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(Arc::ptr_eq(&drained[0], &b));
+    }
+
+    #[test]
+    fn slots_drop_releases_occupants() {
+        let a = Arc::new(9u64);
+        {
+            let slots: ArcSlots<u64> = ArcSlots::new(4);
+            slots.try_insert(Arc::clone(&a)).expect("free slot");
+            assert_eq!(Arc::strong_count(&a), 2);
+        }
+        assert_eq!(Arc::strong_count(&a), 1);
+    }
+
+    /// Flags its drop so readers can detect use-after-free.
+    struct Canary {
+        value: u64,
+        dropped: AtomicUsize,
+        drops: Arc<AtomicUsize>,
+    }
+
+    impl Canary {
+        fn new(value: u64, drops: &Arc<AtomicUsize>) -> Arc<Self> {
+            Arc::new(Self {
+                value,
+                dropped: AtomicUsize::new(0),
+                drops: Arc::clone(drops),
+            })
+        }
+    }
+
+    impl Drop for Canary {
+        fn drop(&mut self) {
+            self.dropped.store(1, Ordering::SeqCst);
+            self.drops.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn every_published_value_is_reclaimed_exactly_once() {
+        const PUBLISHES: u64 = 4_000;
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = Arc::new(ArcCell::new(Canary::new(0, &drops)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let canary = cell.load();
+                        assert_eq!(
+                            canary.dropped.load(Ordering::SeqCst),
+                            0,
+                            "reader observed a reclaimed value"
+                        );
+                        std::hint::black_box(canary.value);
+                    }
+                })
+            })
+            .collect();
+        for i in 1..=PUBLISHES {
+            cell.store(Canary::new(i, &drops));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            reader.join().expect("reader panicked");
+        }
+        // Everything but the still-published value has been dropped
+        // exactly once.
+        assert_eq!(drops.load(Ordering::SeqCst) as u64, PUBLISHES);
+        drop(cell);
+        assert_eq!(drops.load(Ordering::SeqCst) as u64, PUBLISHES + 1);
+    }
+}

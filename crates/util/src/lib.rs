@@ -1,8 +1,9 @@
 //! Low-level concurrency utilities shared by every `zstm` crate.
 //!
 //! This crate deliberately has no dependencies: it provides the tiny
-//! primitives — cache-line padding, bounded exponential backoff and a fast
-//! deterministic PRNG — that the time bases, the STM runtimes and the
+//! primitives — cache-line padding, bounded exponential backoff, a fast
+//! deterministic PRNG and the lock-free [`ArcCell`]/[`ArcSlots`]
+//! publication cells — that the time bases, the STM runtimes and the
 //! benchmark harness all build on.
 //!
 //! # Examples
@@ -20,14 +21,19 @@
 //! backoff.spin(); // first conflict: spin briefly
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied (not forbidden) crate-wide: the `arc_cell` module
+// alone opts back in — a lock-free `Arc` cell cannot be built without raw
+// refcount surgery — and documents the safety argument for every block.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arc_cell;
 mod backoff;
 mod pad;
 mod rng;
 pub mod sync;
 
+pub use arc_cell::{ArcCell, ArcSlots};
 pub use backoff::Backoff;
 pub use pad::CachePadded;
 pub use rng::XorShift64;

@@ -19,6 +19,7 @@ pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
 
 impl<T> Mutex<T> {
     /// Creates a mutex holding `value`.
+    #[inline]
     pub const fn new(value: T) -> Self {
         Mutex(sync::Mutex::new(value))
     }
@@ -33,11 +34,13 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
+    #[inline]
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
     }
 
     /// Attempts to acquire the lock without blocking.
+    #[inline]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.0.try_lock() {
             Ok(guard) => Some(guard),
@@ -66,6 +69,7 @@ pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
 
 impl<T> RwLock<T> {
     /// Creates a reader-writer lock holding `value`.
+    #[inline]
     pub const fn new(value: T) -> Self {
         RwLock(sync::RwLock::new(value))
     }
@@ -80,11 +84,13 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read lock.
+    #[inline]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
     }
 
     /// Acquires an exclusive write lock.
+    #[inline]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
     }

@@ -25,6 +25,11 @@
 //! base are built for; the bank benchmark's transfers are update-heavy
 //! and cannot show either.
 //!
+//! [`run_read_hotspot`] is the pure read-path stress: every thread
+//! hammers one hot variable with short read-only transactions, so the
+//! per-read synchronization cost (mutex vs lock-free publication)
+//! dominates — the workload behind the `read_hotspot` regression gate.
+//!
 //! # Examples
 //!
 //! ```
@@ -47,12 +52,14 @@
 
 mod array;
 mod bank;
+mod hotspot;
 mod list;
 mod map;
 mod report;
 
 pub use array::{run_array, ArrayConfig, ArrayReport};
 pub use bank::{run_bank, BankConfig, BankReport, LongMode};
+pub use hotspot::{run_read_hotspot, HotspotConfig, HotspotReport};
 pub use list::TxList;
 pub use map::{run_map, MapConfig, MapReport};
 pub use report::{print_table, Series};

@@ -174,10 +174,11 @@ impl<B: TimeBase> TmFactory for ZStm<B> {
 
     fn new_var<T: TxValue>(&self, init: T) -> ZVar<T> {
         ZVar {
-            core: Arc::new(VarCore::new(
+            core: Arc::new(VarCore::with_fast_paths(
                 init,
                 self.config.max_versions_per_object(),
                 Arc::clone(self.config.sink()),
+                self.config.fast_reads_enabled(),
             )),
         }
     }
