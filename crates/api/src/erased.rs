@@ -1,0 +1,292 @@
+//! The object-safe erased facade: select an STM at runtime.
+//!
+//! [`TmFactory`] cannot be a trait object (generic associated types), so a
+//! driver that picks one of the five engines from a CLI flag would have to
+//! be monomorphized five times. [`DynStm`] erases the factory behind an
+//! object-safe trait over `i64` and byte-string variables — enough for the
+//! workload harnesses and figure drivers — while delegating to the typed
+//! [`Stm`] front end underneath, so leasing, parking and `or_else` all
+//! work identically.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use zstm_api::{DynStm, Stm};
+//! use zstm_core::{RetryPolicy, StmConfig, TxKind};
+//! use zstm_lsa::LsaStm;
+//! use zstm_tl2::Tl2Stm;
+//!
+//! let engines: Vec<Arc<dyn DynStm>> = vec![
+//!     Arc::new(Stm::new(LsaStm::new(StmConfig::new(1)))),
+//!     Arc::new(Stm::new(Tl2Stm::new(StmConfig::new(1)))),
+//! ];
+//! for stm in engines {
+//!     let var = stm.new_i64(40);
+//!     let v = stm
+//!         .atomically(TxKind::Short, &RetryPolicy::unbounded(), |tx| {
+//!             let v = tx.read_i64(&var)? + 2;
+//!             tx.write_i64(&var, v)?;
+//!             Ok(v)
+//!         })
+//!         .unwrap();
+//!     assert_eq!(v, 42);
+//! }
+//! ```
+
+use std::any::Any;
+use std::sync::Arc;
+
+use zstm_core::{Abort, AbortReason, RetryExhausted, RetryPolicy, TmFactory, TxKind, TxStats};
+
+use crate::{Stm, TVar, Tx};
+
+/// A type-erased transaction body (the object-safe spelling of the typed
+/// closures).
+pub type DynBody<'a> = dyn FnMut(&mut dyn DynTx) -> Result<(), Abort> + 'a;
+
+/// A type-erased transactional variable handle.
+///
+/// Created by [`DynStm::new_i64`] / [`DynStm::new_bytes`] and only usable
+/// with the `DynStm` *instance* that created it — the handle carries both
+/// its concrete type and its origin's instance id, so using it under a
+/// different engine type **or** a different instance of the same type
+/// panics instead of silently mixing two STMs' clocks.
+#[derive(Clone)]
+pub struct DynVar {
+    inner: Arc<dyn Any + Send + Sync>,
+    /// Instance id of the `Stm` that created this var.
+    stm_id: u64,
+}
+
+impl DynVar {
+    fn new<F: TmFactory, T: zstm_core::TxValue>(var: TVar<F, T>, stm_id: u64) -> Self {
+        Self {
+            inner: Arc::new(var),
+            stm_id,
+        }
+    }
+
+    fn downcast<F: TmFactory, T: zstm_core::TxValue>(&self, stm_id: u64) -> &TVar<F, T> {
+        assert_eq!(
+            self.stm_id, stm_id,
+            "DynVar used with a different DynStm instance than the one that created it"
+        );
+        self.inner
+            .downcast_ref::<TVar<F, T>>()
+            .expect("DynVar used with the DynStm (and value type) that created it")
+    }
+}
+
+impl std::fmt::Debug for DynVar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DynVar").finish_non_exhaustive()
+    }
+}
+
+/// Object-safe view of an active transaction, over `i64` and byte-string
+/// variables.
+pub trait DynTx {
+    /// Reads an `i64` variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if the engine cannot provide a consistent value.
+    fn read_i64(&mut self, var: &DynVar) -> Result<i64, Abort>;
+
+    /// Writes an `i64` variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] on conflicts resolved against this transaction.
+    fn write_i64(&mut self, var: &DynVar, value: i64) -> Result<(), Abort>;
+
+    /// Reads a byte-string variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if the engine cannot provide a consistent value.
+    fn read_bytes(&mut self, var: &DynVar) -> Result<Vec<u8>, Abort>;
+
+    /// Writes a byte-string variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] on conflicts resolved against this transaction.
+    fn write_bytes(&mut self, var: &DynVar, value: Vec<u8>) -> Result<(), Abort>;
+
+    /// The blocking-retry abort: `return Err(tx.retry());` parks the
+    /// atomic block until another transaction commits writes (exactly
+    /// [`Tx::retry`]).
+    fn retry(&self) -> Abort;
+
+    /// The transaction's short/long classification.
+    fn kind(&self) -> TxKind;
+}
+
+impl<F: TmFactory> DynTx for Tx<'_, F> {
+    fn read_i64(&mut self, var: &DynVar) -> Result<i64, Abort> {
+        let stm_id = self.stm_id;
+        self.read(var.downcast::<F, i64>(stm_id))
+    }
+
+    fn write_i64(&mut self, var: &DynVar, value: i64) -> Result<(), Abort> {
+        let stm_id = self.stm_id;
+        self.write(var.downcast::<F, i64>(stm_id), value)
+    }
+
+    fn read_bytes(&mut self, var: &DynVar) -> Result<Vec<u8>, Abort> {
+        let stm_id = self.stm_id;
+        self.read(var.downcast::<F, Vec<u8>>(stm_id))
+    }
+
+    fn write_bytes(&mut self, var: &DynVar, value: Vec<u8>) -> Result<(), Abort> {
+        let stm_id = self.stm_id;
+        self.write(var.downcast::<F, Vec<u8>>(stm_id), value)
+    }
+
+    fn retry(&self) -> Abort {
+        Abort::new(AbortReason::Retry)
+    }
+
+    fn kind(&self) -> TxKind {
+        Tx::kind(self)
+    }
+}
+
+/// Object-safe view of an [`Stm`] handle: runtime-selectable engines for
+/// the workload harnesses and figure drivers.
+///
+/// Implemented by every `Stm<F>`; obtain one with
+/// `Arc::new(Stm::new(...)) as Arc<dyn DynStm>`. The convenience methods
+/// with typed return values (`atomically`, `atomically_or_else`) live on
+/// the trait object itself via the inherent `impl dyn DynStm`.
+pub trait DynStm: Send + Sync {
+    /// Short name of the underlying engine ("lsa", "z-stm", ...).
+    fn name(&self) -> &'static str;
+
+    /// Creates a type-erased `i64` variable.
+    fn new_i64(&self, init: i64) -> DynVar;
+
+    /// Creates a type-erased byte-string variable.
+    fn new_bytes(&self, init: Vec<u8>) -> DynVar;
+
+    /// Object-safe [`Stm::try_atomically`]: runs `body` (over the erased
+    /// transaction view) until commit or budget exhaustion, with blocking
+    /// [`DynTx::retry`] support.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetryExhausted`] when `policy.max_attempts()` rounds all
+    /// failed.
+    fn atomically_dyn(
+        &self,
+        kind: TxKind,
+        policy: &RetryPolicy,
+        body: &mut DynBody<'_>,
+    ) -> Result<(), RetryExhausted>;
+
+    /// Object-safe [`Stm::try_atomically_or_else`]: `first` falling
+    /// through to `second` on retry, parking only when both block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetryExhausted`] when the budget runs out.
+    fn or_else_dyn(
+        &self,
+        kind: TxKind,
+        policy: &RetryPolicy,
+        first: &mut DynBody<'_>,
+        second: &mut DynBody<'_>,
+    ) -> Result<(), RetryExhausted>;
+
+    /// Takes the statistics accumulated by every pooled context (see
+    /// [`Stm::take_stats`]).
+    fn take_stats(&self) -> TxStats;
+}
+
+impl<F: TmFactory> DynStm for Stm<F> {
+    fn name(&self) -> &'static str {
+        Stm::name(self)
+    }
+
+    fn new_i64(&self, init: i64) -> DynVar {
+        DynVar::new(self.new_tvar(init), self.instance_id())
+    }
+
+    fn new_bytes(&self, init: Vec<u8>) -> DynVar {
+        DynVar::new(self.new_tvar(init), self.instance_id())
+    }
+
+    fn atomically_dyn(
+        &self,
+        kind: TxKind,
+        policy: &RetryPolicy,
+        body: &mut DynBody<'_>,
+    ) -> Result<(), RetryExhausted> {
+        self.try_atomically(kind, policy, |tx| body(tx))
+    }
+
+    fn or_else_dyn(
+        &self,
+        kind: TxKind,
+        policy: &RetryPolicy,
+        first: &mut DynBody<'_>,
+        second: &mut DynBody<'_>,
+    ) -> Result<(), RetryExhausted> {
+        self.try_atomically_or_else(kind, policy, |tx| first(tx), |tx| second(tx))
+    }
+
+    fn take_stats(&self) -> TxStats {
+        Stm::take_stats(self)
+    }
+}
+
+impl dyn DynStm + '_ {
+    /// Typed-return convenience over [`DynStm::atomically_dyn`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetryExhausted`] when the policy's budget runs out.
+    pub fn atomically<R>(
+        &self,
+        kind: TxKind,
+        policy: &RetryPolicy,
+        mut body: impl FnMut(&mut dyn DynTx) -> Result<R, Abort>,
+    ) -> Result<R, RetryExhausted> {
+        let mut out = None;
+        self.atomically_dyn(kind, policy, &mut |tx| {
+            out = Some(body(tx)?);
+            Ok(())
+        })?;
+        Ok(out.expect("committed body stored its result"))
+    }
+
+    /// Typed-return convenience over [`DynStm::or_else_dyn`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetryExhausted`] when the policy's budget runs out.
+    pub fn atomically_or_else<R>(
+        &self,
+        kind: TxKind,
+        policy: &RetryPolicy,
+        mut first: impl FnMut(&mut dyn DynTx) -> Result<R, Abort>,
+        mut second: impl FnMut(&mut dyn DynTx) -> Result<R, Abort>,
+    ) -> Result<R, RetryExhausted> {
+        let out = std::cell::RefCell::new(None);
+        self.or_else_dyn(
+            kind,
+            policy,
+            &mut |tx| {
+                *out.borrow_mut() = Some(first(tx)?);
+                Ok(())
+            },
+            &mut |tx| {
+                *out.borrow_mut() = Some(second(tx)?);
+                Ok(())
+            },
+        )?;
+        Ok(out
+            .into_inner()
+            .expect("committed alternative stored its result"))
+    }
+}

@@ -1,0 +1,133 @@
+//! The commit notifier behind composable blocking.
+//!
+//! Every [`Stm`](crate::Stm) owns one [`Notifier`]. The retry loop reads
+//! the epoch *before* beginning an attempt; if the attempt ends in
+//! [`AbortReason::Retry`](zstm_core::AbortReason::Retry), the thread parks
+//! until the epoch moves past the captured value. Every transaction that
+//! commits **with writes** through the same `Stm` bumps the epoch — a
+//! conservative wake (any writer, any variable) that is correct for all
+//! five engines with zero engine changes: a woken waiter simply re-runs
+//! its body and either proceeds or retries again.
+//!
+//! The protocol has no lost wakeups for writers routed through the `Stm`
+//! handle: the epoch is captured before the attempt's first read, so a
+//! write committed after the capture (the only write the attempt could
+//! have missed) has already bumped the epoch by the time the waiter parks,
+//! and [`Notifier::wait`] returns immediately. Writers that bypass the
+//! handle (raw `TmThread` harness code) are covered by a coarse fallback
+//! timeout instead.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use zstm_util::sync::{Condvar, Mutex};
+
+/// How long a parked retry sleeps before conservatively re-running even
+/// without a commit notification. This only matters when a writer commits
+/// through the raw engine SPI (which does not bump the notifier); writers
+/// using the `Stm` handle always wake parked waiters promptly.
+pub const RETRY_FALLBACK_WAKE: Duration = Duration::from_millis(100);
+
+/// Epoch-based commit notification: bump on writer commit, park until the
+/// epoch moves.
+#[derive(Debug, Default)]
+pub struct Notifier {
+    epoch: AtomicU64,
+    /// Threads currently inside [`Notifier::wait`]. Writers skip the
+    /// mutex + `notify_all` entirely while this is zero, so the common
+    /// no-waiter commit pays one `SeqCst` add and one load — no shared
+    /// lock on the commit path.
+    waiters: AtomicU64,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Notifier {
+    /// Creates a notifier at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current epoch. Capture this *before* beginning a transaction
+    /// attempt that may retry.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Announces a writer commit: bumps the epoch and wakes every parked
+    /// waiter. With no waiters registered this is two uncontended atomic
+    /// operations — writers do not serialize on the notifier mutex.
+    pub fn notify(&self) {
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        // SeqCst Dekker pairing with `wait`: the waiter registers itself
+        // *before* checking the epoch, we bump the epoch *before* reading
+        // the registration — at least one side always sees the other, so
+        // skipping the wake while `waiters == 0` cannot strand a waiter.
+        if self.waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        // Taking the lock orders the bump against waiters that checked the
+        // epoch but have not yet parked: they hold the lock between check
+        // and park, so by the time we acquire it they either saw the new
+        // epoch or are already waiting on the condvar.
+        drop(self.lock.lock());
+        self.cv.notify_all();
+    }
+
+    /// Parks until the epoch differs from `seen` or `timeout` elapsed.
+    /// Returns `true` if the epoch moved (a commit happened), `false` on
+    /// timeout.
+    pub fn wait(&self, seen: u64, timeout: Duration) -> bool {
+        self.waiters.fetch_add(1, Ordering::SeqCst);
+        let moved = self.wait_registered(seen, timeout);
+        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        moved
+    }
+
+    fn wait_registered(&self, seen: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.lock.lock();
+        while self.epoch.load(Ordering::SeqCst) == seen {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g, _timed_out) = self.cv.wait_timeout(guard, deadline - now);
+            guard = g;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_returns_immediately_on_stale_epoch() {
+        let n = Notifier::new();
+        let seen = n.epoch();
+        n.notify();
+        assert!(n.wait(seen, Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn wait_times_out_without_commit() {
+        let n = Notifier::new();
+        let seen = n.epoch();
+        assert!(!n.wait(seen, Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn notify_wakes_parked_waiter() {
+        let n = Arc::new(Notifier::new());
+        let seen = n.epoch();
+        let n2 = Arc::clone(&n);
+        let waiter = std::thread::spawn(move || n2.wait(seen, Duration::from_secs(10)));
+        // Give the waiter a moment to park, then notify.
+        std::thread::sleep(Duration::from_millis(20));
+        n.notify();
+        assert!(waiter.join().expect("waiter finished"));
+    }
+}

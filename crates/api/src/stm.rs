@@ -1,0 +1,485 @@
+//! The `Stm` runtime handle: transparent thread leasing + the blocking
+//! retry loop.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use zstm_core::{
+    Abort, AbortReason, RetryExhausted, RetryPolicy, TmFactory, TmThread, TmTx, TxKind, TxStats,
+    TxValue,
+};
+use zstm_util::Backoff;
+
+use crate::notify::{Notifier, RETRY_FALLBACK_WAKE};
+use crate::tx::Tx;
+use crate::TVar;
+
+/// Next unique id for [`Stm`] instances (keys the thread-local lease
+/// cache).
+static NEXT_STM_ID: AtomicU64 = AtomicU64::new(0);
+
+/// One TLS cache entry: the owning [`Stm`]'s id, a monomorphized probe
+/// returning the live [`Stm`]-handle count (used to evict leases whose
+/// `Stm` has been dropped without naming `F`), and the boxed lease.
+type CacheEntry = (u64, fn(&dyn Any) -> usize, Box<dyn Any>);
+
+thread_local! {
+    /// Leased engine thread contexts cached by this OS thread, keyed by
+    /// the owning [`Stm`]'s id. Dropping the vector at thread exit returns
+    /// every context to its pool.
+    static LEASES: RefCell<Vec<CacheEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Live [`Stm`] handle count behind a cached [`Lease<F>`] — the
+/// monomorphized probe stored in [`CacheEntry`].
+fn handle_count_of<F: TmFactory>(boxed: &dyn Any) -> usize {
+    let lease = boxed
+        .downcast_ref::<Lease<F>>()
+        .expect("probe stored next to a lease of its own type");
+    lease.shared.handles.load(Ordering::SeqCst)
+}
+
+/// Evicts cached leases whose `Stm` handles have all been dropped (the
+/// per-`StmShared` live-handle counter reads zero — exact no matter how
+/// many threads cached leases for it), so long-lived threads do not
+/// accumulate leases (and pinned factories) of short-lived `Stm`s.
+fn evict_orphaned_leases(leases: &mut Vec<CacheEntry>) {
+    let mut at = 0;
+    while at < leases.len() {
+        let (_, probe, ref boxed) = leases[at];
+        if probe(boxed.as_ref()) == 0 {
+            // Dropping the lease returns its context to the (soon to be
+            // freed) pool.
+            drop(leases.swap_remove(at));
+        } else {
+            at += 1;
+        }
+    }
+}
+
+struct Pool<F: TmFactory> {
+    /// Contexts currently not leased to any OS thread.
+    free: Vec<F::Thread>,
+    /// Logical threads registered with the factory so far.
+    registered: usize,
+}
+
+struct StmShared<F: TmFactory> {
+    factory: Arc<F>,
+    pool: zstm_util::sync::Mutex<Pool<F>>,
+    notifier: Notifier,
+    id: u64,
+    /// Live [`Stm`] handles sharing this state (maintained by
+    /// `Stm::clone`/`Stm::drop`, *not* the `Arc` strong count, which also
+    /// counts cached leases). Zero means no code can ever run a
+    /// transaction on this instance again, so cached leases for it are
+    /// garbage.
+    handles: AtomicUsize,
+}
+
+/// A leased engine thread context; returns itself to the pool on drop
+/// (including unwinds and OS-thread exit).
+struct Lease<F: TmFactory> {
+    shared: Arc<StmShared<F>>,
+    thread: Option<F::Thread>,
+}
+
+impl<F: TmFactory> Drop for Lease<F> {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.shared.pool.lock().free.push(thread);
+        }
+    }
+}
+
+/// The user-facing STM runtime handle.
+///
+/// `Stm` owns the engine factory and leases per-OS-thread [`TmThread`]
+/// contexts transparently: the first transaction a given OS thread runs
+/// checks a context out of a shared pool (registering a new logical
+/// thread if none is free) and caches it in thread-local storage; later
+/// transactions on the same thread reuse it with no synchronization, and
+/// the context returns to the pool when the OS thread exits — so user
+/// code never calls [`TmFactory::register_thread`] and short-lived worker
+/// threads recycle logical-thread slots instead of exhausting them.
+///
+/// Cloning an `Stm` is cheap and shares the factory, the lease pool and
+/// the commit notifier; clone it into every worker thread.
+///
+/// At most [`StmConfig::threads`](zstm_core::StmConfig) OS threads can run
+/// transactions *concurrently* (each needs a leased context);
+/// [`Stm::atomically`] panics with a descriptive message beyond that.
+///
+/// # Examples
+///
+/// ```
+/// use zstm_api::Stm;
+/// use zstm_core::{StmConfig, TxKind};
+/// use zstm_z::ZStm;
+///
+/// let stm = Stm::new(ZStm::new(StmConfig::new(2)));
+/// let counter = stm.new_tvar(0i64);
+/// let worker = {
+///     let (stm, counter) = (stm.clone(), counter.clone());
+///     std::thread::spawn(move || {
+///         stm.atomically(TxKind::Short, |tx| tx.modify(&counter, |c| *c += 1))
+///     })
+/// };
+/// stm.atomically(TxKind::Short, |tx| tx.modify(&counter, |c| *c += 1));
+/// worker.join().unwrap();
+/// let total = stm.atomically(TxKind::Short, |tx| tx.read(&counter));
+/// assert_eq!(total, 2);
+/// ```
+pub struct Stm<F: TmFactory> {
+    shared: Arc<StmShared<F>>,
+    /// Whether `AbortReason::Retry` parks on the notifier (`true`, the
+    /// default) or spin-retries like an ordinary abort (`false`; the A/B
+    /// knob behind the queue baseline gate).
+    park_on_retry: bool,
+}
+
+impl<F: TmFactory> Clone for Stm<F> {
+    fn clone(&self) -> Self {
+        self.shared.handles.fetch_add(1, Ordering::SeqCst);
+        Self {
+            shared: Arc::clone(&self.shared),
+            park_on_retry: self.park_on_retry,
+        }
+    }
+}
+
+impl<F: TmFactory> Drop for Stm<F> {
+    fn drop(&mut self) {
+        self.shared.handles.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl<F: TmFactory> std::fmt::Debug for Stm<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stm")
+            .field("engine", &self.shared.factory.name())
+            .field("park_on_retry", &self.park_on_retry)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: TmFactory> Stm<F> {
+    /// Wraps a factory in a runtime handle.
+    pub fn new(factory: F) -> Self {
+        Self::from_arc(Arc::new(factory))
+    }
+
+    /// Wraps an already-shared factory (e.g. one that raw-SPI harness code
+    /// also drives).
+    ///
+    /// Logical threads that raw-SPI code registered directly on the
+    /// factory are invisible to the lease pool's capacity accounting, so
+    /// exceeding [`TmFactory::max_threads`] in such mixed use trips the
+    /// engine's own `register_thread` assertion rather than the pool's
+    /// descriptive panic. Size [`StmConfig::threads`](zstm_core::StmConfig)
+    /// for the sum of both.
+    pub fn from_arc(factory: Arc<F>) -> Self {
+        Self {
+            shared: Arc::new(StmShared {
+                factory,
+                pool: zstm_util::sync::Mutex::new(Pool {
+                    free: Vec::new(),
+                    registered: 0,
+                }),
+                notifier: Notifier::new(),
+                id: NEXT_STM_ID.fetch_add(1, Ordering::Relaxed),
+                handles: AtomicUsize::new(1),
+            }),
+            park_on_retry: true,
+        }
+    }
+
+    /// Selects whether [`Tx::retry`] parks on the commit notifier (the
+    /// default) or spin-retries like an ordinary abort. The spin shape
+    /// exists for A/B measurement (`repro_figures queue`); applications
+    /// want parking.
+    pub fn with_parking(mut self, park: bool) -> Self {
+        self.park_on_retry = park;
+        self
+    }
+
+    /// The underlying factory.
+    pub fn factory(&self) -> &Arc<F> {
+        &self.shared.factory
+    }
+
+    /// Short name of the underlying engine ("lsa", "z-stm", ...).
+    pub fn name(&self) -> &'static str {
+        self.shared.factory.name()
+    }
+
+    /// The commit notifier (exposed for tests asserting the wake
+    /// protocol).
+    pub fn notifier(&self) -> &Notifier {
+        &self.shared.notifier
+    }
+
+    /// This instance's unique id (tags `DynVar`s with their origin).
+    pub(crate) fn instance_id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Creates a shareable transactional variable.
+    pub fn new_tvar<T: TxValue>(&self, init: T) -> TVar<F, T> {
+        TVar::from_raw(self.shared.factory.new_var(init))
+    }
+
+    /// Runs `body` as a transaction of kind `kind`, retrying until it
+    /// commits.
+    ///
+    /// Aborted attempts re-run with exponential backoff; attempts that end
+    /// in [`Tx::retry`] park on the commit notifier until another
+    /// transaction commits writes through this `Stm`. The loop is
+    /// unbounded — use [`Stm::try_atomically`] to cap attempts.
+    pub fn atomically<R>(
+        &self,
+        kind: TxKind,
+        mut body: impl FnMut(&mut Tx<'_, F>) -> Result<R, Abort>,
+    ) -> R {
+        self.try_atomically(kind, &RetryPolicy::unbounded(), &mut body)
+            .expect("unbounded retry loop cannot exhaust")
+    }
+
+    /// Like [`Stm::atomically`] with an explicit retry budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetryExhausted`] when `policy.max_attempts()` rounds all
+    /// failed to commit. Parked retries count as rounds too, and a parked
+    /// round that waits out a full fallback tick without *any* commit
+    /// happening fails immediately (re-running could not observe anything
+    /// new) — so a bounded policy fails loudly within roughly
+    /// [`RETRY_FALLBACK_WAKE`] on an idle system instead of blocking for
+    /// its whole budget.
+    pub fn try_atomically<R>(
+        &self,
+        kind: TxKind,
+        policy: &RetryPolicy,
+        mut body: impl FnMut(&mut Tx<'_, F>) -> Result<R, Abort>,
+    ) -> Result<R, RetryExhausted> {
+        self.run_alternatives(kind, policy, &mut [&mut body])
+    }
+
+    /// Runs `first`, falling back to `second` when `first` blocks.
+    ///
+    /// The composable-blocking combinator: if `first` ends in
+    /// [`Tx::retry`], its attempt is rolled back (all effects discarded)
+    /// and `second` runs as a fresh transaction in the same round. Only
+    /// when *both* alternatives retry does the thread park; a genuine
+    /// abort in either alternative restarts the whole composition from
+    /// `first` (aborts propagate, they do not fall through). The loop is
+    /// unbounded — see [`Stm::try_atomically_or_else`] for a budget.
+    pub fn atomically_or_else<R>(
+        &self,
+        kind: TxKind,
+        mut first: impl FnMut(&mut Tx<'_, F>) -> Result<R, Abort>,
+        mut second: impl FnMut(&mut Tx<'_, F>) -> Result<R, Abort>,
+    ) -> R {
+        self.run_alternatives(
+            kind,
+            &RetryPolicy::unbounded(),
+            &mut [&mut first, &mut second],
+        )
+        .expect("unbounded retry loop cannot exhaust")
+    }
+
+    /// [`Stm::atomically_or_else`] with an explicit retry budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RetryExhausted`] when the budget runs out; the error's
+    /// last reason is [`AbortReason::Retry`] if the final round blocked on
+    /// both alternatives.
+    pub fn try_atomically_or_else<R>(
+        &self,
+        kind: TxKind,
+        policy: &RetryPolicy,
+        mut first: impl FnMut(&mut Tx<'_, F>) -> Result<R, Abort>,
+        mut second: impl FnMut(&mut Tx<'_, F>) -> Result<R, Abort>,
+    ) -> Result<R, RetryExhausted> {
+        self.run_alternatives(kind, policy, &mut [&mut first, &mut second])
+    }
+
+    /// The shared retry loop: one round runs the alternatives left to
+    /// right, falling through on [`AbortReason::Retry`]; a genuine abort
+    /// ends the round immediately (backoff, restart from the first
+    /// alternative); a round in which every alternative retried parks on
+    /// the notifier.
+    #[allow(clippy::type_complexity)]
+    fn run_alternatives<R>(
+        &self,
+        kind: TxKind,
+        policy: &RetryPolicy,
+        alternatives: &mut [&mut dyn FnMut(&mut Tx<'_, F>) -> Result<R, Abort>],
+    ) -> Result<R, RetryExhausted> {
+        debug_assert!(!alternatives.is_empty());
+        self.with_thread(|shared, park, thread| {
+            let mut backoff = Backoff::new();
+            let mut last_reason = AbortReason::Explicit;
+            for round in 0..policy.max_attempts() {
+                // Captured before the attempt's first read: any write this
+                // round could miss bumps the epoch after this point, so a
+                // park below cannot sleep through it.
+                let seen = shared.notifier.epoch();
+                let mut all_retried = true;
+                for body in alternatives.iter_mut() {
+                    let mut tx = Tx::new(thread.begin(kind), shared.id);
+                    match body(&mut tx) {
+                        Ok(result) => {
+                            let wrote = tx.wrote;
+                            match tx.into_raw().commit() {
+                                Ok(()) => {
+                                    if wrote {
+                                        shared.notifier.notify();
+                                    }
+                                    return Ok(result);
+                                }
+                                Err(abort) => {
+                                    last_reason = abort.reason();
+                                    all_retried = false;
+                                    break;
+                                }
+                            }
+                        }
+                        Err(abort) if abort.reason() == AbortReason::Retry => {
+                            tx.into_raw().rollback(AbortReason::Retry);
+                            last_reason = AbortReason::Retry;
+                            // Fall through to the next alternative.
+                        }
+                        Err(abort) => {
+                            last_reason = abort.reason();
+                            tx.into_raw().rollback(abort.reason());
+                            all_retried = false;
+                            break;
+                        }
+                    }
+                }
+                if all_retried && park {
+                    let commit_seen = shared.notifier.wait(seen, RETRY_FALLBACK_WAKE);
+                    // A *bounded* policy exists to fail loudly instead of
+                    // hanging. If a full fallback tick passed without any
+                    // commit anywhere, re-running cannot observe anything
+                    // new — give up now rather than sleeping through the
+                    // remaining budget (1M rounds x 100 ms is a day, not
+                    // "loudly").
+                    if !commit_seen && policy.max_attempts() != u64::MAX {
+                        return Err(RetryExhausted::new(round + 1, AbortReason::Retry));
+                    }
+                    backoff.reset();
+                } else if policy.backoff_enabled() {
+                    backoff.spin();
+                    // Saturated backoff resets so long waits do not grow
+                    // unboundedly under persistent contention.
+                    if round % 64 == 63 {
+                        backoff.reset();
+                    }
+                }
+            }
+            Err(RetryExhausted::new(policy.max_attempts(), last_reason))
+        })
+    }
+
+    /// Runs `f` with this OS thread's leased engine context, checking one
+    /// out (and caching it in TLS) on first use.
+    fn with_thread<R>(&self, f: impl FnOnce(&StmShared<F>, bool, &mut F::Thread) -> R) -> R {
+        // Take the lease *out* of TLS while the body runs so re-entrant
+        // transactions (an atomically inside an atomically body) lease a
+        // second context instead of hitting a RefCell double borrow.
+        let mut lease = self.take_cached_lease().unwrap_or_else(|| self.checkout());
+        let result = f(
+            &self.shared,
+            self.park_on_retry,
+            lease.thread.as_mut().expect("leased context present"),
+        );
+        // Only reached on normal return: a panic in `f` drops the lease,
+        // returning the context to the pool.
+        LEASES.with(|leases| {
+            let mut leases = leases.borrow_mut();
+            leases.push((
+                self.shared.id,
+                handle_count_of::<F>,
+                Box::new(lease) as Box<dyn Any>,
+            ));
+            // Amortized cleanup: drop cached leases of Stm instances this
+            // thread will never see again.
+            evict_orphaned_leases(&mut leases);
+        });
+        result
+    }
+
+    /// Removes and returns this OS thread's cached lease for this `Stm`,
+    /// if any.
+    fn take_cached_lease(&self) -> Option<Lease<F>> {
+        LEASES.with(|leases| {
+            let mut leases = leases.borrow_mut();
+            let at = leases.iter().position(|(id, _, _)| *id == self.shared.id)?;
+            let (_, _, boxed) = leases.swap_remove(at);
+            Some(
+                *boxed
+                    .downcast::<Lease<F>>()
+                    .expect("lease cached under this Stm's id has its type"),
+            )
+        })
+    }
+
+    fn checkout(&self) -> Lease<F> {
+        let mut pool = self.shared.pool.lock();
+        let thread = if let Some(thread) = pool.free.pop() {
+            thread
+        } else {
+            let capacity = self.shared.factory.max_threads();
+            if let Some(capacity) = capacity {
+                assert!(
+                    pool.registered < capacity,
+                    "Stm<{}>: all {} configured logical threads are leased to live OS \
+                     threads; raise StmConfig::new(n) or run fewer threads concurrently \
+                     (contexts recycle when their OS thread exits)",
+                    self.shared.factory.name(),
+                    capacity,
+                );
+            }
+            pool.registered += 1;
+            self.shared.factory.register_thread()
+        };
+        drop(pool);
+        Lease {
+            shared: Arc::clone(&self.shared),
+            thread: Some(thread),
+        }
+    }
+
+    /// Returns this OS thread's cached contexts to the shared pool —
+    /// every one of them: a thread that ran nested transactions may have
+    /// cached several.
+    ///
+    /// Useful before [`Stm::take_stats`] on a driver thread that also ran
+    /// transactions, and before handing the last `Stm` clone to another
+    /// thread.
+    pub fn flush_local(&self) {
+        while self.take_cached_lease().is_some() {}
+    }
+
+    /// Takes the statistics accumulated by every *pooled* context,
+    /// including this OS thread's cached one, leaving zeroes behind.
+    ///
+    /// Contexts still leased to other live OS threads are not reachable;
+    /// their statistics are harvested once those threads exit (or flush).
+    /// The usual harvest pattern — join the workers, then call this on the
+    /// driver — therefore sees everything.
+    pub fn take_stats(&self) -> TxStats {
+        self.flush_local();
+        let mut pool = self.shared.pool.lock();
+        let mut total = TxStats::new();
+        for thread in pool.free.iter_mut() {
+            total.merge(&thread.take_stats());
+        }
+        total
+    }
+}

@@ -1,0 +1,163 @@
+//! The transaction handle passed to `Stm::atomically` bodies.
+
+use zstm_core::{Abort, AbortReason, TmFactory, TmThread, TmTx, TxId, TxKind, TxValue};
+
+use crate::TVar;
+
+/// Shorthand for the engine-level transaction type of factory `F`.
+pub(crate) type RawTx<'t, F> = <<F as TmFactory>::Thread as TmThread>::Tx<'t>;
+
+/// An active transaction of the [`Stm`](crate::Stm) front end.
+///
+/// Wraps the engine's [`TmTx`] handle with [`TVar`]-typed accessors,
+/// composable blocking ([`Tx::retry`]) and the write tracking the commit
+/// notifier needs. Bodies receive `&mut Tx` and propagate [`Abort`] with
+/// `?`:
+///
+/// ```
+/// use zstm_api::Stm;
+/// use zstm_core::{StmConfig, TxKind};
+/// use zstm_z::ZStm;
+///
+/// let stm = Stm::new(ZStm::new(StmConfig::new(1)));
+/// let acc = stm.new_tvar(10i64);
+/// let v = stm.atomically(TxKind::Short, |tx| {
+///     let v = tx.read(&acc)?;
+///     tx.write(&acc, v + 5)?;
+///     Ok(v + 5)
+/// });
+/// assert_eq!(v, 15);
+/// ```
+pub struct Tx<'t, F: TmFactory> {
+    inner: Option<RawTx<'t, F>>,
+    pub(crate) wrote: bool,
+    /// Id of the owning [`Stm`](crate::Stm) instance, so the erased
+    /// facade can reject `DynVar`s from a different instance of the same
+    /// engine type.
+    pub(crate) stm_id: u64,
+}
+
+/// A `Tx` dropped without commit/rollback — a panic unwinding through the
+/// body — rolls the engine transaction back so eagerly-acquired write
+/// reservations are released instead of wedging their variables behind a
+/// permanently-active ghost transaction.
+impl<F: TmFactory> Drop for Tx<'_, F> {
+    fn drop(&mut self) {
+        if let Some(raw) = self.inner.take() {
+            raw.rollback(AbortReason::Explicit);
+        }
+    }
+}
+
+impl<'t, F: TmFactory> Tx<'t, F> {
+    pub(crate) fn new(raw: RawTx<'t, F>, stm_id: u64) -> Self {
+        Self {
+            inner: Some(raw),
+            wrote: false,
+            stm_id,
+        }
+    }
+
+    pub(crate) fn into_raw(mut self) -> RawTx<'t, F> {
+        self.inner.take().expect("transaction still active")
+    }
+
+    /// The engine-level transaction, for interop with raw `F::Var`s.
+    ///
+    /// Writes through this handle still wake parked retries: the notifier
+    /// is bumped whenever a transaction that called [`Tx::write`],
+    /// [`Tx::modify`] or [`Tx::write_raw`] commits — going around *those*
+    /// (writing through `raw()` directly) commits fine but relies on the
+    /// fallback timeout to wake waiters, so prefer the helpers.
+    pub fn raw(&mut self) -> &mut RawTx<'t, F> {
+        self.inner.as_mut().expect("transaction still active")
+    }
+
+    /// Reads the variable, returning a snapshot of its value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if the engine cannot provide a consistent value;
+    /// propagate it with `?` and the retry loop re-runs the body.
+    pub fn read<T: TxValue>(&mut self, var: &TVar<F, T>) -> Result<T, Abort> {
+        self.raw().read(&var.var)
+    }
+
+    /// Writes the variable (buffered or tentative until commit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] on write conflicts resolved against this
+    /// transaction.
+    pub fn write<T: TxValue>(&mut self, var: &TVar<F, T>, value: T) -> Result<(), Abort> {
+        self.wrote = true;
+        self.raw().write(&var.var, value)
+    }
+
+    /// Reads, applies `f` in place, and writes back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if the read or the write aborts.
+    pub fn modify<T: TxValue>(
+        &mut self,
+        var: &TVar<F, T>,
+        f: impl FnOnce(&mut T),
+    ) -> Result<(), Abort> {
+        let mut value = self.read(var)?;
+        f(&mut value);
+        self.write(var, value)
+    }
+
+    /// Reads a raw engine variable (interop with pre-`TVar` code).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if the engine cannot provide a consistent value.
+    pub fn read_raw<T: TxValue>(&mut self, var: &F::Var<T>) -> Result<T, Abort> {
+        self.raw().read(var)
+    }
+
+    /// Writes a raw engine variable; parked retries are still woken when
+    /// this transaction commits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] on write conflicts resolved against this
+    /// transaction.
+    pub fn write_raw<T: TxValue>(&mut self, var: &F::Var<T>, value: T) -> Result<(), Abort> {
+        self.wrote = true;
+        self.raw().write(var, value)
+    }
+
+    /// Blocks the atomic block until the world changes.
+    ///
+    /// Returning `tx.retry()` from a body rolls the attempt back with
+    /// [`AbortReason::Retry`] and parks the thread on the owning
+    /// [`Stm`](crate::Stm)'s commit notifier; the body is re-run after the
+    /// next writer commit (conservatively: *any* writer). Inside an
+    /// [`Stm::atomically_or_else`](crate::Stm::atomically_or_else) first
+    /// alternative, a retry falls through to the second alternative
+    /// instead of parking.
+    ///
+    /// # Errors
+    ///
+    /// Always returns `Err` — the retry abort to propagate with `return`
+    /// or `?`.
+    pub fn retry<R>(&self) -> Result<R, Abort> {
+        Err(Abort::new(AbortReason::Retry))
+    }
+
+    /// This attempt's id.
+    pub fn id(&self) -> TxId {
+        self.inner.as_ref().expect("transaction still active").id()
+    }
+
+    /// The transaction's short/long classification.
+    pub fn kind(&self) -> TxKind {
+        self.inner
+            .as_ref()
+            .expect("transaction still active")
+            .kind()
+    }
+}

@@ -19,6 +19,9 @@
 //!   degrades (the paper's headline separation);
 //! * `map` — LSA over the sharded clock must not regress against LSA over
 //!   the scalar clock on the read-dominated map;
+//! * `queue` — parked blocking retries (the API layer's `tx.retry()`
+//!   notifier protocol) must not regress against the spin-retry shape on
+//!   the bounded producer/consumer queue;
 //! * `read_hotspot` — the zero-mutex read fast path must beat the locked
 //!   (fast-paths-disabled) shape on the single-hot-variable stress, for
 //!   both LSA (the `ArcCell` publication path) and S-STM (the lock-free
@@ -99,6 +102,19 @@ const RULES: &[Rule] = &[
         denominator: "S-STM (locked)",
         claim: "lock-free visible reads beat the per-read object mutex on a hot variable",
         floor: |baseline| contention_gated_floor(baseline, 4),
+    },
+    Rule {
+        file: "queue",
+        numerator: "LSA-STM",
+        denominator: "LSA-STM (spin)",
+        claim: "parked blocking retries do not regress against spinning ones on the bounded queue",
+        // Non-regression rule (same policy as `map`): when producers and
+        // consumers are balanced, blocking is rare and the two shapes are
+        // within noise of each other; on saturated boxes parking wins
+        // outright (the spinner burns cores the workers need). The 0.8 cap
+        // keeps the floor below parity so noise passes, while a parked
+        // queue that deadlocks or thrashes (ratio collapsing) fails.
+        floor: |baseline| (baseline * 0.7).min(0.8),
     },
     Rule {
         file: "map",

@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures and the ARCHITECTURE.md ablations.
 //!
 //! ```text
-//! repro-figures [fig6|fig7|map|clocks|read-hotspot|ablation-r|ablation-overhead|ablation-longfrac|contention|all]
+//! repro-figures [fig6|fig7|map|queue|clocks|read-hotspot|ablation-r|ablation-overhead|ablation-longfrac|contention|all]
 //!               [--duration-ms N] [--threads 1,2,8,16,32] [--out-dir DIR]
 //! ```
 //!
@@ -18,7 +18,8 @@ use std::time::Duration;
 use zstm_bench::json::{to_json, Figure};
 use zstm_bench::{
     ablation_contention, ablation_long_fraction, ablation_overhead, ablation_plausible_r,
-    clock_contention, figure6, figure7, figure_map, read_hotspot, BankFigure, PAPER_THREADS,
+    clock_contention, figure6, figure7, figure_map, figure_queue, read_hotspot, BankFigure,
+    PAPER_THREADS,
 };
 use zstm_workload::{print_table, Series};
 
@@ -133,6 +134,13 @@ fn run_map(options: &Options) {
     save(options, "map", &series);
 }
 
+fn run_queue(options: &Options) {
+    println!("=== Queue: bounded blocking producer/consumer ring, all five engines ===");
+    let series = figure_queue(&options.threads, options.duration);
+    println!("{}", print_table("delivered items/s", &series));
+    save(options, "queue", &series);
+}
+
 fn run_read_hotspot(options: &Options) {
     println!("=== Read hotspot: one hot variable, fast vs locked read path ===");
     let series = read_hotspot(&options.threads, options.duration);
@@ -222,6 +230,7 @@ fn main() {
         "fig6" => run_fig6(&options),
         "fig7" => run_fig7(&options),
         "map" => run_map(&options),
+        "queue" => run_queue(&options),
         "clocks" => run_clocks(&options),
         "read-hotspot" => run_read_hotspot(&options),
         "ablation-r" => run_ablation_r(&options),
@@ -232,6 +241,7 @@ fn main() {
             run_fig6(&options);
             run_fig7(&options);
             run_map(&options);
+            run_queue(&options);
             run_clocks(&options);
             run_read_hotspot(&options);
             run_ablation_r(&options);
@@ -241,7 +251,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command '{other}'; expected fig6 | fig7 | map | clocks | \
+                "unknown command '{other}'; expected fig6 | fig7 | map | queue | clocks | \
                  read-hotspot | ablation-r | ablation-overhead | ablation-longfrac | \
                  contention | all"
             );

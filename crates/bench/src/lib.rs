@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
+use zstm_api::{DynStm, Stm};
 use zstm_clock::{ScalarClock, ShardedClock, TimeBase};
 use zstm_core::{CmPolicy, StmConfig, TmFactory};
 use zstm_cs::CsStm;
@@ -23,8 +24,8 @@ use zstm_lsa::LsaStm;
 use zstm_sstm::SStm;
 use zstm_tl2::Tl2Stm;
 use zstm_workload::{
-    run_array, run_bank, run_map, run_read_hotspot, ArrayConfig, BankConfig, BankReport,
-    HotspotConfig, LongMode, MapConfig, Series,
+    run_array, run_bank, run_map, run_queue, run_read_hotspot, ArrayConfig, BankConfig, BankReport,
+    HotspotConfig, LongMode, MapConfig, QueueConfig, QueueLoad, Series,
 };
 use zstm_z::ZStm;
 
@@ -363,6 +364,64 @@ pub fn read_hotspot(threads: &[usize], duration: Duration) -> Vec<Series> {
     series
 }
 
+/// Figure-legend labels of [`dyn_engines`]'s entries, in order — shared
+/// so series built from it cannot drift from the engine list.
+pub const DYN_ENGINE_LABELS: [&str; 5] = ["LSA-STM", "TL2", "CS-STM", "S-STM", "Z-STM"];
+
+/// Builds every engine as a type-erased [`DynStm`] handle — the runtime
+/// registry behind the queue figure and any driver that selects an STM
+/// from a flag instead of a type parameter. Labels are
+/// [`DYN_ENGINE_LABELS`], zipped in order.
+pub fn dyn_engines(threads: usize) -> Vec<(&'static str, Arc<dyn DynStm>)> {
+    let engines: [Arc<dyn DynStm>; 5] = [
+        Arc::new(Stm::new(LsaStm::new(StmConfig::new(threads)))),
+        Arc::new(Stm::new(Tl2Stm::new(StmConfig::new(threads)))),
+        Arc::new(Stm::new(CsStm::with_vector_clock(StmConfig::new(threads)))),
+        Arc::new(Stm::new(SStm::with_vector_clock(StmConfig::new(threads)))),
+        Arc::new(Stm::new(ZStm::new(StmConfig::new(threads)))),
+    ];
+    DYN_ENGINE_LABELS.into_iter().zip(engines).collect()
+}
+
+fn queue_point(stm: &Arc<dyn DynStm>, config: &QueueConfig) -> f64 {
+    let report = run_queue(stm, config);
+    assert!(
+        report.correct(),
+        "{}: queue invariants violated at {} producers",
+        report.stm,
+        config.producers
+    );
+    report.ops_per_sec
+}
+
+/// **Queue figure**: the bounded blocking producer/consumer queue on all
+/// five engines (selected through the erased facade), plus LSA with
+/// parking disabled ("LSA-STM (spin)") — the A/B pair behind the
+/// `check_baselines` rule that parked retries must not regress against
+/// spinning ones. `x = n` means `n` producers and `n` consumers sharing
+/// one capacity-64 ring. Returns one delivered-items/s series per
+/// configuration.
+pub fn figure_queue(threads: &[usize], duration: Duration) -> Vec<Series> {
+    // Labels come from the registry's own list so the series (and the
+    // check_baselines rule keyed on "LSA-STM") can never drift from the
+    // engine order.
+    let mut series: Vec<Series> = DYN_ENGINE_LABELS.into_iter().map(Series::new).collect();
+    let mut spin = Series::new("LSA-STM (spin)");
+    for &n in threads {
+        let mut config = QueueConfig::new(n);
+        config.load = QueueLoad::Timed(duration);
+        for (s, (_, stm)) in series.iter_mut().zip(dyn_engines(config.threads_needed())) {
+            s.push(n as f64, queue_point(&stm, &config));
+        }
+        let spin_stm: Arc<dyn DynStm> = Arc::new(
+            Stm::new(LsaStm::new(StmConfig::new(config.threads_needed()))).with_parking(false),
+        );
+        spin.push(n as f64, queue_point(&spin_stm, &config));
+    }
+    series.push(spin);
+    series
+}
+
 fn run_map_point<F: TmFactory>(stm: Arc<F>, config: &MapConfig) -> f64 {
     let report = run_map(&stm, config);
     assert!(
@@ -459,6 +518,19 @@ mod tests {
             assert!(
                 s.points.iter().all(|&(_, y)| y > 0.0),
                 "{}: empty hotspot series",
+                s.label
+            );
+        }
+    }
+
+    #[test]
+    fn figure_queue_smoke() {
+        let series = figure_queue(&[1], FAST);
+        assert_eq!(series.len(), 6);
+        for s in &series {
+            assert!(
+                s.points.iter().all(|&(_, y)| y > 0.0),
+                "{}: queue series must deliver items",
                 s.label
             );
         }

@@ -34,11 +34,21 @@ pub enum AbortReason {
     PrecedenceCycle,
     /// The user requested the abort explicitly.
     Explicit,
+    /// The transaction asked to be re-run once the world has changed
+    /// (composable blocking: `Tx::retry` in the `zstm-api` front end).
+    ///
+    /// To every engine this is an ordinary abort — the transaction rolls
+    /// back and releases its resources. The *waiting* happens one layer
+    /// up: the API retry loop parks the thread on the owning `Stm`'s
+    /// commit notifier instead of re-running immediately, so statistics
+    /// count blocked attempts (this reason) separately from conflict
+    /// aborts.
+    Retry,
 }
 
 impl AbortReason {
     /// All reasons, in a stable order used for statistics indexing.
-    pub const ALL: [AbortReason; 9] = [
+    pub const ALL: [AbortReason; 10] = [
         AbortReason::ReadValidation,
         AbortReason::WriteConflict,
         AbortReason::Killed,
@@ -48,6 +58,7 @@ impl AbortReason {
         AbortReason::ZoneCross,
         AbortReason::PrecedenceCycle,
         AbortReason::Explicit,
+        AbortReason::Retry,
     ];
 
     /// Stable index of this reason within [`AbortReason::ALL`].
@@ -70,6 +81,7 @@ impl AbortReason {
             AbortReason::ZoneCross => "zone-cross",
             AbortReason::PrecedenceCycle => "precedence-cycle",
             AbortReason::Explicit => "explicit",
+            AbortReason::Retry => "retry",
         }
     }
 }

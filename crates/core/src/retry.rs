@@ -44,9 +44,23 @@ impl RetryPolicy {
     pub fn max_attempts(&self) -> u64 {
         self.max_attempts
     }
+
+    /// Whether the retry loop backs off exponentially between attempts.
+    pub fn backoff_enabled(&self) -> bool {
+        self.backoff_on_abort
+    }
 }
 
 impl Default for RetryPolicy {
+    /// The default policy **caps attempts at 1 000 000** (with backoff).
+    ///
+    /// That bound exists so tests and interactive use fail loudly instead
+    /// of hanging when an atomic block can never commit; it is *not*
+    /// unbounded. Benchmark and figure-reproduction paths use
+    /// [`RetryPolicy::unbounded`] explicitly — there, throughput collapse
+    /// (not failure) is the observable outcome the paper plots, and a
+    /// silent cap would turn heavy contention into spurious
+    /// [`RetryExhausted`] errors.
     fn default() -> Self {
         Self {
             max_attempts: 1_000_000,
@@ -57,6 +71,16 @@ impl Default for RetryPolicy {
 
 /// Runs `body` as a transaction of kind `kind` on `thread`, retrying on
 /// aborts according to `policy`.
+///
+/// This is the **low-level, engine-facing retry loop**: it needs an
+/// explicitly registered [`TmThread`] and always spin-retries (with
+/// backoff). The `zstm-api` front end's `Stm::atomically` wraps the same
+/// engine calls but leases thread contexts transparently and *parks* on
+/// [`AbortReason::Retry`] instead of spinning; prefer it in application
+/// code and keep this function for harnesses that script logical threads
+/// by hand (the deterministic scenario drivers, the engines' own tests).
+/// An [`AbortReason::Retry`] abort is treated here like any other abort:
+/// the body is immediately re-run.
 ///
 /// The body receives the active transaction handle and must propagate
 /// [`Abort`] errors from reads and writes with `?`. Returning `Ok` leads to

@@ -102,6 +102,26 @@ impl TxStats {
         self.aborts_by_reason[reason.index()]
     }
 
+    /// Attempts that rolled back with [`AbortReason::Retry`] — i.e. blocked
+    /// waiting for other transactions rather than losing a conflict.
+    ///
+    /// Queue-style benchmarks report this *block rate* separately from the
+    /// conflict rate ([`TxStats::conflict_aborts`]): a bounded queue that is
+    /// frequently empty or full blocks a lot without any contention being
+    /// wrong.
+    pub fn blocking_retries(&self) -> u64 {
+        self.aborts_for(AbortReason::Retry)
+    }
+
+    /// Aborted attempts that were *not* blocking retries: conflicts,
+    /// kills, snapshot failures — and also voluntary
+    /// [`AbortReason::Explicit`] aborts (user-requested aborts, rolled
+    /// back panics); subtract [`TxStats::aborts_for`]`(Explicit)` for a
+    /// pure conflict count in workloads that abort explicitly.
+    pub fn conflict_aborts(&self) -> u64 {
+        self.total_aborts() - self.blocking_retries()
+    }
+
     /// Transactional reads performed.
     pub fn reads(&self) -> u64 {
         self.reads
@@ -192,6 +212,26 @@ mod tests {
         assert_eq!(stats.total_commits(), 3);
         assert_eq!(stats.aborts(TxKind::Long), 1);
         assert_eq!(stats.aborts_for(AbortReason::ZonePassed), 1);
+    }
+
+    #[test]
+    fn blocking_retries_counted_separately_from_conflicts() {
+        let mut stats = TxStats::new();
+        stats.record_abort(TxKind::Short, AbortReason::Retry);
+        stats.record_abort(TxKind::Short, AbortReason::Retry);
+        stats.record_abort(TxKind::Short, AbortReason::WriteConflict);
+        assert_eq!(stats.aborts_for(AbortReason::Retry), 2);
+        assert_eq!(stats.blocking_retries(), 2);
+        assert_eq!(stats.conflict_aborts(), 1);
+        assert_eq!(stats.total_aborts(), 3);
+        // Merging preserves the split.
+        let mut merged = TxStats::new();
+        merged.merge(&stats);
+        merged.merge(&stats);
+        assert_eq!(merged.blocking_retries(), 4);
+        assert_eq!(merged.conflict_aborts(), 2);
+        // And the Debug breakdown lists the retry reason.
+        assert!(format!("{stats:?}").contains("retry"));
     }
 
     #[test]

@@ -19,9 +19,20 @@ impl<T: Clone + Send + Sync + 'static> TxValue for T {}
 /// is what lets a single workload/benchmark harness drive all of them. The
 /// factory is shared behind an [`Arc`]; variables and threads borrow it
 /// internally.
+///
+/// This trait trio ([`TmFactory`] / [`TmThread`] / [`TmTx`]) is the
+/// **engine SPI**: the contract an STM engine implements. Application code
+/// normally goes through the `zstm-api` front end (`Stm`, `TVar`,
+/// `Stm::atomically`), which layers transparent thread leasing, composable
+/// blocking (`retry`/`or_else`) and a type-erased facade on top of these
+/// traits without the engines having to know.
 pub trait TmFactory: Send + Sync + Sized + 'static {
     /// STM-specific transactional variable holding a `T`.
-    type Var<T: TxValue>: Send + Sync;
+    ///
+    /// The `'static` bound lets var handles be type-erased (boxed as
+    /// `dyn Any`) by the runtime-selectable facade of the API layer; every
+    /// engine's var is an `Arc`-shaped handle, so the bound costs nothing.
+    type Var<T: TxValue>: Send + Sync + 'static;
     /// STM-specific per-logical-thread context.
     type Thread: TmThread<Factory = Self>;
 
@@ -36,6 +47,17 @@ pub trait TmFactory: Send + Sync + Sized + 'static {
     /// Implementations may panic when more threads are registered than the
     /// STM was configured for.
     fn register_thread(self: &Arc<Self>) -> Self::Thread;
+
+    /// Number of logical threads this STM was configured for, if bounded.
+    ///
+    /// The API layer's lease pool uses this to fail fast (with a clear
+    /// message) instead of tripping the [`TmFactory::register_thread`]
+    /// assertion when more OS threads run transactions concurrently than
+    /// the STM supports. `None` means "not statically bounded"; the
+    /// default.
+    fn max_threads(&self) -> Option<usize> {
+        None
+    }
 
     /// Short name of the STM ("lsa", "z", ...) used in reports.
     fn name(&self) -> &'static str;

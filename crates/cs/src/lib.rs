@@ -413,6 +413,10 @@ impl<C: CausalTimeBase> TmFactory for CsStm<C> {
         }
     }
 
+    fn max_threads(&self) -> Option<usize> {
+        Some(self.config.threads())
+    }
+
     fn name(&self) -> &'static str {
         "cs"
     }

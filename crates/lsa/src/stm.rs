@@ -153,6 +153,10 @@ impl<B: TimeBase> TmFactory for LsaStm<B> {
         }
     }
 
+    fn max_threads(&self) -> Option<usize> {
+        Some(self.config.threads())
+    }
+
     fn name(&self) -> &'static str {
         if self.config.readonly_uses_readsets() {
             "lsa"

@@ -10,7 +10,14 @@
 //! Combined with [`zstm_history`]'s checkers this turns into a
 //! property-based consistency test: generate random schedules, run them,
 //! and assert the STM's claimed criterion on the recorded history
-//! (see `tests/random_schedules.rs` at the workspace root).
+//! (see `tests/random_schedules.rs` at the workspace root). When a random
+//! schedule fails, [`minimize_schedule`] delta-debugs it down to a locally
+//! minimal reproducer before it is reported.
+//!
+//! [`Op::ReadRetry`] scripts the API layer's blocking guard ("retry while
+//! this object is zero") so retry semantics can be pinned under exact
+//! interleavings; the driver records such attempts in
+//! [`Outcome::retried`] and the merged [`Outcome::stats`].
 //!
 //! Each logical thread runs on its own OS thread but only advances when
 //! the driver hands it a step token over a rendezvous channel, so the
@@ -51,7 +58,7 @@
 use std::sync::Arc;
 
 use std::sync::mpsc::{sync_channel as bounded, Receiver, SyncSender as Sender};
-use zstm_core::{TmFactory, TmThread, TmTx, TxKind};
+use zstm_core::{AbortReason, TmFactory, TmThread, TmTx, TxKind, TxStats};
 
 /// One scripted transactional operation over the shared object pool.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,6 +67,14 @@ pub enum Op {
     Read(usize),
     /// Write object `i` (the driver supplies a unique value).
     Write(usize),
+    /// Read object `i` and, if its value is zero, end the transaction
+    /// with a blocking retry ([`AbortReason::Retry`]) — the scripted
+    /// equivalent of the API layer's `tx.retry()` guard ("wait until this
+    /// object has been written"). The driver rolls the transaction back
+    /// with the retry reason at its next step and counts it in
+    /// [`Outcome::retried`]; it does **not** re-run the script (the point
+    /// of the sim is to observe exactly the scripted attempt).
+    ReadRetry(usize),
 }
 
 /// One scripted transaction.
@@ -156,9 +171,16 @@ pub struct Outcome {
     pub committed: usize,
     /// Transactions that aborted (at an operation or at commit).
     pub aborted: usize,
+    /// The subset of `aborted` that ended in a blocking retry
+    /// ([`Op::ReadRetry`] observing zero).
+    pub retried: usize,
     /// Values read, per thread, in program order (committed and aborted
     /// transactions both contribute; useful for result checking).
     pub reads: Vec<Vec<i64>>,
+    /// Per-thread statistics merged across every logical thread, so tests
+    /// can assert the abort-reason breakdown (e.g. retries counted under
+    /// [`AbortReason::Retry`]).
+    pub stats: TxStats,
 }
 
 enum WorkerMsg {
@@ -201,58 +223,69 @@ pub fn run_schedule<F: TmFactory>(stm: &Arc<F>, schedule: &Schedule) -> Outcome 
             let mut attempted = 0usize;
             let mut committed = 0usize;
             let mut aborted = 0usize;
+            let mut retried = 0usize;
             let mut value_counter = 1_000 * (thread.thread_id().slot() as i64 + 1);
 
-            for script in scripts {
+            'scripts: for script in scripts {
                 attempted += 1;
                 let mut tx = Some(thread.begin(script.kind));
-                let mut doomed = false;
+                // `Some(reason)` once the attempt is doomed; the reason is
+                // used for the rollback so statistics attribute it
+                // correctly (a `ReadRetry` that saw zero dooms with
+                // `Retry`).
+                let mut doomed: Option<AbortReason> = None;
                 for op in &script.ops {
                     // Wait for our step token.
                     match recv_step(&rx_msg) {
-                        None => return (attempted, committed, aborted, reads),
+                        None => break 'scripts,
                         Some(ack) => {
                             if let Some(tx) = tx.as_mut() {
                                 match op {
                                     Op::Read(i) => match tx.read(&objects[i % objects.len()]) {
                                         Ok(v) => reads.push(v),
-                                        Err(_) => doomed = true,
+                                        Err(abort) => doomed = Some(abort.reason()),
                                     },
                                     Op::Write(i) => {
                                         value_counter += 1;
-                                        if tx
-                                            .write(&objects[i % objects.len()], value_counter)
-                                            .is_err()
+                                        if let Err(abort) =
+                                            tx.write(&objects[i % objects.len()], value_counter)
                                         {
-                                            doomed = true;
+                                            doomed = Some(abort.reason());
+                                        }
+                                    }
+                                    Op::ReadRetry(i) => {
+                                        match tx.read(&objects[i % objects.len()]) {
+                                            Ok(v) => {
+                                                reads.push(v);
+                                                if v == 0 {
+                                                    doomed = Some(AbortReason::Retry);
+                                                }
+                                            }
+                                            Err(abort) => doomed = Some(abort.reason()),
                                         }
                                     }
                                 }
                             }
                             let _ = ack.send(());
-                            if doomed {
+                            if doomed.is_some() {
                                 break;
                             }
                         }
                     }
                 }
-                // Consume remaining op tokens if we bailed early, then the
-                // commit token.
-                let consumed = if doomed {
-                    // Tokens for the unexecuted ops still arrive; drain
-                    // them as no-ops.
-                    true
-                } else {
-                    false
-                };
-                let _ = consumed;
+                // The commit (or rollback) step. Tokens for unexecuted ops
+                // of a doomed transaction still arrive and are drained as
+                // no-ops by the outer loop below.
                 match recv_step(&rx_msg) {
-                    None => return (attempted, committed, aborted, reads),
+                    None => break 'scripts,
                     Some(ack) => {
                         let tx = tx.take().expect("transaction present");
-                        if doomed {
-                            tx.rollback(zstm_core::AbortReason::Explicit);
+                        if let Some(reason) = doomed {
+                            tx.rollback(reason);
                             aborted += 1;
+                            if reason == AbortReason::Retry {
+                                retried += 1;
+                            }
                         } else {
                             match tx.commit() {
                                 Ok(()) => committed += 1,
@@ -267,7 +300,14 @@ pub fn run_schedule<F: TmFactory>(stm: &Arc<F>, schedule: &Schedule) -> Outcome 
             while let Some(ack) = recv_step(&rx_msg) {
                 let _ = ack.send(());
             }
-            (attempted, committed, aborted, reads)
+            (
+                attempted,
+                committed,
+                aborted,
+                retried,
+                reads,
+                thread.take_stats(),
+            )
         }));
     }
 
@@ -315,14 +355,137 @@ pub fn run_schedule<F: TmFactory>(stm: &Arc<F>, schedule: &Schedule) -> Outcome 
 
     let mut outcome = Outcome::default();
     for handle in handles {
-        let (attempted, committed, aborted, reads) =
+        let (attempted, committed, aborted, retried, reads, stats) =
             handle.join().expect("schedule worker panicked");
         outcome.attempted += attempted;
         outcome.committed += committed;
         outcome.aborted += aborted;
+        outcome.retried += retried;
         outcome.reads.push(reads);
+        outcome.stats.merge(&stats);
     }
     outcome
+}
+
+/// Shrinks a failing [`Schedule`] by delta debugging.
+///
+/// `fails` must return `true` for any schedule that still reproduces the
+/// failure (typically: run it and check the violated property). Starting
+/// from `schedule` — which should itself fail — the minimizer greedily
+/// tries to
+///
+/// 1. remove whole transactions,
+/// 2. remove single operations inside the remaining transactions, and
+/// 3. remove interleaving entries (ddmin-style chunks, then singles;
+///    always safe because [`run_schedule`] drives leftover work
+///    round-robin),
+///
+/// re-testing after every candidate edit and keeping it only if the
+/// failure persists, until no single edit makes progress. The result is a
+/// locally minimal reproducer: dropping any one transaction, operation or
+/// interleaving entry makes the failure disappear.
+///
+/// The number of logical threads is preserved (emptied threads keep an
+/// empty script vector) so the schedule stays valid for the same
+/// `StmConfig`.
+///
+/// # Examples
+///
+/// ```
+/// use zstm_core::TxKind;
+/// use zstm_sim::{minimize_schedule, Op, Schedule, TxScript};
+///
+/// let bloated = Schedule {
+///     objects: 2,
+///     threads: vec![vec![
+///         TxScript { kind: TxKind::Short, ops: vec![Op::Read(0), Op::Read(1)] },
+///         TxScript { kind: TxKind::Short, ops: vec![Op::Write(1)] },
+///     ]],
+///     interleaving: vec![0; 5],
+/// };
+/// // "Fails" whenever any write op is present — the minimal reproducer is
+/// // a single one-op transaction.
+/// let minimal = minimize_schedule(&bloated, &mut |s| {
+///     s.threads.iter().flatten().any(|tx| {
+///         tx.ops.iter().any(|op| matches!(op, Op::Write(_)))
+///     })
+/// });
+/// let ops: usize = minimal.threads.iter().flatten().map(|tx| tx.ops.len()).sum();
+/// assert_eq!(ops, 1);
+/// assert!(minimal.interleaving.is_empty());
+/// ```
+pub fn minimize_schedule(
+    schedule: &Schedule,
+    fails: &mut dyn FnMut(&Schedule) -> bool,
+) -> Schedule {
+    let mut best = schedule.clone();
+    if !fails(&best) {
+        return best;
+    }
+    loop {
+        let mut improved = false;
+
+        // Pass 1: drop whole transactions.
+        'txs: loop {
+            for t in 0..best.threads.len() {
+                for i in 0..best.threads[t].len() {
+                    let mut candidate = best.clone();
+                    candidate.threads[t].remove(i);
+                    if fails(&candidate) {
+                        best = candidate;
+                        improved = true;
+                        continue 'txs;
+                    }
+                }
+            }
+            break;
+        }
+
+        // Pass 2: drop single operations.
+        'ops: loop {
+            for t in 0..best.threads.len() {
+                for i in 0..best.threads[t].len() {
+                    for o in 0..best.threads[t][i].ops.len() {
+                        let mut candidate = best.clone();
+                        candidate.threads[t][i].ops.remove(o);
+                        if fails(&candidate) {
+                            best = candidate;
+                            improved = true;
+                            continue 'ops;
+                        }
+                    }
+                }
+            }
+            break;
+        }
+
+        // Pass 3: ddmin over the interleaving — chunks halving down to
+        // single entries.
+        let mut chunk = best.interleaving.len().div_ceil(2).max(1);
+        while chunk >= 1 {
+            let mut start = 0;
+            while start < best.interleaving.len() {
+                let end = (start + chunk).min(best.interleaving.len());
+                let mut candidate = best.clone();
+                candidate.interleaving.drain(start..end);
+                if fails(&candidate) {
+                    best = candidate;
+                    improved = true;
+                    // Re-test the same offset against the shrunk list.
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        if !improved {
+            return best;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -418,6 +581,155 @@ mod tests {
         let stm = Arc::new(LsaStm::new(StmConfig::new(1)));
         let outcome = run_schedule(&stm, &schedule);
         assert_eq!(outcome.committed, 1);
+    }
+
+    #[test]
+    fn read_retry_blocks_on_zero_and_passes_on_written() {
+        // Thread 1 guards on object 0 (retry while zero); thread 0 writes
+        // it. Writer-commits-first: the guard sees the value and commits.
+        let write_then_guard = Schedule {
+            objects: 1,
+            threads: vec![
+                vec![TxScript {
+                    kind: TxKind::Short,
+                    ops: vec![Op::Write(0)],
+                }],
+                vec![TxScript {
+                    kind: TxKind::Short,
+                    ops: vec![Op::ReadRetry(0)],
+                }],
+            ],
+            interleaving: vec![0, 0, 1, 1],
+        };
+        let stm = Arc::new(LsaStm::new(StmConfig::new(2)));
+        let outcome = run_schedule(&stm, &write_then_guard);
+        assert_eq!(outcome.committed, 2);
+        assert_eq!(outcome.retried, 0);
+        assert_eq!(outcome.stats.blocking_retries(), 0);
+
+        // Guard-first: the guard reads zero and ends in a blocking retry,
+        // attributed to AbortReason::Retry in the statistics.
+        let guard_then_write = Schedule {
+            objects: 1,
+            threads: vec![
+                vec![TxScript {
+                    kind: TxKind::Short,
+                    ops: vec![Op::Write(0)],
+                }],
+                vec![TxScript {
+                    kind: TxKind::Short,
+                    ops: vec![Op::ReadRetry(0)],
+                }],
+            ],
+            interleaving: vec![1, 1, 0, 0],
+        };
+        let stm = Arc::new(LsaStm::new(StmConfig::new(2)));
+        let outcome = run_schedule(&stm, &guard_then_write);
+        assert_eq!(outcome.committed, 1, "only the writer commits");
+        assert_eq!(outcome.retried, 1);
+        assert_eq!(outcome.aborted, 1);
+        assert_eq!(outcome.stats.blocking_retries(), 1);
+        assert_eq!(outcome.stats.conflict_aborts(), 0);
+    }
+
+    #[test]
+    fn minimizer_prunes_to_a_local_minimum() {
+        // A bloated schedule; the "failure" is: some transaction still
+        // performs a ReadRetry on object 0 *and* thread 0 still has a
+        // write. The minimum is one ReadRetry op and one Write op.
+        let bloated = Schedule {
+            objects: 3,
+            threads: vec![
+                vec![
+                    TxScript {
+                        kind: TxKind::Short,
+                        ops: vec![Op::Write(0), Op::Write(1), Op::Read(2)],
+                    },
+                    TxScript {
+                        kind: TxKind::Short,
+                        ops: vec![Op::Read(1)],
+                    },
+                ],
+                vec![TxScript {
+                    kind: TxKind::Long,
+                    ops: vec![Op::Read(2), Op::ReadRetry(0), Op::Read(1)],
+                }],
+            ],
+            interleaving: vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1],
+        };
+        let fails = |s: &Schedule| {
+            let has_guard = s
+                .threads
+                .iter()
+                .flatten()
+                .any(|tx| tx.ops.contains(&Op::ReadRetry(0)));
+            let has_write = s.threads.first().is_some_and(|txs| {
+                txs.iter()
+                    .any(|tx| tx.ops.iter().any(|op| matches!(op, Op::Write(_))))
+            });
+            has_guard && has_write
+        };
+        let minimal = minimize_schedule(&bloated, &mut { fails });
+        assert!(fails(&minimal), "minimizer must preserve the failure");
+        let total_ops: usize = minimal
+            .threads
+            .iter()
+            .flatten()
+            .map(|tx| tx.ops.len())
+            .sum();
+        assert_eq!(total_ops, 2, "one write + one guard survive: {minimal:?}");
+        assert!(minimal.interleaving.is_empty());
+        assert_eq!(minimal.threads.len(), 2, "thread count is preserved");
+    }
+
+    #[test]
+    fn minimizer_returns_passing_schedules_untouched() {
+        let schedule = Schedule {
+            objects: 1,
+            threads: vec![vec![rmw(TxKind::Short, 0)]],
+            interleaving: vec![0, 0, 0],
+        };
+        let minimal = minimize_schedule(&schedule, &mut |_| false);
+        assert_eq!(minimal.interleaving, schedule.interleaving);
+        assert_eq!(minimal.threads.len(), 1);
+    }
+
+    #[test]
+    fn minimizer_shrinks_a_real_conflict_reproducer() {
+        // Property under test: "at most one of two interleaved RMWs on the
+        // same object commits". Pad the failing schedule with unrelated
+        // reads and extra interleaving, then shrink against a real STM
+        // run.
+        let bloated = Schedule {
+            objects: 2,
+            threads: vec![
+                vec![TxScript {
+                    kind: TxKind::Short,
+                    ops: vec![Op::Read(1), Op::Read(0), Op::Write(0)],
+                }],
+                vec![TxScript {
+                    kind: TxKind::Short,
+                    ops: vec![Op::Read(0), Op::Write(0), Op::Read(1)],
+                }],
+            ],
+            interleaving: vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1],
+        };
+        let mut fails = |s: &Schedule| {
+            let stm = Arc::new(LsaStm::new(StmConfig::new(2)));
+            run_schedule(&stm, s).aborted >= 1
+        };
+        assert!(fails(&bloated), "the bloated schedule reproduces");
+        let minimal = minimize_schedule(&bloated, &mut fails);
+        let total_ops: usize = minimal
+            .threads
+            .iter()
+            .flatten()
+            .map(|tx| tx.ops.len())
+            .sum();
+        assert!(
+            total_ops <= 3,
+            "conflict needs at most read+write vs write: {minimal:?}"
+        );
     }
 
     #[test]

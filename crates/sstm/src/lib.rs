@@ -691,6 +691,10 @@ impl<C: CausalTimeBase> TmFactory for SStm<C> {
         }
     }
 
+    fn max_threads(&self) -> Option<usize> {
+        Some(self.config.threads())
+    }
+
     fn name(&self) -> &'static str {
         "s-stm"
     }

@@ -272,6 +272,10 @@ impl<B: TimeBase> TmFactory for Tl2Stm<B> {
         }
     }
 
+    fn max_threads(&self) -> Option<usize> {
+        Some(self.config.threads())
+    }
+
     fn name(&self) -> &'static str {
         "tl2"
     }

@@ -79,7 +79,9 @@ pub fn run_array<F: TmFactory>(stm: &Arc<F>, config: &ArrayConfig) -> ArrayRepor
         Arc::new((0..config.objects).map(|_| stm.new_var(0i64)).collect());
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(config.threads + 1));
-    let policy = RetryPolicy::default();
+    // Benchmark path: explicitly unbounded — under heavy contention the
+    // observable outcome is throughput collapse, never RetryExhausted.
+    let policy = RetryPolicy::unbounded();
 
     let mut handles = Vec::with_capacity(config.threads);
     for t in 0..config.threads {

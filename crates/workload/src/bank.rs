@@ -125,7 +125,9 @@ pub fn run_bank<F: TmFactory>(stm: &Arc<F>, config: &BankConfig) -> BankReport {
     let expected_total = config.initial_balance * config.accounts as i64;
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(config.threads + 1));
-    let transfer_policy = RetryPolicy::default();
+    // Benchmark path: explicitly unbounded (see RetryPolicy::default's
+    // cap); the long policy stays bounded by config.long_attempts.
+    let transfer_policy = RetryPolicy::unbounded();
     let long_policy = RetryPolicy::default().with_max_attempts(config.long_attempts);
 
     let mut handles = Vec::with_capacity(config.threads);
@@ -219,7 +221,7 @@ pub fn run_bank<F: TmFactory>(stm: &Arc<F>, config: &BankConfig) -> BankReport {
     let audited = atomically(
         &mut audit_thread,
         TxKind::Long,
-        &RetryPolicy::default(),
+        &RetryPolicy::unbounded(),
         |tx| {
             let mut sum = 0i64;
             for account in accounts.iter() {

@@ -80,7 +80,8 @@ pub fn run_read_hotspot<F: TmFactory>(stm: &Arc<F>, config: &HotspotConfig) -> H
     let hot = Arc::new(stm.new_var((0u64, 0u64)));
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(config.threads + 1));
-    let policy = RetryPolicy::default();
+    // Benchmark path: explicitly unbounded (see RetryPolicy::default's cap).
+    let policy = RetryPolicy::unbounded();
 
     let mut handles = Vec::with_capacity(config.threads);
     for t in 0..config.threads {

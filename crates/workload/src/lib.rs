@@ -30,6 +30,12 @@
 //! per-read synchronization cost (mutex vs lock-free publication)
 //! dominates — the workload behind the `read_hotspot` regression gate.
 //!
+//! [`run_queue`] is the first **blocking** workload: a bounded
+//! producer/consumer ring in which empty/full conditions park on
+//! `tx.retry()` instead of spinning. It runs over the type-erased
+//! [`DynStm`](zstm_api::DynStm) facade, so one driver serves all five
+//! engines selected at runtime.
+//!
 //! # Examples
 //!
 //! ```
@@ -55,6 +61,7 @@ mod bank;
 mod hotspot;
 mod list;
 mod map;
+mod queue;
 mod report;
 
 pub use array::{run_array, ArrayConfig, ArrayReport};
@@ -62,4 +69,5 @@ pub use bank::{run_bank, BankConfig, BankReport, LongMode};
 pub use hotspot::{run_read_hotspot, HotspotConfig, HotspotReport};
 pub use list::TxList;
 pub use map::{run_map, MapConfig, MapReport};
+pub use queue::{run_queue, QueueConfig, QueueLoad, QueueReport};
 pub use report::{print_table, Series};

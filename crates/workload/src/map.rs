@@ -126,8 +126,10 @@ pub fn run_map<F: TmFactory>(stm: &Arc<F>, config: &MapConfig) -> MapReport {
     );
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(config.threads + 1));
-    let short_policy = RetryPolicy::default();
-    let scan_policy = RetryPolicy::default().with_max_attempts(200);
+    // Benchmark path: explicitly unbounded (see RetryPolicy::default's
+    // cap); scans stay bounded so a starved long scan cannot hang a sweep.
+    let short_policy = RetryPolicy::unbounded();
+    let scan_policy = RetryPolicy::unbounded().with_max_attempts(200);
 
     let mut handles = Vec::with_capacity(config.threads);
     for t in 0..config.threads {

@@ -1,0 +1,454 @@
+//! A bounded producer/consumer queue workload — the first *blocking*
+//! workload.
+//!
+//! The paper's workloads (bank, array, map) are conflict-driven: every
+//! transaction can run immediately and either commits or loses a race.
+//! A bounded queue is different — a consumer finding the queue empty (or a
+//! producer finding it full) is not in conflict with anyone; it must
+//! **wait**. The raw engine SPI cannot express that without spinning; the
+//! API layer's `tx.retry()` can: the attempt rolls back with
+//! [`AbortReason::Retry`](zstm_core::AbortReason::Retry) and parks on the
+//! owning `Stm`'s commit notifier until a writer commits.
+//!
+//! The queue is a transactional ring buffer over the **erased facade**
+//! ([`DynStm`]) — one driver, five engines selected at runtime, no
+//! monomorphization:
+//!
+//! * `head`, `tail` — `i64` cursors (`tail - head` items in flight);
+//! * `slots[i % capacity]` — the item at index `i`;
+//! * `closed` — set transactionally by the driver after producers finish,
+//!   so parked consumers are *woken by the closing commit itself* and
+//!   drain out (no timeouts, no poison values).
+//!
+//! Every popped item records the queue index it was popped at, which makes
+//! the invariants exact: each index in `0..total` popped exactly once, and
+//! per producer the sequence numbers are strictly increasing in index
+//! order (global FIFO).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use zstm_api::{DynStm, DynVar};
+use zstm_core::{RetryPolicy, TxKind, TxStats};
+
+/// How a queue run is bounded.
+#[derive(Clone, Copy, Debug)]
+pub enum QueueLoad {
+    /// Every producer pushes exactly this many items (deterministic total;
+    /// what the tests use).
+    Items(u64),
+    /// Producers push for this wall-clock duration (what the benchmark
+    /// sweep uses).
+    Timed(Duration),
+}
+
+/// Configuration of the bounded-queue workload.
+#[derive(Clone, Debug)]
+pub struct QueueConfig {
+    /// Ring capacity: a producer observing `tail - head == capacity`
+    /// blocks.
+    pub capacity: usize,
+    /// Producer threads.
+    pub producers: usize,
+    /// Consumer threads.
+    pub consumers: usize,
+    /// Work bound.
+    pub load: QueueLoad,
+}
+
+impl QueueConfig {
+    /// The benchmark shape: capacity 64, `pairs` producers and consumers.
+    pub fn new(pairs: usize) -> Self {
+        Self {
+            capacity: 64,
+            producers: pairs.max(1),
+            consumers: pairs.max(1),
+            load: QueueLoad::Timed(Duration::from_millis(500)),
+        }
+    }
+
+    /// Scaled-down deterministic variant for tests.
+    pub fn quick(pairs: usize) -> Self {
+        Self {
+            capacity: 4,
+            producers: pairs.max(1),
+            consumers: pairs.max(1),
+            load: QueueLoad::Items(200),
+        }
+    }
+
+    /// Logical threads the underlying STM must be configured for
+    /// (workers + the driver's close transaction).
+    pub fn threads_needed(&self) -> usize {
+        self.producers + self.consumers + 1
+    }
+}
+
+/// Result of one queue-workload run.
+#[derive(Clone, Debug)]
+pub struct QueueReport {
+    /// Name of the STM that was measured.
+    pub stm: &'static str,
+    /// Producer/consumer threads used.
+    pub producers: usize,
+    /// Consumer threads used.
+    pub consumers: usize,
+    /// Wall-clock time from start barrier to the last consumer draining.
+    pub elapsed: Duration,
+    /// Items pushed (== committed push transactions).
+    pub pushed: u64,
+    /// Items popped.
+    pub popped: u64,
+    /// Delivered items per second (`popped / elapsed`).
+    pub ops_per_sec: f64,
+    /// Merged statistics; [`TxStats::blocking_retries`] is the block rate
+    /// (empty/full waits), [`TxStats::conflict_aborts`] the conflict rate.
+    pub stats: TxStats,
+    /// `true` iff every pushed item was popped exactly once.
+    pub delivered_exactly_once: bool,
+    /// `true` iff, per producer, items were popped in push order (global
+    /// FIFO through the shared ring).
+    pub fifo: bool,
+}
+
+impl QueueReport {
+    /// Both invariants.
+    pub fn correct(&self) -> bool {
+        self.delivered_exactly_once && self.fifo
+    }
+}
+
+/// Per-producer sequence numbers are packed into the item value.
+fn encode(producer: usize, seq: u64) -> i64 {
+    ((producer as i64) << 40) | seq as i64
+}
+
+fn decode(value: i64) -> (usize, u64) {
+    ((value >> 40) as usize, (value & ((1 << 40) - 1)) as u64)
+}
+
+struct Ring {
+    head: DynVar,
+    tail: DynVar,
+    closed: DynVar,
+    slots: Vec<DynVar>,
+}
+
+/// Runs the bounded-queue workload against a runtime-selected STM.
+///
+/// The `Stm` behind `stm` must be configured for at least
+/// [`QueueConfig::threads_needed`] logical threads. Whether blocked
+/// attempts park or spin is a property of the handle
+/// (`Stm::with_parking`), not of this driver.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn run_queue(stm: &Arc<dyn DynStm>, config: &QueueConfig) -> QueueReport {
+    // Clamp once and use everywhere: a capacity-0 config behaves like
+    // capacity 1 instead of deadlocking every producer on `tail - head
+    // >= 0`.
+    let capacity = config.capacity.max(1);
+    let ring = Arc::new(Ring {
+        head: stm.new_i64(0),
+        tail: stm.new_i64(0),
+        closed: stm.new_i64(0),
+        slots: (0..capacity).map(|_| stm.new_i64(0)).collect(),
+    });
+    let policy = RetryPolicy::unbounded();
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(config.producers + config.consumers + 1));
+
+    let mut producer_handles = Vec::with_capacity(config.producers);
+    for p in 0..config.producers {
+        let stm = Arc::clone(stm);
+        let ring = Arc::clone(&ring);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let load = config.load;
+        let capacity = capacity as i64;
+        producer_handles.push(std::thread::spawn(move || {
+            let mut seq = 0u64;
+            barrier.wait();
+            loop {
+                match load {
+                    QueueLoad::Items(n) if seq >= n => break,
+                    QueueLoad::Timed(_) if stop.load(Ordering::Relaxed) => break,
+                    _ => {}
+                }
+                let value = encode(p, seq);
+                stm.atomically(TxKind::Short, &policy, |tx| {
+                    let head = tx.read_i64(&ring.head)?;
+                    let tail = tx.read_i64(&ring.tail)?;
+                    if tail - head >= capacity {
+                        return Err(tx.retry()); // full: block for a pop
+                    }
+                    tx.write_i64(&ring.slots[tail as usize % ring.slots.len()], value)?;
+                    tx.write_i64(&ring.tail, tail + 1)
+                })
+                .expect("unbounded policy cannot exhaust");
+                seq += 1;
+            }
+            seq
+        }));
+    }
+
+    let mut consumer_handles = Vec::with_capacity(config.consumers);
+    for _ in 0..config.consumers {
+        let stm = Arc::clone(stm);
+        let ring = Arc::clone(&ring);
+        let barrier = Arc::clone(&barrier);
+        consumer_handles.push(std::thread::spawn(move || {
+            let mut popped: Vec<(i64, i64)> = Vec::new();
+            barrier.wait();
+            loop {
+                let item = stm
+                    .atomically(TxKind::Short, &policy, |tx| {
+                        let head = tx.read_i64(&ring.head)?;
+                        let tail = tx.read_i64(&ring.tail)?;
+                        if head == tail {
+                            if tx.read_i64(&ring.closed)? == 1 {
+                                return Ok(None); // drained and closed
+                            }
+                            return Err(tx.retry()); // empty: block for a push
+                        }
+                        let value = tx.read_i64(&ring.slots[head as usize % ring.slots.len()])?;
+                        tx.write_i64(&ring.head, head + 1)?;
+                        Ok(Some((head, value)))
+                    })
+                    .expect("unbounded policy cannot exhaust");
+                match item {
+                    Some(indexed) => popped.push(indexed),
+                    None => break,
+                }
+            }
+            popped
+        }));
+    }
+
+    barrier.wait();
+    let started = Instant::now();
+    if let QueueLoad::Timed(duration) = config.load {
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    }
+    let mut pushed = 0u64;
+    for handle in producer_handles {
+        pushed += handle.join().expect("producer panicked");
+    }
+    // Close the queue transactionally: this commit is itself the wakeup
+    // for every parked consumer.
+    stm.atomically(TxKind::Short, &policy, |tx| tx.write_i64(&ring.closed, 1))
+        .expect("close commits");
+    let mut all: Vec<(i64, i64)> = Vec::new();
+    for handle in consumer_handles {
+        all.extend(handle.join().expect("consumer panicked"));
+    }
+    let elapsed = started.elapsed();
+    let popped = all.len() as u64;
+
+    // Exactly-once: the popped indices are a permutation of 0..popped and
+    // match the push count.
+    all.sort_unstable();
+    let delivered_exactly_once = popped == pushed
+        && all
+            .iter()
+            .enumerate()
+            .all(|(i, &(index, _))| index == i as i64);
+    // FIFO per producer: in index order, each producer's sequence numbers
+    // are strictly increasing (and overall each producer's full range was
+    // delivered in order).
+    let mut fifo = true;
+    let mut last_seq: Vec<Option<u64>> = vec![None; config.producers];
+    for &(_, value) in &all {
+        let (producer, seq) = decode(value);
+        if producer >= last_seq.len() {
+            fifo = false;
+            break;
+        }
+        match last_seq[producer] {
+            Some(prev) if seq <= prev => {
+                fifo = false;
+                break;
+            }
+            _ => last_seq[producer] = Some(seq),
+        }
+    }
+
+    QueueReport {
+        stm: stm.name(),
+        producers: config.producers,
+        consumers: config.consumers,
+        elapsed,
+        pushed,
+        popped,
+        ops_per_sec: popped as f64 / elapsed.as_secs_f64(),
+        stats: stm.take_stats(),
+        delivered_exactly_once,
+        fifo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zstm_api::Stm;
+    use zstm_core::StmConfig;
+    use zstm_cs::CsStm;
+    use zstm_lsa::LsaStm;
+    use zstm_sstm::SStm;
+    use zstm_tl2::Tl2Stm;
+    use zstm_z::ZStm;
+
+    fn all_engines(threads: usize) -> Vec<Arc<dyn DynStm>> {
+        vec![
+            Arc::new(Stm::new(LsaStm::new(StmConfig::new(threads)))),
+            Arc::new(Stm::new(Tl2Stm::new(StmConfig::new(threads)))),
+            Arc::new(Stm::new(CsStm::with_vector_clock(StmConfig::new(threads)))),
+            Arc::new(Stm::new(SStm::with_vector_clock(StmConfig::new(threads)))),
+            Arc::new(Stm::new(ZStm::new(StmConfig::new(threads)))),
+        ]
+    }
+
+    #[test]
+    fn queue_delivers_exactly_once_in_fifo_order_on_all_five() {
+        let config = QueueConfig {
+            capacity: 4,
+            producers: 2,
+            consumers: 2,
+            load: QueueLoad::Items(150),
+        };
+        for stm in all_engines(config.threads_needed()) {
+            let report = run_queue(&stm, &config);
+            assert_eq!(report.pushed, 300, "{}", report.stm);
+            assert_eq!(report.popped, 300, "{}", report.stm);
+            assert!(report.delivered_exactly_once, "{}", report.stm);
+            assert!(report.fifo, "{}", report.stm);
+        }
+    }
+
+    #[test]
+    fn consumers_park_instead_of_spinning_on_a_slow_producer() {
+        // One item every 15 ms: a spinning consumer would burn thousands
+        // of retry attempts per gap; a parked one wakes only on commits
+        // (plus the coarse fallback tick).
+        let stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::new(StmConfig::new(3))));
+        let ring_capacity = 4;
+        let ring = Arc::new(Ring {
+            head: stm.new_i64(0),
+            tail: stm.new_i64(0),
+            closed: stm.new_i64(0),
+            slots: (0..ring_capacity).map(|_| stm.new_i64(0)).collect(),
+        });
+        let policy = RetryPolicy::unbounded();
+        let consumer = {
+            let (stm, ring) = (Arc::clone(&stm), Arc::clone(&ring));
+            std::thread::spawn(move || {
+                let mut got = 0u64;
+                loop {
+                    let done = stm
+                        .atomically(TxKind::Short, &policy, |tx| {
+                            let head = tx.read_i64(&ring.head)?;
+                            let tail = tx.read_i64(&ring.tail)?;
+                            if head == tail {
+                                if tx.read_i64(&ring.closed)? == 1 {
+                                    return Ok(true);
+                                }
+                                return Err(tx.retry());
+                            }
+                            tx.write_i64(&ring.head, head + 1)?;
+                            Ok(false)
+                        })
+                        .expect("unbounded");
+                    if done {
+                        return got;
+                    }
+                    got += 1;
+                }
+            })
+        };
+        for seq in 0..6i64 {
+            std::thread::sleep(Duration::from_millis(15));
+            stm.atomically(TxKind::Short, &policy, |tx| {
+                let tail = tx.read_i64(&ring.tail)?;
+                tx.write_i64(&ring.slots[tail as usize % ring_capacity], seq)?;
+                tx.write_i64(&ring.tail, tail + 1)
+            })
+            .expect("push commits");
+        }
+        stm.atomically(TxKind::Short, &policy, |tx| tx.write_i64(&ring.closed, 1))
+            .expect("close commits");
+        assert_eq!(consumer.join().expect("consumer finished"), 6);
+        let stats = stm.take_stats();
+        // ~90 ms of emptiness. A spinning consumer would rack up retry
+        // aborts by the thousand; parking bounds it to roughly one per
+        // commit plus one per 100 ms fallback tick. The bound is generous
+        // (50×) to stay robust on loaded CI boxes.
+        assert!(
+            stats.blocking_retries() < 350,
+            "parked consumer should not spin-burn: {} blocking retries",
+            stats.blocking_retries()
+        );
+        assert!(
+            stats.blocking_retries() >= 1,
+            "the consumer must actually have blocked"
+        );
+    }
+
+    #[test]
+    fn spin_mode_still_correct() {
+        let stm: Arc<dyn DynStm> =
+            Arc::new(Stm::new(ZStm::new(StmConfig::new(5))).with_parking(false));
+        let config = QueueConfig {
+            capacity: 2,
+            producers: 2,
+            consumers: 2,
+            load: QueueLoad::Items(50),
+        };
+        let report = run_queue(&stm, &config);
+        assert!(report.correct(), "{report:?}");
+        assert_eq!(report.popped, 100);
+    }
+
+    #[test]
+    fn timed_mode_reports_throughput() {
+        let stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::new(StmConfig::new(3))));
+        let config = QueueConfig {
+            capacity: 8,
+            producers: 1,
+            consumers: 1,
+            load: QueueLoad::Timed(Duration::from_millis(50)),
+        };
+        let report = run_queue(&stm, &config);
+        assert!(report.correct(), "{report:?}");
+        assert!(report.popped > 0);
+        assert!(report.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for (p, s) in [(0usize, 0u64), (3, 7), (31, (1 << 40) - 1)] {
+            assert_eq!(decode(encode(p, s)), (p, s));
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_in_flight_items() {
+        // A queue of capacity 1 with a blocked consumerless producer: the
+        // second push must block until a pop happens.
+        let stm: Arc<dyn DynStm> = Arc::new(Stm::new(Tl2Stm::new(StmConfig::new(3))));
+        let config = QueueConfig {
+            capacity: 1,
+            producers: 1,
+            consumers: 1,
+            load: QueueLoad::Items(20),
+        };
+        let report = run_queue(&stm, &config);
+        assert!(report.correct(), "{report:?}");
+        assert!(
+            report.stats.blocking_retries() > 0,
+            "capacity 1 with 20 items must block at least once"
+        );
+    }
+}

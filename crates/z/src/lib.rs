@@ -199,6 +199,10 @@ impl<B: TimeBase> TmFactory for ZStm<B> {
         }
     }
 
+    fn max_threads(&self) -> Option<usize> {
+        Some(self.config.threads())
+    }
+
     fn name(&self) -> &'static str {
         "z-stm"
     }

@@ -1,0 +1,102 @@
+//! A bounded blocking queue built from `TVar`s and `tx.retry()` — the
+//! classic STM channel, impossible to express without composable
+//! blocking: consumers *park* on an empty queue and producers *park* on a
+//! full one, woken by the commit that changes the condition.
+//!
+//! Run with `cargo run --example queue`.
+
+use std::collections::VecDeque;
+
+use zstm::prelude::*;
+
+/// A bounded FIFO of `i64`s over one transactional `VecDeque`.
+struct TxQueue<F: TmFactory> {
+    items: TVar<F, VecDeque<i64>>,
+    capacity: usize,
+}
+
+impl<F: TmFactory> Clone for TxQueue<F> {
+    fn clone(&self) -> Self {
+        Self {
+            items: self.items.clone(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl<F: TmFactory> TxQueue<F> {
+    fn new(stm: &Stm<F>, capacity: usize) -> Self {
+        Self {
+            items: stm.new_tvar(VecDeque::new()),
+            capacity,
+        }
+    }
+
+    /// Pushes inside a transaction, blocking (via retry) while full.
+    fn push(&self, tx: &mut Tx<'_, F>, value: i64) -> Result<(), Abort> {
+        let mut items = tx.read(&self.items)?;
+        if items.len() >= self.capacity {
+            return tx.retry(); // full: park until a pop commits
+        }
+        items.push_back(value);
+        tx.write(&self.items, items)
+    }
+
+    /// Pops inside a transaction, blocking while empty.
+    fn pop(&self, tx: &mut Tx<'_, F>) -> Result<i64, Abort> {
+        let mut items = tx.read(&self.items)?;
+        match items.pop_front() {
+            Some(value) => {
+                tx.write(&self.items, items)?;
+                Ok(value)
+            }
+            None => tx.retry(), // empty: park until a push commits
+        }
+    }
+}
+
+fn main() {
+    const ITEMS: i64 = 1_000;
+    // 2 producers + 1 consumer + main.
+    let stm = Stm::new(ZStm::new(StmConfig::new(4)));
+    let queue = TxQueue::new(&stm, 8);
+
+    let producers: Vec<_> = (0..2)
+        .map(|p| {
+            let (stm, queue) = (stm.clone(), queue.clone());
+            std::thread::spawn(move || {
+                for i in 0..ITEMS / 2 {
+                    stm.atomically(TxKind::Short, |tx| queue.push(tx, p * ITEMS + i));
+                }
+            })
+        })
+        .collect();
+
+    let consumer = {
+        let (stm, queue) = (stm.clone(), queue.clone());
+        std::thread::spawn(move || {
+            let mut sum = 0i64;
+            for _ in 0..ITEMS {
+                sum += stm.atomically(TxKind::Short, |tx| queue.pop(tx));
+            }
+            sum
+        })
+    };
+
+    for producer in producers {
+        producer.join().expect("producer finished");
+    }
+    let sum = consumer.join().expect("consumer finished");
+
+    let expected: i64 = (0..ITEMS / 2).sum::<i64>() * 2 + ITEMS * (ITEMS / 2);
+    println!("consumed {ITEMS} items, sum = {sum}");
+    assert_eq!(sum, expected);
+
+    let stats = stm.take_stats();
+    println!(
+        "commits: {}, blocked (retry) attempts: {}, conflict aborts: {}",
+        stats.total_commits(),
+        stats.blocking_retries(),
+        stats.conflict_aborts(),
+    );
+}

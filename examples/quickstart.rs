@@ -1,59 +1,103 @@
-//! Quickstart: transactional variables, short and long transactions, and
-//! the retry loop — on Z-STM, the paper's contribution.
+//! Quickstart: the `Stm` front end — shareable `TVar`s, short and long
+//! transactions, blocking `retry`, and `or_else` — on Z-STM, the paper's
+//! contribution.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use std::sync::Arc;
-
 use zstm::prelude::*;
 
-fn main() -> Result<(), RetryExhausted> {
-    // An STM instance for two logical threads.
-    let stm = Arc::new(ZStm::new(StmConfig::new(2)));
+fn main() {
+    // An STM instance for three logical threads (main, the depositor
+    // below, and the raw-SPI demo at the end). The Stm handle owns the
+    // engine and leases per-thread contexts transparently — no
+    // register_thread, no retry loops to write.
+    let stm = Stm::new(ZStm::new(StmConfig::new(3)));
 
-    // Transactional variables can hold any Clone + Send + Sync value.
-    let checking = stm.new_var(100i64);
-    let savings = stm.new_var(400i64);
-    let log = stm.new_var(Vec::<String>::new());
-
-    let mut thread = stm.register_thread();
-    let policy = RetryPolicy::default();
+    // Transactional variables can hold any Clone + Send + Sync value and
+    // are cheap-clone shareable handles.
+    let checking = stm.new_tvar(100i64);
+    let savings = stm.new_tvar(400i64);
+    let log = stm.new_tvar(Vec::<String>::new());
 
     // A short update transaction: move 50 from checking to savings and
     // append an audit record — all or nothing.
-    atomically(&mut thread, TxKind::Short, &policy, |tx| {
+    stm.atomically(TxKind::Short, |tx| {
         let c = tx.read(&checking)?;
-        let s = tx.read(&savings)?;
         tx.write(&checking, c - 50)?;
-        tx.write(&savings, s + 50)?;
-        let mut entries = tx.read(&log)?;
-        entries.push(format!("transfer 50: checking {c} -> {}", c - 50));
-        tx.write(&log, entries)
-    })?;
+        tx.modify(&savings, |s| *s += 50)?;
+        tx.modify(&log, |entries| {
+            entries.push(format!("transfer 50: checking {c} -> {}", c - 50))
+        })
+    });
 
     // A long read-only transaction: Z-STM gives it a time zone, so
     // concurrent short transactions cannot starve it (Section 5 of the
     // paper) — and it needs no read-set bookkeeping.
-    let (total, entries) = atomically(&mut thread, TxKind::Long, &policy, |tx| {
+    let (total, entries) = stm.atomically(TxKind::Long, |tx| {
         let total = tx.read(&checking)? + tx.read(&savings)?;
         let entries = tx.read(&log)?;
         Ok((total, entries))
-    })?;
-
+    });
     println!("total balance: {total}");
     for entry in entries {
         println!("log: {entry}");
     }
     assert_eq!(total, 500);
 
-    // Explicit transaction control without the retry loop:
-    let mut tx = thread.begin(TxKind::Short);
-    let c = tx.read(&checking).expect("read");
-    tx.write(&checking, c + 1).expect("write");
-    tx.commit().expect("commit");
+    // Composable blocking: wait until checking holds at least 80, woken
+    // by the deposit committing on another thread (no polling, no sleeps
+    // in user code).
+    let depositor = {
+        let (stm, checking) = (stm.clone(), checking.clone());
+        std::thread::spawn(move || {
+            stm.atomically(TxKind::Short, |tx| tx.modify(&checking, |c| *c += 40));
+        })
+    };
+    let seen = stm.atomically(TxKind::Short, |tx| {
+        let c = tx.read(&checking)?;
+        if c < 80 {
+            return tx.retry(); // parks until a writer commits
+        }
+        Ok(c)
+    });
+    depositor.join().expect("depositor finished");
+    println!("checking after blocking wait: {seen}");
+    assert_eq!(seen, 90);
 
-    let c = atomically(&mut thread, TxKind::Short, &policy, |tx| tx.read(&checking))?;
-    println!("checking after manual commit: {c}");
-    assert_eq!(c, 51);
-    Ok(())
+    // or_else: try the first alternative, fall through on retry. Here:
+    // withdraw 400 from checking if possible (it holds only 90),
+    // otherwise from savings (it holds 450).
+    let source = stm.atomically_or_else(
+        TxKind::Short,
+        |tx| {
+            let c = tx.read(&checking)?;
+            if c < 400 {
+                return tx.retry(); // falls through instead of parking
+            }
+            tx.write(&checking, c - 400)?;
+            Ok("checking")
+        },
+        |tx| {
+            let s = tx.read(&savings)?;
+            if s < 400 {
+                return tx.retry();
+            }
+            tx.write(&savings, s - 400)?;
+            Ok("savings")
+        },
+    );
+    println!("withdrew 400 from: {source}");
+    assert_eq!(source, "savings"); // checking held only 90
+
+    // The engine SPI is still there for explicit control — the Stm handle
+    // wraps the same factory (`zstm::core::atomically` is the documented
+    // low-level shim over it).
+    let raw = stm.factory();
+    let mut thread = raw.register_thread();
+    let policy = RetryPolicy::default();
+    let c = atomically(&mut thread, TxKind::Short, &policy, |tx| {
+        tx.read(checking.raw())
+    })
+    .expect("read commits");
+    assert_eq!(c, 90);
 }

@@ -22,31 +22,47 @@
 //!
 //! ## Quickstart
 //!
+//! The [`api`] front end handles thread registration, retry loops and
+//! blocking; user code creates one [`Stm`](api::Stm) handle and shares
+//! [`TVar`](api::TVar)s:
+//!
 //! ```
-//! use std::sync::Arc;
 //! use zstm::prelude::*;
 //!
-//! # fn main() -> Result<(), zstm::core::RetryExhausted> {
 //! // The paper's contribution: a z-linearizable STM.
-//! let stm = Arc::new(ZStm::new(StmConfig::new(1)));
-//! let account = stm.new_var(100i64);
-//! let mut thread = stm.register_thread();
+//! let stm = Stm::new(ZStm::new(StmConfig::new(2)));
+//! let account = stm.new_tvar(100i64);
 //!
 //! // Short transactions are plain LSA underneath:
-//! atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
-//!     let balance = tx.read(&account)?;
-//!     tx.write(&account, balance - 30)
-//! })?;
+//! stm.atomically(TxKind::Short, |tx| tx.modify(&account, |b| *b -= 30));
 //!
 //! // Long transactions use zone-based optimistic timestamp ordering and
 //! // keep no read sets:
-//! let balance = atomically(&mut thread, TxKind::Long, &RetryPolicy::default(), |tx| {
-//!     tx.read(&account)
-//! })?;
+//! let balance = stm.atomically(TxKind::Long, |tx| tx.read(&account));
 //! assert_eq!(balance, 70);
-//! # Ok(())
-//! # }
+//!
+//! // Composable blocking: park until the balance reaches 100 — woken by
+//! // the deposit committing on another thread.
+//! let deposit = {
+//!     let (stm, account) = (stm.clone(), account.clone());
+//!     std::thread::spawn(move || {
+//!         stm.atomically(TxKind::Short, |tx| tx.modify(&account, |b| *b += 30))
+//!     })
+//! };
+//! let rich = stm.atomically(TxKind::Short, |tx| {
+//!     let b = tx.read(&account)?;
+//!     if b < 100 {
+//!         return tx.retry();
+//!     }
+//!     Ok(b)
+//! });
+//! deposit.join().unwrap();
+//! assert_eq!(rich, 100);
 //! ```
+//!
+//! The engine-level SPI (explicit [`TmThread`](core::TmThread) contexts
+//! and the [`core::atomically`] spin-retry loop) remains available for
+//! harnesses that script logical threads deterministically.
 //!
 //! See `ARCHITECTURE.md` for the paper-to-code map and `README.md` for the
 //! reproduced figures.
@@ -64,6 +80,13 @@ pub mod clock {
 /// events. Re-export of [`zstm_core`].
 pub mod core {
     pub use zstm_core::*;
+}
+
+/// The composable atomic front end: `Stm` runtime handle, shareable
+/// `TVar`s, blocking `retry`/`or_else`, and the type-erased `DynStm`
+/// facade. Re-export of [`zstm_api`].
+pub mod api {
+    pub use zstm_api::*;
 }
 
 /// LSA-STM, the multi-version baseline. Re-export of [`zstm_lsa`].
@@ -111,6 +134,7 @@ pub mod util {
 
 /// The items almost every user needs.
 pub mod prelude {
+    pub use zstm_api::{DynStm, DynTx, DynVar, Stm, TVar, Tx};
     pub use zstm_clock::{RevClock, ScalarClock, ShardedClock, SimRealTimeClock, TimeBase};
     pub use zstm_core::{
         atomically, Abort, AbortReason, CmPolicy, RetryExhausted, RetryPolicy, StmConfig,

@@ -1,0 +1,246 @@
+//! Composable-blocking semantics of the `Stm` front end on **all five**
+//! engines: woken waiters observe the write that woke them, `or_else`
+//! falls through on retry but propagates real aborts, retries are counted
+//! separately in the statistics, and the conservative notifier loses no
+//! wakeups under a ping-pong stress.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use zstm::prelude::*;
+
+/// Runs `check` against a fresh `Stm` handle of every engine. The
+/// scenarios only need `i64` variables, so the type-erased [`DynStm`]
+/// view fits (and doubles as coverage for the erased facade).
+fn on_all_factories(threads: usize, check: impl Fn(&'static str, &dyn DynStm)) {
+    check("lsa", &Stm::new(LsaStm::new(StmConfig::new(threads))));
+    check("tl2", &Stm::new(Tl2Stm::new(StmConfig::new(threads))));
+    check(
+        "cs",
+        &Stm::new(CsStm::with_vector_clock(StmConfig::new(threads))),
+    );
+    check(
+        "s-stm",
+        &Stm::new(SStm::with_vector_clock(StmConfig::new(threads))),
+    );
+    check("z", &Stm::new(ZStm::new(StmConfig::new(threads))));
+}
+
+#[test]
+fn woken_waiter_sees_the_write() {
+    on_all_factories(2, |name, stm| {
+        let gate = stm.new_i64(0);
+        let policy = RetryPolicy::unbounded();
+        let barrier = Arc::new(Barrier::new(2));
+        let observed = std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                barrier.wait();
+                stm.atomically(TxKind::Short, &policy, |tx| {
+                    let g = tx.read_i64(&gate)?;
+                    if g == 0 {
+                        return Err(tx.retry());
+                    }
+                    Ok(g)
+                })
+                .expect("unbounded")
+            });
+            barrier.wait();
+            // Give the waiter time to run its first attempt and park.
+            std::thread::sleep(Duration::from_millis(30));
+            stm.atomically(TxKind::Short, &policy, |tx| tx.write_i64(&gate, 7))
+                .expect("write commits");
+            waiter.join().expect("waiter finished")
+        });
+        assert_eq!(observed, 7, "{name}: woken waiter must see the write");
+        let stats = stm.take_stats();
+        assert!(
+            stats.blocking_retries() >= 1,
+            "{name}: the waiter must have blocked at least once"
+        );
+    });
+}
+
+#[test]
+fn or_else_falls_through_on_retry_and_discards_first_alternative_effects() {
+    on_all_factories(1, |name, stm| {
+        let a = stm.new_i64(0);
+        let b = stm.new_i64(0);
+        let policy = RetryPolicy::unbounded();
+        let got = stm
+            .atomically_or_else(
+                TxKind::Short,
+                &policy,
+                |tx| {
+                    // Writes, then blocks: the write must be rolled back
+                    // before the second alternative runs.
+                    tx.write_i64(&a, 99)?;
+                    Err(tx.retry())
+                },
+                |tx| {
+                    tx.write_i64(&b, 42)?;
+                    Ok(42)
+                },
+            )
+            .expect("second alternative commits");
+        assert_eq!(got, 42, "{name}");
+        let (va, vb) = stm
+            .atomically(TxKind::Short, &policy, |tx| {
+                Ok((tx.read_i64(&a)?, tx.read_i64(&b)?))
+            })
+            .expect("read back");
+        assert_eq!(va, 0, "{name}: first alternative's write must be discarded");
+        assert_eq!(vb, 42, "{name}");
+    });
+}
+
+#[test]
+fn or_else_propagates_real_aborts_without_falling_through() {
+    on_all_factories(1, |name, stm| {
+        let second_runs = AtomicU64::new(0);
+        let err = stm
+            .atomically_or_else(
+                TxKind::Short,
+                &RetryPolicy::default()
+                    .with_max_attempts(3)
+                    .with_backoff(false),
+                |_tx| -> Result<(), Abort> {
+                    // A genuine abort, not a blocking retry.
+                    Err(Abort::new(AbortReason::Explicit))
+                },
+                |_tx| {
+                    second_runs.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                },
+            )
+            .expect_err("always-aborting first alternative exhausts the budget");
+        assert_eq!(err.last_reason(), AbortReason::Explicit, "{name}");
+        assert_eq!(
+            second_runs.load(Ordering::Relaxed),
+            0,
+            "{name}: a real abort must restart the composition, not fall through"
+        );
+    });
+}
+
+#[test]
+fn both_alternatives_retrying_parks_until_either_can_proceed() {
+    on_all_factories(2, |name, stm| {
+        let left = stm.new_i64(0);
+        let right = stm.new_i64(0);
+        let policy = RetryPolicy::unbounded();
+        let barrier = Arc::new(Barrier::new(2));
+        let got = std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                barrier.wait();
+                stm.atomically_or_else(
+                    TxKind::Short,
+                    &policy,
+                    |tx| {
+                        let v = tx.read_i64(&left)?;
+                        if v == 0 {
+                            return Err(tx.retry());
+                        }
+                        Ok(("left", v))
+                    },
+                    |tx| {
+                        let v = tx.read_i64(&right)?;
+                        if v == 0 {
+                            return Err(tx.retry());
+                        }
+                        Ok(("right", v))
+                    },
+                )
+                .expect("unbounded")
+            });
+            barrier.wait();
+            std::thread::sleep(Duration::from_millis(30));
+            stm.atomically(TxKind::Short, &policy, |tx| tx.write_i64(&right, 5))
+                .expect("write commits");
+            waiter.join().expect("waiter finished")
+        });
+        assert_eq!(got, ("right", 5), "{name}");
+    });
+}
+
+#[test]
+fn no_lost_wakeup_under_ping_pong_handoff() {
+    // Two threads hand a token back and forth purely via blocking
+    // retries. Every round needs a wakeup in each direction; losing one
+    // beyond the conservative fallback would make the test crawl (and a
+    // systematic loss would hang it far beyond the round budget).
+    const ROUNDS: i64 = 100;
+    on_all_factories(2, |name, stm| {
+        let token = stm.new_i64(0);
+        let policy = RetryPolicy::unbounded();
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            let ponger = scope.spawn(|| {
+                for _ in 0..ROUNDS {
+                    stm.atomically(TxKind::Short, &policy, |tx| {
+                        let t = tx.read_i64(&token)?;
+                        if t != 1 {
+                            return Err(tx.retry());
+                        }
+                        tx.write_i64(&token, 0)
+                    })
+                    .expect("unbounded");
+                }
+            });
+            for _ in 0..ROUNDS {
+                stm.atomically(TxKind::Short, &policy, |tx| {
+                    let t = tx.read_i64(&token)?;
+                    if t != 0 {
+                        return Err(tx.retry());
+                    }
+                    tx.write_i64(&token, 1)
+                })
+                .expect("unbounded");
+            }
+            ponger.join().expect("ponger finished");
+        });
+        // 200 handoffs; even a handful of 100 ms fallback wakeups would
+        // blow this bound, so systematic wakeup loss fails loudly.
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "{name}: ping-pong took {:?} — wakeups are being lost",
+            started.elapsed()
+        );
+        let final_token = stm
+            .atomically(TxKind::Short, &policy, |tx| tx.read_i64(&token))
+            .expect("read");
+        assert_eq!(final_token, 0, "{name}: every round completed");
+    });
+}
+
+#[test]
+fn retry_aborts_count_under_the_retry_reason_only() {
+    on_all_factories(2, |name, stm| {
+        let gate = stm.new_i64(0);
+        let policy = RetryPolicy::unbounded();
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                stm.atomically(TxKind::Short, &policy, |tx| {
+                    let g = tx.read_i64(&gate)?;
+                    if g == 0 {
+                        return Err(tx.retry());
+                    }
+                    Ok(g)
+                })
+                .expect("unbounded")
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            stm.atomically(TxKind::Short, &policy, |tx| tx.write_i64(&gate, 1))
+                .expect("write");
+            waiter.join().expect("waiter");
+        });
+        let stats = stm.take_stats();
+        assert!(stats.blocking_retries() >= 1, "{name}");
+        assert_eq!(
+            stats.aborts_for(AbortReason::Retry),
+            stats.blocking_retries(),
+            "{name}: blocking_retries is exactly the Retry reason counter"
+        );
+        assert_eq!(stats.total_commits(), 2, "{name}: waiter + writer");
+    });
+}
