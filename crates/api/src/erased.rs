@@ -33,6 +33,8 @@
 //! ```
 
 use std::any::Any;
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
 
 use zstm_core::{Abort, AbortReason, RetryExhausted, RetryPolicy, TmFactory, TxKind, TxStats};
@@ -42,6 +44,17 @@ use crate::{Stm, TVar, Tx};
 /// A type-erased transaction body (the object-safe spelling of the typed
 /// closures).
 pub type DynBody<'a> = dyn FnMut(&mut dyn DynTx) -> Result<(), Abort> + 'a;
+
+/// A type-erased **async** transaction body: `Send + 'static` (unlike
+/// [`DynBody`]) because the future that owns it may be spawned onto a
+/// multi-threaded executor. The body itself stays synchronous — attempts
+/// never suspend (see [`TxFuture`](crate::TxFuture)); only the *block*
+/// does, between attempts.
+pub type DynAsyncBody = Box<dyn FnMut(&mut dyn DynTx) -> Result<(), Abort> + Send + 'static>;
+
+/// The boxed future returned by the object-safe async entry points
+/// ([`DynStm::atomically_async_dyn`] / [`DynStm::or_else_async_dyn`]).
+pub type DynFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
 
 /// A type-erased transactional variable handle.
 ///
@@ -198,6 +211,23 @@ pub trait DynStm: Send + Sync {
         second: &mut DynBody<'_>,
     ) -> Result<(), RetryExhausted>;
 
+    /// Object-safe [`Stm::atomically_async`]: the returned future runs
+    /// `body` until an attempt commits, suspending the task (registering
+    /// its waker on the commit notifier) whenever the body blocks on
+    /// [`DynTx::retry`]. Unbounded, like the typed version; dropping the
+    /// future cancels the block and deregisters any pending wakeup.
+    fn atomically_async_dyn(&self, kind: TxKind, body: DynAsyncBody) -> DynFuture;
+
+    /// Object-safe [`Stm::atomically_or_else_async`]: `first` falls
+    /// through to `second` on retry; the task suspends only when both
+    /// alternatives block, and resolves when either commits.
+    fn or_else_async_dyn(
+        &self,
+        kind: TxKind,
+        first: DynAsyncBody,
+        second: DynAsyncBody,
+    ) -> DynFuture;
+
     /// Takes the statistics accumulated by every pooled context (see
     /// [`Stm::take_stats`]).
     fn take_stats(&self) -> TxStats;
@@ -233,6 +263,23 @@ impl<F: TmFactory> DynStm for Stm<F> {
         second: &mut DynBody<'_>,
     ) -> Result<(), RetryExhausted> {
         self.try_atomically_or_else(kind, policy, |tx| first(tx), |tx| second(tx))
+    }
+
+    fn atomically_async_dyn(&self, kind: TxKind, mut body: DynAsyncBody) -> DynFuture {
+        Box::pin(self.atomically_async(kind, move |tx: &mut Tx<'_, F>| body(tx)))
+    }
+
+    fn or_else_async_dyn(
+        &self,
+        kind: TxKind,
+        mut first: DynAsyncBody,
+        mut second: DynAsyncBody,
+    ) -> DynFuture {
+        Box::pin(self.atomically_or_else_async(
+            kind,
+            move |tx: &mut Tx<'_, F>| first(tx),
+            move |tx: &mut Tx<'_, F>| second(tx),
+        ))
     }
 
     fn take_stats(&self) -> TxStats {
@@ -288,5 +335,74 @@ impl dyn DynStm + '_ {
         Ok(out
             .into_inner()
             .expect("committed alternative stored its result"))
+    }
+
+    /// Typed-return convenience over [`DynStm::atomically_async_dyn`]:
+    /// an `await`-able atomic block on a runtime-selected engine.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use zstm_api::{DynStm, Stm};
+    /// use zstm_core::{StmConfig, TxKind};
+    /// use zstm_lsa::LsaStm;
+    /// use zstm_util::exec::block_on;
+    ///
+    /// let stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::new(StmConfig::new(1))));
+    /// let var = stm.new_i64(41);
+    /// let v = block_on(stm.atomically_async(TxKind::Short, move |tx| {
+    ///     let v = tx.read_i64(&var)? + 1;
+    ///     tx.write_i64(&var, v)?;
+    ///     Ok(v)
+    /// }));
+    /// assert_eq!(v, 42);
+    /// ```
+    pub fn atomically_async<R: Send + 'static>(
+        &self,
+        kind: TxKind,
+        mut body: impl FnMut(&mut dyn DynTx) -> Result<R, Abort> + Send + 'static,
+    ) -> impl Future<Output = R> + Send + 'static {
+        let out = Arc::new(zstm_util::sync::Mutex::new(None::<R>));
+        let slot = Arc::clone(&out);
+        let future = self.atomically_async_dyn(
+            kind,
+            Box::new(move |tx| {
+                *slot.lock() = Some(body(tx)?);
+                Ok(())
+            }),
+        );
+        async move {
+            future.await;
+            out.lock()
+                .take()
+                .expect("committed async body stored its result")
+        }
+    }
+
+    /// Typed-return convenience over [`DynStm::or_else_async_dyn`].
+    pub fn atomically_or_else_async<R: Send + 'static>(
+        &self,
+        kind: TxKind,
+        mut first: impl FnMut(&mut dyn DynTx) -> Result<R, Abort> + Send + 'static,
+        mut second: impl FnMut(&mut dyn DynTx) -> Result<R, Abort> + Send + 'static,
+    ) -> impl Future<Output = R> + Send + 'static {
+        let out = Arc::new(zstm_util::sync::Mutex::new(None::<R>));
+        let (slot_first, slot_second) = (Arc::clone(&out), Arc::clone(&out));
+        let future = self.or_else_async_dyn(
+            kind,
+            Box::new(move |tx| {
+                *slot_first.lock() = Some(first(tx)?);
+                Ok(())
+            }),
+            Box::new(move |tx| {
+                *slot_second.lock() = Some(second(tx)?);
+                Ok(())
+            }),
+        );
+        async move {
+            future.await;
+            out.lock()
+                .take()
+                .expect("committed async alternative stored its result")
+        }
     }
 }

@@ -1,0 +1,281 @@
+//! Async atomic blocks: [`TxFuture`], returned by
+//! [`Stm::atomically_async`] and [`Stm::atomically_or_else_async`].
+//!
+//! The future suspends the *task*, never the OS thread: each poll leases
+//! an engine context from the owning [`Stm`]'s pool, runs the transaction
+//! attempt **to completion synchronously**, and only if every alternative
+//! ended in [`Tx::retry`] registers the task's [`Waker`] on the commit
+//! notifier and returns `Pending` — releasing the executor thread to run
+//! other tasks. That is what lets many transactional tasks multiplex over
+//! a few worker threads (see `zstm_util::exec`).
+//!
+//! Attempts are deliberately non-suspending — the body cannot `.await`:
+//! engine transaction handles ([`TmTx`](zstm_core::TmTx)) are `&mut`
+//! borrows of the leased per-thread context and are not `Send`, so a
+//! transaction cannot be carried across an await point onto another
+//! worker. Suspension happens *between* attempts, which is exactly where
+//! the synchronous loop parks its thread; the two shapes share one round
+//! runner and one notifier protocol, so the no-lost-wakeup argument is the
+//! same (the epoch is captured before the attempt, and a registration
+//! against a stale epoch is refused — the attempt re-runs instead).
+//!
+//! Cancellation is the normal async story: dropping a pending `TxFuture`
+//! deregisters its waker, so abandoned futures neither leak notifier
+//! slots nor wedge the fallback ticker. A future dropped *mid-attempt*
+//! (an unwinding executor worker) rolls the engine transaction back
+//! through the existing [`Tx`] drop path — the same guarantee panicking
+//! synchronous bodies have.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use zstm_core::{Abort, TmFactory, TxKind};
+
+use crate::notify::WakerKey;
+use crate::stm::PollOutcome;
+use crate::tx::Tx;
+use crate::{Stm, TVar};
+
+/// One alternative of an async atomic block. Boxed so `or_else` chains of
+/// differently-typed closures fit one future type; `Send` so the future
+/// can be spawned onto a multi-threaded executor.
+type AltBody<'a, F, R> = Box<dyn FnMut(&mut Tx<'_, F>) -> Result<R, Abort> + Send + 'a>;
+
+/// The future of an async atomic block.
+///
+/// Created by [`Stm::atomically_async`] /
+/// [`Stm::atomically_or_else_async`]; resolves to the committed body's
+/// result. The retry loop is unbounded, like [`Stm::atomically`].
+///
+/// # Examples
+///
+/// ```
+/// use zstm_api::Stm;
+/// use zstm_core::{StmConfig, TxKind};
+/// use zstm_util::exec::block_on;
+/// use zstm_z::ZStm;
+///
+/// let stm = Stm::new(ZStm::new(StmConfig::new(2)));
+/// let balance = stm.new_tvar(10i64);
+/// let v = block_on(stm.atomically_async(TxKind::Short, move |tx| {
+///     tx.modify(&balance, |b| *b += 5)?;
+///     tx.read(&balance)
+/// }));
+/// assert_eq!(v, 15);
+/// ```
+#[must_use = "futures do nothing unless polled"]
+pub struct TxFuture<'a, F: TmFactory, R> {
+    stm: Stm<F>,
+    kind: TxKind,
+    alternatives: Vec<AltBody<'a, F, R>>,
+    /// Live waker registration from the previous poll, if any.
+    registration: Option<WakerKey>,
+    done: bool,
+}
+
+impl<'a, F: TmFactory, R> TxFuture<'a, F, R> {
+    pub(crate) fn new(stm: Stm<F>, kind: TxKind, alternatives: Vec<AltBody<'a, F, R>>) -> Self {
+        debug_assert!(!alternatives.is_empty());
+        Self {
+            stm,
+            kind,
+            alternatives,
+            registration: None,
+            done: false,
+        }
+    }
+}
+
+// All fields are `Unpin`, so the future is too — `poll` can use
+// `Pin::get_mut` without any unsafe projection.
+impl<F: TmFactory, R> Future for TxFuture<'_, F, R> {
+    type Output = R;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<R> {
+        let this = self.get_mut();
+        assert!(!this.done, "TxFuture polled after completion");
+        // A poll with a live registration means the wake came from
+        // somewhere else (executor-internal re-poll, select-style
+        // composition). Remove the old waker first: the task may have
+        // migrated workers, making the stored waker stale.
+        if let Some(key) = this.registration.take() {
+            this.stm.notifier().deregister_waker(key);
+        }
+        match this
+            .stm
+            .poll_once(this.kind, &mut this.alternatives, cx.waker())
+        {
+            PollOutcome::Ready(result) => {
+                this.done = true;
+                Poll::Ready(result)
+            }
+            PollOutcome::Suspended(key) => {
+                this.registration = Some(key);
+                Poll::Pending
+            }
+            PollOutcome::Yielded => {
+                // Not suspended — just being fair to co-tasks (conflict
+                // burst or the spin A/B shape). Re-poll as soon as the
+                // executor comes back around.
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Cancellation: dropping a suspended future removes its waker from the
+/// notifier so the slot is reclaimed and the fallback ticker can stand
+/// down. (A commit racing this drop may have already consumed the
+/// registration — `deregister_waker` is generation-checked, so the stale
+/// key is a no-op.)
+impl<F: TmFactory, R> Drop for TxFuture<'_, F, R> {
+    fn drop(&mut self) {
+        if let Some(key) = self.registration.take() {
+            self.stm.notifier().deregister_waker(key);
+        }
+    }
+}
+
+impl<F: TmFactory> Stm<F> {
+    /// Runs `body` as an **async** transaction: the returned future
+    /// resolves once an attempt commits, suspending the task (not the OS
+    /// thread) whenever the body [`retries`](Tx::retry).
+    ///
+    /// Each attempt runs synchronously within one executor poll on a
+    /// context leased from this handle's pool — bodies cannot `.await`
+    /// (see [`TxFuture`] for why) — so the body
+    /// closure is ordinary synchronous code, identical to what
+    /// [`Stm::atomically`] takes, plus `Send` so the future can be
+    /// spawned. Conflict aborts re-run within the same poll (bounded, then
+    /// the poll yields); only blocking retries suspend.
+    ///
+    /// Dropping the future before it resolves cancels the atomic block:
+    /// nothing was committed, and any registered wakeup is deregistered.
+    pub fn atomically_async<'a, R>(
+        &self,
+        kind: TxKind,
+        body: impl FnMut(&mut Tx<'_, F>) -> Result<R, Abort> + Send + 'a,
+    ) -> TxFuture<'a, F, R> {
+        TxFuture::new(self.clone(), kind, vec![Box::new(body)])
+    }
+
+    /// Async [`Stm::atomically_or_else`]: `first` falling through to
+    /// `second` when it retries, suspending the task only when **both**
+    /// alternatives block, resolving once either commits.
+    pub fn atomically_or_else_async<'a, R>(
+        &self,
+        kind: TxKind,
+        first: impl FnMut(&mut Tx<'_, F>) -> Result<R, Abort> + Send + 'a,
+        second: impl FnMut(&mut Tx<'_, F>) -> Result<R, Abort> + Send + 'a,
+    ) -> TxFuture<'a, F, R> {
+        TxFuture::new(self.clone(), kind, vec![Box::new(first), Box::new(second)])
+    }
+
+    /// Convenience for async code that only reads: `stm.read_async(&var)`.
+    ///
+    /// Equivalent to an [`Stm::atomically_async`] block reading the one
+    /// variable.
+    pub fn read_async<'a, T: zstm_core::TxValue>(&self, var: &'a TVar<F, T>) -> TxFuture<'a, F, T> {
+        self.atomically_async(TxKind::Short, move |tx| tx.read(var))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use zstm_core::StmConfig;
+    use zstm_lsa::LsaStm;
+    use zstm_util::exec::{block_on, ThreadPool};
+    use zstm_z::ZStm;
+
+    #[test]
+    fn block_on_drives_a_simple_async_transaction() {
+        let stm = Stm::new(ZStm::new(StmConfig::new(1)));
+        let var = stm.new_tvar(1i64);
+        let v = {
+            let var = var.clone();
+            block_on(stm.atomically_async(TxKind::Short, move |tx| {
+                tx.modify(&var, |v| *v *= 2)?;
+                tx.read(&var)
+            }))
+        };
+        assert_eq!(v, 2);
+        assert_eq!(stm.take_stats().total_commits(), 1);
+    }
+
+    #[test]
+    fn async_waiter_suspends_and_wakes_on_commit() {
+        let stm = Stm::new(LsaStm::new(StmConfig::new(2)));
+        let gate = stm.new_tvar(0i64);
+        let pool = ThreadPool::new(1);
+        let waiter = {
+            let (stm, gate) = (stm.clone(), gate.clone());
+            pool.spawn(async move {
+                stm.atomically_async(TxKind::Short, move |tx| {
+                    let g = tx.read(&gate)?;
+                    if g == 0 {
+                        return tx.retry();
+                    }
+                    Ok(g)
+                })
+                .await
+            })
+        };
+        // Wait until the task actually registered its waker (suspended).
+        while stm.notifier().registered_wakers() == 0 {
+            std::thread::yield_now();
+        }
+        stm.atomically(TxKind::Short, |tx| tx.write(&gate, 9));
+        assert_eq!(waiter.join(), 9);
+        // Stop the executor so its worker thread returns the cached lease
+        // (and its stats) to the pool before harvesting.
+        drop(pool);
+        let stats = stm.take_stats();
+        assert!(stats.waker_parks() >= 1, "the waiter must have suspended");
+        assert_eq!(
+            stats.condvar_parks(),
+            0,
+            "no OS thread parked anywhere in this test"
+        );
+    }
+
+    #[test]
+    fn dropping_a_suspended_future_deregisters_its_waker() {
+        let stm = Stm::new(ZStm::new(StmConfig::new(2)));
+        let gate = stm.new_tvar(0i64);
+        let mut future = {
+            let gate = gate.clone();
+            stm.atomically_async(TxKind::Short, move |tx| {
+                let g = tx.read(&gate)?;
+                if g == 0 {
+                    return tx.retry();
+                }
+                Ok(g)
+            })
+        };
+        // Drive one poll by hand so the future suspends.
+        let noop = noop_waker();
+        let mut cx = Context::from_waker(&noop);
+        assert!(Pin::new(&mut future).poll(&mut cx).is_pending());
+        assert_eq!(stm.notifier().registered_wakers(), 1);
+        drop(future);
+        assert_eq!(
+            stm.notifier().registered_wakers(),
+            0,
+            "cancellation must release the waker slot"
+        );
+        // And the lease went back to the pool: a fresh transaction works.
+        assert_eq!(stm.atomically(TxKind::Short, |tx| tx.read(&gate)), 0);
+    }
+
+    fn noop_waker() -> std::task::Waker {
+        struct Noop;
+        impl std::task::Wake for Noop {
+            fn wake(self: Arc<Self>) {}
+        }
+        std::task::Waker::from(Arc::new(Noop))
+    }
+}

@@ -58,13 +58,15 @@
 #![warn(missing_docs)]
 
 mod erased;
+mod future;
 mod notify;
 mod stm;
 mod tvar;
 mod tx;
 
-pub use erased::{DynBody, DynStm, DynTx, DynVar};
-pub use notify::{Notifier, RETRY_FALLBACK_WAKE};
+pub use erased::{DynAsyncBody, DynBody, DynFuture, DynStm, DynTx, DynVar};
+pub use future::TxFuture;
+pub use notify::{Notifier, WakerKey, RETRY_FALLBACK_WAKE};
 pub use stm::Stm;
 pub use tvar::TVar;
 pub use tx::Tx;

@@ -1,45 +1,123 @@
-//! The commit notifier behind composable blocking.
+//! The commit notifier behind composable blocking — synchronous *and*
+//! asynchronous.
 //!
 //! Every [`Stm`](crate::Stm) owns one [`Notifier`]. The retry loop reads
 //! the epoch *before* beginning an attempt; if the attempt ends in
-//! [`AbortReason::Retry`](zstm_core::AbortReason::Retry), the thread parks
-//! until the epoch moves past the captured value. Every transaction that
-//! commits **with writes** through the same `Stm` bumps the epoch — a
-//! conservative wake (any writer, any variable) that is correct for all
-//! five engines with zero engine changes: a woken waiter simply re-runs
-//! its body and either proceeds or retries again.
+//! [`AbortReason::Retry`](zstm_core::AbortReason::Retry), the waiter
+//! suspends until the epoch moves past the captured value. Every
+//! transaction that commits **with writes** through the same `Stm` bumps
+//! the epoch — a conservative wake (any writer, any variable) that is
+//! correct for all five engines with zero engine changes: a woken waiter
+//! simply re-runs its body and either proceeds or retries again.
+//!
+//! A waiter suspends in one of two shapes:
+//!
+//! * **condvar park** ([`Notifier::wait`]) — the synchronous
+//!   `Stm::atomically` loop puts the whole OS thread to sleep;
+//! * **waker registration** ([`Notifier::register_waker`]) — the async
+//!   `Stm::atomically_async` future stores a [`Waker`] and returns
+//!   `Pending`, releasing its executor thread. [`Notifier::notify`] wakes
+//!   both populations.
 //!
 //! The protocol has no lost wakeups for writers routed through the `Stm`
-//! handle: the epoch is captured before the attempt's first read, so a
-//! write committed after the capture (the only write the attempt could
-//! have missed) has already bumped the epoch by the time the waiter parks,
-//! and [`Notifier::wait`] returns immediately. Writers that bypass the
-//! handle (raw `TmThread` harness code) are covered by a coarse fallback
-//! timeout instead.
+//! handle, in either shape: the epoch is captured before the attempt's
+//! first read, so a write committed after the capture (the only write the
+//! attempt could have missed) has already bumped the epoch by the time the
+//! waiter suspends — [`Notifier::wait`] returns immediately, and
+//! [`Notifier::register_waker`] refuses the registration (the caller
+//! re-runs instead of suspending). Writers that bypass the handle (raw
+//! `TmThread` harness code) are covered by a coarse fallback: parked
+//! threads use a wait timeout, and registered wakers are re-woken by a
+//! lazily-spawned **fallback ticker** thread every
+//! [`RETRY_FALLBACK_WAKE`]; the ticker exits as soon as no wakers remain
+//! registered.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::task::Waker;
 use std::time::{Duration, Instant};
 
 use zstm_util::sync::{Condvar, Mutex};
 
-/// How long a parked retry sleeps before conservatively re-running even
+/// How long a suspended retry sleeps before conservatively re-running even
 /// without a commit notification. This only matters when a writer commits
 /// through the raw engine SPI (which does not bump the notifier); writers
-/// using the `Stm` handle always wake parked waiters promptly.
+/// using the `Stm` handle always wake suspended waiters promptly. Parked
+/// threads apply it as a condvar-wait timeout; registered wakers are
+/// re-woken on this period by the notifier's fallback ticker thread.
 pub const RETRY_FALLBACK_WAKE: Duration = Duration::from_millis(100);
 
-/// Epoch-based commit notification: bump on writer commit, park until the
-/// epoch moves.
+/// One waker slot: a generation counter (bumped on every removal, so a
+/// stale [`WakerKey`] can never deregister a later tenant of the slot)
+/// plus the registered waker while occupied.
+#[derive(Debug, Default)]
+struct WakerSlot {
+    gen: u64,
+    waker: Option<Waker>,
+}
+
+/// State behind the notifier mutex: the waker slab and the ticker flag.
+#[derive(Debug, Default)]
+struct WakerSlots {
+    slots: Vec<WakerSlot>,
+    free: Vec<usize>,
+    /// Whether a fallback ticker thread is currently alive for this
+    /// notifier.
+    ticker_running: bool,
+}
+
+/// The notifier internals that the fallback ticker thread must outlive-
+/// safely share: kept behind an `Arc` so the detached ticker holds a
+/// `Weak` and exits when the owning [`Notifier`] is dropped.
+#[derive(Debug, Default)]
+struct Inner {
+    /// Threads currently inside [`Notifier::wait`] plus wakers currently
+    /// registered. Writers skip the mutex + wakeups entirely while this is
+    /// zero, so the common no-waiter commit pays one `SeqCst` add and one
+    /// load — no shared lock on the commit path.
+    suspended: AtomicU64,
+    lock: Mutex<WakerSlots>,
+    cv: Condvar,
+}
+
+impl Inner {
+    /// Takes every registered waker out of the slab (they re-register on
+    /// their next poll if they still need to wait). Returns them so the
+    /// caller can invoke `wake()` *after* dropping the slab lock — a waker
+    /// may synchronously run executor code, which must not nest under the
+    /// notifier mutex.
+    fn drain_wakers(&self, slots: &mut WakerSlots) -> Vec<Waker> {
+        let mut woken = Vec::new();
+        for (index, slot) in slots.slots.iter_mut().enumerate() {
+            if let Some(waker) = slot.waker.take() {
+                slot.gen += 1;
+                slots.free.push(index);
+                self.suspended.fetch_sub(1, Ordering::SeqCst);
+                woken.push(waker);
+            }
+        }
+        woken
+    }
+}
+
+/// Handle to one waker registration, returned by
+/// [`Notifier::register_waker`].
+///
+/// Pass it back to [`Notifier::deregister_waker`] when the suspended
+/// future is dropped (cancellation) or re-polled; a key whose waker was
+/// already consumed by a wake is harmlessly stale (generation-checked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WakerKey {
+    index: usize,
+    gen: u64,
+}
+
+/// Epoch-based commit notification: bump on writer commit, suspend until
+/// the epoch moves.
 #[derive(Debug, Default)]
 pub struct Notifier {
     epoch: AtomicU64,
-    /// Threads currently inside [`Notifier::wait`]. Writers skip the
-    /// mutex + `notify_all` entirely while this is zero, so the common
-    /// no-waiter commit pays one `SeqCst` add and one load — no shared
-    /// lock on the commit path.
-    waiters: AtomicU64,
-    lock: Mutex<()>,
-    cv: Condvar,
+    inner: Arc<Inner>,
 }
 
 impl Notifier {
@@ -54,55 +132,192 @@ impl Notifier {
         self.epoch.load(Ordering::SeqCst)
     }
 
-    /// Announces a writer commit: bumps the epoch and wakes every parked
-    /// waiter. With no waiters registered this is two uncontended atomic
-    /// operations — writers do not serialize on the notifier mutex.
+    /// Announces a writer commit: bumps the epoch and wakes every
+    /// suspended waiter — parked threads and registered wakers alike. With
+    /// nobody suspended this is two uncontended atomic operations —
+    /// writers do not serialize on the notifier mutex.
     pub fn notify(&self) {
         self.epoch.fetch_add(1, Ordering::SeqCst);
-        // SeqCst Dekker pairing with `wait`: the waiter registers itself
-        // *before* checking the epoch, we bump the epoch *before* reading
-        // the registration — at least one side always sees the other, so
-        // skipping the wake while `waiters == 0` cannot strand a waiter.
-        if self.waiters.load(Ordering::SeqCst) == 0 {
+        // SeqCst Dekker pairing with `wait` and `register_waker`: the
+        // waiter announces itself in `suspended` *before* checking the
+        // epoch, we bump the epoch *before* reading the announcement — at
+        // least one side always sees the other, so skipping the wake while
+        // `suspended == 0` cannot strand a waiter.
+        if self.inner.suspended.load(Ordering::SeqCst) == 0 {
             return;
         }
         // Taking the lock orders the bump against waiters that checked the
-        // epoch but have not yet parked: they hold the lock between check
-        // and park, so by the time we acquire it they either saw the new
-        // epoch or are already waiting on the condvar.
-        drop(self.lock.lock());
-        self.cv.notify_all();
+        // epoch but have not yet suspended: they hold the lock between
+        // check and suspension, so by the time we acquire it they either
+        // saw the new epoch or are already waiting/registered.
+        let mut slots = self.inner.lock.lock();
+        let woken = self.inner.drain_wakers(&mut slots);
+        drop(slots);
+        self.inner.cv.notify_all();
+        for waker in woken {
+            waker.wake();
+        }
     }
 
-    /// Parks until the epoch differs from `seen` or `timeout` elapsed.
-    /// Returns `true` if the epoch moved (a commit happened), `false` on
-    /// timeout.
+    /// Parks the calling OS thread until the epoch differs from `seen` or
+    /// `timeout` elapsed. Returns `true` if the epoch moved (a commit
+    /// happened), `false` on timeout.
     pub fn wait(&self, seen: u64, timeout: Duration) -> bool {
-        self.waiters.fetch_add(1, Ordering::SeqCst);
+        self.inner.suspended.fetch_add(1, Ordering::SeqCst);
         let moved = self.wait_registered(seen, timeout);
-        self.waiters.fetch_sub(1, Ordering::SeqCst);
+        self.inner.suspended.fetch_sub(1, Ordering::SeqCst);
         moved
     }
 
     fn wait_registered(&self, seen: u64, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut guard = self.lock.lock();
+        let mut guard = self.inner.lock.lock();
         while self.epoch.load(Ordering::SeqCst) == seen {
             let now = Instant::now();
             if now >= deadline {
                 return false;
             }
-            let (g, _timed_out) = self.cv.wait_timeout(guard, deadline - now);
+            let (g, _timed_out) = self.inner.cv.wait_timeout(guard, deadline - now);
             guard = g;
         }
         true
     }
+
+    /// Registers `waker` to be woken by the next [`Notifier::notify`]
+    /// (or fallback tick), **iff** the epoch still equals `seen`.
+    ///
+    /// Returns `None` when the epoch already moved — the caller must
+    /// re-run its attempt instead of suspending, which is exactly the
+    /// "no lost wakeups" check: a commit that slipped in between the
+    /// attempt's epoch capture and this call refuses the registration.
+    /// On `Some(key)`, the waker is woken at most once; the caller
+    /// deregisters the key on cancellation (future drop) or keeps it to
+    /// detect staleness.
+    pub fn register_waker(&self, seen: u64, waker: &Waker) -> Option<WakerKey> {
+        // Announce before the epoch check (same Dekker pairing as `wait`),
+        // so a concurrent `notify` either sees us suspended (and takes the
+        // lock we hold) or we see its epoch bump.
+        self.inner.suspended.fetch_add(1, Ordering::SeqCst);
+        let mut slots = self.inner.lock.lock();
+        if self.epoch.load(Ordering::SeqCst) != seen {
+            drop(slots);
+            self.inner.suspended.fetch_sub(1, Ordering::SeqCst);
+            return None;
+        }
+        let index = match slots.free.pop() {
+            Some(index) => index,
+            None => {
+                slots.slots.push(WakerSlot::default());
+                slots.slots.len() - 1
+            }
+        };
+        let slot = &mut slots.slots[index];
+        debug_assert!(slot.waker.is_none(), "free slot must be vacant");
+        slot.waker = Some(waker.clone());
+        let key = WakerKey {
+            index,
+            gen: slot.gen,
+        };
+        // Lazily start the fallback ticker that covers raw-SPI writers for
+        // async waiters (parked threads cover themselves with a wait
+        // timeout; a pending future has no thread to time out on). The
+        // flag is claimed under the lock — competing registrants cannot
+        // double-spawn — but the spawn syscall itself happens after the
+        // guard drops, so writers and other waiters never block on it.
+        let spawn_ticker = !slots.ticker_running;
+        if spawn_ticker {
+            slots.ticker_running = true;
+        }
+        drop(slots);
+        if spawn_ticker {
+            spawn_fallback_ticker(Arc::downgrade(&self.inner));
+        }
+        Some(key)
+    }
+
+    /// Removes a registration made by [`Notifier::register_waker`].
+    ///
+    /// Returns `true` if the waker was still registered (the caller was
+    /// suspended and is now forgotten — the cancellation path), `false` if
+    /// a wake had already consumed it (stale key; harmless).
+    pub fn deregister_waker(&self, key: WakerKey) -> bool {
+        let mut slots = self.inner.lock.lock();
+        let Some(slot) = slots.slots.get_mut(key.index) else {
+            return false;
+        };
+        if slot.gen != key.gen || slot.waker.is_none() {
+            return false;
+        }
+        slot.waker = None;
+        slot.gen += 1;
+        slots.free.push(key.index);
+        drop(slots);
+        self.inner.suspended.fetch_sub(1, Ordering::SeqCst);
+        true
+    }
+
+    /// Number of currently registered wakers (test instrumentation).
+    pub fn registered_wakers(&self) -> usize {
+        let slots = self.inner.lock.lock();
+        slots.slots.iter().filter(|s| s.waker.is_some()).count()
+    }
+}
+
+/// The detached fallback ticker: every [`RETRY_FALLBACK_WAKE`] it re-wakes
+/// every registered waker, so an async waiter blocked on a value that only
+/// a raw-SPI writer (which never bumps the notifier) will change still
+/// re-runs its attempt — the async analogue of the condvar wait timeout.
+/// The thread exits when the notifier is dropped or a tick finds no wakers
+/// registered (a later registration spawns a fresh one).
+fn spawn_fallback_ticker(inner: Weak<Inner>) {
+    std::thread::Builder::new()
+        .name("zstm-retry-tick".into())
+        .spawn(move || loop {
+            std::thread::sleep(RETRY_FALLBACK_WAKE);
+            let Some(inner) = inner.upgrade() else {
+                return;
+            };
+            let mut slots = inner.lock.lock();
+            let woken = inner.drain_wakers(&mut slots);
+            if woken.is_empty() {
+                // Nobody to cover: stand down. `ticker_running` is reset
+                // under the same lock, so the next register_waker spawns a
+                // replacement without racing this exit.
+                slots.ticker_running = false;
+                return;
+            }
+            drop(slots);
+            for waker in woken {
+                waker.wake();
+            }
+        })
+        .expect("spawn notifier fallback ticker");
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use std::sync::atomic::AtomicUsize;
+    use std::task::Wake;
+
+    /// A waker that counts its wakes.
+    struct CountingWaker(AtomicUsize);
+
+    impl CountingWaker {
+        fn new() -> Arc<Self> {
+            Arc::new(Self(AtomicUsize::new(0)))
+        }
+
+        fn wakes(&self) -> usize {
+            self.0.load(Ordering::SeqCst)
+        }
+    }
+
+    impl Wake for CountingWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
 
     #[test]
     fn wait_returns_immediately_on_stale_epoch() {
@@ -129,5 +344,102 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         n.notify();
         assert!(waiter.join().expect("waiter finished"));
+    }
+
+    #[test]
+    fn stale_epoch_refuses_waker_registration() {
+        let n = Notifier::new();
+        let counting = CountingWaker::new();
+        let waker = Waker::from(Arc::clone(&counting));
+        let seen = n.epoch();
+        n.notify();
+        assert!(
+            n.register_waker(seen, &waker).is_none(),
+            "a commit between capture and registration must refuse the registration"
+        );
+        assert_eq!(n.registered_wakers(), 0);
+    }
+
+    #[test]
+    fn notify_consumes_and_wakes_registered_wakers() {
+        let n = Notifier::new();
+        let counting = CountingWaker::new();
+        let waker = Waker::from(Arc::clone(&counting));
+        let key = n
+            .register_waker(n.epoch(), &waker)
+            .expect("fresh epoch registers");
+        assert_eq!(n.registered_wakers(), 1);
+        n.notify();
+        assert_eq!(counting.wakes(), 1, "notify wakes the registered waker");
+        assert_eq!(n.registered_wakers(), 0, "the wake consumed the slot");
+        // A second notify does not wake again (at-most-once).
+        n.notify();
+        assert_eq!(counting.wakes(), 1);
+        // The stale key deregisters as a no-op.
+        assert!(!n.deregister_waker(key));
+    }
+
+    #[test]
+    fn deregistered_waker_is_never_woken() {
+        let n = Notifier::new();
+        let counting = CountingWaker::new();
+        let waker = Waker::from(Arc::clone(&counting));
+        let key = n.register_waker(n.epoch(), &waker).expect("registers");
+        assert!(n.deregister_waker(key), "live registration removed");
+        n.notify();
+        assert_eq!(counting.wakes(), 0, "cancelled waiter must stay silent");
+        assert_eq!(n.registered_wakers(), 0);
+    }
+
+    #[test]
+    fn stale_key_cannot_evict_a_later_tenant_of_the_slot() {
+        let n = Notifier::new();
+        let first = CountingWaker::new();
+        let key = n
+            .register_waker(n.epoch(), &Waker::from(Arc::clone(&first)))
+            .expect("registers");
+        n.notify(); // consumes `first`, frees the slot
+        let second = CountingWaker::new();
+        let _key2 = n
+            .register_waker(n.epoch(), &Waker::from(Arc::clone(&second)))
+            .expect("slot reused");
+        // The stale first key must not deregister the second tenant.
+        assert!(!n.deregister_waker(key));
+        assert_eq!(n.registered_wakers(), 1);
+        n.notify();
+        assert_eq!(second.wakes(), 1);
+    }
+
+    #[test]
+    fn fallback_ticker_wakes_async_waiters_without_any_commit() {
+        // A registered waker with no notify at all: the 100 ms fallback
+        // tick must still wake it (the raw-SPI-writer cover).
+        let n = Notifier::new();
+        let counting = CountingWaker::new();
+        let waker = Waker::from(Arc::clone(&counting));
+        n.register_waker(n.epoch(), &waker).expect("registers");
+        let deadline = Instant::now() + 20 * RETRY_FALLBACK_WAKE;
+        while counting.wakes() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(counting.wakes(), 1, "the fallback tick must fire");
+        assert_eq!(n.registered_wakers(), 0);
+    }
+
+    #[test]
+    fn mixed_condvar_and_waker_waiters_all_wake_on_one_notify() {
+        let n = Arc::new(Notifier::new());
+        let seen = n.epoch();
+        let counting = CountingWaker::new();
+        n.register_waker(seen, &Waker::from(Arc::clone(&counting)))
+            .expect("registers");
+        let parked = {
+            let n = Arc::clone(&n);
+            std::thread::spawn(move || n.wait(seen, Duration::from_secs(10)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        n.notify();
+        assert!(parked.join().expect("parked thread woke"));
+        assert_eq!(counting.wakes(), 1, "waker population woken too");
     }
 }

@@ -12,9 +12,86 @@ use zstm_core::{
 };
 use zstm_util::Backoff;
 
-use crate::notify::{Notifier, RETRY_FALLBACK_WAKE};
+use crate::notify::{Notifier, WakerKey, RETRY_FALLBACK_WAKE};
 use crate::tx::Tx;
 use crate::TVar;
+
+/// Rounds an async poll absorbs without suspending — conflict aborts or
+/// commit-refused waker registrations — before yielding the executor
+/// thread (see [`Stm::poll_once`]).
+const YIELD_AFTER_CONFLICTS: u32 = 64;
+
+/// Outcome of one round over an atomic block's alternatives.
+enum RoundOutcome<R> {
+    /// An alternative committed (parked waiters already notified if it
+    /// wrote).
+    Committed(R),
+    /// Every alternative ended in [`AbortReason::Retry`]: the block wants
+    /// to suspend until a commit changes the world.
+    Retried,
+    /// An alternative (or its commit) genuinely aborted: restart the
+    /// composition from the first alternative.
+    Aborted(AbortReason),
+}
+
+/// Outcome of one executor poll of an async atomic block (see
+/// [`Stm::poll_once`]).
+pub(crate) enum PollOutcome<R> {
+    /// Committed: the future resolves.
+    Ready(R),
+    /// Every alternative blocked and the waker is registered under this
+    /// key; return `Pending` and deregister the key on drop or re-poll.
+    Suspended(WakerKey),
+    /// The poll used up its conflict budget (or runs in the spin shape):
+    /// self-wake and return `Pending` so co-tasks get the worker.
+    Yielded,
+}
+
+/// Runs the alternatives left to right as fresh transactions on `thread`,
+/// falling through on [`AbortReason::Retry`]. The single source of truth
+/// for attempt semantics, shared by the synchronous retry loop and the
+/// async poll path — including the commit notification: a committed
+/// writer bumps the notifier before this returns.
+///
+/// Generic over the alternative representation (`&mut dyn FnMut` slices
+/// from the sync loop, boxed closures owned by `TxFuture`) so the async
+/// poll path does not re-collect its alternatives on every poll.
+fn run_round<F: TmFactory, R, B>(
+    shared: &StmShared<F>,
+    thread: &mut F::Thread,
+    kind: TxKind,
+    alternatives: &mut [B],
+) -> RoundOutcome<R>
+where
+    B: FnMut(&mut Tx<'_, F>) -> Result<R, Abort>,
+{
+    for body in alternatives.iter_mut() {
+        let mut tx = Tx::new(thread.begin(kind), shared.id);
+        match body(&mut tx) {
+            Ok(result) => {
+                let wrote = tx.wrote;
+                match tx.into_raw().commit() {
+                    Ok(()) => {
+                        if wrote {
+                            shared.notifier.notify();
+                        }
+                        return RoundOutcome::Committed(result);
+                    }
+                    Err(abort) => return RoundOutcome::Aborted(abort.reason()),
+                }
+            }
+            Err(abort) if abort.reason() == AbortReason::Retry => {
+                tx.into_raw().rollback(AbortReason::Retry);
+                // Fall through to the next alternative.
+            }
+            Err(abort) => {
+                tx.into_raw().rollback(abort.reason());
+                return RoundOutcome::Aborted(abort.reason());
+            }
+        }
+    }
+    RoundOutcome::Retried
+}
 
 /// Next unique id for [`Stm`] instances (keys the thread-local lease
 /// cache).
@@ -328,61 +405,133 @@ impl<F: TmFactory> Stm<F> {
                 // round could miss bumps the epoch after this point, so a
                 // park below cannot sleep through it.
                 let seen = shared.notifier.epoch();
-                let mut all_retried = true;
-                for body in alternatives.iter_mut() {
-                    let mut tx = Tx::new(thread.begin(kind), shared.id);
-                    match body(&mut tx) {
-                        Ok(result) => {
-                            let wrote = tx.wrote;
-                            match tx.into_raw().commit() {
-                                Ok(()) => {
-                                    if wrote {
-                                        shared.notifier.notify();
-                                    }
-                                    return Ok(result);
-                                }
-                                Err(abort) => {
-                                    last_reason = abort.reason();
-                                    all_retried = false;
-                                    break;
-                                }
+                match run_round(shared, thread, kind, &mut *alternatives) {
+                    RoundOutcome::Committed(result) => return Ok(result),
+                    RoundOutcome::Retried if park => {
+                        last_reason = AbortReason::Retry;
+                        // Count the park only when we are actually about
+                        // to sleep: a commit that already moved the epoch
+                        // makes `wait` return immediately, mirroring
+                        // `register_waker` refusing a stale registration
+                        // on the async path (a commit slipping in between
+                        // this check and the wait is a benign overcount).
+                        if shared.notifier.epoch() == seen {
+                            if let Some(stats) = thread.stats_mut() {
+                                stats.record_condvar_park();
                             }
                         }
-                        Err(abort) if abort.reason() == AbortReason::Retry => {
-                            tx.into_raw().rollback(AbortReason::Retry);
-                            last_reason = AbortReason::Retry;
-                            // Fall through to the next alternative.
+                        let commit_seen = shared.notifier.wait(seen, RETRY_FALLBACK_WAKE);
+                        // A *bounded* policy exists to fail loudly instead
+                        // of hanging. If a full fallback tick passed
+                        // without any commit anywhere, re-running cannot
+                        // observe anything new — give up now rather than
+                        // sleeping through the remaining budget (1M rounds
+                        // x 100 ms is a day, not "loudly").
+                        if !commit_seen && policy.max_attempts() != u64::MAX {
+                            return Err(RetryExhausted::new(round + 1, AbortReason::Retry));
                         }
-                        Err(abort) => {
-                            last_reason = abort.reason();
-                            tx.into_raw().rollback(abort.reason());
-                            all_retried = false;
-                            break;
-                        }
-                    }
-                }
-                if all_retried && park {
-                    let commit_seen = shared.notifier.wait(seen, RETRY_FALLBACK_WAKE);
-                    // A *bounded* policy exists to fail loudly instead of
-                    // hanging. If a full fallback tick passed without any
-                    // commit anywhere, re-running cannot observe anything
-                    // new — give up now rather than sleeping through the
-                    // remaining budget (1M rounds x 100 ms is a day, not
-                    // "loudly").
-                    if !commit_seen && policy.max_attempts() != u64::MAX {
-                        return Err(RetryExhausted::new(round + 1, AbortReason::Retry));
-                    }
-                    backoff.reset();
-                } else if policy.backoff_enabled() {
-                    backoff.spin();
-                    // Saturated backoff resets so long waits do not grow
-                    // unboundedly under persistent contention.
-                    if round % 64 == 63 {
                         backoff.reset();
+                    }
+                    RoundOutcome::Retried => {
+                        last_reason = AbortReason::Retry;
+                        if policy.backoff_enabled() {
+                            backoff.spin();
+                            if round % 64 == 63 {
+                                backoff.reset();
+                            }
+                        }
+                    }
+                    RoundOutcome::Aborted(reason) => {
+                        last_reason = reason;
+                        if policy.backoff_enabled() {
+                            backoff.spin();
+                            // Saturated backoff resets so long waits do
+                            // not grow unboundedly under persistent
+                            // contention.
+                            if round % 64 == 63 {
+                                backoff.reset();
+                            }
+                        }
                     }
                 }
             }
             Err(RetryExhausted::new(policy.max_attempts(), last_reason))
+        })
+    }
+
+    /// One executor poll of an async atomic block: runs rounds to
+    /// completion on the leased context ("attempts stay non-suspending" —
+    /// engine transaction handles are `&mut` borrows of the thread context
+    /// and not `Send`, so an attempt can never cross an `.await`), and
+    /// suspends by registering `waker` when every alternative blocked.
+    ///
+    /// The epoch protocol is the poll-based spelling of the condvar loop
+    /// in [`Stm::run_alternatives`]: the epoch is captured before each
+    /// round, and [`Notifier::register_waker`](crate::Notifier) refuses
+    /// the registration when a commit slipped in after the capture — the
+    /// round re-runs instead of suspending, so wakeups cannot be lost.
+    /// After [`YIELD_AFTER_CONFLICTS`] rounds without suspending —
+    /// conflict aborts or registrations refused by racing commits — the
+    /// poll gives the executor thread back ([`PollOutcome::Yielded`])
+    /// so one contended transaction cannot starve its worker's co-tasks.
+    pub(crate) fn poll_once<R, B>(
+        &self,
+        kind: TxKind,
+        alternatives: &mut [B],
+        waker: &std::task::Waker,
+    ) -> PollOutcome<R>
+    where
+        B: FnMut(&mut Tx<'_, F>) -> Result<R, Abort>,
+    {
+        debug_assert!(!alternatives.is_empty());
+        self.with_thread(|shared, park, thread| {
+            let mut backoff = Backoff::new();
+            let mut conflicts = 0u32;
+            loop {
+                let seen = shared.notifier.epoch();
+                match run_round(shared, thread, kind, &mut *alternatives) {
+                    RoundOutcome::Committed(result) => return PollOutcome::Ready(result),
+                    RoundOutcome::Retried => {
+                        if !park {
+                            // The A/B "spin" shape (`Stm::with_parking
+                            // (false)`): busy re-polling through the
+                            // executor instead of suspending.
+                            return PollOutcome::Yielded;
+                        }
+                        match shared.notifier.register_waker(seen, waker) {
+                            Some(key) => {
+                                if let Some(stats) = thread.stats_mut() {
+                                    stats.record_waker_park();
+                                }
+                                return PollOutcome::Suspended(key);
+                            }
+                            // A commit raced the registration: what the
+                            // attempt missed is now visible, re-run it —
+                            // but count the round against the yield
+                            // budget. Under a steady stream of unrelated
+                            // commits every registration is refused, and
+                            // an unbounded loop here would starve
+                            // co-tasks of this executor worker (the sync
+                            // path only burns its own thread; this one is
+                            // shared).
+                            None => {
+                                conflicts += 1;
+                                if conflicts >= YIELD_AFTER_CONFLICTS {
+                                    return PollOutcome::Yielded;
+                                }
+                                backoff.reset();
+                            }
+                        }
+                    }
+                    RoundOutcome::Aborted(_) => {
+                        conflicts += 1;
+                        if conflicts >= YIELD_AFTER_CONFLICTS {
+                            return PollOutcome::Yielded;
+                        }
+                        backoff.spin();
+                    }
+                }
+            }
         })
     }
 

@@ -9,6 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use zstm_api::{DynStm, Stm};
 use zstm_bench::figure6;
 use zstm_core::StmConfig;
 use zstm_workload::{print_table, run_bank, BankConfig};
@@ -35,7 +36,8 @@ fn bench_fig6(c: &mut Criterion) {
         b.iter(|| {
             let mut config = BankConfig::quick(2);
             config.duration = Duration::from_millis(50);
-            let stm = Arc::new(ZStm::new(StmConfig::new(config.threads + 1)));
+            let stm: Arc<dyn DynStm> =
+                Arc::new(Stm::new(ZStm::new(StmConfig::new(config.threads + 1))));
             let report = run_bank(&stm, &config);
             assert!(report.conserved);
             report.transfer_commits

@@ -22,6 +22,9 @@
 //! * `queue` — parked blocking retries (the API layer's `tx.retry()`
 //!   notifier protocol) must not regress against the spin-retry shape on
 //!   the bounded producer/consumer queue;
+//! * `queue_async` — waker-suspended async retries (tasks multiplexed
+//!   over fewer OS threads than tasks) must not regress against the
+//!   busy-re-polling spin shape on the same ring;
 //! * `read_hotspot` — the zero-mutex read fast path must beat the locked
 //!   (fast-paths-disabled) shape on the single-hot-variable stress, for
 //!   both LSA (the `ArcCell` publication path) and S-STM (the lock-free
@@ -114,6 +117,20 @@ const RULES: &[Rule] = &[
         // outright (the spinner burns cores the workers need). The 0.8 cap
         // keeps the floor below parity so noise passes, while a parked
         // queue that deadlocks or thrashes (ratio collapsing) fails.
+        floor: |baseline| (baseline * 0.7).min(0.8),
+    },
+    Rule {
+        file: "queue_async",
+        numerator: "LSA-STM (async)",
+        denominator: "LSA-STM (async spin)",
+        claim: "waker-suspended async retries do not regress against busy-re-polling ones \
+                on the bounded queue with tasks > workers",
+        // Same non-regression policy as `queue`: when pushes and pops are
+        // balanced the two shapes tie within noise; when workers are
+        // scarce (always, in this sweep: 4 tasks per worker) a spinning
+        // task steals polls from the tasks that could make progress, so
+        // suspension wins — and a suspension path that deadlocks or
+        // thrashes collapses the ratio and fails.
         floor: |baseline| (baseline * 0.7).min(0.8),
     },
     Rule {

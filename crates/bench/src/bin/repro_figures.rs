@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures and the ARCHITECTURE.md ablations.
 //!
 //! ```text
-//! repro-figures [fig6|fig7|map|queue|clocks|read-hotspot|ablation-r|ablation-overhead|ablation-longfrac|contention|all]
+//! repro-figures [fig6|fig7|map|queue|queue-async|clocks|read-hotspot|ablation-r|ablation-overhead|ablation-longfrac|contention|all]
 //!               [--duration-ms N] [--threads 1,2,8,16,32] [--out-dir DIR]
 //! ```
 //!
@@ -18,8 +18,8 @@ use std::time::Duration;
 use zstm_bench::json::{to_json, Figure};
 use zstm_bench::{
     ablation_contention, ablation_long_fraction, ablation_overhead, ablation_plausible_r,
-    clock_contention, figure6, figure7, figure_map, figure_queue, read_hotspot, BankFigure,
-    PAPER_THREADS,
+    clock_contention, figure6, figure7, figure_map, figure_queue, figure_queue_async, read_hotspot,
+    BankFigure, PAPER_THREADS,
 };
 use zstm_workload::{print_table, Series};
 
@@ -141,6 +141,13 @@ fn run_queue(options: &Options) {
     save(options, "queue", &series);
 }
 
+fn run_queue_async(options: &Options) {
+    println!("=== Queue (async): producer/consumer futures multiplexed over fewer OS threads ===");
+    let series = figure_queue_async(&options.threads, options.duration);
+    println!("{}", print_table("delivered items/s", &series));
+    save(options, "queue_async", &series);
+}
+
 fn run_read_hotspot(options: &Options) {
     println!("=== Read hotspot: one hot variable, fast vs locked read path ===");
     let series = read_hotspot(&options.threads, options.duration);
@@ -231,6 +238,7 @@ fn main() {
         "fig7" => run_fig7(&options),
         "map" => run_map(&options),
         "queue" => run_queue(&options),
+        "queue-async" => run_queue_async(&options),
         "clocks" => run_clocks(&options),
         "read-hotspot" => run_read_hotspot(&options),
         "ablation-r" => run_ablation_r(&options),
@@ -242,6 +250,7 @@ fn main() {
             run_fig7(&options);
             run_map(&options);
             run_queue(&options);
+            run_queue_async(&options);
             run_clocks(&options);
             run_read_hotspot(&options);
             run_ablation_r(&options);
@@ -251,8 +260,8 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command '{other}'; expected fig6 | fig7 | map | queue | clocks | \
-                 read-hotspot | ablation-r | ablation-overhead | ablation-longfrac | \
+                "unknown command '{other}'; expected fig6 | fig7 | map | queue | queue-async | \
+                 clocks | read-hotspot | ablation-r | ablation-overhead | ablation-longfrac | \
                  contention | all"
             );
             std::process::exit(2);

@@ -24,8 +24,9 @@ use zstm_lsa::LsaStm;
 use zstm_sstm::SStm;
 use zstm_tl2::Tl2Stm;
 use zstm_workload::{
-    run_array, run_bank, run_map, run_queue, run_read_hotspot, ArrayConfig, BankConfig, BankReport,
-    HotspotConfig, LongMode, MapConfig, QueueConfig, QueueLoad, Series,
+    run_array, run_bank, run_map, run_queue, run_queue_async, run_read_hotspot, ArrayConfig,
+    BankConfig, BankReport, HotspotConfig, LongMode, MapConfig, QueueAsyncConfig, QueueConfig,
+    QueueLoad, Series,
 };
 use zstm_z::ZStm;
 
@@ -49,6 +50,9 @@ fn bank_config(threads: usize, duration: Duration, mode: LongMode) -> BankConfig
 }
 
 fn run_bank_point<F: TmFactory>(stm: Arc<F>, config: &BankConfig) -> BankReport {
+    // `run_bank` drives the erased facade (one compiled driver for every
+    // engine); only this thin wrapper mentions the factory type.
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::from_arc(stm));
     let report = run_bank(&stm, config);
     assert!(
         report.conserved,
@@ -422,6 +426,58 @@ pub fn figure_queue(threads: &[usize], duration: Duration) -> Vec<Series> {
     series
 }
 
+fn queue_async_point(stm: &Arc<dyn DynStm>, config: &QueueAsyncConfig) -> f64 {
+    let report = run_queue_async(stm, config);
+    assert!(
+        report.correct(),
+        "{}: async queue invariants violated at {} producer tasks",
+        report.stm,
+        config.producers
+    );
+    report.ops_per_sec
+}
+
+/// **Async-queue figure**: the bounded blocking ring with producers and
+/// consumers as *futures* multiplexed over fewer OS threads than tasks
+/// (`2n` tasks over `ceil(n / 2)` executor workers; see
+/// [`QueueAsyncConfig::new`]). Three series:
+///
+/// * `LSA-STM (async)` / `Z-STM (async)` — waker-parked suspension (the
+///   `Stm::atomically_async` retry protocol);
+/// * `LSA-STM (async spin)` — the same tasks with parking disabled, so a
+///   blocked transaction busy-re-polls through the executor (the A/B
+///   shape behind the `check_baselines` rule: suspension must not regress
+///   against spinning, and wins outright whenever workers are scarce);
+/// * `LSA-STM (sync)` — the OS-thread-per-worker [`run_queue`] shape at
+///   the same pair count, for context (not gated: its thread count scales
+///   with `n` while the async sweep holds workers at `ceil(n / 2)`).
+pub fn figure_queue_async(threads: &[usize], duration: Duration) -> Vec<Series> {
+    let mut lsa_async = Series::new("LSA-STM (async)");
+    let mut lsa_spin = Series::new("LSA-STM (async spin)");
+    let mut z_async = Series::new("Z-STM (async)");
+    let mut lsa_sync = Series::new("LSA-STM (sync)");
+    for &n in threads {
+        let mut config = QueueAsyncConfig::new(n);
+        config.load = QueueLoad::Timed(duration);
+        let stm_threads = config.threads_needed();
+        let parked: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::new(StmConfig::new(stm_threads))));
+        lsa_async.push(n as f64, queue_async_point(&parked, &config));
+        let spinning: Arc<dyn DynStm> =
+            Arc::new(Stm::new(LsaStm::new(StmConfig::new(stm_threads))).with_parking(false));
+        lsa_spin.push(n as f64, queue_async_point(&spinning, &config));
+        let z: Arc<dyn DynStm> = Arc::new(Stm::new(ZStm::new(StmConfig::new(stm_threads))));
+        z_async.push(n as f64, queue_async_point(&z, &config));
+
+        let mut sync_config = QueueConfig::new(n);
+        sync_config.load = QueueLoad::Timed(duration);
+        let sync_stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::new(StmConfig::new(
+            sync_config.threads_needed(),
+        ))));
+        lsa_sync.push(n as f64, queue_point(&sync_stm, &sync_config));
+    }
+    vec![lsa_async, lsa_spin, z_async, lsa_sync]
+}
+
 fn run_map_point<F: TmFactory>(stm: Arc<F>, config: &MapConfig) -> f64 {
     let report = run_map(&stm, config);
     assert!(
@@ -531,6 +587,19 @@ mod tests {
             assert!(
                 s.points.iter().all(|&(_, y)| y > 0.0),
                 "{}: queue series must deliver items",
+                s.label
+            );
+        }
+    }
+
+    #[test]
+    fn figure_queue_async_smoke() {
+        let series = figure_queue_async(&[2], FAST);
+        assert_eq!(series.len(), 4);
+        for s in &series {
+            assert!(
+                s.points.iter().all(|&(_, y)| y > 0.0),
+                "{}: async queue series must deliver items",
                 s.label
             );
         }

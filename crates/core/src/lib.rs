@@ -17,14 +17,15 @@
 //!
 //! # Examples
 //!
-//! Running a transaction against any STM implementing the traits (here a
-//! hypothetical `SomeStm`):
+//! Running a transaction against any STM implementing the traits (here
+//! LSA-STM; swap in any of the five engines):
 //!
-//! ```ignore
+//! ```
 //! use std::sync::Arc;
 //! use zstm_core::{atomically, RetryPolicy, StmConfig, TmFactory, TmThread, TmTx, TxKind};
+//! use zstm_lsa::LsaStm;
 //!
-//! let stm = Arc::new(SomeStm::new(StmConfig::new(2)));
+//! let stm = Arc::new(LsaStm::new(StmConfig::new(2)));
 //! let var = stm.new_var(0i64);
 //! let mut thread = stm.register_thread();
 //! let value = atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {

@@ -31,6 +31,8 @@ pub struct TxStats {
     reads: u64,
     writes: u64,
     retries_exhausted: u64,
+    condvar_parks: u64,
+    waker_parks: u64,
 }
 
 impl TxStats {
@@ -69,6 +71,20 @@ impl TxStats {
     /// Records an atomic block that gave up after exhausting its retries.
     pub fn record_retry_exhausted(&mut self) {
         self.retries_exhausted += 1;
+    }
+
+    /// Records a blocked retry parking an **OS thread** on the commit
+    /// notifier's condvar (the synchronous `Stm::atomically` shape).
+    pub fn record_condvar_park(&mut self) {
+        self.condvar_parks += 1;
+    }
+
+    /// Records a blocked retry suspending a **task** by registering a
+    /// [`std::task::Waker`] on the commit notifier (the
+    /// `Stm::atomically_async` shape). The OS thread is released back to
+    /// the executor instead of sleeping.
+    pub fn record_waker_park(&mut self) {
+        self.waker_parks += 1;
     }
 
     /// Commits of the given kind.
@@ -137,6 +153,29 @@ impl TxStats {
         self.retries_exhausted
     }
 
+    /// Blocked retries that parked an OS thread on a condvar (see
+    /// [`TxStats::record_condvar_park`]).
+    ///
+    /// Together with [`TxStats::waker_parks`] this splits the *park
+    /// mechanism*; [`TxStats::blocking_retries`] counts the blocked
+    /// attempts themselves (one attempt can park at most once, but an
+    /// attempt whose epoch moved before parking does not park at all, so
+    /// `condvar_parks + waker_parks <= blocking_retries`).
+    pub fn condvar_parks(&self) -> u64 {
+        self.condvar_parks
+    }
+
+    /// Blocked retries that suspended a task by registering a waker (see
+    /// [`TxStats::record_waker_park`]).
+    pub fn waker_parks(&self) -> u64 {
+        self.waker_parks
+    }
+
+    /// Every time a blocked retry actually suspended, by either mechanism.
+    pub fn total_parks(&self) -> u64 {
+        self.condvar_parks + self.waker_parks
+    }
+
     /// Fraction of attempts that aborted, in `[0, 1]`; zero when idle.
     pub fn abort_ratio(&self) -> f64 {
         let attempts = self.total_commits() + self.total_aborts();
@@ -163,6 +202,8 @@ impl TxStats {
         self.reads += other.reads;
         self.writes += other.writes;
         self.retries_exhausted += other.retries_exhausted;
+        self.condvar_parks += other.condvar_parks;
+        self.waker_parks += other.waker_parks;
     }
 }
 
@@ -232,6 +273,24 @@ mod tests {
         assert_eq!(merged.conflict_aborts(), 2);
         // And the Debug breakdown lists the retry reason.
         assert!(format!("{stats:?}").contains("retry"));
+    }
+
+    #[test]
+    fn park_mechanisms_counted_separately_and_merged() {
+        let mut stats = TxStats::new();
+        stats.record_condvar_park();
+        stats.record_condvar_park();
+        stats.record_waker_park();
+        assert_eq!(stats.condvar_parks(), 2);
+        assert_eq!(stats.waker_parks(), 1);
+        assert_eq!(stats.total_parks(), 3);
+        let mut merged = TxStats::new();
+        merged.merge(&stats);
+        merged.merge(&stats);
+        assert_eq!(merged.condvar_parks(), 4);
+        assert_eq!(merged.waker_parks(), 2);
+        let summed: TxStats = [stats.clone(), stats].into_iter().sum();
+        assert_eq!(summed.total_parks(), 6);
     }
 
     #[test]

@@ -87,6 +87,18 @@ pub trait TmThread: Send + 'static {
     /// Statistics accumulated by this thread so far.
     fn stats(&self) -> &TxStats;
 
+    /// Mutable access to this thread's statistics, for layers *above* the
+    /// engine that account work against the same per-thread counters —
+    /// the `zstm-api` retry loop records condvar vs waker parks here.
+    ///
+    /// Defaulted to `None` so engine-external [`TmThread`] doubles keep
+    /// compiling; all five engines override it (like
+    /// [`TmFactory::max_threads`], this is a documented SPI extension
+    /// point). Returning `None` merely loses the park counters.
+    fn stats_mut(&mut self) -> Option<&mut TxStats> {
+        None
+    }
+
     /// Takes the accumulated statistics, leaving zeroes behind.
     fn take_stats(&mut self) -> TxStats;
 }

@@ -472,6 +472,10 @@ impl<C: CausalTimeBase> TmThread for CsThread<C> {
         &self.stats
     }
 
+    fn stats_mut(&mut self) -> Option<&mut TxStats> {
+        Some(&mut self.stats)
+    }
+
     fn take_stats(&mut self) -> TxStats {
         std::mem::take(&mut self.stats)
     }

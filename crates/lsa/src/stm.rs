@@ -214,6 +214,10 @@ impl<B: TimeBase> TmThread for LsaThread<B> {
         &self.stats
     }
 
+    fn stats_mut(&mut self) -> Option<&mut TxStats> {
+        Some(&mut self.stats)
+    }
+
     fn take_stats(&mut self) -> TxStats {
         std::mem::take(&mut self.stats)
     }

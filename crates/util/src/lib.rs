@@ -29,6 +29,7 @@
 
 mod arc_cell;
 mod backoff;
+pub mod exec;
 mod pad;
 mod rng;
 pub mod sync;

@@ -2,7 +2,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use zstm_core::{atomically, RetryPolicy, TmFactory, TmThread, TmTx, TxKind, TxStats};
+use zstm_api::DynStm;
+use zstm_core::{RetryPolicy, TxKind, TxStats};
 use zstm_util::XorShift64;
 
 /// Whether Compute-Total transactions are read-only (Figure 6) or update
@@ -105,22 +106,26 @@ pub struct BankReport {
     pub conserved: bool,
 }
 
-/// Runs the bank micro-benchmark against `stm`.
+/// Runs the bank micro-benchmark against a runtime-selected STM.
 ///
 /// Thread 0 is the paper's mixed thread (80 % transfers, 20 %
-/// Compute-Total); the remaining threads only transfer. The function
-/// registers `config.threads + 1` logical threads on the STM (one extra
-/// for the final audit), so configure the STM accordingly.
+/// Compute-Total); the remaining threads only transfer. Like
+/// [`run_queue`](crate::run_queue), the driver goes through the
+/// type-erased [`DynStm`] facade — one compiled driver serves all five
+/// engines, and thread contexts are leased from the handle's pool instead
+/// of being registered by hand. Configure the STM for at least
+/// `config.threads + 1` logical threads (the workers plus the driver's
+/// final audit).
 ///
 /// # Panics
 ///
 /// Panics if a transfer permanently fails to commit (transfers are
 /// expected to succeed under every STM in this workspace).
-pub fn run_bank<F: TmFactory>(stm: &Arc<F>, config: &BankConfig) -> BankReport {
-    let accounts: Arc<Vec<F::Var<i64>>> = Arc::new(
+pub fn run_bank(stm: &Arc<dyn DynStm>, config: &BankConfig) -> BankReport {
+    let accounts = Arc::new(
         (0..config.accounts)
-            .map(|_| stm.new_var(config.initial_balance))
-            .collect(),
+            .map(|_| stm.new_i64(config.initial_balance))
+            .collect::<Vec<_>>(),
     );
     let expected_total = config.initial_balance * config.accounts as i64;
     let stop = Arc::new(AtomicBool::new(false));
@@ -132,7 +137,7 @@ pub fn run_bank<F: TmFactory>(stm: &Arc<F>, config: &BankConfig) -> BankReport {
 
     let mut handles = Vec::with_capacity(config.threads);
     for t in 0..config.threads {
-        let mut thread = stm.register_thread();
+        let stm = Arc::clone(stm);
         let accounts = Arc::clone(&accounts);
         let stop = Arc::clone(&stop);
         let barrier = Arc::clone(&barrier);
@@ -140,7 +145,7 @@ pub fn run_bank<F: TmFactory>(stm: &Arc<F>, config: &BankConfig) -> BankReport {
         // The mixed thread's private transactional output variable
         // (the paper: "update transactions that write to private but
         // transactional state").
-        let private_total = stm.new_var(0i64);
+        let private_total = stm.new_i64(0);
         let mut rng = XorShift64::new(config.seed.wrapping_add(t as u64 * 7919));
         handles.push(std::thread::spawn(move || {
             let mut transfer_commits = 0u64;
@@ -151,13 +156,13 @@ pub fn run_bank<F: TmFactory>(stm: &Arc<F>, config: &BankConfig) -> BankReport {
             while !stop.load(Ordering::Relaxed) {
                 let is_total = t == 0 && rng.next_percent(config.total_pct);
                 if is_total {
-                    let result = atomically(&mut thread, TxKind::Long, &long_policy, |tx| {
+                    let result = stm.atomically(TxKind::Long, &long_policy, |tx| {
                         let mut sum = 0i64;
                         for account in accounts.iter() {
-                            sum += tx.read(account)?;
+                            sum += tx.read_i64(account)?;
                         }
                         if config.long_mode == LongMode::Update {
-                            tx.write(&private_total, sum)?;
+                            tx.write_i64(&private_total, sum)?;
                         }
                         Ok(sum)
                     });
@@ -174,24 +179,17 @@ pub fn run_bank<F: TmFactory>(stm: &Arc<F>, config: &BankConfig) -> BankReport {
                     if from == to {
                         continue;
                     }
-                    atomically(&mut thread, TxKind::Short, &transfer_policy, |tx| {
-                        let a = tx.read(&accounts[from])?;
-                        let b = tx.read(&accounts[to])?;
-                        tx.write(&accounts[from], a - 1)?;
-                        tx.write(&accounts[to], b + 1)
+                    stm.atomically(TxKind::Short, &transfer_policy, |tx| {
+                        let a = tx.read_i64(&accounts[from])?;
+                        let b = tx.read_i64(&accounts[to])?;
+                        tx.write_i64(&accounts[from], a - 1)?;
+                        tx.write_i64(&accounts[to], b + 1)
                     })
                     .expect("transfers must eventually commit");
                     transfer_commits += 1;
                 }
             }
-            let stats = thread.take_stats();
-            (
-                transfer_commits,
-                total_commits,
-                totals_given_up,
-                sums_ok,
-                stats,
-            )
+            (transfer_commits, total_commits, totals_given_up, sums_ok)
         }));
     }
 
@@ -205,33 +203,30 @@ pub fn run_bank<F: TmFactory>(stm: &Arc<F>, config: &BankConfig) -> BankReport {
     let mut total_commits = 0u64;
     let mut totals_given_up = 0u64;
     let mut sums_ok = true;
-    let mut stats = TxStats::new();
     for handle in handles {
-        let (transfers, totals, given_up, ok, thread_stats) =
-            handle.join().expect("bank worker panicked");
+        let (transfers, totals, given_up, ok) = handle.join().expect("bank worker panicked");
         transfer_commits += transfers;
         total_commits += totals;
         totals_given_up += given_up;
         sums_ok &= ok;
-        stats.merge(&thread_stats);
     }
 
-    // Final audit on a quiescent system.
-    let mut audit_thread = stm.register_thread();
-    let audited = atomically(
-        &mut audit_thread,
-        TxKind::Long,
-        &RetryPolicy::unbounded(),
-        |tx| {
+    // Final audit on a quiescent system (the exited workers' leases are
+    // back in the pool, so the driver leases freely).
+    let audited = stm
+        .atomically(TxKind::Long, &RetryPolicy::unbounded(), |tx| {
             let mut sum = 0i64;
             for account in accounts.iter() {
-                sum += tx.read(account)?;
+                sum += tx.read_i64(account)?;
             }
             Ok(sum)
-        },
-    )
-    .map(|sum| sum == expected_total)
-    .unwrap_or(false);
+        })
+        .map(|sum| sum == expected_total)
+        .unwrap_or(false);
+
+    // Pool-harvested statistics: every worker's context returned to the
+    // pool on thread exit, so this sees all of them (plus the audit).
+    let stats: TxStats = stm.take_stats();
 
     let secs = elapsed.as_secs_f64();
     BankReport {
@@ -251,6 +246,7 @@ pub fn run_bank<F: TmFactory>(stm: &Arc<F>, config: &BankConfig) -> BankReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zstm_api::Stm;
     use zstm_core::StmConfig;
     use zstm_lsa::LsaStm;
     use zstm_tl2::Tl2Stm;
@@ -265,7 +261,8 @@ mod tests {
     #[test]
     fn bank_on_z_stm_conserves_and_commits_totals() {
         let config = quick(2);
-        let stm = Arc::new(ZStm::new(StmConfig::new(config.threads + 1)));
+        let stm: Arc<dyn DynStm> =
+            Arc::new(Stm::new(ZStm::new(StmConfig::new(config.threads + 1))));
         let report = run_bank(&stm, &config);
         assert!(report.conserved);
         assert!(report.transfer_commits > 0);
@@ -275,16 +272,20 @@ mod tests {
     #[test]
     fn bank_on_lsa_conserves() {
         let config = quick(2);
-        let stm = Arc::new(LsaStm::new(StmConfig::new(config.threads + 1)));
+        let stm: Arc<dyn DynStm> =
+            Arc::new(Stm::new(LsaStm::new(StmConfig::new(config.threads + 1))));
         let report = run_bank(&stm, &config);
         assert!(report.conserved);
         assert!(report.transfer_commits > 0);
+        // The pool harvest sees every worker's stats plus the audit.
+        assert!(report.stats.total_commits() >= report.transfer_commits);
     }
 
     #[test]
     fn bank_on_tl2_conserves() {
         let config = quick(2);
-        let stm = Arc::new(Tl2Stm::new(StmConfig::new(config.threads + 1)));
+        let stm: Arc<dyn DynStm> =
+            Arc::new(Stm::new(Tl2Stm::new(StmConfig::new(config.threads + 1))));
         let report = run_bank(&stm, &config);
         assert!(report.conserved);
     }
@@ -292,7 +293,8 @@ mod tests {
     #[test]
     fn update_totals_on_z_stm_still_commit() {
         let config = quick(2).with_update_totals();
-        let stm = Arc::new(ZStm::new(StmConfig::new(config.threads + 1)));
+        let stm: Arc<dyn DynStm> =
+            Arc::new(Stm::new(ZStm::new(StmConfig::new(config.threads + 1))));
         let report = run_bank(&stm, &config);
         assert!(report.conserved);
         assert!(

@@ -10,10 +10,10 @@
 //! * 1 000 accounts; one *mixed* thread runs 80 % transfers / 20 %
 //!   Compute-Total, every other thread runs only transfers.
 //!
-//! [`run_bank`] drives any STM implementing
-//! [`TmFactory`](zstm_core::TmFactory) for a fixed wall-clock duration and
-//! returns a [`BankReport`] with the same two series the paper plots:
-//! Compute-Total throughput and transfer throughput.
+//! [`run_bank`] drives a runtime-selected STM (any engine behind the
+//! type-erased [`DynStm`](zstm_api::DynStm) facade) for a fixed wall-clock
+//! duration and returns a [`BankReport`] with the same two series the
+//! paper plots: Compute-Total throughput and transfer throughput.
 //!
 //! [`run_array`] is a smaller random read/write workload used by the
 //! ablation benchmarks (contention managers, plausible-clock sizes, time
@@ -36,11 +36,18 @@
 //! [`DynStm`](zstm_api::DynStm) facade, so one driver serves all five
 //! engines selected at runtime.
 //!
+//! [`run_queue_async`] is the same ring with **async transactions**:
+//! producer/consumer *tasks* multiplexed over a small
+//! [`zstm_util::exec::ThreadPool`], suspending (waker registration on the
+//! commit notifier) instead of parking OS threads — the `tasks > workers`
+//! sweep behind the `queue_async` baseline.
+//!
 //! # Examples
 //!
 //! ```
 //! use std::sync::Arc;
 //! use std::time::Duration;
+//! use zstm_api::{DynStm, Stm};
 //! use zstm_core::StmConfig;
 //! use zstm_workload::{run_bank, BankConfig, LongMode};
 //! use zstm_z::ZStm;
@@ -48,7 +55,7 @@
 //! let mut config = BankConfig::quick(2);
 //! config.duration = Duration::from_millis(50);
 //! // One extra logical thread for the harness's final audit.
-//! let stm = Arc::new(ZStm::new(StmConfig::new(3)));
+//! let stm: Arc<dyn DynStm> = Arc::new(Stm::new(ZStm::new(StmConfig::new(3))));
 //! let report = run_bank(&stm, &config);
 //! assert!(report.conserved, "transfers must conserve money");
 //! ```
@@ -69,5 +76,7 @@ pub use bank::{run_bank, BankConfig, BankReport, LongMode};
 pub use hotspot::{run_read_hotspot, HotspotConfig, HotspotReport};
 pub use list::TxList;
 pub use map::{run_map, MapConfig, MapReport};
-pub use queue::{run_queue, QueueConfig, QueueLoad, QueueReport};
+pub use queue::{
+    run_queue, run_queue_async, QueueAsyncConfig, QueueConfig, QueueLoad, QueueReport,
+};
 pub use report::{print_table, Series};

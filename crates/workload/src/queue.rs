@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 
 use zstm_api::{DynStm, DynVar};
 use zstm_core::{RetryPolicy, TxKind, TxStats};
+use zstm_util::exec::ThreadPool;
 
 /// How a queue run is bounded.
 #[derive(Clone, Copy, Debug)]
@@ -135,6 +136,49 @@ struct Ring {
     slots: Vec<DynVar>,
 }
 
+impl Ring {
+    fn new(stm: &Arc<dyn DynStm>, capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            head: stm.new_i64(0),
+            tail: stm.new_i64(0),
+            closed: stm.new_i64(0),
+            slots: (0..capacity).map(|_| stm.new_i64(0)).collect(),
+        })
+    }
+}
+
+/// Checks the two delivery invariants over the popped `(index, value)`
+/// pairs, sorting `all` by pop index in place.
+///
+/// Exactly-once: the popped indices are a permutation of `0..pushed`.
+/// FIFO: in index order, each producer's sequence numbers are strictly
+/// increasing (global FIFO through the shared ring).
+fn check_delivery(all: &mut [(i64, i64)], pushed: u64, producers: usize) -> (bool, bool) {
+    all.sort_unstable();
+    let delivered_exactly_once = all.len() as u64 == pushed
+        && all
+            .iter()
+            .enumerate()
+            .all(|(i, &(index, _))| index == i as i64);
+    let mut fifo = true;
+    let mut last_seq: Vec<Option<u64>> = vec![None; producers];
+    for &(_, value) in all.iter() {
+        let (producer, seq) = decode(value);
+        if producer >= last_seq.len() {
+            fifo = false;
+            break;
+        }
+        match last_seq[producer] {
+            Some(prev) if seq <= prev => {
+                fifo = false;
+                break;
+            }
+            _ => last_seq[producer] = Some(seq),
+        }
+    }
+    (delivered_exactly_once, fifo)
+}
+
 /// Runs the bounded-queue workload against a runtime-selected STM.
 ///
 /// The `Stm` behind `stm` must be configured for at least
@@ -150,12 +194,7 @@ pub fn run_queue(stm: &Arc<dyn DynStm>, config: &QueueConfig) -> QueueReport {
     // capacity 1 instead of deadlocking every producer on `tail - head
     // >= 0`.
     let capacity = config.capacity.max(1);
-    let ring = Arc::new(Ring {
-        head: stm.new_i64(0),
-        tail: stm.new_i64(0),
-        closed: stm.new_i64(0),
-        slots: (0..capacity).map(|_| stm.new_i64(0)).collect(),
-    });
+    let ring = Ring::new(stm, capacity);
     let policy = RetryPolicy::unbounded();
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(config.producers + config.consumers + 1));
@@ -247,34 +286,196 @@ pub fn run_queue(stm: &Arc<dyn DynStm>, config: &QueueConfig) -> QueueReport {
     }
     let elapsed = started.elapsed();
     let popped = all.len() as u64;
+    let (delivered_exactly_once, fifo) = check_delivery(&mut all, pushed, config.producers);
 
-    // Exactly-once: the popped indices are a permutation of 0..popped and
-    // match the push count.
-    all.sort_unstable();
-    let delivered_exactly_once = popped == pushed
-        && all
-            .iter()
-            .enumerate()
-            .all(|(i, &(index, _))| index == i as i64);
-    // FIFO per producer: in index order, each producer's sequence numbers
-    // are strictly increasing (and overall each producer's full range was
-    // delivered in order).
-    let mut fifo = true;
-    let mut last_seq: Vec<Option<u64>> = vec![None; config.producers];
-    for &(_, value) in &all {
-        let (producer, seq) = decode(value);
-        if producer >= last_seq.len() {
-            fifo = false;
-            break;
-        }
-        match last_seq[producer] {
-            Some(prev) if seq <= prev => {
-                fifo = false;
-                break;
-            }
-            _ => last_seq[producer] = Some(seq),
+    QueueReport {
+        stm: stm.name(),
+        producers: config.producers,
+        consumers: config.consumers,
+        elapsed,
+        pushed,
+        popped,
+        ops_per_sec: popped as f64 / elapsed.as_secs_f64(),
+        stats: stm.take_stats(),
+        delivered_exactly_once,
+        fifo,
+    }
+}
+
+/// Configuration of the **async** bounded-queue workload: producer and
+/// consumer *tasks* (futures) multiplexed over a fixed executor
+/// [`ThreadPool`] — typically far fewer OS threads than tasks.
+#[derive(Clone, Debug)]
+pub struct QueueAsyncConfig {
+    /// Ring capacity: a producer observing `tail - head == capacity`
+    /// suspends its task.
+    pub capacity: usize,
+    /// Producer tasks.
+    pub producers: usize,
+    /// Consumer tasks.
+    pub consumers: usize,
+    /// Executor worker threads the tasks are multiplexed over.
+    pub workers: usize,
+    /// Work bound.
+    pub load: QueueLoad,
+}
+
+impl QueueAsyncConfig {
+    /// The benchmark shape: capacity 64, `pairs` producer and consumer
+    /// tasks over `ceil(pairs / 2)` workers — four tasks per OS thread,
+    /// so the sweep only works if suspended transactions release their
+    /// worker.
+    pub fn new(pairs: usize) -> Self {
+        let pairs = pairs.max(1);
+        Self {
+            capacity: 64,
+            producers: pairs,
+            consumers: pairs,
+            workers: pairs.div_ceil(2),
+            load: QueueLoad::Timed(Duration::from_millis(500)),
         }
     }
+
+    /// Scaled-down deterministic variant for tests.
+    pub fn quick(pairs: usize) -> Self {
+        let pairs = pairs.max(1);
+        Self {
+            capacity: 4,
+            producers: pairs,
+            consumers: pairs,
+            workers: pairs.div_ceil(2),
+            load: QueueLoad::Items(200),
+        }
+    }
+
+    /// Total tasks spawned on the executor.
+    pub fn tasks(&self) -> usize {
+        self.producers + self.consumers
+    }
+
+    /// Logical threads the underlying STM must be configured for: one per
+    /// executor worker (each worker OS thread caches one leased context,
+    /// shared by every task it polls) plus the driver's close/audit
+    /// transactions.
+    pub fn threads_needed(&self) -> usize {
+        self.workers.max(1) + 1
+    }
+}
+
+/// Runs the bounded-queue workload with **async transactions**:
+/// producers and consumers are futures (`atomically_async` through the
+/// erased facade) multiplexed over [`QueueAsyncConfig::workers`] OS
+/// threads. A task finding the ring full/empty suspends — registering its
+/// waker on the commit notifier and releasing its worker — rather than
+/// blocking an OS thread, which is what lets `tasks >> workers`
+/// configurations drain instead of deadlocking.
+///
+/// Invariants, the close protocol and the report shape are identical to
+/// [`run_queue`] (the `producers`/`consumers` fields count tasks).
+///
+/// # Panics
+///
+/// Panics if a task panics.
+pub fn run_queue_async(stm: &Arc<dyn DynStm>, config: &QueueAsyncConfig) -> QueueReport {
+    let capacity = config.capacity.max(1);
+    let ring = Ring::new(stm, capacity);
+    let stop = Arc::new(AtomicBool::new(false));
+    let pool = ThreadPool::new(config.workers);
+    // No start barrier: a blocking barrier across more tasks than workers
+    // would deadlock the pool, and unlike the sync driver there is no
+    // per-task thread-spawn cost to fence off. Timing starts at spawn.
+    let started = Instant::now();
+
+    let mut producer_handles = Vec::with_capacity(config.producers);
+    for p in 0..config.producers {
+        let stm = Arc::clone(stm);
+        let ring = Arc::clone(&ring);
+        let stop = Arc::clone(&stop);
+        let load = config.load;
+        let capacity = capacity as i64;
+        producer_handles.push(pool.spawn(async move {
+            let mut seq = 0u64;
+            loop {
+                match load {
+                    QueueLoad::Items(n) if seq >= n => break,
+                    QueueLoad::Timed(_) if stop.load(Ordering::Relaxed) => break,
+                    _ => {}
+                }
+                let value = encode(p, seq);
+                let ring = Arc::clone(&ring);
+                stm.atomically_async(TxKind::Short, move |tx| {
+                    let head = tx.read_i64(&ring.head)?;
+                    let tail = tx.read_i64(&ring.tail)?;
+                    if tail - head >= capacity {
+                        return Err(tx.retry()); // full: suspend for a pop
+                    }
+                    tx.write_i64(&ring.slots[tail as usize % ring.slots.len()], value)?;
+                    tx.write_i64(&ring.tail, tail + 1)
+                })
+                .await;
+                seq += 1;
+            }
+            seq
+        }));
+    }
+
+    let mut consumer_handles = Vec::with_capacity(config.consumers);
+    for _ in 0..config.consumers {
+        let stm = Arc::clone(stm);
+        let ring = Arc::clone(&ring);
+        consumer_handles.push(pool.spawn(async move {
+            let mut popped: Vec<(i64, i64)> = Vec::new();
+            loop {
+                let ring_tx = Arc::clone(&ring);
+                let item = stm
+                    .atomically_async(TxKind::Short, move |tx| {
+                        let head = tx.read_i64(&ring_tx.head)?;
+                        let tail = tx.read_i64(&ring_tx.tail)?;
+                        if head == tail {
+                            if tx.read_i64(&ring_tx.closed)? == 1 {
+                                return Ok(None); // drained and closed
+                            }
+                            return Err(tx.retry()); // empty: suspend for a push
+                        }
+                        let value =
+                            tx.read_i64(&ring_tx.slots[head as usize % ring_tx.slots.len()])?;
+                        tx.write_i64(&ring_tx.head, head + 1)?;
+                        Ok(Some((head, value)))
+                    })
+                    .await;
+                match item {
+                    Some(indexed) => popped.push(indexed),
+                    None => break,
+                }
+            }
+            popped
+        }));
+    }
+
+    if let QueueLoad::Timed(duration) = config.load {
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    }
+    let mut pushed = 0u64;
+    for handle in producer_handles {
+        pushed += handle.join();
+    }
+    // Close the queue transactionally: this commit is itself the wakeup
+    // for every suspended consumer task.
+    stm.atomically(TxKind::Short, &RetryPolicy::unbounded(), |tx| {
+        tx.write_i64(&ring.closed, 1)
+    })
+    .expect("close commits");
+    let mut all: Vec<(i64, i64)> = Vec::new();
+    for handle in consumer_handles {
+        all.extend(handle.join());
+    }
+    let elapsed = started.elapsed();
+    // Stop the executor so the workers return their cached engine
+    // contexts (and per-thread statistics) to the pool before harvesting.
+    drop(pool);
+    let popped = all.len() as u64;
+    let (delivered_exactly_once, fifo) = check_delivery(&mut all, pushed, config.producers);
 
     QueueReport {
         stm: stm.name(),
@@ -335,12 +536,7 @@ mod tests {
         // (plus the coarse fallback tick).
         let stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::new(StmConfig::new(3))));
         let ring_capacity = 4;
-        let ring = Arc::new(Ring {
-            head: stm.new_i64(0),
-            tail: stm.new_i64(0),
-            closed: stm.new_i64(0),
-            slots: (0..ring_capacity).map(|_| stm.new_i64(0)).collect(),
-        });
+        let ring = Ring::new(&stm, ring_capacity);
         let policy = RetryPolicy::unbounded();
         let consumer = {
             let (stm, ring) = (Arc::clone(&stm), Arc::clone(&ring));
@@ -424,6 +620,95 @@ mod tests {
         assert!(report.correct(), "{report:?}");
         assert!(report.popped > 0);
         assert!(report.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn async_queue_delivers_exactly_once_with_more_tasks_than_workers_on_all_five() {
+        // 8 tasks (4 producers + 4 consumers) over 2 worker threads: only
+        // possible because suspended tasks release their worker.
+        let config = QueueAsyncConfig {
+            capacity: 4,
+            producers: 4,
+            consumers: 4,
+            workers: 2,
+            load: QueueLoad::Items(60),
+        };
+        assert!(config.tasks() > config.workers);
+        for stm in all_engines(config.threads_needed()) {
+            let report = run_queue_async(&stm, &config);
+            assert_eq!(report.pushed, 240, "{}", report.stm);
+            assert_eq!(report.popped, 240, "{}", report.stm);
+            assert!(report.delivered_exactly_once, "{}", report.stm);
+            assert!(report.fifo, "{}", report.stm);
+            assert!(
+                report.stats.waker_parks() >= 1,
+                "{}: capacity 4 with 240 items must suspend at least once",
+                report.stm
+            );
+            assert_eq!(
+                report.stats.condvar_parks(),
+                0,
+                "{}: async tasks must never park an OS thread",
+                report.stm
+            );
+        }
+    }
+
+    #[test]
+    fn async_spin_mode_still_correct() {
+        let stm: Arc<dyn DynStm> =
+            Arc::new(Stm::new(ZStm::new(StmConfig::new(3))).with_parking(false));
+        let config = QueueAsyncConfig {
+            capacity: 2,
+            producers: 2,
+            consumers: 2,
+            workers: 2,
+            load: QueueLoad::Items(40),
+        };
+        let report = run_queue_async(&stm, &config);
+        assert!(report.correct(), "{report:?}");
+        assert_eq!(report.popped, 80);
+        assert_eq!(
+            report.stats.waker_parks(),
+            0,
+            "the spin shape never registers wakers"
+        );
+    }
+
+    #[test]
+    fn async_timed_mode_reports_throughput() {
+        let stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::new(StmConfig::new(3))));
+        let config = QueueAsyncConfig {
+            capacity: 8,
+            producers: 2,
+            consumers: 2,
+            workers: 2,
+            load: QueueLoad::Timed(Duration::from_millis(50)),
+        };
+        let report = run_queue_async(&stm, &config);
+        assert!(report.correct(), "{report:?}");
+        assert!(report.popped > 0);
+        assert!(report.ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn single_worker_multiplexes_a_producer_and_a_consumer() {
+        // The purest multiplexing shape: one OS thread, two tasks that
+        // must take turns through suspension (capacity 1 forces a park on
+        // every push/pop imbalance). A blocking implementation would
+        // deadlock here.
+        let stm: Arc<dyn DynStm> = Arc::new(Stm::new(Tl2Stm::new(StmConfig::new(2))));
+        let config = QueueAsyncConfig {
+            capacity: 1,
+            producers: 1,
+            consumers: 1,
+            workers: 1,
+            load: QueueLoad::Items(30),
+        };
+        let report = run_queue_async(&stm, &config);
+        assert!(report.correct(), "{report:?}");
+        assert_eq!(report.popped, 30);
+        assert!(report.stats.waker_parks() >= 1);
     }
 
     #[test]

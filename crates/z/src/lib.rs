@@ -268,6 +268,10 @@ impl<B: TimeBase> TmThread for ZThread<B> {
         &self.stats
     }
 
+    fn stats_mut(&mut self) -> Option<&mut TxStats> {
+        Some(&mut self.stats)
+    }
+
     fn take_stats(&mut self) -> TxStats {
         std::mem::take(&mut self.stats)
     }

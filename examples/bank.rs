@@ -45,11 +45,13 @@ fn main() {
         config.accounts, threads
     );
 
-    let lsa = Arc::new(LsaStm::new(StmConfig::new(threads + 1)));
+    // Engines are selected at runtime through the erased facade — the
+    // driver (run_bank) is compiled once, not once per engine.
+    let lsa: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::new(StmConfig::new(threads + 1))));
     let lsa_report = run_bank(&lsa, &config);
     print_report(&lsa_report);
 
-    let z = Arc::new(ZStm::new(StmConfig::new(threads + 1)));
+    let z: Arc<dyn DynStm> = Arc::new(Stm::new(ZStm::new(StmConfig::new(threads + 1))));
     let z_report = run_bank(&z, &config);
     print_report(&z_report);
 

@@ -60,12 +60,17 @@
 //! assert_eq!(rich, 100);
 //! ```
 //!
-//! The engine-level SPI (explicit [`TmThread`](core::TmThread) contexts
+//! Atomic blocks are also available as futures —
+//! [`Stm::atomically_async`](api::Stm::atomically_async) suspends the
+//! *task* (waker registration on the commit notifier) instead of parking
+//! the OS thread, driven by the offline executor in [`util::exec`] — and
+//! the engine-level SPI (explicit [`TmThread`](core::TmThread) contexts
 //! and the [`core::atomically`] spin-retry loop) remains available for
 //! harnesses that script logical threads deterministically.
 //!
-//! See `ARCHITECTURE.md` for the paper-to-code map and `README.md` for the
-//! reproduced figures.
+//! See `ARCHITECTURE.md` for how the crates fit together, `DESIGN.md`
+//! for the paper-to-code guide (per-STM algorithm/figure mapping), and
+//! `README.md` for the reproduced figures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

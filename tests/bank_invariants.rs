@@ -18,7 +18,7 @@ fn quick(threads: usize, mode: LongMode) -> BankConfig {
 #[test]
 fn lsa_bank_readonly_totals() {
     let config = quick(3, LongMode::ReadOnly);
-    let stm = Arc::new(LsaStm::new(StmConfig::new(config.threads + 1)));
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::new(StmConfig::new(config.threads + 1))));
     let report = run_bank(&stm, &config);
     assert!(report.conserved);
     assert!(report.transfer_commits > 0);
@@ -33,7 +33,7 @@ fn lsa_noreadsets_bank_readonly_totals() {
     let config = quick(3, LongMode::ReadOnly);
     let mut stm_config = StmConfig::new(config.threads + 1);
     stm_config.readonly_readsets(false);
-    let stm = Arc::new(LsaStm::new(stm_config));
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::new(stm_config)));
     let report = run_bank(&stm, &config);
     assert!(report.conserved);
     assert!(report.total_commits > 0);
@@ -43,7 +43,7 @@ fn lsa_noreadsets_bank_readonly_totals() {
 #[test]
 fn tl2_bank() {
     let config = quick(3, LongMode::ReadOnly);
-    let stm = Arc::new(Tl2Stm::new(StmConfig::new(config.threads + 1)));
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(Tl2Stm::new(StmConfig::new(config.threads + 1))));
     let report = run_bank(&stm, &config);
     assert!(report.conserved);
     assert!(report.transfer_commits > 0);
@@ -52,7 +52,9 @@ fn tl2_bank() {
 #[test]
 fn cs_bank() {
     let config = quick(3, LongMode::ReadOnly);
-    let stm = Arc::new(CsStm::with_vector_clock(StmConfig::new(config.threads + 1)));
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(CsStm::with_vector_clock(StmConfig::new(
+        config.threads + 1,
+    ))));
     let report = run_bank(&stm, &config);
     assert!(report.conserved);
     assert!(report.transfer_commits > 0);
@@ -61,7 +63,9 @@ fn cs_bank() {
 #[test]
 fn s_stm_bank() {
     let config = quick(3, LongMode::ReadOnly);
-    let stm = Arc::new(SStm::with_vector_clock(StmConfig::new(config.threads + 1)));
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(SStm::with_vector_clock(StmConfig::new(
+        config.threads + 1,
+    ))));
     let report = run_bank(&stm, &config);
     assert!(report.conserved);
     assert!(report.transfer_commits > 0);
@@ -70,7 +74,7 @@ fn s_stm_bank() {
 #[test]
 fn z_bank_readonly_totals() {
     let config = quick(3, LongMode::ReadOnly);
-    let stm = Arc::new(ZStm::new(StmConfig::new(config.threads + 1)));
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(ZStm::new(StmConfig::new(config.threads + 1))));
     let report = run_bank(&stm, &config);
     assert!(report.conserved);
     assert!(report.total_commits > 0);
@@ -79,7 +83,7 @@ fn z_bank_readonly_totals() {
 #[test]
 fn z_bank_update_totals_sustains() {
     let config = quick(3, LongMode::Update);
-    let stm = Arc::new(ZStm::new(StmConfig::new(config.threads + 1)));
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(ZStm::new(StmConfig::new(config.threads + 1))));
     let report = run_bank(&stm, &config);
     assert!(report.conserved);
     assert!(
@@ -94,7 +98,7 @@ fn lsa_bank_update_totals_conserves_even_when_starved() {
     // contention (Figure 7 shows ~0 throughput at scale) — but money must
     // be conserved regardless.
     let config = quick(3, LongMode::Update);
-    let stm = Arc::new(LsaStm::new(StmConfig::new(config.threads + 1)));
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::new(StmConfig::new(config.threads + 1))));
     let report = run_bank(&stm, &config);
     assert!(report.conserved);
     assert!(report.transfer_commits > 0);

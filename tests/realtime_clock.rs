@@ -20,10 +20,10 @@ fn bank(threads: usize) -> BankConfig {
 fn lsa_over_realtime_clock_no_skew() {
     let config = bank(3);
     let clock = SimRealTimeClock::new(config.threads + 1, 0, 11);
-    let stm = Arc::new(LsaStm::with_clock(
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::with_clock(
         StmConfig::new(config.threads + 1),
         clock,
-    ));
+    )));
     let report = run_bank(&stm, &config);
     assert!(report.conserved);
     assert!(report.transfer_commits > 0);
@@ -36,10 +36,10 @@ fn lsa_over_realtime_clock_with_skew_stays_correct() {
     // throughput (spurious aborts), never correctness.
     let config = bank(3);
     let clock = SimRealTimeClock::new(config.threads + 1, 100_000, 12);
-    let stm = Arc::new(LsaStm::with_clock(
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::with_clock(
         StmConfig::new(config.threads + 1),
         clock,
-    ));
+    )));
     let report = run_bank(&stm, &config);
     assert!(report.conserved);
     assert!(report.transfer_commits > 0);
@@ -49,7 +49,10 @@ fn lsa_over_realtime_clock_with_skew_stays_correct() {
 fn z_over_realtime_clock_with_skew_stays_correct() {
     let config = bank(3).with_update_totals();
     let clock = SimRealTimeClock::new(config.threads + 1, 50_000, 13);
-    let stm = Arc::new(ZStm::with_clock(StmConfig::new(config.threads + 1), clock));
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(ZStm::with_clock(
+        StmConfig::new(config.threads + 1),
+        clock,
+    )));
     let report = run_bank(&stm, &config);
     assert!(report.conserved);
     assert!(report.transfer_commits > 0);
@@ -59,10 +62,10 @@ fn z_over_realtime_clock_with_skew_stays_correct() {
 fn tl2_over_realtime_clock() {
     let config = bank(2);
     let clock = SimRealTimeClock::new(config.threads + 1, 10_000, 14);
-    let stm = Arc::new(Tl2Stm::with_clock(
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(Tl2Stm::with_clock(
         StmConfig::new(config.threads + 1),
         clock,
-    ));
+    )));
     let report = run_bank(&stm, &config);
     assert!(report.conserved);
 }
@@ -77,18 +80,18 @@ fn skew_costs_throughput_not_correctness() {
     config.duration = Duration::from_millis(300);
 
     let tight = SimRealTimeClock::new(config.threads + 1, 0, 21);
-    let stm = Arc::new(LsaStm::with_clock(
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::with_clock(
         StmConfig::new(config.threads + 1),
         tight,
-    ));
+    )));
     let tight_report = run_bank(&stm, &config);
 
     // 5 ms of skew is enormous relative to transaction length.
     let skewed = SimRealTimeClock::new(config.threads + 1, 5_000_000, 21);
-    let stm = Arc::new(LsaStm::with_clock(
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::with_clock(
         StmConfig::new(config.threads + 1),
         skewed,
-    ));
+    )));
     let skewed_report = run_bank(&stm, &config);
 
     assert!(tight_report.conserved && skewed_report.conserved);

@@ -63,10 +63,10 @@ fn quick_bank(threads: usize, mode: LongMode) -> BankConfig {
 #[test]
 fn sharded_lsa_bank_conserves() {
     let config = quick_bank(3, LongMode::ReadOnly);
-    let stm = Arc::new(LsaStm::with_clock(
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::with_clock(
         StmConfig::new(config.threads + 1),
         ShardedClock::new(config.threads + 1),
-    ));
+    )));
     let report = run_bank(&stm, &config);
     assert!(report.conserved, "sharded LSA must conserve money");
     assert!(report.total_commits > 0);
@@ -75,10 +75,10 @@ fn sharded_lsa_bank_conserves() {
 #[test]
 fn sharded_z_bank_update_totals_conserve() {
     let config = quick_bank(3, LongMode::Update);
-    let stm = Arc::new(ZStm::with_clock(
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(ZStm::with_clock(
         StmConfig::new(config.threads + 1),
         ShardedClock::new(config.threads + 1),
-    ));
+    )));
     let report = run_bank(&stm, &config);
     assert!(report.conserved, "sharded Z-STM must conserve money");
     assert!(
@@ -90,10 +90,10 @@ fn sharded_z_bank_update_totals_conserve() {
 #[test]
 fn sharded_tl2_bank_conserves() {
     let config = quick_bank(3, LongMode::ReadOnly);
-    let stm = Arc::new(Tl2Stm::with_clock(
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(Tl2Stm::with_clock(
         StmConfig::new(config.threads + 1),
         ShardedClock::new(config.threads + 1),
-    ));
+    )));
     let report = run_bank(&stm, &config);
     assert!(report.conserved, "sharded TL2 must conserve money");
 }
@@ -101,10 +101,10 @@ fn sharded_tl2_bank_conserves() {
 #[test]
 fn sharded_cs_bank_conserves() {
     let config = quick_bank(3, LongMode::ReadOnly);
-    let stm = Arc::new(CsStm::with_clock(
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(CsStm::with_clock(
         StmConfig::new(config.threads + 1),
         ShardedClock::new(config.threads + 1),
-    ));
+    )));
     let report = run_bank(&stm, &config);
     assert!(report.conserved, "sharded CS-STM must conserve money");
 }
