@@ -28,11 +28,17 @@
 //! * `read_hotspot` — the zero-mutex read fast path must beat the locked
 //!   (fast-paths-disabled) shape on the single-hot-variable stress, for
 //!   both LSA (the `ArcCell` publication path) and S-STM (the lock-free
-//!   visible-read path).
+//!   visible-read path);
+//! * `certify` — the online SSI certifier serializes every begin, read
+//!   and commit through one global mutex, so native CS-STM must out-run
+//!   its certified wrapper; the rule bounds how *cheap* certification is
+//!   allowed to look (a collapsing ratio means the native engine — not
+//!   the certifier — regressed).
 //!
 //! Exit status 0 when every rule passes, 1 otherwise — wire it after a
-//! short `repro_figures fig7 / map / clocks / read-hotspot` run in CI
-//! (every gated figure's fresh `.json` must exist under `--fresh`).
+//! short `repro_figures fig7 / map / clocks / read-hotspot / certify`
+//! run in CI (every gated figure's fresh `.json` must exist under
+//! `--fresh`).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -132,6 +138,18 @@ const RULES: &[Rule] = &[
         // suspension wins — and a suspension path that deadlocks or
         // thrashes collapses the ratio and fails.
         floor: |baseline| (baseline * 0.7).min(0.8),
+    },
+    Rule {
+        file: "certify",
+        numerator: "CS-STM",
+        denominator: "CS-STM (certified)",
+        claim: "native CS-STM out-runs its globally-serialized certified wrapper",
+        // The certifier's single cert mutex caps the certified engine at
+        // roughly single-threaded throughput, so the native/certified
+        // ratio is >= 1 on any machine and grows with cores. The hard 1.0
+        // floor holds everywhere; the baseline factor catches a native
+        // CS-STM throughput collapse hiding behind a still-true ">= 1".
+        floor: |baseline| (baseline * 0.5).max(1.0),
     },
     Rule {
         file: "map",

@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures and the ARCHITECTURE.md ablations.
 //!
 //! ```text
-//! repro-figures [fig6|fig7|map|queue|queue-async|clocks|read-hotspot|ablation-r|ablation-overhead|ablation-longfrac|contention|all]
+//! repro-figures [fig6|fig7|map|queue|queue-async|clocks|certify|read-hotspot|ablation-r|ablation-overhead|ablation-longfrac|contention|all]
 //!               [--duration-ms N] [--threads 1,2,8,16,32] [--out-dir DIR]
 //! ```
 //!
@@ -18,8 +18,8 @@ use std::time::Duration;
 use zstm_bench::json::{to_json, Figure};
 use zstm_bench::{
     ablation_contention, ablation_long_fraction, ablation_overhead, ablation_plausible_r,
-    clock_contention, figure6, figure7, figure_map, figure_queue, figure_queue_async, read_hotspot,
-    BankFigure, PAPER_THREADS,
+    clock_contention, figure6, figure7, figure_certify, figure_map, figure_queue,
+    figure_queue_async, read_hotspot, BankFigure, PAPER_THREADS,
 };
 use zstm_workload::{print_table, Series};
 
@@ -155,6 +155,15 @@ fn run_read_hotspot(options: &Options) {
     save(options, "read_hotspot", &series);
 }
 
+fn run_certify(options: &Options) {
+    println!("=== Certify: online SSI certification cost, native vs certified per engine ===");
+    let (throughput, aborts) = figure_certify(&options.threads, options.duration);
+    println!("{}", print_table("commits/s", &throughput));
+    println!("{}", print_table("abort ratio", &aborts));
+    save(options, "certify", &throughput);
+    save(options, "certify_aborts", &aborts);
+}
+
 fn run_clocks(options: &Options) {
     println!("=== Clocks: commit-stamp throughput, ScalarClock vs ShardedClock ===");
     let series = clock_contention(&options.threads, options.duration);
@@ -240,6 +249,7 @@ fn main() {
         "queue" => run_queue(&options),
         "queue-async" => run_queue_async(&options),
         "clocks" => run_clocks(&options),
+        "certify" => run_certify(&options),
         "read-hotspot" => run_read_hotspot(&options),
         "ablation-r" => run_ablation_r(&options),
         "ablation-overhead" => run_ablation_overhead(&options),
@@ -252,6 +262,7 @@ fn main() {
             run_queue(&options);
             run_queue_async(&options);
             run_clocks(&options);
+            run_certify(&options);
             run_read_hotspot(&options);
             run_ablation_r(&options);
             run_ablation_overhead(&options);
@@ -261,8 +272,8 @@ fn main() {
         other => {
             eprintln!(
                 "unknown command '{other}'; expected fig6 | fig7 | map | queue | queue-async | \
-                 clocks | read-hotspot | ablation-r | ablation-overhead | ablation-longfrac | \
-                 contention | all"
+                 clocks | certify | read-hotspot | ablation-r | ablation-overhead | \
+                 ablation-longfrac | contention | all"
             );
             std::process::exit(2);
         }

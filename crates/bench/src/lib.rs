@@ -17,6 +17,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use zstm_api::{DynStm, Stm};
+use zstm_certify::CertifiedFactory;
 use zstm_clock::{ScalarClock, ShardedClock, TimeBase};
 use zstm_core::{CmPolicy, StmConfig, TmFactory};
 use zstm_cs::CsStm;
@@ -368,6 +369,87 @@ pub fn read_hotspot(threads: &[usize], duration: Duration) -> Vec<Series> {
     series
 }
 
+/// Labels of [`figure_certify`]'s native/certified engine pairs, in
+/// order — shared with the `check_baselines` "certify" rule so the gate
+/// cannot drift from the sweep.
+pub const CERTIFY_LABELS: [&str; 10] = [
+    "LSA-STM",
+    "LSA-STM (certified)",
+    "TL2",
+    "TL2 (certified)",
+    "CS-STM",
+    "CS-STM (certified)",
+    "S-STM",
+    "S-STM (certified)",
+    "Z-STM",
+    "Z-STM (certified)",
+];
+
+/// **Certification figure**: what the online SSI certifier costs — the
+/// random-array workload on every engine, native vs wrapped in
+/// [`CertifiedFactory`], at moderate contention (rw conflicts must be
+/// plausible for certification aborts to appear at all). Returns
+/// (throughput series, abort-ratio series), one pair of entries per
+/// engine in [`CERTIFY_LABELS`] order. Native always out-runs certified
+/// (the certifier serializes commit processing globally); the gate only
+/// bounds *how much* the certified shape may cost relative to the
+/// committed baseline.
+pub fn figure_certify(threads: &[usize], duration: Duration) -> (Vec<Series>, Vec<Series>) {
+    let mut throughput: Vec<Series> = CERTIFY_LABELS.into_iter().map(Series::new).collect();
+    let mut aborts: Vec<Series> = CERTIFY_LABELS.into_iter().map(Series::new).collect();
+    for &n in threads {
+        let mut config = ArrayConfig::new(n);
+        config.objects = 24;
+        config.tx_size = 4;
+        config.write_pct = 50;
+        config.duration = duration;
+        let reports = [
+            run_array(&Arc::new(LsaStm::new(StmConfig::new(n))), &config),
+            run_array(
+                &Arc::new(CertifiedFactory::new(StmConfig::new(n), LsaStm::new)),
+                &config,
+            ),
+            run_array(&Arc::new(Tl2Stm::new(StmConfig::new(n))), &config),
+            run_array(
+                &Arc::new(CertifiedFactory::new(StmConfig::new(n), Tl2Stm::new)),
+                &config,
+            ),
+            run_array(
+                &Arc::new(CsStm::with_vector_clock(StmConfig::new(n))),
+                &config,
+            ),
+            run_array(
+                &Arc::new(CertifiedFactory::new(
+                    StmConfig::new(n),
+                    CsStm::with_vector_clock,
+                )),
+                &config,
+            ),
+            run_array(
+                &Arc::new(SStm::with_vector_clock(StmConfig::new(n))),
+                &config,
+            ),
+            run_array(
+                &Arc::new(CertifiedFactory::new(
+                    StmConfig::new(n),
+                    SStm::with_vector_clock,
+                )),
+                &config,
+            ),
+            run_array(&Arc::new(ZStm::new(StmConfig::new(n))), &config),
+            run_array(
+                &Arc::new(CertifiedFactory::new(StmConfig::new(n), ZStm::new)),
+                &config,
+            ),
+        ];
+        for ((t, a), report) in throughput.iter_mut().zip(aborts.iter_mut()).zip(reports) {
+            t.push(n as f64, report.commits_per_sec);
+            a.push(n as f64, report.abort_ratio());
+        }
+    }
+    (throughput, aborts)
+}
+
 /// Figure-legend labels of [`dyn_engines`]'s entries, in order — shared
 /// so series built from it cannot drift from the engine list.
 pub const DYN_ENGINE_LABELS: [&str; 5] = ["LSA-STM", "TL2", "CS-STM", "S-STM", "Z-STM"];
@@ -600,6 +682,20 @@ mod tests {
             assert!(
                 s.points.iter().all(|&(_, y)| y > 0.0),
                 "{}: async queue series must deliver items",
+                s.label
+            );
+        }
+    }
+
+    #[test]
+    fn figure_certify_smoke() {
+        let (throughput, aborts) = figure_certify(&[2], FAST);
+        assert_eq!(throughput.len(), CERTIFY_LABELS.len());
+        assert_eq!(aborts.len(), CERTIFY_LABELS.len());
+        for s in &throughput {
+            assert!(
+                s.points.iter().all(|&(_, y)| y > 0.0),
+                "{}: certified engines must still commit",
                 s.label
             );
         }

@@ -44,11 +44,21 @@ pub enum AbortReason {
     /// count blocked attempts (this reason) separately from conflict
     /// aborts.
     Retry,
+    /// Committing would complete an SSI dangerous structure detected by
+    /// the online certification layer (`zstm-certify`).
+    ///
+    /// Like [`AbortReason::Retry`] this reason is injected from *above*
+    /// the engine SPI: the `CertifiedFactory` wrapper tracks SIREAD-style
+    /// read marks plus `in_conflict`/`out_conflict` flags per transaction
+    /// and rolls the inner transaction back with this reason when its
+    /// commit would let a serializability cycle form. Engines never raise
+    /// it themselves; their native criteria stay untouched.
+    Certification,
 }
 
 impl AbortReason {
     /// All reasons, in a stable order used for statistics indexing.
-    pub const ALL: [AbortReason; 10] = [
+    pub const ALL: [AbortReason; 11] = [
         AbortReason::ReadValidation,
         AbortReason::WriteConflict,
         AbortReason::Killed,
@@ -59,6 +69,7 @@ impl AbortReason {
         AbortReason::PrecedenceCycle,
         AbortReason::Explicit,
         AbortReason::Retry,
+        AbortReason::Certification,
     ];
 
     /// Stable index of this reason within [`AbortReason::ALL`].
@@ -82,6 +93,7 @@ impl AbortReason {
             AbortReason::PrecedenceCycle => "precedence-cycle",
             AbortReason::Explicit => "explicit",
             AbortReason::Retry => "retry",
+            AbortReason::Certification => "certification",
         }
     }
 }

@@ -129,6 +129,15 @@ impl TxStats {
         self.aborts_for(AbortReason::Retry)
     }
 
+    /// Aborts injected by the online SSI certification layer
+    /// (`zstm-certify`) — i.e. attempts the engine's native criterion
+    /// would have committed but full serializability certification
+    /// rejected. The certify benchmark reports this count separately so
+    /// the *price of serializability* is attributable.
+    pub fn certification_aborts(&self) -> u64 {
+        self.aborts_for(AbortReason::Certification)
+    }
+
     /// Aborted attempts that were *not* blocking retries: conflicts,
     /// kills, snapshot failures — and also voluntary
     /// [`AbortReason::Explicit`] aborts (user-requested aborts, rolled
@@ -291,6 +300,16 @@ mod tests {
         assert_eq!(merged.waker_parks(), 2);
         let summed: TxStats = [stats.clone(), stats].into_iter().sum();
         assert_eq!(summed.total_parks(), 6);
+    }
+
+    #[test]
+    fn certification_aborts_counted_separately() {
+        let mut stats = TxStats::new();
+        stats.record_abort(TxKind::Short, AbortReason::Certification);
+        stats.record_abort(TxKind::Short, AbortReason::WriteConflict);
+        assert_eq!(stats.certification_aborts(), 1);
+        assert_eq!(stats.conflict_aborts(), 2);
+        assert!(format!("{stats:?}").contains("certification"));
     }
 
     #[test]

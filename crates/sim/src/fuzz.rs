@@ -1,0 +1,698 @@
+//! Adversarial schedule fuzzing with auto-promoted regression tests.
+//!
+//! This module closes the loop the repository's property tests leave
+//! open: it generates adversarial scripted schedules (random ones plus
+//! write-skew-shaped ones that specifically exercise the SSI dangerous
+//! structure), replays each on **all five engines** both natively and
+//! wrapped in [`zstm_certify::CertifiedFactory`], checks every recorded
+//! history with the `zstm-history` checkers, shrinks any violation with
+//! [`minimize_schedule`](crate::minimize_schedule()), and renders the
+//! shrunk schedule as a ready-to-commit Rust regression test for
+//! `tests/corpus/` (see `tests/corpus/README.md` for the promotion
+//! workflow).
+//!
+//! ```
+//! use zstm_sim::fuzz::{fuzz_schedules, FuzzOptions};
+//!
+//! let report = fuzz_schedules(&FuzzOptions {
+//!     seed: 7,
+//!     max_schedules: 4,
+//!     ..FuzzOptions::default()
+//! });
+//! // 4 schedule rounds x 5 engines x {native, certified}.
+//! assert_eq!(report.runs, 4 * 5 * 2);
+//! assert!(report.counterexamples.is_empty(), "engines are believed sound");
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use zstm_certify::CertifiedFactory;
+use zstm_core::{EventSink, StmConfig, TxKind};
+use zstm_cs::CsStm;
+use zstm_history::{
+    check_causal_serializable, check_linearizable, check_serializable, check_z_linearizable,
+    History, Recorder,
+};
+use zstm_lsa::LsaStm;
+use zstm_sstm::SStm;
+use zstm_tl2::Tl2Stm;
+use zstm_util::XorShift64;
+use zstm_z::ZStm;
+
+use crate::{minimize_schedule, run_schedule, Op, Outcome, Schedule, TxScript};
+
+/// One of the five paper engines, addressable by value so the fuzzer can
+/// iterate over the full matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// LSA-STM (multi-version lazy snapshot; linearizable).
+    Lsa,
+    /// TL2-style single-version STM (linearizable).
+    Tl2,
+    /// CS-STM over vector clocks (causally serializable only — the one
+    /// engine whose *native* criterion admits write skew).
+    Cs,
+    /// S-STM with a precedence graph (serializable).
+    S,
+    /// Z-STM, the paper's contribution (serializable + z-linearizable).
+    Z,
+}
+
+impl Engine {
+    /// Every engine, in a fixed order.
+    pub const ALL: [Engine; 5] = [Engine::Lsa, Engine::Tl2, Engine::Cs, Engine::S, Engine::Z];
+
+    /// Human-readable name (matches the factory's `name()`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Lsa => "lsa",
+            Engine::Tl2 => "tl2",
+            Engine::Cs => "cs",
+            Engine::S => "s-stm",
+            Engine::Z => "z-stm",
+        }
+    }
+
+    /// Identifier-safe name for generated test functions and file names.
+    pub fn ident(self) -> &'static str {
+        match self {
+            Engine::Lsa => "lsa",
+            Engine::Tl2 => "tl2",
+            Engine::Cs => "cs",
+            Engine::S => "s_stm",
+            Engine::Z => "z_stm",
+        }
+    }
+
+    /// Whether scripted [`TxKind::Long`] transactions are meaningful for
+    /// this engine (mirrors `tests/random_schedules.rs`: only LSA and
+    /// Z-STM give long transactions a distinct code path).
+    pub fn allows_long(self) -> bool {
+        matches!(self, Engine::Lsa | Engine::Z)
+    }
+
+    /// Checks `history` against the engine's **native** claimed
+    /// criterion from the paper.
+    pub fn check_native(self, history: &History) -> Result<(), String> {
+        let first = match self {
+            Engine::Lsa | Engine::Tl2 => check_linearizable(history),
+            Engine::Cs => check_causal_serializable(history),
+            Engine::S | Engine::Z => check_serializable(history),
+        };
+        first.map_err(|v| v.to_string())?;
+        if self == Engine::Z {
+            check_z_linearizable(history).map_err(|v| v.to_string())?;
+        }
+        Ok(())
+    }
+}
+
+/// Replays `schedule` on `engine` — natively or wrapped in the SSI
+/// certifier — with a [`Recorder`] attached, and returns the driver
+/// outcome together with the recorded history.
+pub fn run_recorded(engine: Engine, certified: bool, schedule: &Schedule) -> (Outcome, History) {
+    let recorder = Arc::new(Recorder::new());
+    let mut config = StmConfig::new(schedule.threads.len().max(2));
+    config.event_sink(Arc::clone(&recorder) as Arc<dyn EventSink>);
+    let outcome = match (engine, certified) {
+        (Engine::Lsa, false) => run_schedule(&Arc::new(LsaStm::new(config)), schedule),
+        (Engine::Tl2, false) => run_schedule(&Arc::new(Tl2Stm::new(config)), schedule),
+        (Engine::Cs, false) => run_schedule(&Arc::new(CsStm::with_vector_clock(config)), schedule),
+        (Engine::S, false) => run_schedule(&Arc::new(SStm::with_vector_clock(config)), schedule),
+        (Engine::Z, false) => run_schedule(&Arc::new(ZStm::new(config)), schedule),
+        (Engine::Lsa, true) => run_schedule(
+            &Arc::new(CertifiedFactory::new(config, LsaStm::new)),
+            schedule,
+        ),
+        (Engine::Tl2, true) => run_schedule(
+            &Arc::new(CertifiedFactory::new(config, Tl2Stm::new)),
+            schedule,
+        ),
+        (Engine::Cs, true) => run_schedule(
+            &Arc::new(CertifiedFactory::new(config, CsStm::with_vector_clock)),
+            schedule,
+        ),
+        (Engine::S, true) => run_schedule(
+            &Arc::new(CertifiedFactory::new(config, SStm::with_vector_clock)),
+            schedule,
+        ),
+        (Engine::Z, true) => run_schedule(
+            &Arc::new(CertifiedFactory::new(config, ZStm::new)),
+            schedule,
+        ),
+    };
+    (outcome, recorder.history())
+}
+
+/// Checks a recorded history: dirty reads are always violations; beyond
+/// that, certified runs must be **serializable** (the certifier's
+/// guarantee, regardless of engine) while native runs must satisfy the
+/// engine's own criterion. Returns a description of the first violation
+/// found, or `None` if the history is clean.
+pub fn describe_violation(engine: Engine, certified: bool, history: &History) -> Option<String> {
+    if let Some((tx, obj, version)) = history.find_dirty_read() {
+        return Some(format!(
+            "dirty read: {tx:?} observed uncommitted {obj:?} version {version:?}"
+        ));
+    }
+    let checked = if certified {
+        check_serializable(history).map_err(|v| v.to_string())
+    } else {
+        engine.check_native(history)
+    };
+    checked.err()
+}
+
+/// Generates a random schedule with the same shape envelope as the
+/// proptest generators in `tests/random_schedules.rs`: 2–4 objects, 2–3
+/// threads of 1–3 transactions of 1–4 operations each, long
+/// transactions with probability 1/5 when `allow_long`, and a random
+/// interleaving prefix (the driver finishes leftover steps round-robin).
+pub fn random_schedule(rng: &mut XorShift64, allow_long: bool) -> Schedule {
+    let objects = 2 + rng.next_range(3) as usize;
+    let nthreads = 2 + rng.next_range(2) as usize;
+    let threads = (0..nthreads)
+        .map(|_| {
+            let ntxs = 1 + rng.next_range(3) as usize;
+            (0..ntxs)
+                .map(|_| {
+                    let kind = if allow_long && rng.next_range(5) == 0 {
+                        TxKind::Long
+                    } else {
+                        TxKind::Short
+                    };
+                    let nops = 1 + rng.next_range(4) as usize;
+                    let ops = (0..nops)
+                        .map(|_| {
+                            let obj = rng.next_range(objects as u64) as usize;
+                            if rng.next_range(2) == 0 {
+                                Op::Read(obj)
+                            } else {
+                                Op::Write(obj)
+                            }
+                        })
+                        .collect();
+                    TxScript { kind, ops }
+                })
+                .collect()
+        })
+        .collect();
+    let len = rng.next_range(40) as usize;
+    let interleaving = (0..len)
+        .map(|_| rng.next_range(nthreads as u64) as usize)
+        .collect();
+    Schedule {
+        objects,
+        threads,
+        interleaving,
+    }
+}
+
+/// Generates a write-skew-shaped schedule: `n` threads over `n`
+/// objects, each transaction reading **every** object and then writing
+/// its right neighbour `(t + 1) % n`. Each pair of neighbours forms an
+/// rw-antidependency in both directions — the Cahill dangerous
+/// structure — whenever their footprints overlap in time, which a
+/// random full-length interleaving makes likely.
+pub fn write_skew_schedule(rng: &mut XorShift64) -> Schedule {
+    let nthreads = 2 + rng.next_range(2) as usize;
+    let objects = nthreads;
+    let threads: Vec<Vec<TxScript>> = (0..nthreads)
+        .map(|t| {
+            let mut ops: Vec<Op> = (0..objects).map(Op::Read).collect();
+            ops.push(Op::Write((t + 1) % objects));
+            vec![TxScript {
+                kind: TxKind::Short,
+                ops,
+            }]
+        })
+        .collect();
+    // A shuffled bag with each thread repeated once per step fully
+    // determines the interleaving (no round-robin tail left over).
+    let mut interleaving = Vec::new();
+    for (t, scripts) in threads.iter().enumerate() {
+        let steps: usize = scripts.iter().map(|tx| tx.ops.len()).sum();
+        interleaving.extend(std::iter::repeat_n(t, steps));
+    }
+    for i in (1..interleaving.len()).rev() {
+        let j = rng.next_range(i as u64 + 1) as usize;
+        interleaving.swap(i, j);
+    }
+    Schedule {
+        objects,
+        threads,
+        interleaving,
+    }
+}
+
+/// Options for [`fuzz_schedules`].
+#[derive(Clone, Debug)]
+pub struct FuzzOptions {
+    /// Seed for the deterministic schedule generator.
+    pub seed: u64,
+    /// Maximum number of schedule rounds (each round runs every engine
+    /// natively and certified).
+    pub max_schedules: usize,
+    /// Wall-clock budget; the fuzzer stops starting new rounds once it
+    /// is exhausted.
+    pub time_budget: Duration,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            seed: 0x5EED_F022,
+            max_schedules: 64,
+            time_budget: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A shrunk, reproducible consistency violation found by the fuzzer.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Engine the violation was observed on.
+    pub engine: Engine,
+    /// Whether the engine was wrapped in the SSI certifier.
+    pub certified: bool,
+    /// Checker message from the original (pre-shrink) failure.
+    pub violation: String,
+    /// The minimized schedule that still reproduces the violation.
+    pub schedule: Schedule,
+    /// Ready-to-commit Rust source for `tests/corpus/` (see
+    /// [`regression_test_source`]).
+    pub regression_test: String,
+}
+
+impl Counterexample {
+    /// Identifier-safe name, used for both the test function and the
+    /// suggested corpus file name.
+    pub fn name(&self) -> String {
+        let mode = if self.certified {
+            "certified"
+        } else {
+            "native"
+        };
+        format!("fuzz_{}_{}", self.engine.ident(), mode)
+    }
+}
+
+/// Aggregate result of a fuzzing run.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Schedule rounds generated.
+    pub schedules: usize,
+    /// Individual engine runs (rounds × engines × {native, certified}).
+    pub runs: usize,
+    /// Transactions committed across all certified runs.
+    pub certified_commits: usize,
+    /// Aborts injected by the certifier across all certified runs.
+    pub certification_aborts: u64,
+    /// Shrunk violations (empty on a healthy tree).
+    pub counterexamples: Vec<Counterexample>,
+}
+
+/// Runs the adversarial fuzzer: generates schedules (every third round
+/// is write-skew-shaped, the rest random), replays each on all five
+/// engines natively and under [`CertifiedFactory`], checks every
+/// history, and shrinks + promotes any violation via
+/// [`minimize_schedule`](crate::minimize_schedule()) and
+/// [`regression_test_source`]. Fully deterministic for a given seed
+/// (modulo the wall-clock budget).
+pub fn fuzz_schedules(options: &FuzzOptions) -> FuzzReport {
+    let mut rng = XorShift64::new(options.seed);
+    let start = Instant::now();
+    let mut report = FuzzReport::default();
+    while report.schedules < options.max_schedules && start.elapsed() < options.time_budget {
+        let round = report.schedules;
+        report.schedules += 1;
+        let skewed = round % 3 == 2;
+        let base = if skewed {
+            Some(write_skew_schedule(&mut rng))
+        } else {
+            None
+        };
+        for engine in Engine::ALL {
+            let schedule = match &base {
+                Some(s) => s.clone(),
+                None => random_schedule(&mut rng, engine.allows_long()),
+            };
+            for certified in [false, true] {
+                let (outcome, history) = run_recorded(engine, certified, &schedule);
+                report.runs += 1;
+                if certified {
+                    report.certified_commits += outcome.committed;
+                    report.certification_aborts += outcome.stats.certification_aborts();
+                }
+                if let Some(violation) = describe_violation(engine, certified, &history) {
+                    report
+                        .counterexamples
+                        .push(promote(engine, certified, violation, &schedule));
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Shrinks a violating schedule and renders it as a regression test.
+fn promote(
+    engine: Engine,
+    certified: bool,
+    violation: String,
+    schedule: &Schedule,
+) -> Counterexample {
+    let mut fails = |candidate: &Schedule| {
+        let (_, history) = run_recorded(engine, certified, candidate);
+        describe_violation(engine, certified, &history).is_some()
+    };
+    let shrunk = minimize_schedule(schedule, &mut fails);
+    let mode = if certified { "certified" } else { "native" };
+    let name = format!("fuzz_{}_{}", engine.ident(), mode);
+    let regression_test = regression_test_source(&name, engine, certified, &violation, &shrunk);
+    Counterexample {
+        engine,
+        certified,
+        violation,
+        schedule: shrunk,
+        regression_test,
+    }
+}
+
+/// Finds the minimal *divergence witness* for a schedule: the native
+/// engine commits a non-serializable history while the certified
+/// wrapper keeps the history serializable by injecting at least one
+/// certification abort. Returns `None` if `schedule` is not such a
+/// witness. This is the promotion path for `tests/corpus/` seeds that
+/// document what certification buys on a weaker engine (only CS-STM is
+/// natively weaker than serializable, so in practice `engine` is
+/// [`Engine::Cs`]).
+pub fn shrunk_divergence(engine: Engine, schedule: &Schedule) -> Option<Schedule> {
+    let mut diverges = |candidate: &Schedule| {
+        let (_, native) = run_recorded(engine, false, candidate);
+        if check_serializable(&native).is_ok() {
+            return false;
+        }
+        let (outcome, certified) = run_recorded(engine, true, candidate);
+        check_serializable(&certified).is_ok() && outcome.stats.certification_aborts() >= 1
+    };
+    if !diverges(schedule) {
+        return None;
+    }
+    Some(minimize_schedule(schedule, &mut diverges))
+}
+
+fn op_literal(op: &Op) -> String {
+    match op {
+        Op::Read(i) => format!("Op::Read({i})"),
+        Op::Write(i) => format!("Op::Write({i})"),
+        Op::ReadRetry(i) => format!("Op::ReadRetry({i})"),
+    }
+}
+
+/// Renders `schedule` as a Rust expression (used verbatim inside the
+/// generated regression tests).
+pub fn schedule_literal(schedule: &Schedule) -> String {
+    let mut s = String::new();
+    s.push_str("Schedule {\n");
+    s.push_str(&format!("        objects: {},\n", schedule.objects));
+    s.push_str("        threads: vec![\n");
+    for thread in &schedule.threads {
+        s.push_str("            vec![\n");
+        for tx in thread {
+            let ops: Vec<String> = tx.ops.iter().map(op_literal).collect();
+            s.push_str("                TxScript {\n");
+            s.push_str(&format!(
+                "                    kind: TxKind::{:?},\n",
+                tx.kind
+            ));
+            s.push_str(&format!(
+                "                    ops: vec![{}],\n",
+                ops.join(", ")
+            ));
+            s.push_str("                },\n");
+        }
+        s.push_str("            ],\n");
+    }
+    s.push_str("        ],\n");
+    let steps: Vec<String> = schedule
+        .interleaving
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    s.push_str(&format!(
+        "        interleaving: vec![{}],\n",
+        steps.join(", ")
+    ));
+    s.push_str("    }");
+    s
+}
+
+/// Renders a shrunk counterexample as a complete, ready-to-commit Rust
+/// test module for `tests/corpus/`: it replays the schedule on the same
+/// engine/wrapper and asserts the criterion that failed when the
+/// counterexample was found, so once the underlying bug is fixed the
+/// file pins the fix forever.
+pub fn regression_test_source(
+    name: &str,
+    engine: Engine,
+    certified: bool,
+    violation: &str,
+    schedule: &Schedule,
+) -> String {
+    let factory = match (engine, certified) {
+        (Engine::Lsa, false) => "LsaStm::new(config)".to_string(),
+        (Engine::Tl2, false) => "Tl2Stm::new(config)".to_string(),
+        (Engine::Cs, false) => "CsStm::with_vector_clock(config)".to_string(),
+        (Engine::S, false) => "SStm::with_vector_clock(config)".to_string(),
+        (Engine::Z, false) => "ZStm::new(config)".to_string(),
+        (Engine::Lsa, true) => "CertifiedFactory::new(config, LsaStm::new)".to_string(),
+        (Engine::Tl2, true) => "CertifiedFactory::new(config, Tl2Stm::new)".to_string(),
+        (Engine::Cs, true) => "CertifiedFactory::new(config, CsStm::with_vector_clock)".to_string(),
+        (Engine::S, true) => "CertifiedFactory::new(config, SStm::with_vector_clock)".to_string(),
+        (Engine::Z, true) => "CertifiedFactory::new(config, ZStm::new)".to_string(),
+    };
+    let (checker_imports, checks) = if certified {
+        (
+            "check_serializable",
+            vec![
+                "check_serializable(&history).expect(\"certified history must be serializable\");"
+                    .to_string(),
+            ],
+        )
+    } else {
+        match engine {
+            Engine::Lsa | Engine::Tl2 => (
+                "check_linearizable",
+                vec!["check_linearizable(&history).expect(\"history must be linearizable\");"
+                    .to_string()],
+            ),
+            Engine::Cs => (
+                "check_causal_serializable",
+                vec![
+                    "check_causal_serializable(&history).expect(\"history must be causally serializable\");"
+                        .to_string(),
+                ],
+            ),
+            Engine::S => (
+                "check_serializable",
+                vec!["check_serializable(&history).expect(\"history must be serializable\");"
+                    .to_string()],
+            ),
+            Engine::Z => (
+                "check_serializable, check_z_linearizable",
+                vec![
+                    "check_serializable(&history).expect(\"history must be serializable\");"
+                        .to_string(),
+                    "check_z_linearizable(&history).expect(\"history must be z-linearizable\");"
+                        .to_string(),
+                ],
+            ),
+        }
+    };
+    let mode = if certified {
+        "certified (SSI-wrapped)"
+    } else {
+        "native"
+    };
+    let mut s = String::new();
+    s.push_str(&format!(
+        "//! Auto-promoted fuzz counterexample: {mode} {} violated its\n",
+        engine.name()
+    ));
+    s.push_str("//! criterion on this schedule when the file was generated.\n");
+    s.push_str("//!\n");
+    for line in violation.lines() {
+        s.push_str(&format!("//! Violation: {line}\n"));
+    }
+    s.push_str("//!\n");
+    s.push_str("//! Promotion workflow: see `tests/corpus/README.md`.\n");
+    s.push('\n');
+    s.push_str("use std::sync::Arc;\n\n");
+    s.push_str("use zstm::core::EventSink;\n");
+    s.push_str(&format!(
+        "use zstm::history::{{{checker_imports}, Recorder}};\n"
+    ));
+    s.push_str("use zstm::prelude::*;\n");
+    s.push_str("use zstm_sim::{run_schedule, Op, Schedule, TxScript};\n\n");
+    s.push_str("fn schedule() -> Schedule {\n");
+    s.push_str(&format!("    {}\n", schedule_literal(schedule)));
+    s.push_str("}\n\n");
+    s.push_str("#[test]\n");
+    s.push_str(&format!("fn {name}() {{\n"));
+    s.push_str("    let schedule = schedule();\n");
+    s.push_str("    let recorder = Arc::new(Recorder::new());\n");
+    s.push_str("    let mut config = StmConfig::new(schedule.threads.len().max(2));\n");
+    s.push_str("    config.event_sink(Arc::clone(&recorder) as Arc<dyn EventSink>);\n");
+    s.push_str(&format!("    let stm = Arc::new({factory});\n"));
+    s.push_str("    let _ = run_schedule(&stm, &schedule);\n");
+    s.push_str("    let history = recorder.history();\n");
+    s.push_str("    assert!(history.find_dirty_read().is_none(), \"dirty read\");\n");
+    for check in checks {
+        s.push_str(&format!("    {check}\n"));
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic two-transaction write skew, deliberately bloated with
+    /// redundant reads and a fully explicit interleaving so the shrinker
+    /// has work to do.
+    fn bloated_write_skew() -> Schedule {
+        Schedule {
+            objects: 2,
+            threads: vec![
+                vec![TxScript {
+                    kind: TxKind::Short,
+                    ops: vec![Op::Read(0), Op::Read(1), Op::Write(0)],
+                }],
+                vec![TxScript {
+                    kind: TxKind::Short,
+                    ops: vec![Op::Read(0), Op::Read(1), Op::Write(1)],
+                }],
+            ],
+            interleaving: vec![0, 1, 0, 1, 0, 1],
+        }
+    }
+
+    /// The minimal divergence witness the shrinker reduces
+    /// [`bloated_write_skew`] to; `tests/corpus/write_skew_cs.rs` pins
+    /// the same schedule.
+    fn classic_write_skew_core() -> Schedule {
+        Schedule {
+            objects: 2,
+            threads: vec![
+                vec![TxScript {
+                    kind: TxKind::Short,
+                    ops: vec![Op::Read(1), Op::Write(0)],
+                }],
+                vec![TxScript {
+                    kind: TxKind::Short,
+                    ops: vec![Op::Read(0), Op::Write(1)],
+                }],
+            ],
+            interleaving: vec![],
+        }
+    }
+
+    #[test]
+    fn cs_native_admits_write_skew_certified_rejects_it() {
+        let schedule = bloated_write_skew();
+        let (native_outcome, native_history) = run_recorded(Engine::Cs, false, &schedule);
+        assert_eq!(native_outcome.committed, 2, "CS commits both natively");
+        assert!(check_serializable(&native_history).is_err(), "write skew");
+        assert!(check_causal_serializable(&native_history).is_ok());
+
+        let (cert_outcome, cert_history) = run_recorded(Engine::Cs, true, &schedule);
+        assert!(check_serializable(&cert_history).is_ok());
+        assert_eq!(cert_outcome.stats.certification_aborts(), 1);
+    }
+
+    #[test]
+    fn minimize_is_idempotent_and_output_still_fails() {
+        let schedule = bloated_write_skew();
+        let mut fails = |candidate: &Schedule| {
+            let (_, history) = run_recorded(Engine::Cs, false, candidate);
+            check_serializable(&history).is_err()
+        };
+        assert!(fails(&schedule), "seed must fail the predicate");
+        let once = minimize_schedule(&schedule, &mut fails);
+        assert!(fails(&once), "shrunk schedule must still fail");
+        let twice = minimize_schedule(&once, &mut fails);
+        assert_eq!(once, twice, "minimize_schedule must be idempotent");
+        assert!(
+            once.total_steps() <= schedule.total_steps(),
+            "shrinking must not grow the schedule"
+        );
+    }
+
+    #[test]
+    fn write_skew_divergence_shrinks_to_classic_core() {
+        let shrunk =
+            shrunk_divergence(Engine::Cs, &bloated_write_skew()).expect("divergence witness");
+        assert_eq!(shrunk, classic_write_skew_core());
+    }
+
+    #[test]
+    fn benign_schedule_is_not_a_divergence_witness() {
+        // Disjoint key sets: serializable natively, nothing to diverge on.
+        let schedule = Schedule {
+            objects: 2,
+            threads: vec![
+                vec![TxScript {
+                    kind: TxKind::Short,
+                    ops: vec![Op::Read(0), Op::Write(0)],
+                }],
+                vec![TxScript {
+                    kind: TxKind::Short,
+                    ops: vec![Op::Read(1), Op::Write(1)],
+                }],
+            ],
+            interleaving: vec![0, 1, 0, 1],
+        };
+        assert!(shrunk_divergence(Engine::Cs, &schedule).is_none());
+    }
+
+    #[test]
+    fn regression_source_replays_standalone() {
+        // The emitted source must at least contain the schedule literal,
+        // the right factory and the right checker.
+        let schedule = classic_write_skew_core();
+        let source =
+            regression_test_source("fuzz_cs_native", Engine::Cs, false, "write skew", &schedule);
+        assert!(source.contains("fn fuzz_cs_native()"));
+        assert!(source.contains("CsStm::with_vector_clock(config)"));
+        assert!(source.contains("check_causal_serializable"));
+        assert!(source.contains("Op::Read(1), Op::Write(0)"));
+        let certified =
+            regression_test_source("fuzz_cs_certified", Engine::Cs, true, "cycle", &schedule);
+        assert!(certified.contains("CertifiedFactory::new(config, CsStm::with_vector_clock)"));
+        assert!(certified.contains("check_serializable"));
+    }
+
+    #[test]
+    fn fuzz_smoke_finds_no_violations_and_exercises_certifier() {
+        let report = fuzz_schedules(&FuzzOptions {
+            seed: 1,
+            max_schedules: 9,
+            time_budget: Duration::from_secs(60),
+        });
+        assert_eq!(report.schedules, 9);
+        assert_eq!(report.runs, 9 * Engine::ALL.len() * 2);
+        assert!(
+            report.counterexamples.is_empty(),
+            "unexpected violations: {:?}",
+            report
+                .counterexamples
+                .iter()
+                .map(|c| (c.engine, c.certified, c.violation.clone()))
+                .collect::<Vec<_>>()
+        );
+        assert!(report.certified_commits > 0, "certified runs must commit");
+    }
+}

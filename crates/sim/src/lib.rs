@@ -55,6 +55,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz;
+
 use std::sync::Arc;
 
 use std::sync::mpsc::{sync_channel as bounded, Receiver, SyncSender as Sender};
@@ -78,7 +80,7 @@ pub enum Op {
 }
 
 /// One scripted transaction.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TxScript {
     /// Short or long.
     pub kind: TxKind,
@@ -88,7 +90,7 @@ pub struct TxScript {
 }
 
 /// A complete scripted execution.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Schedule {
     /// Size of the shared object pool (objects are `i64` variables).
     pub objects: usize,

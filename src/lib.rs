@@ -121,6 +121,12 @@ pub mod z {
     pub use zstm_z::*;
 }
 
+/// Online SSI certification: wrap any engine in a commit-time
+/// serializability certifier. Re-export of [`zstm_certify`].
+pub mod certify {
+    pub use zstm_certify::*;
+}
+
 /// History recording and consistency checkers. Re-export of
 /// [`zstm_history`].
 pub mod history {
@@ -140,6 +146,7 @@ pub mod util {
 /// The items almost every user needs.
 pub mod prelude {
     pub use zstm_api::{DynStm, DynTx, DynVar, Stm, TVar, Tx};
+    pub use zstm_certify::CertifiedFactory;
     pub use zstm_clock::{RevClock, ScalarClock, ShardedClock, SimRealTimeClock, TimeBase};
     pub use zstm_core::{
         atomically, Abort, AbortReason, CmPolicy, RetryExhausted, RetryPolicy, StmConfig,

@@ -173,6 +173,28 @@ fn z_stm_histories_are_z_linearizable_and_serializable() {
     }
 }
 
+/// Every engine wrapped in the online SSI certifier
+/// ([`CertifiedFactory`]) must produce **serializable** histories —
+/// including CS-STM, whose native guarantee (causal serializability) is
+/// strictly weaker. The certifier injects commit-time aborts through the
+/// normal `AbortReason` path, so the `atomically` retry loop absorbs
+/// them transparently.
+#[test]
+fn certified_histories_are_serializable() {
+    fn certified<F: TmFactory>(build: impl FnOnce(StmConfig) -> F, seed: u64, label: &str) {
+        let recorder = Arc::new(Recorder::new());
+        let stm = Arc::new(CertifiedFactory::new(recorded_config(&recorder), build));
+        let history = run_workload(stm, Arc::clone(&recorder), seed);
+        no_dirty_reads(&history);
+        check_serializable(&history).unwrap_or_else(|v| panic!("{label}: {v}"));
+    }
+    certified(LsaStm::new, 21, "certified-lsa");
+    certified(Tl2Stm::new, 22, "certified-tl2");
+    certified(CsStm::with_vector_clock, 23, "certified-cs");
+    certified(SStm::with_vector_clock, 24, "certified-s-stm");
+    certified(ZStm::new, 25, "certified-z-stm");
+}
+
 /// The hierarchy of criteria on real histories: every linearizable history
 /// is serializable and causally serializable.
 #[test]

@@ -1,0 +1,12 @@
+//! Harness for the promoted-counterexample corpus.
+//!
+//! Files under `tests/corpus/` are not discovered automatically by
+//! cargo (only top-level `tests/*.rs` are test targets), so each
+//! promoted schedule is included here as a `#[path]` module. To promote
+//! a counterexample produced by the fuzzer (`cargo run --release -p
+//! zstm-sim --bin fuzz_schedules`), copy the generated file into
+//! `tests/corpus/` and add one line below — see `tests/corpus/README.md`
+//! for the full workflow.
+
+#[path = "corpus/write_skew_cs.rs"]
+mod write_skew_cs;

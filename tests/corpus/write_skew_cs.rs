@@ -1,0 +1,71 @@
+//! Seed corpus entry: the classic two-transaction write skew, shrunk by
+//! `zstm_sim::fuzz::shrunk_divergence` (the
+//! `write_skew_divergence_shrinks_to_classic_core` unit test in
+//! `crates/sim/src/fuzz.rs` pins this exact schedule as the shrinker's
+//! output).
+//!
+//! This is a *divergence witness* rather than a bug regression: CS-STM's
+//! native criterion (causal serializability) commits both transactions
+//! even though no serial order exists, and the SSI-certified wrapper
+//! restores serializability by aborting exactly one of them. The file
+//! documents — permanently and executably — what certification buys on
+//! the one engine that is natively weaker than serializable.
+//!
+//! Promotion workflow: see `tests/corpus/README.md`.
+
+use std::sync::Arc;
+
+use zstm::core::EventSink;
+use zstm::history::{check_causal_serializable, check_serializable, Recorder};
+use zstm::prelude::*;
+use zstm_sim::{run_schedule, Op, Schedule, TxScript};
+
+fn schedule() -> Schedule {
+    Schedule {
+        objects: 2,
+        threads: vec![
+            vec![TxScript {
+                kind: TxKind::Short,
+                ops: vec![Op::Read(1), Op::Write(0)],
+            }],
+            vec![TxScript {
+                kind: TxKind::Short,
+                ops: vec![Op::Read(0), Op::Write(1)],
+            }],
+        ],
+        interleaving: vec![],
+    }
+}
+
+#[test]
+fn write_skew_cs_native_commits_nonserializably() {
+    let schedule = schedule();
+    let recorder = Arc::new(Recorder::new());
+    let mut config = StmConfig::new(schedule.threads.len().max(2));
+    config.event_sink(Arc::clone(&recorder) as Arc<dyn EventSink>);
+    let stm = Arc::new(CsStm::with_vector_clock(config));
+    let outcome = run_schedule(&stm, &schedule);
+    let history = recorder.history();
+    assert!(history.find_dirty_read().is_none(), "dirty read");
+    assert_eq!(outcome.committed, 2, "CS-STM commits both natively");
+    check_causal_serializable(&history).expect("CS-STM's own criterion holds");
+    assert!(
+        check_serializable(&history).is_err(),
+        "the write skew must be visible in the native history"
+    );
+}
+
+#[test]
+fn write_skew_cs_certified_restores_serializability() {
+    let schedule = schedule();
+    let recorder = Arc::new(Recorder::new());
+    let mut config = StmConfig::new(schedule.threads.len().max(2));
+    config.event_sink(Arc::clone(&recorder) as Arc<dyn EventSink>);
+    let stm = Arc::new(CertifiedFactory::new(config, CsStm::with_vector_clock));
+    let outcome = run_schedule(&stm, &schedule);
+    let history = recorder.history();
+    assert!(history.find_dirty_read().is_none(), "dirty read");
+    assert_eq!(outcome.committed, 1);
+    assert_eq!(outcome.stats.certification_aborts(), 1);
+    check_serializable(&history).expect("certified history must be serializable");
+}

@@ -16,7 +16,7 @@ use zstm::history::{
     Recorder,
 };
 use zstm::prelude::*;
-use zstm_sim::{run_schedule, Op, Schedule, TxScript};
+use zstm_sim::{minimize_schedule, run_schedule, Op, Schedule, TxScript};
 
 const MAX_THREADS: usize = 3;
 
@@ -38,20 +38,32 @@ fn tx_strategy(objects: usize, allow_long: bool) -> impl Strategy<Value = TxScri
 }
 
 fn schedule_strategy(allow_long: bool) -> impl Strategy<Value = Schedule> {
-    (2usize..=4).prop_flat_map(move |objects| {
-        (
-            proptest::collection::vec(
-                proptest::collection::vec(tx_strategy(objects, allow_long), 1..4),
-                2..=MAX_THREADS,
-            ),
-            proptest::collection::vec(0usize..MAX_THREADS, 0..40),
+    (2usize..=4)
+        .prop_flat_map(move |objects| {
+            (
+                proptest::collection::vec(
+                    proptest::collection::vec(tx_strategy(objects, allow_long), 1..4),
+                    2..=MAX_THREADS,
+                ),
+                proptest::collection::vec(0usize..MAX_THREADS, 0..40),
+            )
+                .prop_map(move |(threads, interleaving)| Schedule {
+                    objects,
+                    threads,
+                    interleaving,
+                })
+        })
+        // Route failing schedules through the sim's delta-debugging
+        // minimizer, so proptest reports a shrunk counterexample ready
+        // to be promoted into a regression test (tests/corpus/README.md).
+        .prop_shrink_with(
+            |schedule: &Schedule, fails: &mut dyn FnMut(&Schedule) -> bool| {
+                if !fails(schedule) {
+                    return None;
+                }
+                Some(minimize_schedule(schedule, fails))
+            },
         )
-            .prop_map(move |(threads, interleaving)| Schedule {
-                objects,
-                threads,
-                interleaving,
-            })
-    })
 }
 
 fn recorded_config(recorder: &Arc<Recorder>) -> StmConfig {
@@ -220,6 +232,77 @@ proptest! {
             return Err(TestCaseError::fail(format!("{violation}")));
         }
         if let Err(violation) = check_z_linearizable(&history) {
+            return Err(TestCaseError::fail(format!("{violation}")));
+        }
+    }
+
+    // Certified wrappers: regardless of the engine's native criterion,
+    // every history produced under the SSI certifier must be fully
+    // serializable (the interesting case is CS-STM, which is natively
+    // only causally serializable).
+
+    #[test]
+    fn certified_lsa_random_schedules_are_serializable(schedule in schedule_strategy(true)) {
+        let recorder = Arc::new(Recorder::new());
+        let stm = Arc::new(CertifiedFactory::new(recorded_config(&recorder), LsaStm::new));
+        let _ = run_schedule(&stm, &schedule);
+        let history = recorder.history();
+        prop_assert!(history.find_dirty_read().is_none());
+        if let Err(violation) = check_serializable(&history) {
+            return Err(TestCaseError::fail(format!("{violation}")));
+        }
+    }
+
+    #[test]
+    fn certified_tl2_random_schedules_are_serializable(schedule in schedule_strategy(false)) {
+        let recorder = Arc::new(Recorder::new());
+        let stm = Arc::new(CertifiedFactory::new(recorded_config(&recorder), Tl2Stm::new));
+        let _ = run_schedule(&stm, &schedule);
+        let history = recorder.history();
+        prop_assert!(history.find_dirty_read().is_none());
+        if let Err(violation) = check_serializable(&history) {
+            return Err(TestCaseError::fail(format!("{violation}")));
+        }
+    }
+
+    #[test]
+    fn certified_cs_random_schedules_are_serializable(schedule in schedule_strategy(false)) {
+        let recorder = Arc::new(Recorder::new());
+        let stm = Arc::new(CertifiedFactory::new(
+            recorded_config(&recorder),
+            CsStm::with_vector_clock,
+        ));
+        let _ = run_schedule(&stm, &schedule);
+        let history = recorder.history();
+        prop_assert!(history.find_dirty_read().is_none());
+        if let Err(violation) = check_serializable(&history) {
+            return Err(TestCaseError::fail(format!("{violation}")));
+        }
+    }
+
+    #[test]
+    fn certified_s_stm_random_schedules_are_serializable(schedule in schedule_strategy(false)) {
+        let recorder = Arc::new(Recorder::new());
+        let stm = Arc::new(CertifiedFactory::new(
+            recorded_config(&recorder),
+            SStm::with_vector_clock,
+        ));
+        let _ = run_schedule(&stm, &schedule);
+        let history = recorder.history();
+        prop_assert!(history.find_dirty_read().is_none());
+        if let Err(violation) = check_serializable(&history) {
+            return Err(TestCaseError::fail(format!("{violation}")));
+        }
+    }
+
+    #[test]
+    fn certified_z_random_schedules_are_serializable(schedule in schedule_strategy(true)) {
+        let recorder = Arc::new(Recorder::new());
+        let stm = Arc::new(CertifiedFactory::new(recorded_config(&recorder), ZStm::new));
+        let _ = run_schedule(&stm, &schedule);
+        let history = recorder.history();
+        prop_assert!(history.find_dirty_read().is_none());
+        if let Err(violation) = check_serializable(&history) {
             return Err(TestCaseError::fail(format!("{violation}")));
         }
     }

@@ -1,0 +1,247 @@
+//! Scripted SSI-certification scenarios on all five engines.
+//!
+//! Each scenario is a deterministic `zstm-sim` schedule exercising one
+//! shape from the serializable-snapshot-isolation literature:
+//!
+//! * **write skew** — two transactions read an overlapping set and write
+//!   disjoint members of it;
+//! * **read-only anomaly** — a read-only transaction observes a state
+//!   that pins the other two into a non-serializable order;
+//! * **rw-antidependency chain** — a pivot with an incoming and an
+//!   outgoing rw edge but *no* cycle (the deliberate Cahill false
+//!   positive: the dangerous structure is aborted even though this
+//!   particular history is serializable).
+//!
+//! For every dangerous structure, the certified wrapper must abort at
+//! least one transaction and the resulting history must be
+//! serializable; when the *native* engine commits the whole structure
+//! (CS-STM, whose native criterion — causal serializability — admits
+//! write skew), the abort must come specifically from certification.
+//! Benign schedules (disjoint keys, a single antidependency) must pass
+//! through with **zero** certification aborts — the false-positive
+//! bound that distinguishes the version-precise certifier from a
+//! coarser SIREAD-table approximation.
+
+use zstm::core::{AbortReason, StmConfig, TxKind};
+use zstm::history::check_serializable;
+use zstm::prelude::*;
+use zstm_sim::fuzz::{run_recorded, Engine};
+use zstm_sim::{Op, Schedule, TxScript};
+
+fn short(ops: Vec<Op>) -> Vec<TxScript> {
+    vec![TxScript {
+        kind: TxKind::Short,
+        ops,
+    }]
+}
+
+/// Runs `schedule` natively and certified on `engine` and asserts the
+/// dangerous-structure contract: the certified history is serializable,
+/// at least one transaction aborts under certification, and if the
+/// native engine committed everything the abort is a certification
+/// abort specifically.
+fn assert_dangerous(engine: Engine, schedule: &Schedule, label: &str) {
+    let (native, _history) = run_recorded(engine, false, schedule);
+    let (cert, cert_history) = run_recorded(engine, true, schedule);
+    check_serializable(&cert_history)
+        .unwrap_or_else(|v| panic!("{label} on {}: certified history: {v}", engine.name()));
+    assert!(
+        cert.aborted >= 1,
+        "{label} on {}: certified wrapper must abort at least one transaction",
+        engine.name()
+    );
+    if native.committed == native.attempted {
+        assert!(
+            cert.stats.certification_aborts() >= 1,
+            "{label} on {}: native engine committed the whole structure, \
+             so the abort must come from certification",
+            engine.name()
+        );
+    }
+}
+
+/// Runs `schedule` certified on `engine` and asserts the false-positive
+/// bound: zero certification aborts (native conservatism of the
+/// underlying engine is allowed, certification overhead is not).
+fn assert_benign(engine: Engine, schedule: &Schedule, min_committed: usize, label: &str) {
+    let (cert, cert_history) = run_recorded(engine, true, schedule);
+    check_serializable(&cert_history)
+        .unwrap_or_else(|v| panic!("{label} on {}: certified history: {v}", engine.name()));
+    assert_eq!(
+        cert.stats.certification_aborts(),
+        0,
+        "{label} on {}: benign schedule must incur zero certification aborts",
+        engine.name()
+    );
+    assert!(
+        cert.committed >= min_committed,
+        "{label} on {}: expected at least {min_committed} commits, got {}",
+        engine.name(),
+        cert.committed
+    );
+}
+
+/// T0 and T1 both read {x, y} and write disjoint members, fully
+/// interleaved so both work from the initial snapshot.
+fn write_skew() -> Schedule {
+    Schedule {
+        objects: 2,
+        threads: vec![
+            short(vec![Op::Read(0), Op::Read(1), Op::Write(0)]),
+            short(vec![Op::Read(0), Op::Read(1), Op::Write(1)]),
+        ],
+        interleaving: vec![0, 1, 0, 1, 0, 1, 0, 1],
+    }
+}
+
+/// Fekete et al.'s read-only anomaly. Objects: x = 0, y = 1.
+///
+/// * T1 (thread 1, the pivot) snapshots x and y early, then writes x
+///   and commits **last**;
+/// * T2 (thread 0) updates y and commits first;
+/// * T3 (thread 2) is read-only: it starts after T2's commit and sees
+///   T2's y next to the pre-T1 x.
+///
+/// All three commit under plain snapshot reads (T1's write set {x} is
+/// disjoint from T2's {y}), yet no serial order exists: T3 → T1 (rw on
+/// x), T1 → T2 (rw on y), T2 → T3 (wr on y).
+fn read_only_anomaly() -> Schedule {
+    Schedule {
+        objects: 2,
+        threads: vec![
+            short(vec![Op::Read(1), Op::Write(1)]),
+            short(vec![Op::Read(0), Op::Read(1), Op::Write(0)]),
+            short(vec![Op::Read(0), Op::Read(1)]),
+        ],
+        interleaving: vec![1, 1, 0, 0, 0, 2, 2, 2, 1, 1],
+    }
+}
+
+/// A pivot with both rw edges but no cycle: T0 reads x (overwritten by
+/// T1 → rw T0 → T1), T1 reads y (overwritten by the concurrent T2 → rw
+/// T1 → T2). The chain T0 → T1 → T2 is acyclic, so the history is
+/// serializable — but T1 is a committed pivot with an in- and an
+/// out-conflict, so Cahill-style certification must abort T2 (the
+/// transaction whose commit would complete the dangerous structure).
+fn rw_antidependency_chain() -> Schedule {
+    Schedule {
+        objects: 2,
+        threads: vec![
+            short(vec![Op::Read(0)]),
+            short(vec![Op::Read(1), Op::Write(0)]),
+            short(vec![Op::Write(1)]),
+        ],
+        interleaving: vec![0, 1, 1, 2, 1, 2, 0],
+    }
+}
+
+/// Fully disjoint key sets: nothing to certify.
+fn disjoint_keys() -> Schedule {
+    Schedule {
+        objects: 2,
+        threads: vec![
+            short(vec![Op::Read(0), Op::Write(0)]),
+            short(vec![Op::Read(1), Op::Write(1)]),
+        ],
+        interleaving: vec![0, 1, 0, 1, 0, 1],
+    }
+}
+
+/// Exactly one antidependency: T0 reads y before the concurrent T1
+/// overwrites it (rw T0 → T1) and nothing points back. A single rw edge
+/// is *not* a dangerous structure; certification must let both commit.
+fn single_antidependency() -> Schedule {
+    Schedule {
+        objects: 2,
+        threads: vec![
+            short(vec![Op::Read(1), Op::Read(0)]),
+            short(vec![Op::Write(1)]),
+        ],
+        interleaving: vec![0, 1, 0, 1, 0],
+    }
+}
+
+#[test]
+fn write_skew_is_aborted_under_certification_on_every_engine() {
+    for engine in Engine::ALL {
+        assert_dangerous(engine, &write_skew(), "write skew");
+    }
+}
+
+#[test]
+fn read_only_anomaly_is_aborted_under_certification_on_every_engine() {
+    for engine in Engine::ALL {
+        assert_dangerous(engine, &read_only_anomaly(), "read-only anomaly");
+    }
+}
+
+#[test]
+fn rw_antidependency_chain_is_aborted_under_certification_on_every_engine() {
+    for engine in Engine::ALL {
+        assert_dangerous(engine, &rw_antidependency_chain(), "rw chain");
+    }
+}
+
+#[test]
+fn benign_schedules_incur_zero_certification_aborts() {
+    for engine in Engine::ALL {
+        assert_benign(engine, &disjoint_keys(), 2, "disjoint keys");
+        assert_benign(engine, &single_antidependency(), 2, "single antidependency");
+    }
+}
+
+/// The acceptance scenario from the issue: CS-STM's native criterion
+/// (causal serializability) **commits** the classic write skew; the
+/// certified wrapper aborts exactly one of the two transactions with
+/// [`AbortReason::Certification`] and the surviving history is
+/// serializable.
+#[test]
+fn cs_native_commits_write_skew_certified_aborts_it() {
+    let schedule = write_skew();
+    let (native, native_history) = run_recorded(Engine::Cs, false, &schedule);
+    assert_eq!(native.committed, 2, "CS-STM natively commits both");
+    assert!(
+        check_serializable(&native_history).is_err(),
+        "the native CS history must exhibit the write skew"
+    );
+
+    let (cert, cert_history) = run_recorded(Engine::Cs, true, &schedule);
+    check_serializable(&cert_history).expect("certified CS history");
+    assert_eq!(cert.committed, 1);
+    assert_eq!(cert.aborted, 1);
+    assert_eq!(cert.stats.certification_aborts(), 1);
+    assert_eq!(cert.stats.aborts_for(AbortReason::Certification), 1);
+}
+
+/// `CertifiedFactory` is a [`TmFactory`], so it drops into the `Stm`
+/// front end unchanged: retry loops absorb certification aborts and the
+/// usual invariants hold.
+#[test]
+fn certified_factory_drops_into_api_front_end() {
+    let stm = Stm::new(CertifiedFactory::new(
+        StmConfig::new(4),
+        CsStm::with_vector_clock,
+    ));
+    let a = stm.new_tvar(50i64);
+    let b = stm.new_tvar(50i64);
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let (stm, a, b) = (stm.clone(), a.clone(), b.clone());
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    stm.atomically(TxKind::Short, |tx| {
+                        let va = tx.read(&a)?;
+                        let vb = tx.read(&b)?;
+                        tx.write(&a, va - 1)?;
+                        tx.write(&b, vb + 1)
+                    });
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("worker panicked");
+    }
+    let total = stm.atomically(TxKind::Short, |tx| Ok(tx.read(&a)? + tx.read(&b)?));
+    assert_eq!(total, 100, "transfers must preserve the total");
+}

@@ -11,8 +11,15 @@
 //!
 //! Differences from the real crate, deliberately accepted:
 //!
-//! * **no shrinking** — a failing case reports the generated inputs but
-//!   does not minimize them;
+//! * **no value trees** — strategies are purely generative. Shrinking is
+//!   opt-in instead: a strategy can implement
+//!   [`Strategy::shrink_value`](strategy::Strategy::shrink_value) (most
+//!   easily via the
+//!   [`prop_shrink_with`](strategy::Strategy::prop_shrink_with)
+//!   combinator, e.g. routing schedule-valued failures through
+//!   `zstm_sim::minimize_schedule`), and tuple strategies delegate to
+//!   their components. Failing cases whose strategy shrinks are reported
+//!   as `inputs (shrunk)`; others report the raw generated inputs;
 //! * **fixed derandomized seeds** — every run explores the same cases
 //!   (the real crate's default is also reproducible via its regressions
 //!   file); set `PROPTEST_CASES` to raise the case count.
@@ -37,6 +44,20 @@ pub mod strategy {
         /// Generates one value.
         fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
 
+        /// Minimizes a failing `value`. `still_fails` replays the
+        /// property and reports whether a candidate still fails; the
+        /// returned value (if any) **must** still fail it. The default
+        /// is no shrinking; attach a domain-specific shrinker with
+        /// [`prop_shrink_with`](Strategy::prop_shrink_with).
+        fn shrink_value(
+            &self,
+            value: &Self::Value,
+            still_fails: &mut dyn FnMut(&Self::Value) -> bool,
+        ) -> Option<Self::Value> {
+            let _ = (value, still_fails);
+            None
+        }
+
         /// Maps generated values through `f`.
         fn prop_map<U, F>(self, f: F) -> Map<Self, F>
         where
@@ -57,6 +78,18 @@ pub mod strategy {
             FlatMap { inner: self, f }
         }
 
+        /// Attaches a shrinker to this strategy: on failure, `f` is
+        /// called with the failing value and a `still_fails` oracle and
+        /// should return a smaller value that still fails (or `None` to
+        /// keep the original).
+        fn prop_shrink_with<F>(self, f: F) -> ShrinkWith<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value, &mut dyn FnMut(&Self::Value) -> bool) -> Option<Self::Value>,
+        {
+            ShrinkWith { inner: self, f }
+        }
+
         /// Erases the strategy type.
         fn boxed(self) -> BoxedStrategy<Self::Value>
         where
@@ -74,12 +107,26 @@ pub mod strategy {
         fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
             (**self).gen_value(rng)
         }
+        fn shrink_value(
+            &self,
+            value: &Self::Value,
+            still_fails: &mut dyn FnMut(&Self::Value) -> bool,
+        ) -> Option<Self::Value> {
+            (**self).shrink_value(value, still_fails)
+        }
     }
 
     impl<S: Strategy + ?Sized> Strategy for &S {
         type Value = S::Value;
         fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
             (**self).gen_value(rng)
+        }
+        fn shrink_value(
+            &self,
+            value: &Self::Value,
+            still_fails: &mut dyn FnMut(&Self::Value) -> bool,
+        ) -> Option<Self::Value> {
+            (**self).shrink_value(value, still_fails)
         }
     }
 
@@ -91,6 +138,31 @@ pub mod strategy {
         type Value = T;
         fn gen_value(&self, _rng: &mut TestRng) -> T {
             self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_shrink_with`].
+    #[derive(Clone)]
+    pub struct ShrinkWith<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F> Strategy for ShrinkWith<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value, &mut dyn FnMut(&S::Value) -> bool) -> Option<S::Value>,
+    {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+            self.inner.gen_value(rng)
+        }
+        fn shrink_value(
+            &self,
+            value: &S::Value,
+            still_fails: &mut dyn FnMut(&S::Value) -> bool,
+        ) -> Option<S::Value> {
+            (self.f)(value, still_fails)
         }
     }
 
@@ -190,23 +262,51 @@ pub mod strategy {
     impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
     macro_rules! impl_tuple_strategy {
-        ($($name:ident),+) => {
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        ($(($name:ident, $idx:tt)),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone,)+
+            {
                 type Value = ($($name::Value,)+);
                 fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
-                    #[allow(non_snake_case)]
-                    let ($($name,)+) = self;
-                    ($($name.gen_value(rng),)+)
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+                // Shrinks one component at a time, holding the (already
+                // shrunk) others fixed — the classic coordinate descent.
+                fn shrink_value(
+                    &self,
+                    value: &Self::Value,
+                    still_fails: &mut dyn FnMut(&Self::Value) -> bool,
+                ) -> Option<Self::Value> {
+                    let mut current = value.clone();
+                    let mut improved = false;
+                    $(
+                        {
+                            let rest = current.clone();
+                            let mut component_fails = |candidate: &$name::Value| {
+                                let mut probe = rest.clone();
+                                probe.$idx = candidate.clone();
+                                still_fails(&probe)
+                            };
+                            if let Some(shrunk) =
+                                self.$idx.shrink_value(&current.$idx, &mut component_fails)
+                            {
+                                current.$idx = shrunk;
+                                improved = true;
+                            }
+                        }
+                    )+
+                    improved.then_some(current)
                 }
             }
         };
     }
-    impl_tuple_strategy!(A);
-    impl_tuple_strategy!(A, B);
-    impl_tuple_strategy!(A, B, C);
-    impl_tuple_strategy!(A, B, C, D);
-    impl_tuple_strategy!(A, B, C, D, E);
-    impl_tuple_strategy!(A, B, C, D, E, G);
+    impl_tuple_strategy!((A, 0));
+    impl_tuple_strategy!((A, 0), (B, 1));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (G, 5));
 }
 
 /// Collection strategies.
@@ -457,19 +557,65 @@ macro_rules! proptest {
                 let mut rng = $crate::test_runner::TestRng::from_name(concat!(
                     module_path!(), "::", stringify!($name)
                 ));
-                for case in 0..config.cases {
-                    $(let $arg = $crate::strategy::Strategy::gen_value(&($strategy), &mut rng);)+
-                    let described = format!(
+                let strategies = ($($strategy,)+);
+                // Pins the closures' argument type to the strategy
+                // tuple's `Value`, so inference cannot drift to an
+                // unsized type via a `&arg` coercion site in the body.
+                fn constrain<S, R, F>(_: &S, f: F) -> F
+                where
+                    S: $crate::strategy::Strategy,
+                    F: Fn(&S::Value) -> R,
+                {
+                    f
+                }
+                let run_case = constrain(&strategies, |case| {
+                    let ($($arg,)+) = ::core::clone::Clone::clone(case);
+                    $(let _ = &$arg;)+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || { $body Ok(()) })();
+                    outcome
+                });
+                let describe = constrain(&strategies, |case| {
+                    let ($($arg,)+) = case;
+                    format!(
                         concat!($(stringify!($arg), " = {:?}; ",)+),
                         $(&$arg,)+
-                    );
-                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| { $body Ok(()) })();
-                    match outcome {
+                    )
+                });
+                for case_index in 0..config.cases {
+                    let generated =
+                        $crate::strategy::Strategy::gen_value(&strategies, &mut rng);
+                    match run_case(&generated) {
                         Ok(()) | Err($crate::test_runner::TestCaseError::Reject(_)) => {}
-                        Err($crate::test_runner::TestCaseError::Fail(message)) => panic!(
-                            "proptest case {case} failed: {message}\n  inputs: {described}"
-                        ),
+                        Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                            // Try to minimize the failing inputs before
+                            // reporting (see `Strategy::shrink_value`).
+                            let mut still_fails = |candidate: &_| ::core::matches!(
+                                run_case(candidate),
+                                Err($crate::test_runner::TestCaseError::Fail(_))
+                            );
+                            let shrunk = $crate::strategy::Strategy::shrink_value(
+                                &strategies,
+                                &generated,
+                                &mut still_fails,
+                            );
+                            match shrunk {
+                                Some(shrunk) => {
+                                    let message = match run_case(&shrunk) {
+                                        Err($crate::test_runner::TestCaseError::Fail(m)) => m,
+                                        _ => message,
+                                    };
+                                    panic!(
+                                        "proptest case {case_index} failed: {message}\n  inputs (shrunk): {}",
+                                        describe(&shrunk)
+                                    )
+                                }
+                                None => panic!(
+                                    "proptest case {case_index} failed: {message}\n  inputs: {}",
+                                    describe(&generated)
+                                ),
+                            }
+                        }
                     }
                 }
             }
@@ -597,5 +743,64 @@ mod tests {
                 prop_assert_eq!(x, x);
             }
         }
+    }
+
+    /// Greedy downward shrinker for integers: steps toward zero while
+    /// the property keeps failing.
+    fn descend(v: &u64, fails: &mut dyn FnMut(&u64) -> bool) -> Option<u64> {
+        let mut best = None;
+        let mut candidate = *v;
+        while candidate > 0 {
+            candidate -= 1;
+            if fails(&candidate) {
+                best = Some(candidate);
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        // Deliberately failing property (no #[test]: invoked via
+        // catch_unwind below). Fails for x >= 10, so the minimal
+        // counterexample the shrinker must reach is exactly 10.
+        fn fails_at_ten_and_above(x in (0u64..100).prop_shrink_with(descend)) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn failing_cases_are_shrunk_before_reporting() {
+        let panic =
+            std::panic::catch_unwind(fails_at_ten_and_above).expect_err("property must fail");
+        let message = panic
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic message");
+        assert!(message.contains("inputs (shrunk)"), "{message}");
+        assert!(message.contains("x = 10;"), "{message}");
+    }
+
+    #[test]
+    fn shrink_without_hook_is_a_no_op() {
+        let strat = 0u64..100;
+        let mut fails = |v: &u64| *v >= 10;
+        assert!(strat.shrink_value(&57, &mut fails).is_none());
+    }
+
+    #[test]
+    fn tuple_shrink_delegates_per_component() {
+        let strat = (
+            (0u64..100).prop_shrink_with(descend),
+            (0u64..100).prop_shrink_with(descend),
+        );
+        // Fails whenever the sum reaches 10; coordinate descent drives
+        // the first component to 0, then the second to 10.
+        let mut fails = |(a, b): &(u64, u64)| a + b >= 10;
+        let shrunk = strat.shrink_value(&(64, 32), &mut fails);
+        assert_eq!(shrunk, Some((0, 10)));
     }
 }
