@@ -231,6 +231,17 @@ pub trait DynStm: Send + Sync {
     /// Takes the statistics accumulated by every pooled context (see
     /// [`Stm::take_stats`]).
     fn take_stats(&self) -> TxStats;
+
+    /// Wakes every transaction currently parked in a blocking or async
+    /// retry by bumping the commit notifier, exactly as a committing
+    /// writer would. Woken transactions re-run their bodies; ones whose
+    /// condition still does not hold park again.
+    ///
+    /// This is the shutdown hook for long-lived blocking services (the
+    /// `zstm-server` `WAIT` command): flip an external stop flag the
+    /// retrying bodies observe, then `notify_retries()` so parked
+    /// transactions re-run and see it.
+    fn notify_retries(&self);
 }
 
 impl<F: TmFactory> DynStm for Stm<F> {
@@ -284,6 +295,10 @@ impl<F: TmFactory> DynStm for Stm<F> {
 
     fn take_stats(&self) -> TxStats {
         Stm::take_stats(self)
+    }
+
+    fn notify_retries(&self) {
+        self.notifier().notify();
     }
 }
 

@@ -33,12 +33,17 @@
 //!   and commit through one global mutex, so native CS-STM must out-run
 //!   its certified wrapper; the rule bounds how *cheap* certification is
 //!   allowed to look (a collapsing ratio means the native engine — not
-//!   the certifier — regressed).
+//!   the certifier — regressed);
+//! * `server` — two rules on the TCP front end's RPS figure: the
+//!   fault-free link must out-run the chaos-delayed one (a per-read
+//!   delay is injected, so parity means the delay is not being paid —
+//!   i.e. the measured path is broken), and two pool workers must not
+//!   regress against one on the transfer workload.
 //!
 //! Exit status 0 when every rule passes, 1 otherwise — wire it after a
-//! short `repro_figures fig7 / map / clocks / read-hotspot / certify`
-//! run in CI (every gated figure's fresh `.json` must exist under
-//! `--fresh`).
+//! short `repro_figures fig7 / map / clocks / read-hotspot / certify /
+//! server` run in CI (every gated figure's fresh `.json` must exist
+//! under `--fresh`).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -150,6 +155,28 @@ const RULES: &[Rule] = &[
         // floor holds everywhere; the baseline factor catches a native
         // CS-STM throughput collapse hiding behind a still-true ">= 1".
         floor: |baseline| (baseline * 0.5).max(1.0),
+    },
+    Rule {
+        file: "server",
+        numerator: "LSA-STM",
+        denominator: "LSA-STM (chaos)",
+        claim: "the fault-free link out-runs the chaos link with a per-read delay injected",
+        // The chaos series pays a fixed sleep on every server-side read,
+        // so the fault-free shape wins on any machine: a hard 1.0 floor
+        // holds everywhere, and the baseline factor catches the fault-free
+        // path collapsing toward the delayed one.
+        floor: |baseline| (baseline * 0.25).max(1.0),
+    },
+    Rule {
+        file: "server",
+        numerator: "LSA-STM",
+        denominator: "LSA-STM (serial)",
+        claim: "two pool workers do not regress against one on the server transfer workload",
+        // Non-regression rule (same policy as `map`/`queue`): on small
+        // boxes a second worker buys nothing (the link, not the engine, is
+        // the bottleneck) and the two shapes tie within noise; a pool that
+        // serializes or convoys collapses the ratio and fails.
+        floor: |baseline| (baseline * 0.7).min(0.8),
     },
     Rule {
         file: "map",

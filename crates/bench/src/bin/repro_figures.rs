@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures and the ARCHITECTURE.md ablations.
 //!
 //! ```text
-//! repro-figures [fig6|fig7|map|queue|queue-async|clocks|certify|read-hotspot|ablation-r|ablation-overhead|ablation-longfrac|contention|all]
+//! repro-figures [fig6|fig7|map|queue|queue-async|server|clocks|certify|read-hotspot|ablation-r|ablation-overhead|ablation-longfrac|contention|all]
 //!               [--duration-ms N] [--threads 1,2,8,16,32] [--out-dir DIR]
 //! ```
 //!
@@ -19,7 +19,7 @@ use zstm_bench::json::{to_json, Figure};
 use zstm_bench::{
     ablation_contention, ablation_long_fraction, ablation_overhead, ablation_plausible_r,
     clock_contention, figure6, figure7, figure_certify, figure_map, figure_queue,
-    figure_queue_async, read_hotspot, BankFigure, PAPER_THREADS,
+    figure_queue_async, figure_server, read_hotspot, BankFigure, PAPER_THREADS,
 };
 use zstm_workload::{print_table, Series};
 
@@ -148,6 +148,13 @@ fn run_queue_async(options: &Options) {
     save(options, "queue_async", &series);
 }
 
+fn run_server_figure(options: &Options) {
+    println!("=== Server: TCP MULTI…EXEC transfers over the wire protocol (x = connections) ===");
+    let series = figure_server(&options.threads, options.duration);
+    println!("{}", print_table("committed transfers/s (RPS)", &series));
+    save(options, "server", &series);
+}
+
 fn run_read_hotspot(options: &Options) {
     println!("=== Read hotspot: one hot variable, fast vs locked read path ===");
     let series = read_hotspot(&options.threads, options.duration);
@@ -248,6 +255,7 @@ fn main() {
         "map" => run_map(&options),
         "queue" => run_queue(&options),
         "queue-async" => run_queue_async(&options),
+        "server" => run_server_figure(&options),
         "clocks" => run_clocks(&options),
         "certify" => run_certify(&options),
         "read-hotspot" => run_read_hotspot(&options),
@@ -261,6 +269,7 @@ fn main() {
             run_map(&options);
             run_queue(&options);
             run_queue_async(&options);
+            run_server_figure(&options);
             run_clocks(&options);
             run_certify(&options);
             run_read_hotspot(&options);
@@ -272,7 +281,7 @@ fn main() {
         other => {
             eprintln!(
                 "unknown command '{other}'; expected fig6 | fig7 | map | queue | queue-async | \
-                 clocks | certify | read-hotspot | ablation-r | ablation-overhead | \
+                 server | clocks | certify | read-hotspot | ablation-r | ablation-overhead | \
                  ablation-longfrac | contention | all"
             );
             std::process::exit(2);

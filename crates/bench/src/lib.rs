@@ -22,6 +22,9 @@ use zstm_clock::{ScalarClock, ShardedClock, TimeBase};
 use zstm_core::{CmPolicy, StmConfig, TmFactory};
 use zstm_cs::CsStm;
 use zstm_lsa::LsaStm;
+use zstm_server::server::ServerConfig;
+use zstm_server::socket::ChaosConfig;
+use zstm_server::workload::{run_server, ServerWorkloadConfig};
 use zstm_sstm::SStm;
 use zstm_tl2::Tl2Stm;
 use zstm_workload::{
@@ -560,7 +563,80 @@ pub fn figure_queue_async(threads: &[usize], duration: Duration) -> Vec<Series> 
     vec![lsa_async, lsa_spin, z_async, lsa_sync]
 }
 
+/// Figure-legend labels of [`figure_server`]'s series, in order — shared
+/// with the `check_baselines` "server" rules so the gate cannot drift
+/// from the sweep.
+pub const SERVER_LABELS: [&str; 4] = ["LSA-STM", "LSA-STM (serial)", "Z-STM", "LSA-STM (chaos)"];
+
+fn server_point(config: &ServerWorkloadConfig) -> f64 {
+    let report = run_server(config);
+    assert!(
+        report.conserved,
+        "{}: server transfers must conserve at {} connections",
+        report.engine, report.connections
+    );
+    assert_eq!(
+        report.waiters_released, config.waiters as u64,
+        "{}: every parked waiter must be released",
+        report.engine
+    );
+    report.rps
+}
+
+/// **Server figure**: committed `MULTI`…`EXEC` transfers per second over
+/// real TCP round trips, swept over client connection counts — the RPS
+/// figure of the network front end (`crates/server`, `PROTOCOL.md`).
+/// Four series in [`SERVER_LABELS`] order:
+///
+/// * `LSA-STM` — two pool workers, the reference shape;
+/// * `LSA-STM (serial)` — one pool worker: the A/B pair behind the
+///   `check_baselines` non-regression rule (two workers must not lose to
+///   one);
+/// * `Z-STM` — the same sweep engine-swapped through the runtime
+///   registry, showing the front end is engine-agnostic;
+/// * `LSA-STM (chaos)` — a [`ChaosSocket`](zstm_server::socket::ChaosSocket)
+///   read delay injected on every
+///   server-side read, the degraded-link series the gate compares the
+///   fault-free shape against.
+///
+/// Every run parks two extra `WAIT` connections for its whole window, so
+/// each measured point multiplexes more server-side tasks than pool
+/// workers. Each point asserts the transfer conservation invariant.
+pub fn figure_server(connections: &[usize], duration: Duration) -> Vec<Series> {
+    let mut series: Vec<Series> = SERVER_LABELS.into_iter().map(Series::new).collect();
+    for &n in connections {
+        let mut base = ServerWorkloadConfig::quick(n);
+        base.duration = duration;
+        base.waiters = 2;
+
+        let mut lsa = base.clone();
+        lsa.server = ServerConfig::new("lsa").with_workers(2);
+        let mut serial = base.clone();
+        serial.server = ServerConfig::new("lsa").with_workers(1);
+        let mut z = base.clone();
+        z.server = ServerConfig::new("z").with_workers(2);
+        let mut chaos = base.clone();
+        let mut link = ChaosConfig::quiet(0xD311 ^ n as u64);
+        link.read_delay = Duration::from_micros(500);
+        chaos.server = ServerConfig::new("lsa").with_workers(2).with_chaos(link);
+
+        let points = [
+            server_point(&lsa),
+            server_point(&serial),
+            server_point(&z),
+            server_point(&chaos),
+        ];
+        for (s, y) in series.iter_mut().zip(points) {
+            s.push(n as f64, y);
+        }
+    }
+    series
+}
+
 fn run_map_point<F: TmFactory>(stm: Arc<F>, config: &MapConfig) -> f64 {
+    // Like `run_bank_point`: the driver itself runs over the erased
+    // facade, so only this wrapper mentions the factory type.
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::from_arc(stm));
     let report = run_map(&stm, config);
     assert!(
         report.consistent,
@@ -682,6 +758,19 @@ mod tests {
             assert!(
                 s.points.iter().all(|&(_, y)| y > 0.0),
                 "{}: async queue series must deliver items",
+                s.label
+            );
+        }
+    }
+
+    #[test]
+    fn figure_server_smoke() {
+        let series = figure_server(&[1, 2], FAST);
+        assert_eq!(series.len(), SERVER_LABELS.len());
+        for s in &series {
+            assert!(
+                s.points.iter().all(|&(_, y)| y > 0.0),
+                "{}: server series must commit transfers",
                 s.label
             );
         }

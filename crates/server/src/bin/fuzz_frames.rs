@@ -1,0 +1,81 @@
+//! Byte-level frame-codec fuzzer (CI `fuzz-smoke` entry point).
+//!
+//! Round-trips generated frames, mutates them, and feeds garbage to both
+//! parsers (see [`zstm_server::fuzz`]); writes any property violation as
+//! a hex-dump counterexample and exits non-zero.
+//!
+//! ```text
+//! fuzz_frames [--seconds N] [--iterations N] [--seed N] [--out DIR]
+//! ```
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use zstm_server::fuzz::{fuzz_frames, FuzzOptions};
+
+fn main() {
+    let mut options = FuzzOptions::default();
+    let mut out_dir = PathBuf::from("target/fuzz-frames");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--seconds" => {
+                options.time_budget =
+                    Duration::from_secs(value("--seconds").parse().expect("--seconds: u64"))
+            }
+            "--iterations" => {
+                options.max_iterations = value("--iterations").parse().expect("--iterations: usize")
+            }
+            "--seed" => options.seed = value("--seed").parse().expect("--seed: u64"),
+            "--out" => out_dir = PathBuf::from(value("--out")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: fuzz_frames [--seconds N] [--iterations N] [--seed N] [--out DIR]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "fuzzing frames: seed={:#x} budget={:?} max_iterations={}",
+        options.seed,
+        options.time_budget,
+        if options.max_iterations == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            options.max_iterations.to_string()
+        }
+    );
+    let report = fuzz_frames(&options);
+    println!(
+        "ran {} iterations: {} complete parses, {} rejections",
+        report.iterations, report.complete, report.rejected
+    );
+
+    if report.counterexamples.is_empty() {
+        println!("no violations found");
+        return;
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("create --out directory");
+    for (i, cex) in report.counterexamples.iter().enumerate() {
+        let file = out_dir.join(format!("frame_{i}.txt"));
+        let body = format!(
+            "property: {}\ninput (hex): {}\n",
+            cex.property, cex.input_hex
+        );
+        std::fs::write(&file, body).expect("write counterexample");
+        eprintln!(
+            "VIOLATION: {} (input written to {})",
+            cex.property,
+            file.display()
+        );
+    }
+    std::process::exit(1);
+}

@@ -1,0 +1,211 @@
+//! A blocking scripted client: what the examples, the workload harness
+//! and the end-to-end tests speak through.
+//!
+//! One request in, one reply out — the client never pipelines, so its
+//! call surface maps one-to-one onto PROTOCOL.md's command table. Use
+//! [`frame::encode_request`](crate::frame::encode_request) directly for
+//! pipelining or malformed-input tests.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::frame::{encode_request, parse_reply, FrameError, Parsed, Reply};
+
+/// A connected client.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Bounds every subsequent reply wait (useful in tests that expect
+    /// the server to drop the connection instead of replying).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option failure.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Sends one request and reads one reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] when the connection dies or the server
+    /// sends bytes that do not decode as a reply frame.
+    pub fn request(&mut self, args: &[&[u8]]) -> io::Result<Reply> {
+        self.stream.write_all(&encode_request(args))?;
+        self.read_reply()
+    }
+
+    /// Reads one reply without sending anything (for raw-bytes tests that
+    /// wrote via [`send_raw`](Client::send_raw)).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`io::Error`] on connection loss or a malformed reply.
+    pub fn read_reply(&mut self) -> io::Result<Reply> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match parse_reply(&self.buf) {
+                Ok(Parsed::Complete(reply, consumed)) => {
+                    self.buf.drain(..consumed);
+                    return Ok(reply);
+                }
+                Ok(Parsed::Incomplete) => {}
+                Err(error) => return Err(frame_to_io(error)),
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Consumes the client, returning the raw stream — for tests that
+    /// need to observe the server closing the connection (any bytes
+    /// still buffered client-side are discarded).
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
+    }
+
+    /// Writes raw bytes with no framing — the malformed-input tests'
+    /// entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// `PING` → expects `PONG`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] on a non-`PONG`
+    /// reply.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.request(&[b"PING"])? {
+            Reply::Status(s) if s == "PONG" => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `GET key` → `Some(bytes)` or `None` for a missing key.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] on an error reply.
+    pub fn get(&mut self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        match self.request(&[b"GET", key])? {
+            Reply::Value(bytes) => Ok(Some(bytes)),
+            Reply::Nil => Ok(None),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `SET key value`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] on an error reply.
+    pub fn set(&mut self, key: &[u8], value: &[u8]) -> io::Result<()> {
+        match self.request(&[b"SET", key, value])? {
+            Reply::Status(s) if s == "OK" => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `CAS key expected new` → whether the swap happened.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] on an error reply.
+    pub fn cas(&mut self, key: &[u8], expected: &[u8], new: &[u8]) -> io::Result<bool> {
+        match self.request(&[b"CAS", key, expected, new])? {
+            Reply::Int(1) => Ok(true),
+            Reply::Int(0) => Ok(false),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `ADD key delta` → the post-add value.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] on an error reply.
+    pub fn add(&mut self, key: &[u8], delta: i64) -> io::Result<i64> {
+        match self.request(&[b"ADD", key, delta.to_string().as_bytes()])? {
+            Reply::Int(value) => Ok(value),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `MULTI`, the queued commands, `EXEC` — one atomic transaction.
+    /// Returns the per-command replies in queue order.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] when queuing fails or
+    /// `EXEC` replies with an error.
+    pub fn multi_exec(&mut self, commands: &[Vec<Vec<u8>>]) -> io::Result<Vec<Reply>> {
+        match self.request(&[b"MULTI"])? {
+            Reply::Status(s) if s == "OK" => {}
+            other => return Err(unexpected(&other)),
+        }
+        for command in commands {
+            let args: Vec<&[u8]> = command.iter().map(Vec::as_slice).collect();
+            match self.request(&args)? {
+                Reply::Status(s) if s == "QUEUED" => {}
+                other => return Err(unexpected(&other)),
+            }
+        }
+        match self.request(&[b"EXEC"])? {
+            Reply::Multi(replies) => Ok(replies),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// `WAIT key expected` — blocks (server-side, in a parked
+    /// transaction) until the key holds `expected`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`io::ErrorKind::InvalidData`] on an error reply
+    /// (e.g. the server shut down while this client waited).
+    pub fn wait(&mut self, key: &[u8], expected: &[u8]) -> io::Result<()> {
+        match self.request(&[b"WAIT", key, expected])? {
+            Reply::Status(s) if s == "OK" => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(reply: &Reply) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected reply: {reply:?}"),
+    )
+}
+
+fn frame_to_io(error: FrameError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, error)
+}

@@ -1,0 +1,255 @@
+//! Byte-level fuzzing of the frame codec (the CI `fuzz-smoke` entry
+//! point for this crate, wired like `zstm-sim`'s `fuzz_schedules`).
+//!
+//! Three input families per iteration, all drawn from one seeded
+//! [`XorShift64`] so a failure replays from its seed:
+//!
+//! 1. **valid** — a generated request / reply must round-trip exactly,
+//!    consume exactly its own length, and parse as
+//!    [`Incomplete`](Parsed::Incomplete) from every strict prefix;
+//! 2. **mutated** — a valid frame with bytes flipped, truncated or
+//!    garbage appended must parse to *something* (complete, incomplete or
+//!    a [`FrameError`](crate::frame::FrameError)) without panicking, and a complete parse must
+//!    consume no more than the buffer holds;
+//! 3. **garbage** — arbitrary bytes, same no-panic/no-overrun property,
+//!    for both the request and the reply parser.
+//!
+//! Violations are captured as hex dumps; the `fuzz_frames` binary writes
+//! them to `--out` and exits non-zero.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use zstm_util::XorShift64;
+
+use crate::frame::{encode_request, parse_reply, parse_request, Parsed, Reply};
+
+/// Fuzzer knobs (CLI-mapped by the `fuzz_frames` binary).
+#[derive(Clone, Debug)]
+pub struct FuzzOptions {
+    /// PRNG seed.
+    pub seed: u64,
+    /// Stop after this many iterations, if the budget has not hit first.
+    pub max_iterations: usize,
+    /// Wall-clock budget.
+    pub time_budget: Duration,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        Self {
+            seed: 0xF4A3_5EED,
+            max_iterations: usize::MAX,
+            time_budget: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One captured property violation.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Which property failed.
+    pub property: String,
+    /// The offending input, hex-encoded for the report file.
+    pub input_hex: String,
+}
+
+/// What a fuzz run did and found.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Iterations executed (each covers all three input families).
+    pub iterations: usize,
+    /// Inputs that parsed to a complete frame.
+    pub complete: u64,
+    /// Inputs rejected with a [`FrameError`](crate::frame::FrameError).
+    pub rejected: u64,
+    /// Property violations (empty on a clean run).
+    pub counterexamples: Vec<Counterexample>,
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn random_args(rng: &mut XorShift64) -> Vec<Vec<u8>> {
+    let argc = 1 + rng.next_range(8) as usize;
+    (0..argc)
+        .map(|_| {
+            let len = rng.next_range(64) as usize;
+            (0..len).map(|_| rng.next_range(256) as u8).collect()
+        })
+        .collect()
+}
+
+fn random_reply(rng: &mut XorShift64, depth: u32) -> Reply {
+    match rng.next_range(if depth == 0 { 5 } else { 6 }) {
+        0 => Reply::status("OK"),
+        1 => Reply::error("ERR fuzz"),
+        2 => Reply::Value(
+            (0..rng.next_range(32))
+                .map(|_| rng.next_range(256) as u8)
+                .collect(),
+        ),
+        3 => Reply::Nil,
+        4 => Reply::Int(rng.next_range(u64::MAX) as i64),
+        _ => {
+            let n = rng.next_range(4) as usize;
+            Reply::Multi((0..n).map(|_| random_reply(rng, depth - 1)).collect())
+        }
+    }
+}
+
+/// Feeds `buf` to a parser and checks the no-panic / bounded-consumption
+/// property; records the outcome in `report`.
+fn check_parse(
+    report: &mut FuzzReport,
+    property: &str,
+    buf: &[u8],
+    parse: impl Fn(&[u8]) -> Option<usize> + std::panic::RefUnwindSafe,
+) {
+    match catch_unwind(AssertUnwindSafe(|| parse(buf))) {
+        Ok(Some(consumed)) => {
+            report.complete += 1;
+            if consumed > buf.len() || consumed < 4 {
+                report.counterexamples.push(Counterexample {
+                    property: format!("{property}: consumed {consumed} of {}", buf.len()),
+                    input_hex: hex(buf),
+                });
+            }
+        }
+        Ok(None) => report.rejected += 1,
+        Err(_) => report.counterexamples.push(Counterexample {
+            property: format!("{property}: parser panicked"),
+            input_hex: hex(buf),
+        }),
+    }
+}
+
+fn parse_request_outcome(buf: &[u8]) -> Option<usize> {
+    match parse_request(buf) {
+        Ok(Parsed::Complete(_, consumed)) => Some(consumed),
+        Ok(Parsed::Incomplete) | Err(_) => None,
+    }
+}
+
+fn parse_reply_outcome(buf: &[u8]) -> Option<usize> {
+    match parse_reply(buf) {
+        Ok(Parsed::Complete(_, consumed)) => Some(consumed),
+        Ok(Parsed::Incomplete) | Err(_) => None,
+    }
+}
+
+/// Runs the fuzzer. Deterministic given `options.seed` (and a generous
+/// enough budget to reach `max_iterations`).
+pub fn fuzz_frames(options: &FuzzOptions) -> FuzzReport {
+    let mut rng = XorShift64::new(options.seed);
+    let mut report = FuzzReport::default();
+    let started = Instant::now();
+    while report.iterations < options.max_iterations
+        && started.elapsed() < options.time_budget
+        && report.counterexamples.len() < 16
+    {
+        report.iterations += 1;
+
+        // Family 1: valid request, exact round trip + prefix behavior.
+        let args = random_args(&mut rng);
+        let borrowed: Vec<&[u8]> = args.iter().map(Vec::as_slice).collect();
+        let wire = encode_request(&borrowed);
+        match parse_request(&wire) {
+            Ok(Parsed::Complete(request, consumed)) if consumed == wire.len() => {
+                if request.args != borrowed {
+                    report.counterexamples.push(Counterexample {
+                        property: "valid request did not round-trip".into(),
+                        input_hex: hex(&wire),
+                    });
+                }
+            }
+            other => report.counterexamples.push(Counterexample {
+                property: format!("valid request parsed as {other:?}"),
+                input_hex: hex(&wire),
+            }),
+        }
+        let cut = rng.next_range(wire.len() as u64) as usize;
+        if parse_request(&wire[..cut]) != Ok(Parsed::Incomplete) {
+            report.counterexamples.push(Counterexample {
+                property: format!("strict prefix of {cut} bytes was not Incomplete"),
+                input_hex: hex(&wire[..cut]),
+            });
+        }
+
+        // Valid reply round trip.
+        let reply = random_reply(&mut rng, 2);
+        let reply_wire = reply.encode_frame();
+        match parse_reply(&reply_wire) {
+            Ok(Parsed::Complete(decoded, consumed))
+                if consumed == reply_wire.len() && decoded == reply => {}
+            other => report.counterexamples.push(Counterexample {
+                property: format!("valid reply parsed as {other:?}"),
+                input_hex: hex(&reply_wire),
+            }),
+        }
+
+        // Family 2: mutate the valid frame.
+        let mut mutated = wire.clone();
+        for _ in 0..=rng.next_range(4) {
+            match rng.next_range(3) {
+                0 => {
+                    let at = rng.next_range(mutated.len() as u64) as usize;
+                    mutated[at] ^= 1 << rng.next_range(8);
+                }
+                1 => {
+                    mutated.truncate(rng.next_range(mutated.len() as u64 + 1) as usize);
+                }
+                _ => {
+                    let extra = rng.next_range(8);
+                    for _ in 0..extra {
+                        mutated.push(rng.next_range(256) as u8);
+                    }
+                }
+            }
+            if mutated.is_empty() {
+                mutated.push(0);
+            }
+        }
+        check_parse(
+            &mut report,
+            "mutated request",
+            &mutated,
+            parse_request_outcome,
+        );
+        check_parse(&mut report, "mutated reply", &mutated, parse_reply_outcome);
+
+        // Family 3: pure garbage.
+        let garbage: Vec<u8> = (0..rng.next_range(128))
+            .map(|_| rng.next_range(256) as u8)
+            .collect();
+        check_parse(
+            &mut report,
+            "garbage request",
+            &garbage,
+            parse_request_outcome,
+        );
+        check_parse(&mut report, "garbage reply", &garbage, parse_reply_outcome);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_short_fuzz_run_is_clean() {
+        let report = fuzz_frames(&FuzzOptions {
+            seed: 7,
+            max_iterations: 500,
+            time_budget: Duration::from_secs(30),
+        });
+        assert_eq!(report.iterations, 500);
+        assert!(
+            report.counterexamples.is_empty(),
+            "codec property violations: {:?}",
+            report.counterexamples
+        );
+    }
+}

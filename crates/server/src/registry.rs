@@ -1,0 +1,74 @@
+//! Runtime engine selection: a name → [`DynStm`] registry.
+//!
+//! The server binary and the workload harness pick an engine from a
+//! string flag; this module is the one place that string is interpreted,
+//! so the set of servable engines cannot drift from the set of built
+//! ones. Every engine is also available wrapped in the SSI
+//! [`CertifiedFactory`], upgrading its
+//! isolation to full serializability at the certifier's documented cost.
+
+use std::sync::Arc;
+
+use zstm_api::{DynStm, Stm};
+use zstm_certify::CertifiedFactory;
+use zstm_core::StmConfig;
+use zstm_cs::CsStm;
+use zstm_lsa::LsaStm;
+use zstm_sstm::SStm;
+use zstm_tl2::Tl2Stm;
+use zstm_z::ZStm;
+
+/// The engine names [`build_engine`] accepts, in documentation order.
+pub const ENGINE_NAMES: [&str; 5] = ["lsa", "tl2", "cs", "sstm", "z"];
+
+/// Builds the named engine as an erased handle sized for `threads`
+/// logical threads (the server passes its pool-worker count plus slack —
+/// connections do not lease contexts, only pool workers polling
+/// transaction futures do).
+///
+/// With `certified` the engine is wrapped in the SSI certifier, so every
+/// `EXEC` commits under full serializability regardless of the native
+/// criterion; certification aborts retry server-side like any conflict
+/// (see PROTOCOL.md § transactions).
+///
+/// Returns `None` for an unknown name; [`ENGINE_NAMES`] lists the valid
+/// ones.
+pub fn build_engine(name: &str, threads: usize, certified: bool) -> Option<Arc<dyn DynStm>> {
+    let config = StmConfig::new(threads);
+    let stm: Arc<dyn DynStm> = match (name, certified) {
+        ("lsa", false) => Arc::new(Stm::new(LsaStm::new(config))),
+        ("lsa", true) => Arc::new(Stm::new(CertifiedFactory::new(config, LsaStm::new))),
+        ("tl2", false) => Arc::new(Stm::new(Tl2Stm::new(config))),
+        ("tl2", true) => Arc::new(Stm::new(CertifiedFactory::new(config, Tl2Stm::new))),
+        ("cs", false) => Arc::new(Stm::new(CsStm::with_vector_clock(config))),
+        ("cs", true) => Arc::new(Stm::new(CertifiedFactory::new(
+            config,
+            CsStm::with_vector_clock,
+        ))),
+        ("sstm", false) => Arc::new(Stm::new(SStm::with_vector_clock(config))),
+        ("sstm", true) => Arc::new(Stm::new(CertifiedFactory::new(
+            config,
+            SStm::with_vector_clock,
+        ))),
+        ("z", false) => Arc::new(Stm::new(ZStm::new(config))),
+        ("z", true) => Arc::new(Stm::new(CertifiedFactory::new(config, ZStm::new))),
+        _ => return None,
+    };
+    Some(stm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_engine_builds_native_and_certified() {
+        for name in ENGINE_NAMES {
+            let native = build_engine(name, 2, false).expect(name);
+            let certified = build_engine(name, 2, true).expect(name);
+            assert!(!native.name().starts_with("certified-"));
+            assert!(certified.name().starts_with("certified-"));
+        }
+        assert!(build_engine("redis", 2, false).is_none());
+    }
+}

@@ -1,0 +1,492 @@
+//! The server: accept loop, per-connection protocol state machine, and
+//! the transaction-execution path over the shared executor pool.
+//!
+//! Architecture (see ARCHITECTURE.md § network front end):
+//!
+//! * an **acceptor** thread owns the `TcpListener`;
+//! * each connection gets a **reader thread** (std sockets have no
+//!   reactor; DESIGN.md records this as a deliberate deviation from a
+//!   `tokio` deployment) that parses frames and writes replies;
+//! * every transaction — one data command, an `EXEC` body, a blocking
+//!   `WAIT` — is spawned as a **future on the shared
+//!   [`ThreadPool`]** via
+//!   [`DynStm::atomically_async_dyn`], so the pool is the admission
+//!   throttle: at most `workers` transactions execute at once, the rest
+//!   queue, and a `WAIT` parked in retry holds **no** worker — thousands
+//!   of connections can block on keys while two workers serve everyone
+//!   else.
+//!
+//! Shutdown drains in one pass: a stop flag every `WAIT` body re-checks,
+//! one [`DynStm::notify_retries`] to re-run parked bodies, then the pool
+//! is taken down and the sockets shut.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use zstm_api::{DynStm, DynVar};
+use zstm_core::TxKind;
+use zstm_util::exec::ThreadPool;
+use zstm_util::sync::Mutex;
+
+use crate::command::{compile, resolve, Command, LONG_TX_THRESHOLD, MAX_MULTI};
+use crate::frame::{parse_request, Parsed, Reply, Request};
+use crate::registry::build_engine;
+use crate::socket::{ChaosConfig, ChaosSocket, Socket};
+
+/// Server configuration: which engine serves, how many pool workers
+/// execute transactions, and optional fault injection.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Engine name (see [`crate::registry::ENGINE_NAMES`]).
+    pub engine: String,
+    /// Wrap the engine in the SSI certifier.
+    pub certified: bool,
+    /// Executor pool workers — the admission-control width: the maximum
+    /// number of concurrently *executing* transactions.
+    pub workers: usize,
+    /// Inject faults into every accepted connection.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl ServerConfig {
+    /// LSA over two workers, no faults.
+    pub fn new(engine: &str) -> Self {
+        Self {
+            engine: engine.to_string(),
+            certified: false,
+            workers: 2,
+            chaos: None,
+        }
+    }
+
+    /// Sets the pool-worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Wraps every accepted connection in a [`ChaosSocket`].
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Selects the certified variant of the engine.
+    pub fn with_certified(mut self, certified: bool) -> Self {
+        self.certified = certified;
+        self
+    }
+}
+
+/// State shared by the acceptor, every connection thread, and the handle.
+struct Shared {
+    stm: Arc<dyn DynStm>,
+    /// `None` once shutdown has taken the pool down; connections then
+    /// refuse transactions and close.
+    pool: Mutex<Option<ThreadPool>>,
+    directory: Mutex<HashMap<Vec<u8>, DynVar>>,
+    stopping: AtomicBool,
+    /// Live-connection raw handles, kept so shutdown can unblock readers.
+    conns: Mutex<Vec<TcpStream>>,
+    conn_seq: AtomicU64,
+}
+
+/// Why a connection stopped being served (internal control flow).
+enum Close {
+    /// Peer went away or a protocol error was already reported.
+    Silent,
+    /// Send this reply, then close.
+    After(Reply),
+}
+
+/// Per-connection protocol state.
+struct ConnState {
+    /// `Some(queue)` while inside a `MULTI` block.
+    multi: Option<Vec<Command>>,
+}
+
+/// A running server bound to a local address.
+///
+/// Dropping the handle shuts the server down (idempotent with an explicit
+/// [`shutdown`](ServerHandle::shutdown)).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// Builds the engine and starts accepting on `addr` (use
+    /// `127.0.0.1:0` for an ephemeral test port).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the engine name is unknown or the listener cannot bind.
+    pub fn spawn(addr: &str, config: &ServerConfig) -> io::Result<ServerHandle> {
+        // Workers lease engine contexts while polling transaction
+        // futures; +2 slack covers the handle's own maintenance work
+        // (nothing else runs transactions).
+        let stm = build_engine(&config.engine, config.workers + 2, config.certified).ok_or_else(
+            || {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("unknown engine '{}'", config.engine),
+                )
+            },
+        )?;
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            stm,
+            pool: Mutex::new(Some(ThreadPool::new(config.workers))),
+            directory: Mutex::new(HashMap::new()),
+            stopping: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            conn_seq: AtomicU64::new(0),
+        });
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conn_threads = Arc::clone(&conn_threads);
+            let chaos = config.chaos.clone();
+            std::thread::Builder::new()
+                .name("zstm-server-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &conn_threads, chaos))
+                .expect("spawn acceptor")
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            conn_threads,
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine serving this handle (for out-of-band audits in tests).
+    pub fn stm(&self) -> Arc<dyn DynStm> {
+        Arc::clone(&self.shared.stm)
+    }
+
+    /// Atomically sums every key starting with `prefix` under `ADD`'s
+    /// integer representation (§3/§4.4 of PROTOCOL.md), in one long
+    /// transaction straight against the engine — the out-of-band
+    /// conservation audit for chaos runs, where no client connection can
+    /// be trusted to survive a 32-key round trip. `None` if any matching
+    /// value is not an integer.
+    pub fn sum_keys(&self, prefix: &[u8]) -> Option<i64> {
+        let vars: Vec<DynVar> = {
+            let directory = self.shared.directory.lock();
+            directory
+                .iter()
+                .filter(|(key, _)| key.starts_with(prefix))
+                .map(|(_, var)| var.clone())
+                .collect()
+        };
+        let stm = Arc::clone(&self.shared.stm);
+        zstm_util::exec::block_on(stm.atomically_async(TxKind::Long, move |tx| {
+            let mut sum = 0i64;
+            for var in &vars {
+                match crate::command::decode_i64(&tx.read_bytes(var)?) {
+                    Some(value) => sum += value,
+                    None => return Ok(None),
+                }
+            }
+            Ok(Some(sum))
+        }))
+    }
+
+    /// Stops accepting, wakes parked `WAIT`s, drains in-flight
+    /// transactions, closes every connection and joins all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.shared.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Parked WAIT bodies re-run, observe the stop flag and resolve.
+        self.shared.stm.notify_retries();
+        // Taking the pool down drains queued transactions and joins the
+        // workers; nothing can stay parked after the notify above.
+        drop(self.shared.pool.lock().take());
+        // Unblock the acceptor (it re-checks the flag per accept).
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Unblock connection readers, then join them.
+        for conn in self.shared.conns.lock().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        for thread in self.conn_threads.lock().drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conn_threads: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    chaos: Option<ChaosConfig>,
+) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.stopping.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        stream.set_nodelay(true).ok();
+        if let Ok(raw) = stream.try_clone() {
+            shared.conns.lock().push(raw);
+        }
+        let id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+        let socket: Box<dyn Socket> = match &chaos {
+            Some(config) => Box::new(ChaosSocket::new(stream, config.clone(), id)),
+            None => Box::new(stream),
+        };
+        let shared = Arc::clone(shared);
+        let thread = std::thread::Builder::new()
+            .name(format!("zstm-server-conn-{id}"))
+            .spawn(move || serve_connection(&shared, socket))
+            .expect("spawn connection thread");
+        conn_threads.lock().push(thread);
+    }
+}
+
+/// Reads frames off `socket`, dispatches them, writes replies — the whole
+/// life of one connection.
+fn serve_connection(shared: &Arc<Shared>, mut socket: Box<dyn Socket>) {
+    let mut state = ConnState { multi: None };
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    'conn: loop {
+        // Drain every complete frame already buffered (pipelining).
+        loop {
+            let (outcome, consumed) = match parse_request(&buf) {
+                Ok(Parsed::Complete(request, consumed)) => {
+                    (dispatch(shared, &mut state, &request), consumed)
+                }
+                Ok(Parsed::Incomplete) => break,
+                Err(error) => {
+                    // Framing errors are unrecoverable: report and drop.
+                    let reply = Reply::error(&format!("ERR protocol: {error}"));
+                    let _ = socket.write_all(&reply.encode_frame());
+                    break 'conn;
+                }
+            };
+            buf.drain(..consumed);
+            match outcome {
+                Ok(reply) => {
+                    if socket.write_all(&reply.encode_frame()).is_err() {
+                        break 'conn;
+                    }
+                }
+                Err(Close::After(reply)) => {
+                    let _ = socket.write_all(&reply.encode_frame());
+                    break 'conn;
+                }
+                Err(Close::Silent) => break 'conn,
+            }
+        }
+        match socket.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    socket.shutdown();
+    // A connection that dies inside MULTI simply drops its queue here —
+    // nothing was executed, so nothing needs rolling back (the property
+    // the chaos tests pin down).
+}
+
+/// Handles one request; `Ok` is the reply, `Err` closes the connection.
+fn dispatch(
+    shared: &Arc<Shared>,
+    state: &mut ConnState,
+    request: &Request<'_>,
+) -> Result<Reply, Close> {
+    let name = request.args[0];
+    // Control commands first.
+    match name {
+        b"PING" => return Ok(Reply::status("PONG")),
+        b"ENGINE" => return Ok(Reply::Value(shared.stm.name().as_bytes().to_vec())),
+        b"STATS" => {
+            let stats = shared.stm.take_stats();
+            return Ok(Reply::Value(
+                format!(
+                    "commits={} aborts={} certification_aborts={} waker_parks={}",
+                    stats.total_commits(),
+                    stats.total_aborts(),
+                    stats.certification_aborts(),
+                    stats.waker_parks(),
+                )
+                .into_bytes(),
+            ));
+        }
+        b"QUIT" => return Err(Close::After(Reply::status("OK"))),
+        b"MULTI" => {
+            if state.multi.is_some() {
+                return Ok(Reply::error("ERR MULTI inside MULTI"));
+            }
+            state.multi = Some(Vec::new());
+            return Ok(Reply::status("OK"));
+        }
+        b"DISCARD" => {
+            return Ok(if state.multi.take().is_some() {
+                Reply::status("OK")
+            } else {
+                Reply::error("ERR DISCARD without MULTI")
+            });
+        }
+        b"EXEC" => {
+            let Some(queue) = state.multi.take() else {
+                return Ok(Reply::error("ERR EXEC without MULTI"));
+            };
+            let kind = if queue.len() > LONG_TX_THRESHOLD {
+                TxKind::Long
+            } else {
+                TxKind::Short
+            };
+            let plan = resolve(&shared.stm, &shared.directory, queue);
+            let replies = run_transaction(shared, kind, plan)?;
+            return Ok(Reply::Multi(replies));
+        }
+        b"WAIT" => {
+            if state.multi.is_some() {
+                return Ok(Reply::error("ERR WAIT inside MULTI"));
+            }
+            if request.args.len() != 3 {
+                return Ok(Reply::error("ERR wrong number of arguments"));
+            }
+            return run_wait(shared, request.args[1], request.args[2]);
+        }
+        _ => {}
+    }
+    // Data commands.
+    let command = match Command::parse(&request.args) {
+        Ok(Some(command)) => command,
+        Ok(None) => {
+            return Ok(Reply::error(&format!(
+                "ERR unknown command '{}'",
+                String::from_utf8_lossy(name)
+            )))
+        }
+        Err(reply) => return Ok(reply),
+    };
+    if let Some(queue) = state.multi.as_mut() {
+        if queue.len() >= MAX_MULTI {
+            state.multi = None;
+            return Ok(Reply::error("ERR MULTI body too large"));
+        }
+        queue.push(command);
+        return Ok(Reply::status("QUEUED"));
+    }
+    let plan = resolve(&shared.stm, &shared.directory, vec![command]);
+    let mut replies = run_transaction(shared, TxKind::Short, plan)?;
+    Ok(replies.pop().expect("one command, one reply"))
+}
+
+/// Runs a compiled plan as one atomic transaction on the shared pool and
+/// waits for its replies.
+fn run_transaction(
+    shared: &Arc<Shared>,
+    kind: TxKind,
+    plan: Vec<crate::command::Planned>,
+) -> Result<Vec<Reply>, Close> {
+    let out = Arc::new(Mutex::new(Vec::new()));
+    let body = compile(plan, Arc::clone(&out));
+    let future = shared.stm.atomically_async_dyn(kind, Box::new(body));
+    join_on_pool(shared, future)?;
+    let replies = std::mem::take(&mut *out.lock());
+    Ok(replies)
+}
+
+/// `WAIT key expected`: parks (via the retry/notifier protocol, as a
+/// suspended future) until the key holds `expected`; a server shutdown
+/// resolves the wait with an error instead of leaving the peer hanging.
+fn run_wait(shared: &Arc<Shared>, key: &[u8], expected: &[u8]) -> Result<Reply, Close> {
+    let plan = resolve(
+        &shared.stm,
+        &shared.directory,
+        vec![Command::Get(key.to_vec())],
+    );
+    // WAIT creates the key (it must exist to park on); re-resolve as a
+    // creating command.
+    let var = match plan.into_iter().next().and_then(|p| p.var) {
+        Some(var) => var,
+        None => {
+            let mut directory = shared.directory.lock();
+            directory
+                .entry(key.to_vec())
+                .or_insert_with(|| shared.stm.new_bytes(Vec::new()))
+                .clone()
+        }
+    };
+    let expected = expected.to_vec();
+    let stopping = Arc::new(AtomicBool::new(false));
+    let observed_stop = Arc::clone(&stopping);
+    let shared_flag = Arc::clone(shared);
+    let body = move |tx: &mut dyn zstm_api::DynTx| -> Result<(), zstm_core::Abort> {
+        // Re-checked on every attempt: shutdown's notify_retries re-runs
+        // parked bodies, which then commit empty instead of re-parking.
+        if shared_flag.stopping.load(Ordering::SeqCst) {
+            observed_stop.store(true, Ordering::SeqCst);
+            return Ok(());
+        }
+        if tx.read_bytes(&var)? == expected {
+            Ok(())
+        } else {
+            Err(tx.retry())
+        }
+    };
+    let future = shared
+        .stm
+        .atomically_async_dyn(TxKind::Short, Box::new(body));
+    join_on_pool(shared, future)?;
+    if stopping.load(Ordering::SeqCst) {
+        Err(Close::After(Reply::error("ERR server shutting down")))
+    } else {
+        Ok(Reply::status("OK"))
+    }
+}
+
+/// Spawns `future` on the shared pool and blocks this connection thread
+/// until it resolves. The *worker* is released whenever the transaction
+/// suspends; only this connection's reader waits.
+fn join_on_pool(
+    shared: &Arc<Shared>,
+    future: std::pin::Pin<Box<dyn std::future::Future<Output = ()> + Send + 'static>>,
+) -> Result<(), Close> {
+    let handle = {
+        let pool = shared.pool.lock();
+        let Some(pool) = pool.as_ref() else {
+            return Err(Close::After(Reply::error("ERR server shutting down")));
+        };
+        pool.spawn(future)
+    };
+    // join() re-throws if the pool was dropped mid-flight (shutdown) or
+    // the body panicked; either way this connection is done.
+    catch_unwind(AssertUnwindSafe(|| handle.join())).map_err(|_| Close::Silent)
+}

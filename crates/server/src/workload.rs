@@ -1,0 +1,226 @@
+//! The server workload: concurrent TCP clients hammering `MULTI`…`EXEC`
+//! transfers, with a conservation audit — the driver behind the
+//! `repro_figures server` RPS figure and the chaos integration tests.
+//!
+//! Every transfer is one atomic transaction, `MULTI [ADD from -1; ADD to
+//! +1] EXEC`, over a zero-initialized key space, so the audit invariant is
+//! the bank workload's: the balances must sum to zero no matter how many
+//! connections a [`ChaosSocket`](crate::socket::ChaosSocket) tears down
+//! mid-protocol. Optional *waiter* connections park in `WAIT` for the
+//! whole run, proving the pool multiplexes more server-side tasks than it
+//! has workers.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use zstm_util::XorShift64;
+
+use crate::client::Client;
+use crate::server::{ServerConfig, ServerHandle};
+
+/// Configuration of one server-workload run.
+#[derive(Clone, Debug)]
+pub struct ServerWorkloadConfig {
+    /// The server under load (engine, workers, chaos).
+    pub server: ServerConfig,
+    /// Concurrent transfer connections.
+    pub connections: usize,
+    /// Extra connections parked in `WAIT` for the whole run. With
+    /// `connections + waiters > server.workers` the pool is provably
+    /// multiplexing: parked waits hold no worker.
+    pub waiters: usize,
+    /// Distinct keys (`acct-0` … `acct-{keys-1}`).
+    pub keys: usize,
+    /// Wall-clock measurement duration.
+    pub duration: Duration,
+    /// PRNG seed (client key choices; chaos has its own seed).
+    pub seed: u64,
+}
+
+impl ServerWorkloadConfig {
+    /// A short LSA run sized for tests and smoke benches.
+    pub fn quick(connections: usize) -> Self {
+        Self {
+            server: ServerConfig::new("lsa"),
+            connections,
+            waiters: 0,
+            keys: 32,
+            duration: Duration::from_millis(150),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Result of one server-workload run.
+#[derive(Clone, Debug)]
+pub struct ServerReport {
+    /// Name of the engine that served.
+    pub engine: &'static str,
+    /// Transfer connections used.
+    pub connections: usize,
+    /// Pool workers that executed the transactions.
+    pub workers: usize,
+    /// Measured wall-clock duration.
+    pub elapsed: Duration,
+    /// Committed `EXEC` transfer transactions (full request/reply round
+    /// trips, so this is end-to-end server throughput).
+    pub committed: u64,
+    /// Connections the chaos decorator tore down (each one reconnected).
+    pub reconnects: u64,
+    /// Waiter connections that parked and were released.
+    pub waiters_released: u64,
+    /// Committed transfers per second — the RPS figure's y-axis.
+    pub rps: f64,
+    /// `true` iff the final audit summed every balance to zero.
+    pub conserved: bool,
+}
+
+fn key_name(i: usize) -> Vec<u8> {
+    format!("acct-{i}").into_bytes()
+}
+
+/// Runs the workload: spawns a server, drives it over real sockets,
+/// audits conservation, shuts it down.
+///
+/// # Panics
+///
+/// Panics if the server cannot spawn, a fault-free connection cannot be
+/// established, or the final audit round trip fails — harness errors, not
+/// measured outcomes (chaos-torn connections are counted, not fatal).
+pub fn run_server(config: &ServerWorkloadConfig) -> ServerReport {
+    let handle = ServerHandle::spawn("127.0.0.1:0", &config.server).expect("spawn server");
+    let addr = handle.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(config.connections + 1));
+    let reconnects = Arc::new(AtomicU64::new(0));
+
+    // Waiters park first so the whole measured window runs with more
+    // server-side tasks than pool workers.
+    let release_key = b"release".to_vec();
+    let mut waiter_threads = Vec::with_capacity(config.waiters);
+    for _ in 0..config.waiters {
+        let mut client = Client::connect(addr).expect("waiter connect");
+        waiter_threads.push(std::thread::spawn(move || {
+            client.wait(b"release", b"go").is_ok()
+        }));
+    }
+
+    let mut transfer_threads = Vec::with_capacity(config.connections);
+    for c in 0..config.connections {
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let reconnects = Arc::clone(&reconnects);
+        let config = config.clone();
+        let mut rng = XorShift64::new(config.seed.wrapping_add(c as u64 * 6271));
+        transfer_threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).ok();
+            let mut committed = 0u64;
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let Some(connected) = client.as_mut() else {
+                    // Chaos killed the link; reconnect and carry on.
+                    reconnects.fetch_add(1, Ordering::Relaxed);
+                    client = Client::connect(addr).ok();
+                    continue;
+                };
+                let from = rng.next_range(config.keys as u64) as usize;
+                let to = rng.next_range(config.keys as u64) as usize;
+                if from == to {
+                    continue;
+                }
+                let transfer = [
+                    vec![b"ADD".to_vec(), key_name(from), b"-1".to_vec()],
+                    vec![b"ADD".to_vec(), key_name(to), b"1".to_vec()],
+                ];
+                match connected.multi_exec(&transfer) {
+                    Ok(_) => committed += 1,
+                    Err(_) => client = None,
+                }
+            }
+            committed
+        }));
+    }
+
+    barrier.wait();
+    let started = Instant::now();
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = started.elapsed();
+
+    let committed: u64 = transfer_threads
+        .into_iter()
+        .map(|t| t.join().expect("transfer client panicked"))
+        .sum();
+
+    // Out-of-band audit, straight against the engine: under hostile
+    // chaos a multi-key client round trip has no realistic chance of
+    // surviving, and the invariant is about the *store*, not the link.
+    let conserved = handle.sum_keys(b"acct-") == Some(0);
+
+    // Release the waiters, then shut down.
+    let released = if config.waiters > 0 {
+        set_with_retry(addr, &release_key, b"go");
+        waiter_threads
+            .into_iter()
+            .map(|t| u64::from(t.join().expect("waiter panicked")))
+            .sum()
+    } else {
+        0
+    };
+
+    let engine = handle.stm().name();
+    handle.shutdown();
+
+    let secs = elapsed.as_secs_f64();
+    ServerReport {
+        engine,
+        connections: config.connections,
+        workers: config.server.workers,
+        elapsed,
+        committed,
+        reconnects: reconnects.load(Ordering::Relaxed),
+        waiters_released: released,
+        rps: committed as f64 / secs,
+        conserved,
+    }
+}
+
+fn set_with_retry(addr: std::net::SocketAddr, key: &[u8], value: &[u8]) {
+    for _ in 0..100 {
+        if let Ok(mut client) = Client::connect(addr) {
+            if client.set(key, value).is_ok() {
+                return;
+            }
+        }
+    }
+    panic!("could not SET through the chaos decorator in 100 attempts");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_commits_and_conserves() {
+        let report = run_server(&ServerWorkloadConfig::quick(3));
+        assert!(report.committed > 0, "transfers must commit");
+        assert!(report.conserved, "balances must sum to zero");
+        assert_eq!(report.engine, "lsa");
+    }
+
+    #[test]
+    fn waiters_park_beyond_the_pool_width() {
+        let mut config = ServerWorkloadConfig::quick(2);
+        // 2 workers, 2 transfer connections + 3 parked waiters: more
+        // server-side tasks than workers for the whole run.
+        config.waiters = 3;
+        let report = run_server(&config);
+        assert!(
+            report.committed > 0,
+            "parked waits must not starve the pool"
+        );
+        assert_eq!(report.waiters_released, 3, "shutdown must not eat waiters");
+        assert!(report.conserved);
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end: the acceptance shape from the issue — concurrent TCP
+//! clients executing `MULTI`…`EXEC` against each of the five engines,
+//! selected at runtime, with more server-side tasks than pool workers.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use zstm_core::TxKind;
+use zstm_server::client::Client;
+use zstm_server::registry::ENGINE_NAMES;
+use zstm_server::server::{ServerConfig, ServerHandle};
+
+/// Every engine, two pool workers, six concurrent client connections
+/// (plus a parked waiter — seven tasks over two workers): 20 transfers
+/// each, then an atomic audit must sum to zero.
+#[test]
+fn five_engines_serve_concurrent_multi_exec() {
+    for engine in ENGINE_NAMES {
+        let server = ServerHandle::spawn("127.0.0.1:0", &ServerConfig::new(engine).with_workers(2))
+            .unwrap_or_else(|e| panic!("spawn {engine}: {e}"));
+        let addr = server.addr();
+
+        // One connection parks in WAIT for the whole test: it must not
+        // occupy a worker, or the six transfer clients would starve.
+        let waiter = std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("waiter connect");
+            client.wait(b"finish", b"now").is_ok()
+        });
+
+        let clients: Vec<_> = (0..6)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for i in 0..20 {
+                        let from = format!("k{}", (c + i) % 8).into_bytes();
+                        let to = format!("k{}", (c + i + 1) % 8).into_bytes();
+                        let replies = client
+                            .multi_exec(&[
+                                vec![b"ADD".to_vec(), from, b"-1".to_vec()],
+                                vec![b"ADD".to_vec(), to, b"1".to_vec()],
+                            ])
+                            .expect("transfer EXEC");
+                        assert_eq!(replies.len(), 2);
+                    }
+                })
+            })
+            .collect();
+        for client in clients {
+            client.join().expect("client thread");
+        }
+
+        let mut audit = Client::connect(addr).expect("audit connect");
+        let gets: Vec<Vec<Vec<u8>>> = (0..8)
+            .map(|i| vec![b"GET".to_vec(), format!("k{i}").into_bytes()])
+            .collect();
+        let sum: i64 = audit
+            .multi_exec(&gets)
+            .expect("audit EXEC")
+            .into_iter()
+            .map(|reply| match reply {
+                zstm_server::frame::Reply::Value(bytes) => {
+                    zstm_server::command::decode_i64(&bytes).expect("integer value")
+                }
+                zstm_server::frame::Reply::Nil => 0,
+                other => panic!("{engine}: audit got {other:?}"),
+            })
+            .sum();
+        assert_eq!(sum, 0, "{engine}: transfers must conserve");
+
+        audit.set(b"finish", b"now").expect("release waiter");
+        assert!(waiter.join().expect("waiter thread"), "{engine}: waiter");
+        server.shutdown();
+    }
+}
+
+/// `WAIT` semantics end-to-end: blocks past a non-matching write, wakes
+/// on the matching one.
+#[test]
+fn wait_wakes_on_matching_commit_only() {
+    let server =
+        ServerHandle::spawn("127.0.0.1:0", &ServerConfig::new("lsa")).expect("spawn server");
+    let addr = server.addr();
+    let waiter = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client.wait(b"door", b"open").expect("WAIT");
+        // The value is guaranteed to be `open` at some commit the wait
+        // observed; read it back (another writer could race, but this
+        // test has only one).
+        client.get(b"door").expect("GET after WAIT")
+    });
+    let mut writer = Client::connect(addr).expect("connect");
+    std::thread::sleep(Duration::from_millis(30));
+    writer.set(b"door", b"ajar").expect("non-matching SET");
+    std::thread::sleep(Duration::from_millis(30));
+    assert!(!waiter.is_finished(), "WAIT must not wake on `ajar`");
+    writer.set(b"door", b"open").expect("matching SET");
+    assert_eq!(waiter.join().expect("waiter"), Some(b"open".to_vec()));
+    server.shutdown();
+}
+
+/// Shutdown resolves parked waiters with an error instead of hanging
+/// them (and `shutdown()` itself must not deadlock on a parked future).
+#[test]
+fn shutdown_releases_parked_waiters() {
+    let server =
+        ServerHandle::spawn("127.0.0.1:0", &ServerConfig::new("tl2")).expect("spawn server");
+    let addr = server.addr();
+    let waiter = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        client.wait(b"never", b"comes")
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    server.shutdown();
+    let outcome = waiter.join().expect("waiter thread");
+    assert!(
+        outcome.is_err(),
+        "a shutdown-resolved WAIT must surface as an error, got {outcome:?}"
+    );
+}
+
+/// `EXEC` bodies larger than the threshold run as the paper's *long*
+/// transaction kind — observable in the engine's statistics.
+#[test]
+fn large_exec_bodies_run_as_long_transactions() {
+    let server = ServerHandle::spawn("127.0.0.1:0", &ServerConfig::new("z")).expect("spawn server");
+    let stm: Arc<dyn zstm_api::DynStm> = server.stm();
+    let mut client = Client::connect(server.addr()).expect("connect");
+    // Drain whatever the spawn path committed.
+    let _ = stm.take_stats();
+
+    let body: Vec<Vec<Vec<u8>>> = (0..6)
+        .map(|i| vec![b"ADD".to_vec(), format!("k{i}").into_bytes(), b"1".to_vec()])
+        .collect();
+    client.multi_exec(&body).expect("long EXEC");
+    let short_body: Vec<Vec<Vec<u8>>> = body[..2].to_vec();
+    client.multi_exec(&short_body).expect("short EXEC");
+
+    // Stats live in thread-cached leases until the pool workers exit;
+    // shutting down flushes them, then the harvest sees everything.
+    server.shutdown();
+    let stats = stm.take_stats();
+    assert_eq!(stats.commits(TxKind::Long), 1, "6 commands > threshold");
+    assert_eq!(stats.commits(TxKind::Short), 1, "2 commands <= threshold");
+}

@@ -14,15 +14,18 @@
 //!   exactly once (a consistent snapshot).
 //!
 //! The map is seeded with `keys` entries spread over `buckets` buckets;
-//! every bucket holds a small `Vec` of `(key, value)` pairs, so lookups
-//! clone a handful of words per probe. The final report carries a
+//! every bucket is one *bytes* variable of the erased facade holding its
+//! `(key, value)` pairs as 16-byte little-endian records, so lookups
+//! clone a handful of words per probe and one compiled driver serves
+//! every engine behind `Arc<dyn DynStm>`. The final report carries a
 //! `consistent` flag: `false` if any committed scan saw a torn map.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use zstm_core::{atomically, RetryPolicy, TmFactory, TmThread, TmTx, TxKind, TxStats};
+use zstm_api::{DynStm, DynVar};
+use zstm_core::{RetryPolicy, TxKind, TxStats};
 use zstm_util::XorShift64;
 
 /// Configuration of the read-dominated map workload.
@@ -106,21 +109,57 @@ impl MapReport {
     }
 }
 
-/// One bucket's contents: the `(key, value)` pairs hashing to it.
-type Bucket = Vec<(u64, u64)>;
+/// Bytes per `(key, value)` entry in a bucket's encoded contents.
+const ENTRY_BYTES: usize = 16;
 
-/// Runs the read-dominated map workload against `stm`. Registers
-/// `config.threads` logical threads.
-pub fn run_map<F: TmFactory>(stm: &Arc<F>, config: &MapConfig) -> MapReport {
+/// Appends one `(key, value)` entry to a bucket's byte encoding: two
+/// little-endian `u64`s, key first.
+fn push_entry(bucket: &mut Vec<u8>, key: u64, value: u64) {
+    bucket.extend_from_slice(&key.to_le_bytes());
+    bucket.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Number of entries in a bucket's byte encoding.
+fn entry_count(bucket: &[u8]) -> usize {
+    bucket.len() / ENTRY_BYTES
+}
+
+/// Looks `key` up in a bucket's byte encoding.
+fn find_value(bucket: &[u8], key: u64) -> Option<u64> {
+    bucket.chunks_exact(ENTRY_BYTES).find_map(|entry| {
+        let k = u64::from_le_bytes(entry[..8].try_into().expect("8-byte key"));
+        (k == key).then(|| u64::from_le_bytes(entry[8..].try_into().expect("8-byte value")))
+    })
+}
+
+/// Rewrites `key`'s value in place in a bucket's byte encoding; returns
+/// `false` when the key is absent.
+fn set_value(bucket: &mut [u8], key: u64, value: u64) -> bool {
+    for entry in bucket.chunks_exact_mut(ENTRY_BYTES) {
+        let k = u64::from_le_bytes(entry[..8].try_into().expect("8-byte key"));
+        if k == key {
+            entry[8..].copy_from_slice(&value.to_le_bytes());
+            return true;
+        }
+    }
+    false
+}
+
+/// Runs the read-dominated map workload against `stm` — the erased
+/// facade, so one compiled driver serves every engine (same convention
+/// as [`run_bank`](crate::run_bank) and [`run_queue`](crate::run_queue)).
+/// Each bucket is one bytes variable holding its `(key, value)` pairs as
+/// 16-byte little-endian records.
+pub fn run_map(stm: &Arc<dyn DynStm>, config: &MapConfig) -> MapReport {
     // Seed: key k lives in bucket k % buckets with value k * 3.
-    let buckets: Arc<Vec<F::Var<Bucket>>> = Arc::new(
+    let buckets: Arc<Vec<DynVar>> = Arc::new(
         (0..config.buckets)
             .map(|b| {
-                let entries: Bucket = (0..config.keys as u64)
-                    .filter(|k| *k as usize % config.buckets == b)
-                    .map(|k| (k, k * 3))
-                    .collect();
-                stm.new_var(entries)
+                let mut entries = Vec::new();
+                for k in (0..config.keys as u64).filter(|k| *k as usize % config.buckets == b) {
+                    push_entry(&mut entries, k, k * 3);
+                }
+                stm.new_bytes(entries)
             })
             .collect(),
     );
@@ -133,7 +172,7 @@ pub fn run_map<F: TmFactory>(stm: &Arc<F>, config: &MapConfig) -> MapReport {
 
     let mut handles = Vec::with_capacity(config.threads);
     for t in 0..config.threads {
-        let mut thread = stm.register_thread();
+        let stm = Arc::clone(stm);
         let buckets = Arc::clone(&buckets);
         let stop = Arc::clone(&stop);
         let barrier = Arc::clone(&barrier);
@@ -149,19 +188,19 @@ pub fn run_map<F: TmFactory>(stm: &Arc<F>, config: &MapConfig) -> MapReport {
                 if rng.next_percent(config.lookup_pct) {
                     let key = rng.next_range(config.keys as u64);
                     let bucket = key as usize % config.buckets;
-                    let found = atomically(&mut thread, TxKind::Short, &short_policy, |tx| {
-                        let entries = tx.read(&buckets[bucket])?;
-                        Ok(entries.iter().find(|(k, _)| *k == key).map(|(_, v)| *v))
+                    let found = stm.atomically(TxKind::Short, &short_policy, |tx| {
+                        let entries = tx.read_bytes(&buckets[bucket])?;
+                        Ok(find_value(&entries, key))
                     });
                     if let Ok(found) = found {
                         consistent &= found.is_some();
                         lookups += 1;
                     }
                 } else if rng.next_percent(config.scan_pct) {
-                    let seen = atomically(&mut thread, TxKind::Long, &scan_policy, |tx| {
+                    let seen = stm.atomically(TxKind::Long, &scan_policy, |tx| {
                         let mut seen = 0u64;
                         for bucket in buckets.iter() {
-                            seen += tx.read(bucket)?.len() as u64;
+                            seen += entry_count(&tx.read_bytes(bucket)?) as u64;
                         }
                         Ok(seen)
                     });
@@ -175,19 +214,17 @@ pub fn run_map<F: TmFactory>(stm: &Arc<F>, config: &MapConfig) -> MapReport {
                     let key = rng.next_range(config.keys as u64);
                     let bucket = key as usize % config.buckets;
                     let value = rng.next_u64();
-                    let committed = atomically(&mut thread, TxKind::Short, &short_policy, |tx| {
-                        let mut entries = tx.read(&buckets[bucket])?;
-                        if let Some(slot) = entries.iter_mut().find(|(k, _)| *k == key) {
-                            slot.1 = value;
-                        }
-                        tx.write(&buckets[bucket], entries)
+                    let committed = stm.atomically(TxKind::Short, &short_policy, |tx| {
+                        let mut entries = tx.read_bytes(&buckets[bucket])?;
+                        set_value(&mut entries, key, value);
+                        tx.write_bytes(&buckets[bucket], entries)
                     });
                     if committed.is_ok() {
                         updates += 1;
                     }
                 }
             }
-            (lookups, updates, scans, consistent, thread.take_stats())
+            (lookups, updates, scans, consistent)
         }));
     }
 
@@ -201,15 +238,16 @@ pub fn run_map<F: TmFactory>(stm: &Arc<F>, config: &MapConfig) -> MapReport {
     let mut updates = 0u64;
     let mut scans = 0u64;
     let mut consistent = true;
-    let mut stats = TxStats::new();
     for handle in handles {
-        let (l, u, s, ok, thread_stats) = handle.join().expect("map worker panicked");
+        let (l, u, s, ok) = handle.join().expect("map worker panicked");
         lookups += l;
         updates += u;
         scans += s;
         consistent &= ok;
-        stats.merge(&thread_stats);
     }
+    // Worker threads have exited, so their cached leases are back in the
+    // facade's free pool and the harvest sees every counter.
+    let stats: TxStats = stm.take_stats();
     let commits = lookups + updates + scans;
     MapReport {
         stm: stm.name(),
@@ -227,6 +265,7 @@ pub fn run_map<F: TmFactory>(stm: &Arc<F>, config: &MapConfig) -> MapReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zstm_api::Stm;
     use zstm_clock::ShardedClock;
     use zstm_core::StmConfig;
     use zstm_cs::CsStm;
@@ -236,7 +275,7 @@ mod tests {
     #[test]
     fn map_runs_on_lsa() {
         let config = MapConfig::quick(2);
-        let stm = Arc::new(LsaStm::new(StmConfig::new(config.threads)));
+        let stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::new(StmConfig::new(config.threads))));
         let report = run_map(&stm, &config);
         assert!(report.lookups > 0);
         assert!(report.consistent, "lookups and scans must be consistent");
@@ -245,10 +284,10 @@ mod tests {
     #[test]
     fn map_runs_on_sharded_z() {
         let config = MapConfig::quick(2);
-        let stm = Arc::new(ZStm::with_clock(
+        let stm: Arc<dyn DynStm> = Arc::new(Stm::new(ZStm::with_clock(
             StmConfig::new(config.threads),
             ShardedClock::new(config.threads),
-        ));
+        )));
         let report = run_map(&stm, &config);
         assert!(report.commits() > 0);
         assert!(report.consistent);
@@ -257,12 +296,25 @@ mod tests {
     #[test]
     fn map_runs_on_sharded_cs() {
         let config = MapConfig::quick(2);
-        let stm = Arc::new(CsStm::with_clock(
+        let stm: Arc<dyn DynStm> = Arc::new(Stm::new(CsStm::with_clock(
             StmConfig::new(config.threads),
             ShardedClock::new(config.threads),
-        ));
+        )));
         let report = run_map(&stm, &config);
         assert!(report.commits() > 0);
         assert!(report.consistent);
+    }
+
+    #[test]
+    fn bucket_codec_round_trips() {
+        let mut bucket = Vec::new();
+        push_entry(&mut bucket, 7, 21);
+        push_entry(&mut bucket, 9, 27);
+        assert_eq!(entry_count(&bucket), 2);
+        assert_eq!(find_value(&bucket, 7), Some(21));
+        assert_eq!(find_value(&bucket, 8), None);
+        assert!(set_value(&mut bucket, 9, 99));
+        assert_eq!(find_value(&bucket, 9), Some(99));
+        assert!(!set_value(&mut bucket, 8, 1));
     }
 }

@@ -1,0 +1,59 @@
+//! STM as a server: an end-to-end session against the TCP front end.
+//!
+//! Spawns `zstm-server` on a loopback port with a runtime-selected
+//! engine (argv\[1\], default `z`; any of `lsa`, `tl2`, `cs`, `sstm`,
+//! `z`), then drives it with the scripted [`Client`]: simple commands, an
+//! atomic `MULTI`…`EXEC` transfer, a parked `WAIT` woken by another
+//! connection's commit, and a `STATS` read. The wire format is specced
+//! in `PROTOCOL.md`; run `cargo run --release --example server`.
+
+use zstm::server::client::Client;
+use zstm::server::server::{ServerConfig, ServerHandle};
+
+fn main() {
+    let engine = std::env::args().nth(1).unwrap_or_else(|| "z".to_string());
+    let server = ServerHandle::spawn("127.0.0.1:0", &ServerConfig::new(&engine).with_workers(2))
+        .unwrap_or_else(|e| panic!("spawn server ({engine}): {e}"));
+    let addr = server.addr();
+    println!("serving on {addr} (engine {})", server.stm().name());
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("PING");
+    println!("PING -> PONG");
+
+    client.set(b"greeting", b"hello").expect("SET");
+    println!(
+        "GET greeting -> {:?}",
+        String::from_utf8_lossy(&client.get(b"greeting").expect("GET").expect("value"))
+    );
+
+    // One atomic transfer: both ADDs commit together or not at all.
+    client.add(b"alice", 100).expect("seed alice");
+    let replies = client
+        .multi_exec(&[
+            vec![b"ADD".to_vec(), b"alice".to_vec(), b"-30".to_vec()],
+            vec![b"ADD".to_vec(), b"bob".to_vec(), b"30".to_vec()],
+        ])
+        .expect("EXEC transfer");
+    println!("MULTI transfer -> {replies:?}");
+
+    // A second connection parks in WAIT (no worker held, no spinning)
+    // until this connection's commit matches its expected value.
+    let waiter = std::thread::spawn(move || {
+        let mut parked = Client::connect(addr).expect("connect waiter");
+        parked.wait(b"door", b"open").expect("WAIT");
+        println!("waiter woke: door is open");
+    });
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    client.set(b"door", b"open").expect("SET door");
+    waiter.join().expect("waiter thread");
+
+    match client.request(&[b"STATS"]).expect("STATS") {
+        zstm::server::frame::Reply::Value(line) => {
+            println!("STATS -> {}", String::from_utf8_lossy(&line));
+        }
+        other => panic!("STATS replied {other:?}"),
+    }
+    server.shutdown();
+    println!("server shut down cleanly");
+}

@@ -127,6 +127,13 @@ pub mod certify {
     pub use zstm_certify::*;
 }
 
+/// The TCP network front end: wire protocol (see `PROTOCOL.md`), server,
+/// scripted client and chaos-socket fault injection. Re-export of
+/// [`zstm_server`].
+pub mod server {
+    pub use zstm_server::*;
+}
+
 /// History recording and consistency checkers. Re-export of
 /// [`zstm_history`].
 pub mod history {

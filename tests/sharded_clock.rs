@@ -116,10 +116,10 @@ fn sharded_map_scans_stay_consistent() {
     // Higher update share to stress the fast-path fallback interleavings.
     config.lookup_pct = 60;
     config.scan_pct = 30;
-    let stm = Arc::new(ZStm::with_clock(
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::new(ZStm::with_clock(
         StmConfig::new(config.threads),
         ShardedClock::new(config.threads),
-    ));
+    )));
     let report = run_map(&stm, &config);
     assert!(report.commits() > 0);
     assert!(
