@@ -56,6 +56,11 @@ pub type DynAsyncBody = Box<dyn FnMut(&mut dyn DynTx) -> Result<(), Abort> + Sen
 /// ([`DynStm::atomically_async_dyn`] / [`DynStm::or_else_async_dyn`]).
 pub type DynFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
 
+/// The boxed future returned by the object-safe **budgeted** async entry
+/// point ([`DynStm::try_atomically_async_dyn`]): resolves with the
+/// [`RetryExhausted`] error when the policy's budget runs out.
+pub type DynTryFuture = Pin<Box<dyn Future<Output = Result<(), RetryExhausted>> + Send + 'static>>;
+
 /// A type-erased transactional variable handle.
 ///
 /// Created by [`DynStm::new_i64`] / [`DynStm::new_bytes`] and only usable
@@ -228,6 +233,18 @@ pub trait DynStm: Send + Sync {
         second: DynAsyncBody,
     ) -> DynFuture;
 
+    /// Object-safe [`Stm::try_atomically_async`]: a **budgeted** async
+    /// atomic block. The future resolves `Err(RetryExhausted)` once the
+    /// policy's rounds are spent, and the policy's exponential sleep
+    /// backoff runs as timed parks on the executor — the server's defense
+    /// against conflict livelock pinning a shared pool worker.
+    fn try_atomically_async_dyn(
+        &self,
+        kind: TxKind,
+        policy: RetryPolicy,
+        body: DynAsyncBody,
+    ) -> DynTryFuture;
+
     /// Takes the statistics accumulated by every pooled context (see
     /// [`Stm::take_stats`]).
     fn take_stats(&self) -> TxStats;
@@ -291,6 +308,15 @@ impl<F: TmFactory> DynStm for Stm<F> {
             move |tx: &mut Tx<'_, F>| first(tx),
             move |tx: &mut Tx<'_, F>| second(tx),
         ))
+    }
+
+    fn try_atomically_async_dyn(
+        &self,
+        kind: TxKind,
+        policy: RetryPolicy,
+        mut body: DynAsyncBody,
+    ) -> DynTryFuture {
+        Box::pin(self.try_atomically_async(kind, policy, move |tx: &mut Tx<'_, F>| body(tx)))
     }
 
     fn take_stats(&self) -> TxStats {
@@ -390,6 +416,52 @@ impl dyn DynStm + '_ {
             out.lock()
                 .take()
                 .expect("committed async body stored its result")
+        }
+    }
+
+    /// Typed-return convenience over [`DynStm::try_atomically_async_dyn`]:
+    /// an `await`-able **budgeted** atomic block on a runtime-selected
+    /// engine, resolving `Err(RetryExhausted)` when the budget runs out.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use zstm_api::{DynStm, Stm};
+    /// use zstm_core::{AbortReason, RetryPolicy, StmConfig, TxKind};
+    /// use zstm_lsa::LsaStm;
+    /// use zstm_util::exec::block_on;
+    ///
+    /// let stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::new(StmConfig::new(1))));
+    /// let policy = RetryPolicy::default().with_max_attempts(3);
+    /// let err = block_on(stm.try_atomically_async(TxKind::Short, policy, move |tx| {
+    ///     Err::<(), _>(tx.retry())
+    /// }))
+    /// .unwrap_err();
+    /// assert_eq!(err.last_reason(), AbortReason::Retry);
+    /// ```
+    pub fn try_atomically_async<R: Send + 'static>(
+        &self,
+        kind: TxKind,
+        policy: RetryPolicy,
+        mut body: impl FnMut(&mut dyn DynTx) -> Result<R, Abort> + Send + 'static,
+    ) -> impl Future<Output = Result<R, RetryExhausted>> + Send + 'static {
+        let out = Arc::new(zstm_util::sync::Mutex::new(None::<R>));
+        let slot = Arc::clone(&out);
+        let future = self.try_atomically_async_dyn(
+            kind,
+            policy,
+            Box::new(move |tx| {
+                *slot.lock() = Some(body(tx)?);
+                Ok(())
+            }),
+        );
+        async move {
+            future.await?;
+            Ok(out
+                .lock()
+                .take()
+                .expect("committed async body stored its result"))
         }
     }
 

@@ -29,8 +29,9 @@
 use std::future::Future;
 use std::pin::Pin;
 use std::task::{Context, Poll};
+use std::time::Instant;
 
-use zstm_core::{Abort, TmFactory, TxKind};
+use zstm_core::{Abort, RetryExhausted, RetryPolicy, TmFactory, TxKind};
 
 use crate::notify::WakerKey;
 use crate::stm::PollOutcome;
@@ -66,23 +67,13 @@ type AltBody<'a, F, R> = Box<dyn FnMut(&mut Tx<'_, F>) -> Result<R, Abort> + Sen
 /// ```
 #[must_use = "futures do nothing unless polled"]
 pub struct TxFuture<'a, F: TmFactory, R> {
-    stm: Stm<F>,
-    kind: TxKind,
-    alternatives: Vec<AltBody<'a, F, R>>,
-    /// Live waker registration from the previous poll, if any.
-    registration: Option<WakerKey>,
-    done: bool,
+    inner: TryTxFuture<'a, F, R>,
 }
 
 impl<'a, F: TmFactory, R> TxFuture<'a, F, R> {
     pub(crate) fn new(stm: Stm<F>, kind: TxKind, alternatives: Vec<AltBody<'a, F, R>>) -> Self {
-        debug_assert!(!alternatives.is_empty());
         Self {
-            stm,
-            kind,
-            alternatives,
-            registration: None,
-            done: false,
+            inner: TryTxFuture::new(stm, kind, RetryPolicy::unbounded(), alternatives),
         }
     }
 }
@@ -93,8 +84,64 @@ impl<F: TmFactory, R> Future for TxFuture<'_, F, R> {
     type Output = R;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<R> {
+        Pin::new(&mut self.get_mut().inner)
+            .poll(cx)
+            .map(|result| result.expect("unbounded retry loop cannot exhaust"))
+    }
+}
+
+/// The future of a **budgeted** async atomic block: [`TxFuture`] with an
+/// explicit [`RetryPolicy`], resolving `Err(RetryExhausted)` when the
+/// budget runs out instead of retrying forever.
+///
+/// Created by [`Stm::try_atomically_async`]. Every round the block runs —
+/// including re-runs after a blocking retry's wakeup — counts against the
+/// budget, and a sleeping policy's between-attempt waits become *timed
+/// parks* on the executor's timer (`zstm_util::exec::wake_at`), so a
+/// livelocking transaction backs off without pinning a worker thread.
+/// On an idle system a parked bounded block still drains: the notifier's
+/// fallback ticker re-polls it roughly every
+/// [`RETRY_FALLBACK_WAKE`](crate::RETRY_FALLBACK_WAKE), and each re-poll
+/// spends budget.
+#[must_use = "futures do nothing unless polled"]
+pub struct TryTxFuture<'a, F: TmFactory, R> {
+    stm: Stm<F>,
+    kind: TxKind,
+    policy: RetryPolicy,
+    /// Rounds consumed so far, across polls (the budget's odometer).
+    attempts: u64,
+    alternatives: Vec<AltBody<'a, F, R>>,
+    /// Live waker registration from the previous poll, if any.
+    registration: Option<WakerKey>,
+    done: bool,
+}
+
+impl<'a, F: TmFactory, R> TryTxFuture<'a, F, R> {
+    pub(crate) fn new(
+        stm: Stm<F>,
+        kind: TxKind,
+        policy: RetryPolicy,
+        alternatives: Vec<AltBody<'a, F, R>>,
+    ) -> Self {
+        debug_assert!(!alternatives.is_empty());
+        Self {
+            stm,
+            kind,
+            policy,
+            attempts: 0,
+            alternatives,
+            registration: None,
+            done: false,
+        }
+    }
+}
+
+impl<F: TmFactory, R> Future for TryTxFuture<'_, F, R> {
+    type Output = Result<R, RetryExhausted>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
-        assert!(!this.done, "TxFuture polled after completion");
+        assert!(!this.done, "transaction future polled after completion");
         // A poll with a live registration means the wake came from
         // somewhere else (executor-internal re-poll, select-style
         // composition). Remove the old waker first: the task may have
@@ -102,13 +149,16 @@ impl<F: TmFactory, R> Future for TxFuture<'_, F, R> {
         if let Some(key) = this.registration.take() {
             this.stm.notifier().deregister_waker(key);
         }
-        match this
-            .stm
-            .poll_once(this.kind, &mut this.alternatives, cx.waker())
-        {
+        match this.stm.poll_once(
+            this.kind,
+            &this.policy,
+            &mut this.attempts,
+            &mut this.alternatives,
+            cx.waker(),
+        ) {
             PollOutcome::Ready(result) => {
                 this.done = true;
-                Poll::Ready(result)
+                Poll::Ready(Ok(result))
             }
             PollOutcome::Suspended(key) => {
                 this.registration = Some(key);
@@ -121,6 +171,16 @@ impl<F: TmFactory, R> Future for TxFuture<'_, F, R> {
                 cx.waker().wake_by_ref();
                 Poll::Pending
             }
+            PollOutcome::Backoff(delay) => {
+                // Timed park: the executor's timer re-polls after the
+                // policy's sleep, with no worker thread blocked meanwhile.
+                zstm_util::exec::wake_at(Instant::now() + delay, cx.waker().clone());
+                Poll::Pending
+            }
+            PollOutcome::Exhausted(err) => {
+                this.done = true;
+                Poll::Ready(Err(err))
+            }
         }
     }
 }
@@ -130,7 +190,7 @@ impl<F: TmFactory, R> Future for TxFuture<'_, F, R> {
 /// down. (A commit racing this drop may have already consumed the
 /// registration — `deregister_waker` is generation-checked, so the stale
 /// key is a no-op.)
-impl<F: TmFactory, R> Drop for TxFuture<'_, F, R> {
+impl<F: TmFactory, R> Drop for TryTxFuture<'_, F, R> {
     fn drop(&mut self) {
         if let Some(key) = self.registration.take() {
             self.stm.notifier().deregister_waker(key);
@@ -159,6 +219,25 @@ impl<F: TmFactory> Stm<F> {
         body: impl FnMut(&mut Tx<'_, F>) -> Result<R, Abort> + Send + 'a,
     ) -> TxFuture<'a, F, R> {
         TxFuture::new(self.clone(), kind, vec![Box::new(body)])
+    }
+
+    /// [`Stm::atomically_async`] with an explicit retry budget: resolves
+    /// `Err(`[`RetryExhausted`]`)` once `policy.max_attempts()` rounds all
+    /// failed to commit, and honors the policy's exponential sleep
+    /// backoff as timed parks on the executor.
+    ///
+    /// This is the overload-protection entry point: a server puts each
+    /// request's transaction behind a bounded, backing-off policy so a
+    /// conflict livelock degrades to a clean error carrying the last
+    /// [`AbortReason`](zstm_core::AbortReason) instead of spinning a
+    /// shared worker forever.
+    pub fn try_atomically_async<'a, R>(
+        &self,
+        kind: TxKind,
+        policy: RetryPolicy,
+        body: impl FnMut(&mut Tx<'_, F>) -> Result<R, Abort> + Send + 'a,
+    ) -> TryTxFuture<'a, F, R> {
+        TryTxFuture::new(self.clone(), kind, policy, vec![Box::new(body)])
     }
 
     /// Async [`Stm::atomically_or_else`]: `first` falling through to
@@ -277,5 +356,86 @@ mod tests {
             fn wake(self: Arc<Self>) {}
         }
         std::task::Waker::from(Arc::new(Noop))
+    }
+
+    #[test]
+    fn budgeted_future_commits_like_the_unbounded_one() {
+        let stm = Stm::new(ZStm::new(StmConfig::new(1)));
+        let var = stm.new_tvar(20i64);
+        let policy = zstm_core::RetryPolicy::default().with_max_attempts(8);
+        let v = {
+            let var = var.clone();
+            block_on(stm.try_atomically_async(TxKind::Short, policy, move |tx| {
+                tx.modify(&var, |v| *v += 1)?;
+                tx.read(&var)
+            }))
+        };
+        assert_eq!(v, Ok(21));
+    }
+
+    #[test]
+    fn budgeted_future_exhausts_on_persistent_aborts_and_records_it() {
+        use zstm_core::{Abort, AbortReason};
+        let stm = Stm::new(ZStm::new(StmConfig::new(1)));
+        let policy = zstm_core::RetryPolicy::default().with_max_attempts(5);
+        let err = block_on(stm.try_atomically_async(TxKind::Short, policy, move |_tx| {
+            Err::<(), _>(Abort::new(AbortReason::Explicit))
+        }))
+        .unwrap_err();
+        assert_eq!(err.attempts(), 5);
+        assert_eq!(err.last_reason(), AbortReason::Explicit);
+        assert_eq!(stm.take_stats().retries_exhausted(), 1);
+    }
+
+    #[test]
+    fn sleeping_policy_backs_off_via_timed_parks() {
+        use std::time::{Duration, Instant};
+        use zstm_core::{Abort, AbortReason};
+        let stm = Stm::new(LsaStm::new(StmConfig::new(1)));
+        // 3 attempts with 10ms/20ms sleeps between them: the block must
+        // take at least 30ms without any worker thread blocking (block_on
+        // parks its own thread; the timer wakes it).
+        let policy = zstm_core::RetryPolicy::default()
+            .with_max_attempts(3)
+            .with_exponential_sleep(Duration::from_millis(10), Duration::from_millis(100));
+        let started = Instant::now();
+        let err = block_on(stm.try_atomically_async(TxKind::Short, policy, move |_tx| {
+            Err::<(), _>(Abort::new(AbortReason::Explicit))
+        }))
+        .unwrap_err();
+        assert_eq!(err.attempts(), 3);
+        assert!(
+            started.elapsed() >= Duration::from_millis(30),
+            "exponential sleeps must actually space the attempts, got {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn bounded_blocking_retry_drains_within_fallback_ticks() {
+        // A budget of 2 on a block that always retries: first round
+        // suspends, the fallback ticker re-polls it, the second round
+        // exhausts. No commit ever happens — the future must still
+        // resolve (this is what bounds a WAIT-shaped block server-side).
+        let stm = Stm::new(ZStm::new(StmConfig::new(1)));
+        let gate = stm.new_tvar(0i64);
+        let policy = zstm_core::RetryPolicy::default().with_max_attempts(2);
+        let err = {
+            let gate = gate.clone();
+            block_on(stm.try_atomically_async(TxKind::Short, policy, move |tx| {
+                let g = tx.read(&gate)?;
+                if g == 0 {
+                    return tx.retry();
+                }
+                Ok(g)
+            }))
+        }
+        .unwrap_err();
+        assert_eq!(err.last_reason(), zstm_core::AbortReason::Retry);
+        assert_eq!(
+            stm.notifier().registered_wakers(),
+            0,
+            "an exhausted future must leave no waker behind"
+        );
     }
 }

@@ -64,8 +64,8 @@ mod stm;
 mod tvar;
 mod tx;
 
-pub use erased::{DynAsyncBody, DynBody, DynFuture, DynStm, DynTx, DynVar};
-pub use future::TxFuture;
+pub use erased::{DynAsyncBody, DynBody, DynFuture, DynStm, DynTryFuture, DynTx, DynVar};
+pub use future::{TryTxFuture, TxFuture};
 pub use notify::{Notifier, WakerKey, RETRY_FALLBACK_WAKE};
 pub use stm::Stm;
 pub use tvar::TVar;

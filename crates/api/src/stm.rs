@@ -45,6 +45,12 @@ pub(crate) enum PollOutcome<R> {
     /// The poll used up its conflict budget (or runs in the spin shape):
     /// self-wake and return `Pending` so co-tasks get the worker.
     Yielded,
+    /// The policy sleeps between attempts: re-poll after this delay (the
+    /// future converts it to a timed park via `zstm_util::exec::wake_at`,
+    /// so the backoff never pins an executor worker).
+    Backoff(std::time::Duration),
+    /// The retry budget ran out: the future resolves with the error.
+    Exhausted(RetryExhausted),
 }
 
 /// Runs the alternatives left to right as fresh transactions on `thread`,
@@ -428,13 +434,18 @@ impl<F: TmFactory> Stm<F> {
                         // sleeping through the remaining budget (1M rounds
                         // x 100 ms is a day, not "loudly").
                         if !commit_seen && policy.max_attempts() != u64::MAX {
+                            if let Some(stats) = thread.stats_mut() {
+                                stats.record_retry_exhausted();
+                            }
                             return Err(RetryExhausted::new(round + 1, AbortReason::Retry));
                         }
                         backoff.reset();
                     }
                     RoundOutcome::Retried => {
                         last_reason = AbortReason::Retry;
-                        if policy.backoff_enabled() {
+                        if let Some(sleep) = policy.sleep_for_attempt(round) {
+                            std::thread::sleep(sleep);
+                        } else if policy.backoff_enabled() {
                             backoff.spin();
                             if round % 64 == 63 {
                                 backoff.reset();
@@ -443,7 +454,9 @@ impl<F: TmFactory> Stm<F> {
                     }
                     RoundOutcome::Aborted(reason) => {
                         last_reason = reason;
-                        if policy.backoff_enabled() {
+                        if let Some(sleep) = policy.sleep_for_attempt(round) {
+                            std::thread::sleep(sleep);
+                        } else if policy.backoff_enabled() {
                             backoff.spin();
                             // Saturated backoff resets so long waits do
                             // not grow unboundedly under persistent
@@ -454,6 +467,9 @@ impl<F: TmFactory> Stm<F> {
                         }
                     }
                 }
+            }
+            if let Some(stats) = thread.stats_mut() {
+                stats.record_retry_exhausted();
             }
             Err(RetryExhausted::new(policy.max_attempts(), last_reason))
         })
@@ -474,9 +490,18 @@ impl<F: TmFactory> Stm<F> {
     /// conflict aborts or registrations refused by racing commits — the
     /// poll gives the executor thread back ([`PollOutcome::Yielded`])
     /// so one contended transaction cannot starve its worker's co-tasks.
+    ///
+    /// `attempts` is the caller's cumulative round counter (the future
+    /// owns it — a poll may run many rounds, and the budget spans polls).
+    /// Once it reaches `policy.max_attempts()` the poll ends in
+    /// [`PollOutcome::Exhausted`]; with a sleeping policy a failed round
+    /// ends the poll in [`PollOutcome::Backoff`] so the wait happens as a
+    /// timed park on the executor, not a `thread::sleep` on its worker.
     pub(crate) fn poll_once<R, B>(
         &self,
         kind: TxKind,
+        policy: &RetryPolicy,
+        attempts: &mut u64,
         alternatives: &mut [B],
         waker: &std::task::Waker,
     ) -> PollOutcome<R>
@@ -487,11 +512,21 @@ impl<F: TmFactory> Stm<F> {
         self.with_thread(|shared, park, thread| {
             let mut backoff = Backoff::new();
             let mut conflicts = 0u32;
+            let exhaust = |reason: AbortReason, attempts: u64, thread: &mut F::Thread| {
+                if let Some(stats) = thread.stats_mut() {
+                    stats.record_retry_exhausted();
+                }
+                PollOutcome::Exhausted(RetryExhausted::new(attempts, reason))
+            };
             loop {
                 let seen = shared.notifier.epoch();
+                *attempts += 1;
                 match run_round(shared, thread, kind, &mut *alternatives) {
                     RoundOutcome::Committed(result) => return PollOutcome::Ready(result),
                     RoundOutcome::Retried => {
+                        if *attempts >= policy.max_attempts() {
+                            return exhaust(AbortReason::Retry, *attempts, thread);
+                        }
                         if !park {
                             // The A/B "spin" shape (`Stm::with_parking
                             // (false)`): busy re-polling through the
@@ -523,7 +558,13 @@ impl<F: TmFactory> Stm<F> {
                             }
                         }
                     }
-                    RoundOutcome::Aborted(_) => {
+                    RoundOutcome::Aborted(reason) => {
+                        if *attempts >= policy.max_attempts() {
+                            return exhaust(reason, *attempts, thread);
+                        }
+                        if let Some(sleep) = policy.sleep_for_attempt(*attempts - 1) {
+                            return PollOutcome::Backoff(sleep);
+                        }
                         conflicts += 1;
                         if conflicts >= YIELD_AFTER_CONFLICTS {
                             return PollOutcome::Yielded;

@@ -40,10 +40,21 @@
 //!   i.e. the measured path is broken), and two pool workers must not
 //!   regress against one on the transfer workload.
 //!
+//! A second family of rules gates whole-figure **shapes** rather than
+//! series ratios (applied to the fresh run *and* to the committed
+//! baseline, so a hand-edited reference fails too):
+//!
+//! * `overload` — the tight-limits overload sweep must show admission
+//!   control working: the shed rate is monotone non-decreasing in
+//!   offered load (small tolerance for run-to-run noise) and strictly
+//!   positive at the top offered load, while goodput never collapses
+//!   below a fixed fraction of its own peak — flat goodput under 10×
+//!   load is the whole point of load shedding.
+//!
 //! Exit status 0 when every rule passes, 1 otherwise — wire it after a
 //! short `repro_figures fig7 / map / clocks / read-hotspot / certify /
-//! server` run in CI (every gated figure's fresh `.json` must exist
-//! under `--fresh`).
+//! server / overload` run in CI (every gated figure's fresh `.json` must
+//! exist under `--fresh`).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -191,6 +202,106 @@ const RULES: &[Rule] = &[
     },
 ];
 
+/// One whole-figure shape assertion. Unlike [`Rule`] (a ratio between two
+/// series at one x), a shape rule inspects a full figure — every point of
+/// every series it cares about — and is applied to the committed baseline
+/// as well as the fresh run, so a reference that never had the shape
+/// (e.g. hand-edited) fails the gate just like a fresh regression.
+struct ShapeRule {
+    /// Figure file stem (`<file>.json` in both directories).
+    file: &'static str,
+    /// What the rule enforces, for the report.
+    claim: &'static str,
+    /// Returns a one-line verdict on success, the violation on failure.
+    check: fn(&Figure) -> Result<String, String>,
+}
+
+/// Run-to-run tolerance for the monotone shed-rate rule: one point may
+/// sit this far below its predecessor before the shape counts as broken
+/// (shed rates are ratios in [0, 1], so this is 10 points of rate).
+const SHED_RATE_TOLERANCE: f64 = 0.1;
+
+/// Goodput may wobble under overload but must never collapse: every
+/// point of the overload sweep has to stay above this fraction of the
+/// figure's own peak goodput. A server without admission control fails
+/// this as offered load grows — excess work queues behind the admission
+/// slot and drags every response down with it.
+const GOODPUT_FLOOR_FRACTION: f64 = 0.2;
+
+fn overload_series<'a>(
+    figure: &'a Figure,
+    label: &str,
+) -> Result<&'a zstm_workload::Series, String> {
+    let series = figure
+        .series(label)
+        .ok_or_else(|| format!("no series '{label}'"))?;
+    if series.points.len() < 2 {
+        return Err(format!(
+            "series '{label}' has {} point(s); the shape rules need a sweep of at least 2",
+            series.points.len()
+        ));
+    }
+    Ok(series)
+}
+
+fn shed_rate_monotone(figure: &Figure) -> Result<String, String> {
+    let shed = overload_series(figure, "shed-rate")?;
+    for pair in shed.points.windows(2) {
+        let ((x0, y0), (x1, y1)) = (pair[0], pair[1]);
+        if y1 < y0 - SHED_RATE_TOLERANCE {
+            return Err(format!(
+                "shed rate falls from {y0:.3} at x = {x0} to {y1:.3} at x = {x1} \
+                 (tolerance {SHED_RATE_TOLERANCE})"
+            ));
+        }
+    }
+    let &(first_x, first_y) = shed.points.first().expect("len checked above");
+    let &(top_x, top_y) = shed.points.last().expect("len checked above");
+    if top_y <= 0.0 {
+        return Err(format!(
+            "shed rate is {top_y:.3} at the top offered load x = {top_x}; \
+             an overloaded server that sheds nothing is queueing instead"
+        ));
+    }
+    Ok(format!(
+        "shed rate climbs {first_y:.3} → {top_y:.3} over x = {first_x}..{top_x}"
+    ))
+}
+
+fn goodput_floor(figure: &Figure) -> Result<String, String> {
+    let goodput = overload_series(figure, "goodput")?;
+    let peak = goodput.points.iter().map(|&(_, y)| y).fold(0.0, f64::max);
+    if peak <= 0.0 {
+        return Err("goodput never rises above zero".to_string());
+    }
+    let floor = peak * GOODPUT_FLOOR_FRACTION;
+    for &(x, y) in &goodput.points {
+        if y < floor {
+            return Err(format!(
+                "goodput {y:.1} at x = {x} collapsed below {floor:.1} \
+                 ({GOODPUT_FLOOR_FRACTION} × peak {peak:.1})"
+            ));
+        }
+    }
+    Ok(format!(
+        "goodput stays within [{floor:.1}, {peak:.1}] across the sweep \
+         (floor = {GOODPUT_FLOOR_FRACTION} × peak)"
+    ))
+}
+
+const SHAPE_RULES: &[ShapeRule] = &[
+    ShapeRule {
+        file: "overload",
+        claim: "shed rate is monotone non-decreasing in offered load and positive under overload",
+        check: shed_rate_monotone,
+    },
+    ShapeRule {
+        file: "overload",
+        claim: "goodput stays flat under overload instead of collapsing below its floor",
+        check: goodput_floor,
+    },
+];
+
 fn load_figure(dir: &Path, file: &str) -> Result<Figure, String> {
     let path = dir.join(format!("{file}.json"));
     let text = std::fs::read_to_string(&path)
@@ -259,6 +370,20 @@ fn check(rule: &Rule, fresh_dir: &Path, baseline_dir: &Path) -> Result<String, S
     }
 }
 
+fn check_shape(rule: &ShapeRule, fresh_dir: &Path, baseline_dir: &Path) -> Result<String, String> {
+    let baseline = load_figure(baseline_dir, rule.file)?;
+    (rule.check)(&baseline).map_err(|e| {
+        format!(
+            "{} (committed baseline): {e}\n    CLAIM VIOLATED: {}",
+            rule.file, rule.claim
+        )
+    })?;
+    let fresh = load_figure(fresh_dir, rule.file)?;
+    let verdict = (rule.check)(&fresh)
+        .map_err(|e| format!("{}: {e}\n    CLAIM VIOLATED: {}", rule.file, rule.claim))?;
+    Ok(format!("{}: {verdict}", rule.file))
+}
+
 fn main() -> ExitCode {
     let mut fresh_dir = PathBuf::from("target/figures");
     let mut baseline_dir = PathBuf::from("baselines");
@@ -291,8 +416,20 @@ fn main() -> ExitCode {
             }
         }
     }
+    for rule in SHAPE_RULES {
+        match check_shape(rule, &fresh_dir, &baseline_dir) {
+            Ok(verdict) => println!("  ok   {verdict}"),
+            Err(message) => {
+                println!("  FAIL {message}");
+                failures += 1;
+            }
+        }
+    }
     if failures == 0 {
-        println!("all {} relative-shape rules hold", RULES.len());
+        println!(
+            "all {} relative-shape and figure-shape rules hold",
+            RULES.len() + SHAPE_RULES.len()
+        );
         ExitCode::SUCCESS
     } else {
         println!("{failures} rule(s) violated");

@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures and the ARCHITECTURE.md ablations.
 //!
 //! ```text
-//! repro-figures [fig6|fig7|map|queue|queue-async|server|clocks|certify|read-hotspot|ablation-r|ablation-overhead|ablation-longfrac|contention|all]
+//! repro-figures [fig6|fig7|map|queue|queue-async|server|overload|clocks|certify|read-hotspot|ablation-r|ablation-overhead|ablation-longfrac|contention|all]
 //!               [--duration-ms N] [--threads 1,2,8,16,32] [--out-dir DIR]
 //! ```
 //!
@@ -18,7 +18,7 @@ use std::time::Duration;
 use zstm_bench::json::{to_json, Figure};
 use zstm_bench::{
     ablation_contention, ablation_long_fraction, ablation_overhead, ablation_plausible_r,
-    clock_contention, figure6, figure7, figure_certify, figure_map, figure_queue,
+    clock_contention, figure6, figure7, figure_certify, figure_map, figure_overload, figure_queue,
     figure_queue_async, figure_server, read_hotspot, BankFigure, PAPER_THREADS,
 };
 use zstm_workload::{print_table, Series};
@@ -155,6 +155,19 @@ fn run_server_figure(options: &Options) {
     save(options, "server", &series);
 }
 
+fn run_overload_figure(options: &Options) {
+    println!(
+        "=== Overload: goodput + shed rate vs offered load on a tight server \
+         (x = saturating clients) ==="
+    );
+    let series = figure_overload(&options.threads, options.duration);
+    println!(
+        "{}",
+        print_table("goodput [Tx/s] / shed rate [0..1]", &series)
+    );
+    save(options, "overload", &series);
+}
+
 fn run_read_hotspot(options: &Options) {
     println!("=== Read hotspot: one hot variable, fast vs locked read path ===");
     let series = read_hotspot(&options.threads, options.duration);
@@ -256,6 +269,7 @@ fn main() {
         "queue" => run_queue(&options),
         "queue-async" => run_queue_async(&options),
         "server" => run_server_figure(&options),
+        "overload" => run_overload_figure(&options),
         "clocks" => run_clocks(&options),
         "certify" => run_certify(&options),
         "read-hotspot" => run_read_hotspot(&options),
@@ -270,6 +284,7 @@ fn main() {
             run_queue(&options);
             run_queue_async(&options);
             run_server_figure(&options);
+            run_overload_figure(&options);
             run_clocks(&options);
             run_certify(&options);
             run_read_hotspot(&options);
@@ -281,8 +296,8 @@ fn main() {
         other => {
             eprintln!(
                 "unknown command '{other}'; expected fig6 | fig7 | map | queue | queue-async | \
-                 server | clocks | certify | read-hotspot | ablation-r | ablation-overhead | \
-                 ablation-longfrac | contention | all"
+                 server | overload | clocks | certify | read-hotspot | ablation-r | \
+                 ablation-overhead | ablation-longfrac | contention | all"
             );
             std::process::exit(2);
         }

@@ -24,7 +24,7 @@ use zstm_cs::CsStm;
 use zstm_lsa::LsaStm;
 use zstm_server::server::ServerConfig;
 use zstm_server::socket::ChaosConfig;
-use zstm_server::workload::{run_server, ServerWorkloadConfig};
+use zstm_server::workload::{run_overload, run_server, OverloadConfig, ServerWorkloadConfig};
 use zstm_sstm::SStm;
 use zstm_tl2::Tl2Stm;
 use zstm_workload::{
@@ -633,6 +633,44 @@ pub fn figure_server(connections: &[usize], duration: Duration) -> Vec<Series> {
     series
 }
 
+/// Series labels of [`figure_overload`], in order — shared with the
+/// `check_baselines` overload shape rules so the gate cannot drift from
+/// the sweep.
+pub const OVERLOAD_LABELS: [&str; 2] = ["goodput", "shed-rate"];
+
+/// **Overload figure**: goodput and shed rate versus offered load on a
+/// deliberately tight server (one pool worker, one admission slot — see
+/// [`OverloadConfig::tight`]). The x axis is closed-loop client
+/// connections, each offering transfers back-to-back, so x is offered
+/// load in units of "saturating clients". Two series in
+/// [`OVERLOAD_LABELS`] order:
+///
+/// * `goodput` — committed transfers per second. Under admission control
+///   this stays roughly flat as offered load grows: excess work is
+///   answered with cheap `BUSY` frames instead of queueing behind the
+///   one slot and dragging every response down.
+/// * `shed-rate` — `(BUSY + TIMEOUT replies) / attempts`, climbing with
+///   offered load as a larger share of the excess is turned away.
+///
+/// Every point asserts the transfer conservation invariant: shed and
+/// timed-out transfers must leave no partial effects.
+pub fn figure_overload(connections: &[usize], duration: Duration) -> Vec<Series> {
+    let mut series: Vec<Series> = OVERLOAD_LABELS.into_iter().map(Series::new).collect();
+    for &n in connections {
+        let mut config = OverloadConfig::tight(n, 1);
+        config.duration = duration;
+        let report = run_overload(&config);
+        assert!(
+            report.conserved,
+            "{}: shed transfers must leave no partial effects at {} connections",
+            report.engine, n
+        );
+        series[0].push(n as f64, report.goodput);
+        series[1].push(n as f64, report.shed_rate);
+    }
+    series
+}
+
 fn run_map_point<F: TmFactory>(stm: Arc<F>, config: &MapConfig) -> f64 {
     // Like `run_bank_point`: the driver itself runs over the erased
     // facade, so only this wrapper mentions the factory type.
@@ -774,6 +812,22 @@ mod tests {
                 s.label
             );
         }
+    }
+
+    #[test]
+    fn figure_overload_smoke() {
+        let series = figure_overload(&[1, 4], FAST);
+        assert_eq!(series.len(), OVERLOAD_LABELS.len());
+        let goodput = &series[0];
+        assert!(
+            goodput.points.iter().all(|&(_, y)| y > 0.0),
+            "goodput: the admitted slot must still commit transfers"
+        );
+        let shed = &series[1];
+        assert!(
+            shed.points.iter().all(|&(_, y)| (0.0..=1.0).contains(&y)),
+            "shed-rate: a rate must stay within [0, 1]"
+        );
     }
 
     #[test]

@@ -1,21 +1,41 @@
+use std::time::Duration;
+
 use zstm_util::Backoff;
 
 use crate::{Abort, AbortReason, RetryExhausted, TmThread, TmTx, TxKind};
 
 /// Retry policy for [`atomically`].
 ///
+/// Two independent knobs: **how many** attempts an atomic block gets
+/// ([`with_max_attempts`](Self::with_max_attempts)) and **how it waits**
+/// between them — CPU spin-backoff by default, or bounded exponential
+/// *sleep* backoff ([`with_exponential_sleep`](Self::with_exponential_sleep))
+/// for overload-facing callers where a livelocking transaction must yield
+/// its worker rather than burn it.
+///
 /// # Examples
 ///
 /// ```
+/// use std::time::Duration;
 /// use zstm_core::RetryPolicy;
 ///
 /// let policy = RetryPolicy::default().with_max_attempts(100);
 /// assert_eq!(policy.max_attempts(), 100);
+///
+/// // A server-side budget: at most 32 attempts, sleeping 1ms, 2ms, 4ms...
+/// // capped at 50ms between them.
+/// let budget = RetryPolicy::default()
+///     .with_max_attempts(32)
+///     .with_exponential_sleep(Duration::from_millis(1), Duration::from_millis(50));
+/// assert_eq!(budget.sleep_for_attempt(2), Some(Duration::from_millis(4)));
+/// assert_eq!(budget.sleep_for_attempt(63), Some(Duration::from_millis(50)));
 /// ```
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
     max_attempts: u64,
     backoff_on_abort: bool,
+    sleep_base: Option<Duration>,
+    sleep_cap: Duration,
 }
 
 impl RetryPolicy {
@@ -25,6 +45,8 @@ impl RetryPolicy {
         Self {
             max_attempts: u64::MAX,
             backoff_on_abort: true,
+            sleep_base: None,
+            sleep_cap: Duration::ZERO,
         }
     }
 
@@ -40,6 +62,18 @@ impl RetryPolicy {
         self
     }
 
+    /// Switches the between-attempt wait from CPU spinning to bounded
+    /// exponential **sleep**: attempt `n` waits `base << n`, capped at
+    /// `cap`. A zero `base` disables sleeping again (back to spin
+    /// backoff). Sleeping policies yield the OS thread — on the server's
+    /// shared pool the async retry loop converts the sleep into a timed
+    /// park instead, so a conflicting transaction never pins a worker.
+    pub fn with_exponential_sleep(mut self, base: Duration, cap: Duration) -> Self {
+        self.sleep_base = (!base.is_zero()).then_some(base);
+        self.sleep_cap = cap.max(base);
+        self
+    }
+
     /// Maximum number of attempts per atomic block.
     pub fn max_attempts(&self) -> u64 {
         self.max_attempts
@@ -48,6 +82,17 @@ impl RetryPolicy {
     /// Whether the retry loop backs off exponentially between attempts.
     pub fn backoff_enabled(&self) -> bool {
         self.backoff_on_abort
+    }
+
+    /// The sleep before re-running attempt `attempt + 1`, if this policy
+    /// sleeps between attempts (`None` means spin backoff; see
+    /// [`with_exponential_sleep`](Self::with_exponential_sleep)).
+    /// Exponential in the attempt index with the doubling saturated well
+    /// below overflow, then clamped to the configured cap.
+    pub fn sleep_for_attempt(&self, attempt: u64) -> Option<Duration> {
+        let base = self.sleep_base?;
+        let exp = u32::try_from(attempt.min(20)).expect("min(20) fits in u32");
+        Some(base.saturating_mul(1 << exp).min(self.sleep_cap))
     }
 }
 
@@ -65,6 +110,8 @@ impl Default for RetryPolicy {
         Self {
             max_attempts: 1_000_000,
             backoff_on_abort: true,
+            sleep_base: None,
+            sleep_cap: Duration::ZERO,
         }
     }
 }
@@ -120,7 +167,9 @@ where
                 tx.rollback(abort.reason());
             }
         }
-        if policy.backoff_on_abort {
+        if let Some(sleep) = policy.sleep_for_attempt(attempt) {
+            std::thread::sleep(sleep);
+        } else if policy.backoff_on_abort {
             backoff.spin();
         }
         // Saturated backoff resets so long waits do not grow unboundedly
@@ -130,4 +179,45 @@ where
         }
     }
     Err(RetryExhausted::new(policy.max_attempts, last_reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_does_not_sleep() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.sleep_for_attempt(0), None);
+        assert_eq!(policy.sleep_for_attempt(1_000), None);
+    }
+
+    #[test]
+    fn exponential_sleep_doubles_and_caps() {
+        let policy = RetryPolicy::default()
+            .with_exponential_sleep(Duration::from_millis(1), Duration::from_millis(8));
+        assert_eq!(policy.sleep_for_attempt(0), Some(Duration::from_millis(1)));
+        assert_eq!(policy.sleep_for_attempt(1), Some(Duration::from_millis(2)));
+        assert_eq!(policy.sleep_for_attempt(3), Some(Duration::from_millis(8)));
+        // Saturates at the cap for arbitrarily late attempts.
+        assert_eq!(
+            policy.sleep_for_attempt(u64::MAX),
+            Some(Duration::from_millis(8))
+        );
+    }
+
+    #[test]
+    fn zero_base_disables_sleeping() {
+        let policy = RetryPolicy::default()
+            .with_exponential_sleep(Duration::from_millis(1), Duration::from_millis(8))
+            .with_exponential_sleep(Duration::ZERO, Duration::from_millis(8));
+        assert_eq!(policy.sleep_for_attempt(0), None);
+    }
+
+    #[test]
+    fn cap_never_sits_below_base() {
+        let policy = RetryPolicy::default()
+            .with_exponential_sleep(Duration::from_millis(10), Duration::from_millis(1));
+        assert_eq!(policy.sleep_for_attempt(0), Some(Duration::from_millis(10)));
+    }
 }

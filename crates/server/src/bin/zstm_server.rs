@@ -4,7 +4,15 @@
 //! ```text
 //! zstm-server [--addr HOST:PORT] [--engine NAME] [--certified]
 //!             [--workers N] [--chaos SEED] [--chaos-delay-ms N]
+//!             [--max-conns N] [--max-inflight N] [--idle-timeout-ms N]
+//!             [--write-timeout-ms N] [--request-deadline-ms N]
+//!             [--retry-budget N]
 //! ```
+//!
+//! The limit flags map one-to-one onto
+//! [`Limits`](zstm_server::server::Limits); unset means unlimited.
+//! `--retry-budget` also enables exponential sleep backoff (1ms base,
+//! 50ms cap) between a transaction's attempts.
 //!
 //! Prints `listening on <addr> (engine=<name>, workers=<n>)` once bound —
 //! scripted clients (and the CI end-to-end job) parse the address from
@@ -42,11 +50,52 @@ fn main() {
                     .parse()
                     .expect("--chaos-delay-ms: u64")
             }
+            "--max-conns" => {
+                config.limits.max_connections =
+                    value("--max-conns").parse().expect("--max-conns: usize")
+            }
+            "--max-inflight" => {
+                config.limits.max_inflight_tx = value("--max-inflight")
+                    .parse()
+                    .expect("--max-inflight: usize")
+            }
+            "--idle-timeout-ms" => {
+                config.limits.read_timeout = Some(Duration::from_millis(
+                    value("--idle-timeout-ms")
+                        .parse()
+                        .expect("--idle-timeout-ms: u64"),
+                ))
+            }
+            "--write-timeout-ms" => {
+                config.limits.write_timeout = Some(Duration::from_millis(
+                    value("--write-timeout-ms")
+                        .parse()
+                        .expect("--write-timeout-ms: u64"),
+                ))
+            }
+            "--request-deadline-ms" => {
+                config.limits.request_deadline = Some(Duration::from_millis(
+                    value("--request-deadline-ms")
+                        .parse()
+                        .expect("--request-deadline-ms: u64"),
+                ))
+            }
+            "--retry-budget" => {
+                config.limits.retry_budget = zstm_core::RetryPolicy::default()
+                    .with_max_attempts(
+                        value("--retry-budget")
+                            .parse()
+                            .expect("--retry-budget: u64"),
+                    )
+                    .with_exponential_sleep(Duration::from_millis(1), Duration::from_millis(50))
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: zstm-server [--addr HOST:PORT] [--engine {}] [--certified] \
-                     [--workers N] [--chaos SEED] [--chaos-delay-ms N]",
+                     [--workers N] [--chaos SEED] [--chaos-delay-ms N] [--max-conns N] \
+                     [--max-inflight N] [--idle-timeout-ms N] [--write-timeout-ms N] \
+                     [--request-deadline-ms N] [--retry-budget N]",
                     ENGINE_NAMES.join("|")
                 );
                 std::process::exit(2);

@@ -12,6 +12,12 @@ use std::time::Duration;
 
 use crate::frame::{encode_request, parse_reply, FrameError, Parsed, Reply};
 
+/// Default I/O timeout for a fresh [`Client`]: long enough for any
+/// legitimate reply in the test and harness suites, short enough that a
+/// wedged server turns a hung harness into an error. Raise it per
+/// connection with [`Client::set_timeout`] (e.g. for long `WAIT`s).
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// A connected client.
 pub struct Client {
     stream: TcpStream,
@@ -19,7 +25,9 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server. Reads and writes both start bounded by
+    /// [`DEFAULT_TIMEOUT`] so a wedged server or a full send buffer
+    /// surfaces as an error instead of hanging the harness forever.
     ///
     /// # Errors
     ///
@@ -27,20 +35,24 @@ impl Client {
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(DEFAULT_TIMEOUT))?;
+        stream.set_write_timeout(Some(DEFAULT_TIMEOUT))?;
         Ok(Client {
             stream,
             buf: Vec::new(),
         })
     }
 
-    /// Bounds every subsequent reply wait (useful in tests that expect
-    /// the server to drop the connection instead of replying).
+    /// Bounds every subsequent reply wait *and* request write (useful in
+    /// tests that expect the server to drop the connection instead of
+    /// replying; `None` removes the default bound entirely).
     ///
     /// # Errors
     ///
     /// Propagates the socket-option failure.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
-        self.stream.set_read_timeout(timeout)
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
     }
 
     /// Sends one request and reads one reply.
@@ -196,6 +208,24 @@ impl Client {
             Reply::Status(s) if s == "OK" => Ok(()),
             other => Err(unexpected(&other)),
         }
+    }
+
+    /// `WAIT key expected deadline-ms` — like [`Client::wait`] but bounded
+    /// server-side: returns the raw reply so callers can distinguish `OK`
+    /// (the condition held in time) from the `TIMEOUT ...` error frame
+    /// (the deadline passed first).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors only; protocol-level `TIMEOUT` comes back as
+    /// [`Reply::Error`].
+    pub fn wait_deadline(
+        &mut self,
+        key: &[u8],
+        expected: &[u8],
+        deadline_ms: u64,
+    ) -> io::Result<Reply> {
+        self.request(&[b"WAIT", key, expected, deadline_ms.to_string().as_bytes()])
     }
 }
 

@@ -24,11 +24,12 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use zstm_api::{DynStm, DynVar};
-use zstm_core::TxKind;
+use zstm_api::{DynFuture, DynStm, DynVar};
+use zstm_core::{RetryExhausted, RetryPolicy, TxKind};
 use zstm_util::exec::ThreadPool;
 use zstm_util::sync::Mutex;
 
@@ -37,8 +38,60 @@ use crate::frame::{parse_request, Parsed, Reply, Request};
 use crate::registry::build_engine;
 use crate::socket::{ChaosConfig, ChaosSocket, Socket};
 
+/// Overload-protection knobs (see PROTOCOL.md § overload and
+/// ARCHITECTURE.md § overload protection). The default is **no limits** —
+/// every field wide open, preserving the PR 7 behavior — so every bound
+/// is an explicit deployment decision.
+///
+/// The layers compose: `max_connections` sheds at accept time (a one-frame
+/// `BUSY` goodbye), `max_inflight_tx` bounds the pending-work gauge
+/// (queued plus executing plus parked transactions) and answers `BUSY`
+/// past it, `read_timeout`/`write_timeout` bound each connection's I/O,
+/// `request_deadline` bounds one transaction's wall-clock execution, and
+/// `retry_budget` bounds its conflict retries.
+#[derive(Clone, Debug)]
+pub struct Limits {
+    /// Maximum concurrently served connections; an accept past the cap is
+    /// answered with a `BUSY` error frame and closed immediately.
+    pub max_connections: usize,
+    /// Maximum in-flight transactions (queued on the pool, executing, or
+    /// parked in `WAIT`); past it, data commands and `EXEC` reply `BUSY`
+    /// instead of queueing unboundedly.
+    pub max_inflight_tx: usize,
+    /// Per-connection idle/read timeout: a peer that sends nothing for
+    /// this long is treated as dead and its connection closed (silently —
+    /// a timed-out peer is not guaranteed to hear a goodbye).
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write timeout: the slow-consumer guard. A reply
+    /// write blocked longer than this fails, closing the connection.
+    pub write_timeout: Option<Duration>,
+    /// Wall-clock deadline for one transaction's execution (a data
+    /// command or an `EXEC` body — not `WAIT`, whose bound is its own
+    /// deadline argument); past it the request is abandoned (nothing
+    /// committed) and answered `TIMEOUT`.
+    pub request_deadline: Option<Duration>,
+    /// Retry budget for data commands and `EXEC`: a transaction whose
+    /// attempts exhaust this policy is answered `BUSY` with its last
+    /// abort reason instead of retrying forever. `WAIT` keeps the
+    /// unbounded policy (its bound is the deadline argument).
+    pub retry_budget: RetryPolicy,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_connections: usize::MAX,
+            max_inflight_tx: usize::MAX,
+            read_timeout: None,
+            write_timeout: None,
+            request_deadline: None,
+            retry_budget: RetryPolicy::unbounded(),
+        }
+    }
+}
+
 /// Server configuration: which engine serves, how many pool workers
-/// execute transactions, and optional fault injection.
+/// execute transactions, optional fault injection, and overload limits.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Engine name (see [`crate::registry::ENGINE_NAMES`]).
@@ -50,16 +103,19 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Inject faults into every accepted connection.
     pub chaos: Option<ChaosConfig>,
+    /// Overload protection (defaults to no limits).
+    pub limits: Limits,
 }
 
 impl ServerConfig {
-    /// LSA over two workers, no faults.
+    /// LSA over two workers, no faults, no limits.
     pub fn new(engine: &str) -> Self {
         Self {
             engine: engine.to_string(),
             certified: false,
             workers: 2,
             chaos: None,
+            limits: Limits::default(),
         }
     }
 
@@ -80,6 +136,23 @@ impl ServerConfig {
         self.certified = certified;
         self
     }
+
+    /// Sets the overload-protection limits.
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+}
+
+/// Server-level overload counters, surfaced through `STATS`.
+#[derive(Default)]
+struct OverloadCounters {
+    /// Connections shed at accept time (`max_connections`).
+    conns_shed: AtomicU64,
+    /// Transactions refused with `BUSY` at admission (`max_inflight_tx`).
+    busy_rejections: AtomicU64,
+    /// Requests and `WAIT`s that hit a deadline (`TIMEOUT` replies).
+    timeouts: AtomicU64,
 }
 
 /// State shared by the acceptor, every connection thread, and the handle.
@@ -93,6 +166,48 @@ struct Shared {
     /// Live-connection raw handles, kept so shutdown can unblock readers.
     conns: Mutex<Vec<TcpStream>>,
     conn_seq: AtomicU64,
+    limits: Limits,
+    /// The pending-work gauge: transactions admitted and not yet resolved
+    /// (queued, executing, or parked). Bounded by
+    /// [`Limits::max_inflight_tx`].
+    inflight: AtomicUsize,
+    /// Currently served connections (bounded by
+    /// [`Limits::max_connections`]).
+    live_conns: AtomicUsize,
+    overload: OverloadCounters,
+}
+
+/// An admitted slot in the pending-work gauge; releases it on drop, so a
+/// panicking or erroring path can never leak in-flight budget.
+struct InflightGuard<'a>(&'a Shared);
+
+impl<'a> InflightGuard<'a> {
+    /// Claims a slot, or `None` when the gauge is at the cap. CAS loop:
+    /// the gauge never overshoots, so a burst of admissions cannot
+    /// collude past the limit.
+    fn try_admit(shared: &'a Shared) -> Option<Self> {
+        let mut current = shared.inflight.load(Ordering::Relaxed);
+        loop {
+            if current >= shared.limits.max_inflight_tx {
+                return None;
+            }
+            match shared.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Self(shared)),
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// Why a connection stopped being served (internal control flow).
@@ -148,6 +263,10 @@ impl ServerHandle {
             stopping: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             conn_seq: AtomicU64::new(0),
+            limits: config.limits.clone(),
+            inflight: AtomicUsize::new(0),
+            live_conns: AtomicUsize::new(0),
+            overload: OverloadCounters::default(),
         });
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
         let acceptor = {
@@ -241,22 +360,91 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Decrements the live-connection gauge when a connection finishes, no
+/// matter how its thread exits.
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.live_conns.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Longest pause between accept attempts after persistent accept errors
+/// (EMFILE and friends); transient blips retry immediately.
+const ACCEPT_BACKOFF_CAP: Duration = Duration::from_millis(100);
+
 fn accept_loop(
     listener: &TcpListener,
     shared: &Arc<Shared>,
     conn_threads: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
     chaos: Option<ChaosConfig>,
 ) {
+    let mut backoff = Duration::from_millis(1);
     loop {
-        let Ok((stream, _)) = listener.accept() else {
-            if shared.stopping.load(Ordering::SeqCst) {
-                return;
+        let stream = match listener.accept() {
+            Ok((stream, _)) => {
+                backoff = Duration::from_millis(1);
+                stream
             }
-            continue;
+            Err(error) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                match error.kind() {
+                    // Per-connection blips: the *next* connection is fine,
+                    // retry immediately.
+                    io::ErrorKind::Interrupted
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::WouldBlock => {}
+                    // Resource exhaustion (EMFILE/ENFILE/ENOMEM...): the
+                    // next accept will fail the same way until something
+                    // frees up. Back off so the loop does not spin a core
+                    // while starved, then try again — exhaustion is load,
+                    // not shutdown.
+                    _ => {
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(ACCEPT_BACKOFF_CAP);
+                    }
+                }
+                continue;
+            }
         };
         if shared.stopping.load(Ordering::SeqCst) {
             return;
         }
+        // Connection-cap shedding: a peer past the cap gets one BUSY
+        // frame and an immediate close, never a thread or a conns entry.
+        // The gauge increments only on admission and decrements via
+        // ConnGuard when the serving thread exits.
+        let admitted = {
+            let mut current = shared.live_conns.load(Ordering::Relaxed);
+            loop {
+                if current >= shared.limits.max_connections {
+                    break false;
+                }
+                match shared.live_conns.compare_exchange_weak(
+                    current,
+                    current + 1,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break true,
+                    Err(seen) => current = seen,
+                }
+            }
+        };
+        if !admitted {
+            shared.overload.conns_shed.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let _ = std::io::Write::write_all(
+                &mut stream,
+                &Reply::error("BUSY max connections reached").encode_frame(),
+            );
+            continue;
+        }
+        let guard = ConnGuard(Arc::clone(shared));
         stream.set_nodelay(true).ok();
         if let Ok(raw) = stream.try_clone() {
             shared.conns.lock().push(raw);
@@ -269,7 +457,10 @@ fn accept_loop(
         let shared = Arc::clone(shared);
         let thread = std::thread::Builder::new()
             .name(format!("zstm-server-conn-{id}"))
-            .spawn(move || serve_connection(&shared, socket))
+            .spawn(move || {
+                let _guard = guard;
+                serve_connection(&shared, socket);
+            })
             .expect("spawn connection thread");
         conn_threads.lock().push(thread);
     }
@@ -278,6 +469,17 @@ fn accept_loop(
 /// Reads frames off `socket`, dispatches them, writes replies — the whole
 /// life of one connection.
 fn serve_connection(shared: &Arc<Shared>, mut socket: Box<dyn Socket>) {
+    // Deadlines first: a connection that cannot be bounded is not served.
+    // A timed-out read lands in the `Err(_) => break` arm below — the
+    // idle-timeout close is silent by design (PROTOCOL.md § overload).
+    if socket.set_read_timeout(shared.limits.read_timeout).is_err()
+        || socket
+            .set_write_timeout(shared.limits.write_timeout)
+            .is_err()
+    {
+        socket.shutdown();
+        return;
+    }
     let mut state = ConnState { multi: None };
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
@@ -336,11 +538,17 @@ fn dispatch(
             let stats = shared.stm.take_stats();
             return Ok(Reply::Value(
                 format!(
-                    "commits={} aborts={} certification_aborts={} waker_parks={}",
+                    "commits={} aborts={} certification_aborts={} waker_parks={} \
+                     retries_exhausted={} conns_shed={} busy={} timeouts={} inflight={}",
                     stats.total_commits(),
                     stats.total_aborts(),
                     stats.certification_aborts(),
                     stats.waker_parks(),
+                    stats.retries_exhausted(),
+                    shared.overload.conns_shed.load(Ordering::Relaxed),
+                    shared.overload.busy_rejections.load(Ordering::Relaxed),
+                    shared.overload.timeouts.load(Ordering::Relaxed),
+                    shared.inflight.load(Ordering::Relaxed),
                 )
                 .into_bytes(),
             ));
@@ -370,17 +578,29 @@ fn dispatch(
                 TxKind::Short
             };
             let plan = resolve(&shared.stm, &shared.directory, queue);
-            let replies = run_transaction(shared, kind, plan)?;
-            return Ok(Reply::Multi(replies));
+            return Ok(match run_transaction(shared, kind, plan)? {
+                Ok(replies) => Reply::Multi(replies),
+                // Overload: the whole transaction is refused with ONE
+                // error frame (no Multi — nothing ran).
+                Err(overload) => overload,
+            });
         }
         b"WAIT" => {
             if state.multi.is_some() {
                 return Ok(Reply::error("ERR WAIT inside MULTI"));
             }
-            if request.args.len() != 3 {
-                return Ok(Reply::error("ERR wrong number of arguments"));
-            }
-            return run_wait(shared, request.args[1], request.args[2]);
+            let deadline = match request.args.len() {
+                3 => None,
+                4 => match std::str::from_utf8(request.args[3])
+                    .ok()
+                    .and_then(|s| s.parse::<u64>().ok())
+                {
+                    Some(ms) => Some(Duration::from_millis(ms)),
+                    None => return Ok(Reply::error("ERR WAIT deadline is not a decimal u64")),
+                },
+                _ => return Ok(Reply::error("ERR wrong number of arguments")),
+            };
+            return run_wait(shared, request.args[1], request.args[2], deadline);
         }
         _ => {}
     }
@@ -404,29 +624,109 @@ fn dispatch(
         return Ok(Reply::status("QUEUED"));
     }
     let plan = resolve(&shared.stm, &shared.directory, vec![command]);
-    let mut replies = run_transaction(shared, TxKind::Short, plan)?;
-    Ok(replies.pop().expect("one command, one reply"))
+    match run_transaction(shared, TxKind::Short, plan)? {
+        Ok(mut replies) => Ok(replies.pop().expect("one command, one reply")),
+        Err(overload) => Ok(overload),
+    }
+}
+
+/// How an admitted transaction's future ended (written by the pool-side
+/// wrapper, read by the connection thread after the join).
+enum TxEnd {
+    /// Committed; replies (if any) are in the compile sink.
+    Committed,
+    /// The retry budget ran out — nothing committed.
+    Exhausted(RetryExhausted),
+    /// The execution deadline passed first — the future was dropped
+    /// mid-retry-loop (attempts are atomic; nothing committed).
+    TimedOut,
+}
+
+/// Wraps a budgeted transaction future with the optional execution
+/// deadline and an outcome slot, producing the `Output = ()` future the
+/// pool runs plus the slot to read after joining.
+#[allow(clippy::type_complexity)]
+fn with_deadline(
+    future: zstm_api::DynTryFuture,
+    deadline: Option<Duration>,
+) -> (DynFuture, Arc<Mutex<Option<TxEnd>>>) {
+    let slot: Arc<Mutex<Option<TxEnd>>> = Arc::new(Mutex::new(None));
+    let sink = Arc::clone(&slot);
+    let wrapped: DynFuture = match deadline {
+        Some(deadline) => Box::pin(async move {
+            let end = match zstm_util::exec::timeout(deadline, future).await {
+                Ok(Ok(())) => TxEnd::Committed,
+                Ok(Err(exhausted)) => TxEnd::Exhausted(exhausted),
+                Err(_) => TxEnd::TimedOut,
+            };
+            *sink.lock() = Some(end);
+        }),
+        None => Box::pin(async move {
+            let end = match future.await {
+                Ok(()) => TxEnd::Committed,
+                Err(exhausted) => TxEnd::Exhausted(exhausted),
+            };
+            *sink.lock() = Some(end);
+        }),
+    };
+    (wrapped, slot)
 }
 
 /// Runs a compiled plan as one atomic transaction on the shared pool and
 /// waits for its replies.
+///
+/// The overload layers apply here: admission against the in-flight cap
+/// (`Err` reply: `BUSY`), the configured retry budget (`BUSY` with the
+/// last abort reason), and the execution deadline (`TIMEOUT`). The inner
+/// `Ok`/`Err` distinguishes a served transaction from an overload reply —
+/// an overloaded `EXEC` answers one error frame, not a `Multi`.
 fn run_transaction(
     shared: &Arc<Shared>,
     kind: TxKind,
     plan: Vec<crate::command::Planned>,
-) -> Result<Vec<Reply>, Close> {
+) -> Result<Result<Vec<Reply>, Reply>, Close> {
+    let Some(_slot) = InflightGuard::try_admit(shared) else {
+        shared
+            .overload
+            .busy_rejections
+            .fetch_add(1, Ordering::Relaxed);
+        return Ok(Err(Reply::error("BUSY too many in-flight transactions")));
+    };
     let out = Arc::new(Mutex::new(Vec::new()));
     let body = compile(plan, Arc::clone(&out));
-    let future = shared.stm.atomically_async_dyn(kind, Box::new(body));
-    join_on_pool(shared, future)?;
-    let replies = std::mem::take(&mut *out.lock());
-    Ok(replies)
+    let future =
+        shared
+            .stm
+            .try_atomically_async_dyn(kind, shared.limits.retry_budget, Box::new(body));
+    let (wrapped, ended) = with_deadline(future, shared.limits.request_deadline);
+    join_on_pool(shared, wrapped)?;
+    let end = ended.lock().take().expect("joined future stored its end");
+    match end {
+        TxEnd::Committed => Ok(Ok(std::mem::take(&mut *out.lock()))),
+        TxEnd::Exhausted(exhausted) => Ok(Err(Reply::error(&format!(
+            "BUSY retry budget exhausted after {} attempts (last abort: {})",
+            exhausted.attempts(),
+            exhausted.last_reason(),
+        )))),
+        TxEnd::TimedOut => {
+            shared.overload.timeouts.fetch_add(1, Ordering::Relaxed);
+            Ok(Err(Reply::error("TIMEOUT request deadline exceeded")))
+        }
+    }
 }
 
-/// `WAIT key expected`: parks (via the retry/notifier protocol, as a
-/// suspended future) until the key holds `expected`; a server shutdown
-/// resolves the wait with an error instead of leaving the peer hanging.
-fn run_wait(shared: &Arc<Shared>, key: &[u8], expected: &[u8]) -> Result<Reply, Close> {
+/// `WAIT key expected [deadline-ms]`: parks (via the retry/notifier
+/// protocol, as a suspended future) until the key holds `expected`; a
+/// server shutdown resolves the wait with an error instead of leaving the
+/// peer hanging, and an expired deadline resolves it with a `TIMEOUT`
+/// reply (the connection stays open — a timed-out wait is an answer, not
+/// a failure).
+fn run_wait(
+    shared: &Arc<Shared>,
+    key: &[u8],
+    expected: &[u8],
+    deadline: Option<Duration>,
+) -> Result<Reply, Close> {
     let plan = resolve(
         &shared.stm,
         &shared.directory,
@@ -443,6 +743,16 @@ fn run_wait(shared: &Arc<Shared>, key: &[u8], expected: &[u8]) -> Result<Reply, 
                 .or_insert_with(|| shared.stm.new_bytes(Vec::new()))
                 .clone()
         }
+    };
+    // A parked WAIT is pending work: it holds an in-flight slot until it
+    // resolves, so the gauge bounds waiters too (`max_connections` is the
+    // coarser bound on how many peers can try).
+    let Some(_slot) = InflightGuard::try_admit(shared) else {
+        shared
+            .overload
+            .busy_rejections
+            .fetch_add(1, Ordering::Relaxed);
+        return Ok(Reply::error("BUSY too many in-flight transactions"));
     };
     let expected = expected.to_vec();
     let stopping = Arc::new(AtomicBool::new(false));
@@ -461,14 +771,25 @@ fn run_wait(shared: &Arc<Shared>, key: &[u8], expected: &[u8]) -> Result<Reply, 
             Err(tx.retry())
         }
     };
-    let future = shared
-        .stm
-        .atomically_async_dyn(TxKind::Short, Box::new(body));
-    join_on_pool(shared, future)?;
-    if stopping.load(Ordering::SeqCst) {
-        Err(Close::After(Reply::error("ERR server shutting down")))
-    } else {
-        Ok(Reply::status("OK"))
+    // Unbounded retries — a WAIT's bound is its deadline, not a budget.
+    let future = shared.stm.try_atomically_async_dyn(
+        TxKind::Short,
+        RetryPolicy::unbounded(),
+        Box::new(body),
+    );
+    let (wrapped, ended) = with_deadline(future, deadline);
+    join_on_pool(shared, wrapped)?;
+    let end = ended.lock().take().expect("joined future stored its end");
+    match end {
+        TxEnd::TimedOut => {
+            shared.overload.timeouts.fetch_add(1, Ordering::Relaxed);
+            Ok(Reply::error("TIMEOUT wait deadline exceeded"))
+        }
+        TxEnd::Exhausted(_) => unreachable!("unbounded retry loop cannot exhaust"),
+        TxEnd::Committed if stopping.load(Ordering::SeqCst) => {
+            Err(Close::After(Reply::error("ERR server shutting down")))
+        }
+        TxEnd::Committed => Ok(Reply::status("OK")),
     }
 }
 

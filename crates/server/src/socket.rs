@@ -43,6 +43,26 @@ pub trait Socket: Send {
 
     /// Closes both directions, unblocking any peer blocked in a read.
     fn shutdown(&mut self);
+
+    /// Caps how long a [`read`](Socket::read) may block before failing
+    /// with [`io::ErrorKind::WouldBlock`] / `TimedOut` (`None` blocks
+    /// forever). The connection loop uses this as the **idle timeout**: a
+    /// peer that sends nothing for this long is treated as dead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors (e.g. a closed socket).
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()>;
+
+    /// Caps how long a [`write_all`](Socket::write_all) may block on a
+    /// full send buffer — the slow-consumer guard: a peer that stops
+    /// reading its replies fails the write instead of wedging the
+    /// connection thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors (e.g. a closed socket).
+    fn set_write_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()>;
 }
 
 impl Socket for TcpStream {
@@ -56,6 +76,14 @@ impl Socket for TcpStream {
 
     fn shutdown(&mut self) {
         let _ = TcpStream::shutdown(self, Shutdown::Both);
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
+
+    fn set_write_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_write_timeout(self, timeout)
     }
 }
 
@@ -81,6 +109,17 @@ pub struct ChaosConfig {
     /// underlying socket and fails the operation with
     /// [`io::ErrorKind::ConnectionReset`].
     pub drop_permille: u16,
+    /// Sleep this long before every write (zero disables) — a uniformly
+    /// slow consumer, the write-side mirror of `read_delay`.
+    pub write_delay: Duration,
+    /// Per-write probability, in permille, of an additional
+    /// [`write_stall`](Self::write_stall)-long pause (`0` disables) —
+    /// a consumer that mostly keeps up but intermittently freezes, the
+    /// shape that exercises write deadlines without slowing every reply.
+    pub write_stall_permille: u16,
+    /// How long a triggered write stall pauses (see
+    /// [`write_stall_permille`](Self::write_stall_permille)).
+    pub write_stall: Duration,
 }
 
 impl ChaosConfig {
@@ -92,6 +131,9 @@ impl ChaosConfig {
             short_read_max: 0,
             read_delay: Duration::ZERO,
             drop_permille: 0,
+            write_delay: Duration::ZERO,
+            write_stall_permille: 0,
+            write_stall: Duration::ZERO,
         }
     }
 
@@ -103,6 +145,9 @@ impl ChaosConfig {
             short_read_max: 3,
             read_delay: Duration::ZERO,
             drop_permille: 30,
+            write_delay: Duration::ZERO,
+            write_stall_permille: 20,
+            write_stall: Duration::from_millis(1),
         }
     }
 }
@@ -162,11 +207,27 @@ impl<S: Socket> Socket for ChaosSocket<S> {
 
     fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
         self.maybe_drop()?;
+        if !self.config.write_delay.is_zero() {
+            std::thread::sleep(self.config.write_delay);
+        }
+        if self.config.write_stall_permille > 0
+            && self.rng.next_range(1000) < u64::from(self.config.write_stall_permille)
+        {
+            std::thread::sleep(self.config.write_stall);
+        }
         self.inner.write_all(buf)
     }
 
     fn shutdown(&mut self) {
         self.inner.shutdown();
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(timeout)
+    }
+
+    fn set_write_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_write_timeout(timeout)
     }
 }
 
@@ -178,6 +239,7 @@ pub mod pipe {
     use std::collections::VecDeque;
     use std::io;
     use std::sync::Arc;
+    use std::time::{Duration, Instant};
     use zstm_util::sync::{Condvar, Mutex};
 
     struct Half {
@@ -204,7 +266,8 @@ pub mod pipe {
             Ok(())
         }
 
-        fn pull(&self, out: &mut [u8]) -> io::Result<usize> {
+        fn pull(&self, out: &mut [u8], timeout: Option<Duration>) -> io::Result<usize> {
+            let deadline = timeout.map(|t| Instant::now() + t);
             let mut buf = self.buf.lock();
             loop {
                 if !buf.is_empty() {
@@ -217,7 +280,17 @@ pub mod pipe {
                 if *self.closed.lock() {
                     return Ok(0);
                 }
-                buf = self.cv.wait(buf);
+                match deadline {
+                    Some(deadline) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(io::ErrorKind::TimedOut.into());
+                        }
+                        let (guard, _) = self.cv.wait_timeout(buf, deadline - now);
+                        buf = guard;
+                    }
+                    None => buf = self.cv.wait(buf),
+                }
             }
         }
 
@@ -228,9 +301,14 @@ pub mod pipe {
     }
 
     /// One end of an in-memory duplex pipe.
+    ///
+    /// Read timeouts behave like `TcpStream`'s: a timed-out `read` fails
+    /// with [`io::ErrorKind::TimedOut`]. Writes never block (the buffer
+    /// is unbounded), so the write timeout is accepted and ignored.
     pub struct PipeSocket {
         incoming: Arc<Half>,
         outgoing: Arc<Half>,
+        read_timeout: Option<Duration>,
     }
 
     /// Creates a connected pair: bytes written to one end are read from
@@ -241,17 +319,19 @@ pub mod pipe {
             PipeSocket {
                 incoming: Arc::clone(&a),
                 outgoing: Arc::clone(&b),
+                read_timeout: None,
             },
             PipeSocket {
                 incoming: b,
                 outgoing: a,
+                read_timeout: None,
             },
         )
     }
 
     impl Socket for PipeSocket {
         fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-            self.incoming.pull(buf)
+            self.incoming.pull(buf, self.read_timeout)
         }
 
         fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
@@ -261,6 +341,16 @@ pub mod pipe {
         fn shutdown(&mut self) {
             self.incoming.close();
             self.outgoing.close();
+        }
+
+        fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+            self.read_timeout = timeout;
+            Ok(())
+        }
+
+        fn set_write_timeout(&mut self, _timeout: Option<Duration>) -> io::Result<()> {
+            // Pipe writes are buffered and never block; nothing to bound.
+            Ok(())
         }
     }
 
@@ -305,6 +395,65 @@ mod tests {
             got.extend_from_slice(&buf[..n]);
         }
         assert_eq!(got, b"abcdefgh");
+    }
+
+    #[test]
+    fn pipe_read_times_out_like_tcp() {
+        let (mut a, mut b) = pair();
+        a.set_read_timeout(Some(Duration::from_millis(30))).unwrap();
+        let mut buf = [0u8; 8];
+        let started = std::time::Instant::now();
+        let err = a.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(started.elapsed() >= Duration::from_millis(30));
+        // Data that arrives within the window is still delivered.
+        b.write_all(b"ok").unwrap();
+        assert_eq!(a.read(&mut buf).unwrap(), 2);
+        // Clearing the timeout blocks again (verified by the close path).
+        a.set_read_timeout(None).unwrap();
+        b.shutdown();
+        assert_eq!(a.read(&mut buf).unwrap(), 0, "closed pipe reads EOF");
+    }
+
+    #[test]
+    fn write_delay_slows_the_producer_side() {
+        let (a, mut b) = pair();
+        let mut chaotic = ChaosSocket::new(
+            a,
+            ChaosConfig {
+                write_delay: Duration::from_millis(20),
+                ..ChaosConfig::quiet(3)
+            },
+            0,
+        );
+        let started = std::time::Instant::now();
+        chaotic.write_all(b"x").unwrap();
+        assert!(started.elapsed() >= Duration::from_millis(20));
+        let mut buf = [0u8; 4];
+        assert_eq!(b.read(&mut buf).unwrap(), 1);
+    }
+
+    #[test]
+    fn write_stalls_fire_probabilistically_but_deterministically() {
+        let elapsed_for = |seed| {
+            let (a, _b) = pair();
+            let mut chaotic = ChaosSocket::new(
+                a,
+                ChaosConfig {
+                    write_stall_permille: 500,
+                    write_stall: Duration::from_millis(5),
+                    ..ChaosConfig::quiet(seed)
+                },
+                0,
+            );
+            let started = std::time::Instant::now();
+            for _ in 0..64 {
+                chaotic.write_all(b"y").unwrap();
+            }
+            started.elapsed()
+        };
+        // ~32 of 64 writes stall 5ms: well over 50ms in total.
+        assert!(elapsed_for(9) >= Duration::from_millis(50));
     }
 
     #[test]

@@ -186,6 +186,228 @@ pub fn run_server(config: &ServerWorkloadConfig) -> ServerReport {
     }
 }
 
+/// Configuration of one overload run: closed-loop clients offering as
+/// much load as they can against a server with tight [`Limits`], counting
+/// how the excess is answered.
+///
+/// [`Limits`]: crate::server::Limits
+#[derive(Clone, Debug)]
+pub struct OverloadConfig {
+    /// The server under overload (set its `limits` tight — that is the
+    /// point).
+    pub server: ServerConfig,
+    /// Closed-loop client connections (the offered-load axis: each tries
+    /// transfers back-to-back, so more connections = more offered load).
+    pub connections: usize,
+    /// Distinct keys (`acct-0` … `acct-{keys-1}`).
+    pub keys: usize,
+    /// Wall-clock measurement duration.
+    pub duration: Duration,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl OverloadConfig {
+    /// A short run against an LSA server admitting at most `cap`
+    /// concurrent transactions over one worker, offered `connections`
+    /// clients' worth of load.
+    pub fn tight(connections: usize, cap: usize) -> Self {
+        let mut server = ServerConfig::new("lsa").with_workers(1);
+        server.limits.max_inflight_tx = cap;
+        Self {
+            server,
+            connections,
+            keys: 16,
+            duration: Duration::from_millis(150),
+            seed: 0x10ad,
+        }
+    }
+}
+
+/// Result of one overload run. `offered` counts transfer attempts that
+/// reached `EXEC` (or died trying); every attempt resolves into exactly
+/// one of `committed`, `busy`, `timeouts`, or `errors`.
+#[derive(Clone, Debug)]
+pub struct OverloadReport {
+    /// Name of the engine that served.
+    pub engine: &'static str,
+    /// Client connections offering load.
+    pub connections: usize,
+    /// Transfer attempts started.
+    pub offered: u64,
+    /// Attempts whose `EXEC` committed.
+    pub committed: u64,
+    /// Attempts answered with a `BUSY …` frame (admission or retry
+    /// budget), including connections shed at accept time.
+    pub busy: u64,
+    /// Attempts answered with a `TIMEOUT …` frame.
+    pub timeouts: u64,
+    /// Attempts lost to I/O errors (died mid-protocol; the client
+    /// reconnects).
+    pub errors: u64,
+    /// Measured wall-clock duration.
+    pub elapsed: Duration,
+    /// Committed transfers per second — the figure's goodput axis.
+    pub goodput: f64,
+    /// `(busy + timeouts) / offered` — the figure's shed-rate axis.
+    pub shed_rate: f64,
+    /// `true` iff the final audit summed every balance to zero: shed and
+    /// timed-out transfers must leave no partial effects.
+    pub conserved: bool,
+}
+
+/// One transfer attempt over an open connection: `MULTI`, two `ADD`s,
+/// `EXEC`, classifying how the server answered.
+enum Attempt {
+    Committed,
+    /// A `BUSY …` answer. `connection_dead` distinguishes the accept-time
+    /// shed (a goodbye frame — the socket is gone) from an admission or
+    /// retry-budget `BUSY` on `EXEC`, after which the connection stays
+    /// usable and the client retries without paying a reconnect.
+    Busy {
+        connection_dead: bool,
+    },
+    TimedOut,
+    /// Protocol-level refusal that is neither BUSY nor TIMEOUT (not
+    /// expected in this workload, counted separately so it cannot be
+    /// mistaken for shedding).
+    OtherError,
+    /// The connection died mid-attempt.
+    Io,
+}
+
+fn offer_transfer(client: &mut Client, from: &[u8], to: &[u8]) -> Attempt {
+    // MULTI and the queued ADDs never enter the engine, so a BUSY on a
+    // queueing step can only be the accept-time shed goodbye — the
+    // connection behind it is already gone. Any other error here is
+    // unexpected.
+    let steps: [&[&[u8]]; 3] = [&[b"MULTI"], &[b"ADD", from, b"-1"], &[b"ADD", to, b"1"]];
+    for step in steps {
+        match client.request(step) {
+            Ok(crate::frame::Reply::Error(text)) if text.starts_with("BUSY") => {
+                return Attempt::Busy {
+                    connection_dead: true,
+                }
+            }
+            Ok(crate::frame::Reply::Error(_)) => return Attempt::OtherError,
+            Ok(_) => {}
+            Err(_) => return Attempt::Io,
+        }
+    }
+    // EXEC takes the queue whether or not the transaction is admitted
+    // (PROTOCOL.md), so a BUSY or TIMEOUT answer here leaves the
+    // connection out of MULTI mode and fully usable.
+    match client.request(&[b"EXEC"]) {
+        Ok(crate::frame::Reply::Multi(_)) => Attempt::Committed,
+        Ok(crate::frame::Reply::Error(text)) if text.starts_with("BUSY") => Attempt::Busy {
+            connection_dead: false,
+        },
+        Ok(crate::frame::Reply::Error(text)) if text.starts_with("TIMEOUT") => Attempt::TimedOut,
+        Ok(_) => Attempt::OtherError,
+        Err(_) => Attempt::Io,
+    }
+}
+
+/// Runs the overload workload: spawns the (tightly limited) server,
+/// offers `connections` closed loops of transfers, and reports how the
+/// excess was shed. See [`OverloadReport`].
+///
+/// # Panics
+///
+/// Panics only on harness errors (the server cannot spawn); clients
+/// losing their connections is a measured outcome, not a failure.
+pub fn run_overload(config: &OverloadConfig) -> OverloadReport {
+    let handle = ServerHandle::spawn("127.0.0.1:0", &config.server).expect("spawn server");
+    let addr = handle.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(config.connections + 1));
+    let mut clients = Vec::with_capacity(config.connections);
+    for c in 0..config.connections {
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let config = config.clone();
+        let mut rng = XorShift64::new(config.seed.wrapping_add(c as u64 * 9973));
+        clients.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).ok();
+            let mut busy = 0u64;
+            let mut timeouts = 0u64;
+            let mut committed = 0u64;
+            let mut errors = 0u64;
+            let mut offered = 0u64;
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let Some(connected) = client.as_mut() else {
+                    client = Client::connect(addr).ok();
+                    if client.is_none() {
+                        // Accept queue saturated; brief pause, then retry.
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    continue;
+                };
+                let from = rng.next_range(config.keys as u64) as usize;
+                let to = rng.next_range(config.keys as u64) as usize;
+                if from == to {
+                    continue;
+                }
+                offered += 1;
+                match offer_transfer(connected, &key_name(from), &key_name(to)) {
+                    Attempt::Committed => committed += 1,
+                    Attempt::Busy { connection_dead } => {
+                        busy += 1;
+                        if connection_dead {
+                            client = None;
+                        }
+                    }
+                    Attempt::TimedOut => timeouts += 1,
+                    Attempt::OtherError => errors += 1,
+                    Attempt::Io => {
+                        errors += 1;
+                        client = None;
+                    }
+                }
+            }
+            [offered, committed, busy, timeouts, errors]
+        }));
+    }
+
+    barrier.wait();
+    let started = Instant::now();
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = started.elapsed();
+
+    let mut totals = [0u64; 5];
+    for thread in clients {
+        let tallies = thread.join().expect("overload client panicked");
+        for (total, tally) in totals.iter_mut().zip(tallies) {
+            *total += tally;
+        }
+    }
+    let [offered, committed, busy, timeouts, errors] = totals;
+
+    let conserved = handle.sum_keys(b"acct-") == Some(0);
+    let engine = handle.stm().name();
+    handle.shutdown();
+
+    OverloadReport {
+        engine,
+        connections: config.connections,
+        offered,
+        committed,
+        busy,
+        timeouts,
+        errors,
+        elapsed,
+        goodput: committed as f64 / elapsed.as_secs_f64(),
+        shed_rate: if offered == 0 {
+            0.0
+        } else {
+            (busy + timeouts) as f64 / offered as f64
+        },
+        conserved,
+    }
+}
+
 fn set_with_retry(addr: std::net::SocketAddr, key: &[u8], value: &[u8]) {
     for _ in 0..100 {
         if let Ok(mut client) = Client::connect(addr) {
@@ -207,6 +429,22 @@ mod tests {
         assert!(report.committed > 0, "transfers must commit");
         assert!(report.conserved, "balances must sum to zero");
         assert_eq!(report.engine, "lsa");
+    }
+
+    #[test]
+    fn overload_run_sheds_busy_but_conserves() {
+        // 8 closed loops against a 1-transaction admission cap: plenty of
+        // attempts must be refused BUSY, some must commit, and shed
+        // attempts must leave no partial transfers behind.
+        let report = run_overload(&OverloadConfig::tight(8, 1));
+        assert!(report.committed > 0, "the admitted trickle must commit");
+        assert!(report.busy > 0, "8x load over cap 1 must shed");
+        assert!(report.conserved, "shedding must not break conservation");
+        assert_eq!(
+            report.offered,
+            report.committed + report.busy + report.timeouts + report.errors,
+            "every attempt resolves exactly once"
+        );
     }
 
     #[test]

@@ -82,6 +82,32 @@ fn certified_engine_under_chaos_conserves() {
     assert_eq!(report.engine, "certified-cs");
 }
 
+/// Write-side faults alone: every server-side reply pays a delay and a
+/// 5 % per-write stall. Slower, but still correct — transfers conserve
+/// and the suite still tears nothing down (stalls are not drops).
+#[test]
+fn write_faults_slow_replies_but_conserve() {
+    let chaos = ChaosConfig {
+        write_delay: Duration::from_micros(200),
+        write_stall_permille: 50,
+        write_stall: Duration::from_millis(2),
+        ..ChaosConfig::quiet(0x57F0)
+    };
+    let mut config = ServerWorkloadConfig::quick(3);
+    config.server = ServerConfig::new("lsa").with_chaos(chaos);
+    config.duration = Duration::from_millis(120);
+    let report = run_server(&config);
+    assert!(
+        report.conserved,
+        "write-side chaos broke conservation ({} commits)",
+        report.committed
+    );
+    assert!(
+        report.committed > 0,
+        "write faults slow the link, they must not stop it"
+    );
+}
+
 /// Short reads alone (no drops): every frame arrives a few bytes at a
 /// time and everything still works, at full fidelity.
 #[test]

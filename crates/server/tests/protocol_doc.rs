@@ -6,6 +6,13 @@
 //! `<<` group must come back **exactly** — if the spec's hex and the
 //! server's bytes ever diverge, this test fails with both sides printed,
 //! and one of them has to change.
+//!
+//! A fence may carry `key=value` options (` ```wire max-inflight=0 `):
+//! the block's server is spawned with the matching
+//! [`Limits`](zstm_server::server::Limits), so the spec's overload
+//! replies (`BUSY`, `TIMEOUT`) are executable too. A block may open with
+//! a bare `<<` group — a frame the server sends unprompted (the
+//! accept-shed goodbye).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -13,16 +20,19 @@ use std::time::Duration;
 
 use zstm_server::server::{ServerConfig, ServerHandle};
 
-/// One request→reply exchange from a wire block.
+/// One request→reply exchange from a wire block. `send` is empty for an
+/// unprompted server frame (a block opening with `<<`).
 struct Step {
     line: usize,
     send: Vec<u8>,
     expect: Vec<u8>,
 }
 
-/// A ` ```wire ` block: its starting line and its steps, in order.
+/// A ` ```wire ` block: its starting line, its fence options and its
+/// steps, in order.
 struct Block {
     line: usize,
+    options: Vec<(String, String)>,
     steps: Vec<Step>,
 }
 
@@ -47,13 +57,25 @@ fn parse_blocks(doc: &str) -> Vec<Block> {
     for (i, raw) in doc.lines().enumerate() {
         let line_no = i + 1;
         let line = raw.trim();
-        if line == "```wire" {
-            assert!(current.is_none(), "line {line_no}: nested wire block");
-            current = Some(Block {
-                line: line_no,
-                steps: Vec::new(),
-            });
-            continue;
+        if let Some(fence) = line.strip_prefix("```wire") {
+            if fence.is_empty() || fence.starts_with(' ') {
+                assert!(current.is_none(), "line {line_no}: nested wire block");
+                let options = fence
+                    .split_whitespace()
+                    .map(|pair| {
+                        let (key, value) = pair.split_once('=').unwrap_or_else(|| {
+                            panic!("line {line_no}: fence option {pair:?} is not key=value")
+                        });
+                        (key.to_string(), value.to_string())
+                    })
+                    .collect();
+                current = Some(Block {
+                    line: line_no,
+                    options,
+                    steps: Vec::new(),
+                });
+                continue;
+            }
         }
         let Some(block) = current.as_mut() else {
             continue;
@@ -69,10 +91,16 @@ fn parse_blocks(doc: &str) -> Vec<Block> {
                 expect: Vec::new(),
             });
         } else if let Some(hex) = line.strip_prefix("<<") {
-            let step = block
-                .steps
-                .last_mut()
-                .unwrap_or_else(|| panic!("line {line_no}: << before any >>"));
+            if block.steps.is_empty() {
+                // An unprompted server frame: the block opens with the
+                // reply (nothing is sent first).
+                block.steps.push(Step {
+                    line: line_no,
+                    send: Vec::new(),
+                    expect: Vec::new(),
+                });
+            }
+            let step = block.steps.last_mut().expect("pushed above");
             step.expect.extend(decode_hex(line_no, hex));
         } else if !line.is_empty() {
             panic!("line {line_no}: wire blocks hold only >>/<< lines, got {line:?}");
@@ -96,8 +124,26 @@ fn every_wire_block_matches_the_server_byte_for_byte() {
         blocks.len()
     );
     for block in blocks {
-        let server =
-            ServerHandle::spawn("127.0.0.1:0", &ServerConfig::new("lsa")).expect("spawn server");
+        let mut config = ServerConfig::new("lsa");
+        for (key, value) in &block.options {
+            match key.as_str() {
+                "max-inflight" => {
+                    config.limits.max_inflight_tx = value.parse().unwrap_or_else(|_| {
+                        panic!("PROTOCOL.md line {}: max-inflight={value:?}", block.line)
+                    })
+                }
+                "max-conns" => {
+                    config.limits.max_connections = value.parse().unwrap_or_else(|_| {
+                        panic!("PROTOCOL.md line {}: max-conns={value:?}", block.line)
+                    })
+                }
+                other => panic!(
+                    "PROTOCOL.md line {}: unknown fence option {other:?}",
+                    block.line
+                ),
+            }
+        }
+        let server = ServerHandle::spawn("127.0.0.1:0", &config).expect("spawn server");
         let mut conn = TcpStream::connect(server.addr()).expect("connect");
         conn.set_read_timeout(Some(Duration::from_secs(10))).ok();
         for step in &block.steps {

@@ -20,8 +20,12 @@
 //! task woken multiple times is queued at most once.
 //!
 //! This is a test/benchmark harness, not a production runtime: there is no
-//! work stealing, no IO reactor and no timer wheel. It is deliberately
-//! small enough to audit.
+//! work stealing and no IO reactor. It is deliberately small enough to
+//! audit. The one concession to real deployments is **timed parking**: a
+//! single lazy timer thread ([`wake_at`]) and the [`timeout`] combinator
+//! built on it, which is what turns "a parked `WAIT` holds a resource
+//! forever" into "a parked `WAIT` resolves at its deadline" one layer up
+//! in `zstm-server`.
 //!
 //! # Examples
 //!
@@ -95,7 +99,177 @@ pub fn block_on<F: Future>(future: F) -> F::Output {
     }
 }
 
-/// How a finished task ended, stored in the [`JoinHandle`]'s slot.
+/// One pending timed wakeup on the shared timer thread.
+struct TimerEntry {
+    deadline: std::time::Instant,
+    /// Tie-breaker so the heap never compares wakers.
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // deadline on top.
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct TimerShared {
+    entries: Mutex<std::collections::BinaryHeap<TimerEntry>>,
+    cv: Condvar,
+    seq: std::sync::atomic::AtomicU64,
+}
+
+/// The process-wide timer thread, spawned on first use and never joined
+/// (it parks forever when idle, like the retry fallback ticker).
+fn timer() -> &'static TimerShared {
+    static TIMER: std::sync::OnceLock<&'static TimerShared> = std::sync::OnceLock::new();
+    TIMER.get_or_init(|| {
+        let shared: &'static TimerShared = Box::leak(Box::new(TimerShared {
+            entries: Mutex::new(std::collections::BinaryHeap::new()),
+            cv: Condvar::new(),
+            seq: std::sync::atomic::AtomicU64::new(0),
+        }));
+        std::thread::Builder::new()
+            .name("zstm-timer".into())
+            .spawn(move || timer_loop(shared))
+            .expect("spawn timer thread");
+        shared
+    })
+}
+
+fn timer_loop(shared: &TimerShared) {
+    loop {
+        let mut due: Vec<Waker> = Vec::new();
+        {
+            let mut entries = shared.entries.lock();
+            loop {
+                let now = std::time::Instant::now();
+                while entries.peek().is_some_and(|head| head.deadline <= now) {
+                    due.push(entries.pop().expect("peeked entry").waker);
+                }
+                if !due.is_empty() {
+                    break;
+                }
+                match entries.peek().map(|head| head.deadline) {
+                    // Head is strictly in the future (the drain above ran
+                    // under the same lock), so the subtraction is safe.
+                    Some(deadline) => {
+                        let (guard, _) = shared.cv.wait_timeout(entries, deadline - now);
+                        entries = guard;
+                    }
+                    None => entries = shared.cv.wait(entries),
+                }
+            }
+        }
+        // Wake outside the lock: a waker may re-register immediately.
+        for waker in due {
+            waker.wake();
+        }
+    }
+}
+
+/// Schedules `waker` to be woken at `deadline` by the shared timer thread
+/// (immediately if the deadline already passed).
+///
+/// This is the primitive behind [`timeout`]; it is also usable directly by
+/// futures that implement their own deadline or backoff logic (the async
+/// retry-budget path in `zstm-api` sleeps between attempts this way
+/// without blocking an executor worker).
+pub fn wake_at(deadline: std::time::Instant, waker: Waker) {
+    let shared = timer();
+    let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+    shared.entries.lock().push(TimerEntry {
+        deadline,
+        seq,
+        waker,
+    });
+    shared.cv.notify_one();
+}
+
+/// The error [`Timeout`] resolves to when its deadline passes first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Elapsed;
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("deadline elapsed before the future resolved")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Bounds `future` to `duration`: resolves with `Ok(output)` if the inner
+/// future finishes first, `Err(`[`Elapsed`]`)` otherwise.
+///
+/// On timeout the inner future is **dropped** — normal async
+/// cancellation, which is exactly what makes this safe to wrap around a
+/// transaction future: between attempts the transaction holds nothing,
+/// and its drop path deregisters any parked wakeup (nothing was
+/// committed). The deadline is only checked when this future is polled,
+/// so a suspended inner future relies on the timer registration made on
+/// the previous poll — wakeups cannot be lost, merely early (a stale
+/// timer wake re-polls a still-pending future harmlessly).
+pub fn timeout<F>(duration: std::time::Duration, future: F) -> Timeout<F>
+where
+    F: Future + Unpin,
+{
+    Timeout {
+        inner: Some(future),
+        deadline: std::time::Instant::now() + duration,
+    }
+}
+
+/// Future returned by [`timeout`].
+#[must_use = "futures do nothing unless polled"]
+pub struct Timeout<F> {
+    inner: Option<F>,
+    deadline: std::time::Instant,
+}
+
+impl<F: Future + Unpin> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let inner = this
+            .inner
+            .as_mut()
+            .expect("Timeout polled after completion");
+        // Poll the inner future first: a result that is ready *now* beats
+        // reporting a deadline that passed while we were queued.
+        if let Poll::Ready(output) = Pin::new(&mut *inner).poll(cx) {
+            this.inner = None;
+            return Poll::Ready(Ok(output));
+        }
+        if std::time::Instant::now() >= this.deadline {
+            // Cancellation: dropping the inner future runs its cleanup
+            // (for transaction futures, waker deregistration).
+            this.inner = None;
+            return Poll::Ready(Err(Elapsed));
+        }
+        wake_at(this.deadline, cx.waker().clone());
+        Poll::Pending
+    }
+}
 enum Outcome<T> {
     /// The future completed with its output.
     Finished(T),
@@ -592,6 +766,103 @@ mod tests {
             .expect_err("cancelled task must not join cleanly");
         let message = err.downcast_ref::<&str>().copied().unwrap_or_default();
         assert!(message.contains("cancelled"), "got: {message}");
+    }
+
+    #[test]
+    fn timeout_passes_through_a_ready_future() {
+        assert_eq!(
+            block_on(timeout(Duration::from_secs(10), Box::pin(async { 5 }))),
+            Ok(5)
+        );
+    }
+
+    #[test]
+    fn timeout_elapses_on_a_stuck_future() {
+        struct Stuck;
+        impl Future for Stuck {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+                // Registers nothing: only the timeout's timer wake can
+                // re-poll the composition.
+                Poll::Pending
+            }
+        }
+        let started = std::time::Instant::now();
+        let result = block_on(timeout(Duration::from_millis(50), Stuck));
+        assert_eq!(result, Err(Elapsed));
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(50),
+            "woke early: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "woke far too late: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn timeout_drops_the_inner_future_on_expiry() {
+        struct DropFlag(Arc<AtomicUsize>);
+        impl Future for DropFlag {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<()> {
+                Poll::Pending
+            }
+        }
+        impl Drop for DropFlag {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(AtomicUsize::new(0));
+        let result = block_on(timeout(
+            Duration::from_millis(20),
+            DropFlag(Arc::clone(&dropped)),
+        ));
+        assert_eq!(result, Err(Elapsed));
+        assert_eq!(
+            dropped.load(Ordering::SeqCst),
+            1,
+            "expiry must cancel (drop) the inner future"
+        );
+    }
+
+    #[test]
+    fn wake_at_fires_in_deadline_order() {
+        // Two sleeps on the shared timer from one thread; the shorter one
+        // must resolve first even though it was scheduled second.
+        struct SleepUntil(std::time::Instant);
+        impl Future for SleepUntil {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if std::time::Instant::now() >= self.0 {
+                    return Poll::Ready(());
+                }
+                wake_at(self.0, cx.waker().clone());
+                Poll::Pending
+            }
+        }
+        let pool = ThreadPool::new(2);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let now = std::time::Instant::now();
+        let slow = {
+            let order = Arc::clone(&order);
+            pool.spawn(async move {
+                SleepUntil(now + Duration::from_millis(80)).await;
+                order.lock().push("slow");
+            })
+        };
+        let fast = {
+            let order = Arc::clone(&order);
+            pool.spawn(async move {
+                SleepUntil(now + Duration::from_millis(20)).await;
+                order.lock().push("fast");
+            })
+        };
+        fast.join();
+        slow.join();
+        assert_eq!(*order.lock(), vec!["fast", "slow"]);
     }
 
     #[test]
