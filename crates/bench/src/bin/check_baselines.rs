@@ -49,12 +49,18 @@
 //!   offered load (small tolerance for run-to-run noise) and strictly
 //!   positive at the top offered load, while goodput never collapses
 //!   below a fixed fraction of its own peak — flat goodput under 10×
-//!   load is the whole point of load shedding.
+//!   load is the whole point of load shedding;
+//! * `collections` — the `TMap` conflict-granularity sweep must show
+//!   per-bucket conflict detection working: at a fixed key range, the
+//!   fine-grained bucket count must not collapse against one coarse
+//!   bucket on an update-heavy mix (disjoint keys in distinct buckets
+//!   never conflict, so losing to a single serialization point means
+//!   the per-bucket `TVar` layout stopped paying for itself).
 //!
 //! Exit status 0 when every rule passes, 1 otherwise — wire it after a
-//! short `repro_figures fig7 / map / clocks / read-hotspot / certify /
-//! server / overload` run in CI (every gated figure's fresh `.json` must
-//! exist under `--fresh`).
+//! short `repro_figures fig7 / map / collections / clocks / read-hotspot /
+//! certify / server / overload` run in CI (every gated figure's fresh
+//! `.json` must exist under `--fresh`).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -268,6 +274,53 @@ fn shed_rate_monotone(figure: &Figure) -> Result<String, String> {
     ))
 }
 
+/// Run-to-run tolerance for the conflict-granularity rule: the
+/// finest-grained point may sit this far below the coarsest before the
+/// shape counts as broken. Below parity on purpose: on a single-core box
+/// fine buckets mostly buy *absence of aborts* rather than raw speed, and
+/// the extra buckets cost a little per-transaction hashing — the rule
+/// exists to catch fine-grained throughput *collapsing* against the
+/// one-bucket map, which would mean per-bucket `TVar`s stopped paying for
+/// themselves.
+const GRANULARITY_TOLERANCE: f64 = 0.85;
+
+fn collections_granularity(figure: &Figure) -> Result<String, String> {
+    if figure.series.is_empty() {
+        return Err("figure has no series".to_string());
+    }
+    let mut verdicts = Vec::new();
+    for series in &figure.series {
+        if series.points.len() < 2 {
+            return Err(format!(
+                "series '{}' has {} point(s); the granularity rule needs a bucket sweep",
+                series.label,
+                series.points.len()
+            ));
+        }
+        // Points are pushed coarse-to-fine (x = bucket count).
+        let &(coarse_x, coarse_y) = series.points.first().expect("len checked above");
+        let &(fine_x, fine_y) = series.points.last().expect("len checked above");
+        let floor = coarse_y * GRANULARITY_TOLERANCE;
+        if fine_y < floor {
+            return Err(format!(
+                "'{}': {fine_y:.1} ops/s at {fine_x} buckets fell below \
+                 {floor:.1} ({GRANULARITY_TOLERANCE} × {coarse_y:.1} at \
+                 {coarse_x} bucket(s))",
+                series.label
+            ));
+        }
+        verdicts.push(format!(
+            "{} {:.2}x",
+            series.label,
+            fine_y / coarse_y.max(f64::MIN_POSITIVE)
+        ));
+    }
+    Ok(format!(
+        "fine-grained buckets hold against coarse ({})",
+        verdicts.join(", ")
+    ))
+}
+
 fn goodput_floor(figure: &Figure) -> Result<String, String> {
     let goodput = overload_series(figure, "goodput")?;
     let peak = goodput.points.iter().map(|&(_, y)| y).fold(0.0, f64::max);
@@ -299,6 +352,12 @@ const SHAPE_RULES: &[ShapeRule] = &[
         file: "overload",
         claim: "goodput stays flat under overload instead of collapsing below its floor",
         check: goodput_floor,
+    },
+    ShapeRule {
+        file: "collections",
+        claim: "per-bucket conflict granularity: fine-grained TMap buckets do not collapse \
+                against one coarse bucket at an equal key range",
+        check: collections_granularity,
     },
 ];
 

@@ -18,8 +18,9 @@ use std::time::Duration;
 use zstm_bench::json::{to_json, Figure};
 use zstm_bench::{
     ablation_contention, ablation_long_fraction, ablation_overhead, ablation_plausible_r,
-    clock_contention, figure6, figure7, figure_certify, figure_map, figure_overload, figure_queue,
-    figure_queue_async, figure_server, read_hotspot, BankFigure, PAPER_THREADS,
+    clock_contention, figure6, figure7, figure_certify, figure_collections, figure_map,
+    figure_overload, figure_queue, figure_queue_async, figure_server, read_hotspot, BankFigure,
+    PAPER_THREADS,
 };
 use zstm_workload::{print_table, Series};
 
@@ -132,6 +133,16 @@ fn run_map(options: &Options) {
     let series = figure_map(&options.threads, options.duration);
     println!("{}", print_table("committed ops/s", &series));
     save(options, "map", &series);
+}
+
+fn run_collections(options: &Options) {
+    println!(
+        "=== Collections: TMap conflict granularity, update-heavy mix \
+         (x = buckets at a fixed key range) ==="
+    );
+    let series = figure_collections(&options.threads, options.duration);
+    println!("{}", print_table("committed ops/s", &series));
+    save(options, "collections", &series);
 }
 
 fn run_queue(options: &Options) {
@@ -266,6 +277,7 @@ fn main() {
         "fig6" => run_fig6(&options),
         "fig7" => run_fig7(&options),
         "map" => run_map(&options),
+        "collections" => run_collections(&options),
         "queue" => run_queue(&options),
         "queue-async" => run_queue_async(&options),
         "server" => run_server_figure(&options),
@@ -281,6 +293,7 @@ fn main() {
             run_fig6(&options);
             run_fig7(&options);
             run_map(&options);
+            run_collections(&options);
             run_queue(&options);
             run_queue_async(&options);
             run_server_figure(&options);
@@ -295,8 +308,8 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command '{other}'; expected fig6 | fig7 | map | queue | queue-async | \
-                 server | overload | clocks | certify | read-hotspot | ablation-r | \
+                "unknown command '{other}'; expected fig6 | fig7 | map | collections | queue | \
+                 queue-async | server | overload | clocks | certify | read-hotspot | ablation-r | \
                  ablation-overhead | ablation-longfrac | contention | all"
             );
             std::process::exit(2);

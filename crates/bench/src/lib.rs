@@ -53,6 +53,13 @@ fn bank_config(threads: usize, duration: Duration, mode: LongMode) -> BankConfig
     config
 }
 
+fn run_array_point<F: TmFactory>(stm: Arc<F>, config: &ArrayConfig) -> zstm_workload::ArrayReport {
+    // `run_array` drives the erased facade (one compiled driver for every
+    // engine); only this thin wrapper mentions the factory type.
+    let stm: Arc<dyn DynStm> = Arc::new(Stm::from_arc(stm));
+    run_array(&stm, config)
+}
+
 fn run_bank_point<F: TmFactory>(stm: Arc<F>, config: &BankConfig) -> BankReport {
     // `run_bank` drives the erased facade (one compiled driver for every
     // engine); only this thin wrapper mentions the factory type.
@@ -164,7 +171,7 @@ pub fn ablation_plausible_r(threads: usize, duration: Duration) -> (Series, Seri
             continue;
         }
         let stm = Arc::new(CsStm::with_plausible_clock(StmConfig::new(threads), r));
-        let report = run_array(&stm, &config);
+        let report = run_array_point(stm, &config);
         throughput.push(r as f64, report.commits_per_sec);
         aborts.push(r as f64, report.abort_ratio());
     }
@@ -182,16 +189,16 @@ pub fn ablation_overhead(threads: &[usize], duration: Duration) -> Vec<Series> {
     for &n in threads {
         let mut config = ArrayConfig::new(n);
         config.duration = duration;
-        let report = run_array(&Arc::new(LsaStm::new(StmConfig::new(n))), &config);
+        let report = run_array_point(Arc::new(LsaStm::new(StmConfig::new(n))), &config);
         lsa.push(n as f64, report.commits_per_sec);
-        let report = run_array(&Arc::new(Tl2Stm::new(StmConfig::new(n))), &config);
+        let report = run_array_point(Arc::new(Tl2Stm::new(StmConfig::new(n))), &config);
         tl2.push(n as f64, report.commits_per_sec);
-        let report = run_array(
-            &Arc::new(CsStm::with_vector_clock(StmConfig::new(n))),
+        let report = run_array_point(
+            Arc::new(CsStm::with_vector_clock(StmConfig::new(n))),
             &config,
         );
         cs.push(n as f64, report.commits_per_sec);
-        let report = run_array(&Arc::new(ZStm::new(StmConfig::new(n))), &config);
+        let report = run_array_point(Arc::new(ZStm::new(StmConfig::new(n))), &config);
         z.push(n as f64, report.commits_per_sec);
     }
     vec![lsa, tl2, cs, z]
@@ -210,7 +217,7 @@ pub fn ablation_contention(threads: usize, duration: Duration) -> Vec<(&'static 
         config.objects = 16; // high contention
         config.write_pct = 80;
         config.duration = duration;
-        let report = run_array(&stm, &config);
+        let report = run_array_point(stm, &config);
         rows.push((
             policy.build().name(),
             report.commits_per_sec,
@@ -407,41 +414,41 @@ pub fn figure_certify(threads: &[usize], duration: Duration) -> (Vec<Series>, Ve
         config.write_pct = 50;
         config.duration = duration;
         let reports = [
-            run_array(&Arc::new(LsaStm::new(StmConfig::new(n))), &config),
-            run_array(
-                &Arc::new(CertifiedFactory::new(StmConfig::new(n), LsaStm::new)),
+            run_array_point(Arc::new(LsaStm::new(StmConfig::new(n))), &config),
+            run_array_point(
+                Arc::new(CertifiedFactory::new(StmConfig::new(n), LsaStm::new)),
                 &config,
             ),
-            run_array(&Arc::new(Tl2Stm::new(StmConfig::new(n))), &config),
-            run_array(
-                &Arc::new(CertifiedFactory::new(StmConfig::new(n), Tl2Stm::new)),
+            run_array_point(Arc::new(Tl2Stm::new(StmConfig::new(n))), &config),
+            run_array_point(
+                Arc::new(CertifiedFactory::new(StmConfig::new(n), Tl2Stm::new)),
                 &config,
             ),
-            run_array(
-                &Arc::new(CsStm::with_vector_clock(StmConfig::new(n))),
+            run_array_point(
+                Arc::new(CsStm::with_vector_clock(StmConfig::new(n))),
                 &config,
             ),
-            run_array(
-                &Arc::new(CertifiedFactory::new(
+            run_array_point(
+                Arc::new(CertifiedFactory::new(
                     StmConfig::new(n),
                     CsStm::with_vector_clock,
                 )),
                 &config,
             ),
-            run_array(
-                &Arc::new(SStm::with_vector_clock(StmConfig::new(n))),
+            run_array_point(
+                Arc::new(SStm::with_vector_clock(StmConfig::new(n))),
                 &config,
             ),
-            run_array(
-                &Arc::new(CertifiedFactory::new(
+            run_array_point(
+                Arc::new(CertifiedFactory::new(
                     StmConfig::new(n),
                     SStm::with_vector_clock,
                 )),
                 &config,
             ),
-            run_array(&Arc::new(ZStm::new(StmConfig::new(n))), &config),
-            run_array(
-                &Arc::new(CertifiedFactory::new(StmConfig::new(n), ZStm::new)),
+            run_array_point(Arc::new(ZStm::new(StmConfig::new(n))), &config),
+            run_array_point(
+                Arc::new(CertifiedFactory::new(StmConfig::new(n), ZStm::new)),
                 &config,
             ),
         ];
@@ -684,6 +691,48 @@ fn run_map_point<F: TmFactory>(stm: Arc<F>, config: &MapConfig) -> f64 {
     report.ops_per_sec
 }
 
+/// Bucket counts swept by [`figure_collections`], coarse to fine, at the
+/// fixed [`COLLECTIONS_KEYS`] key range.
+pub const COLLECTIONS_BUCKETS: [usize; 4] = [1, 4, 16, 64];
+
+/// Key range of the conflict-granularity sweep: fixed while the bucket
+/// count sweeps, so the x axis is purely buckets-per-key.
+pub const COLLECTIONS_KEYS: usize = 256;
+
+/// **Collections figure**: the conflict granularity of the `TMap` — the
+/// update-heavy map workload at a fixed key range while the bucket count
+/// sweeps from one (every update conflicts with every other) to 64
+/// (disjoint keys usually commute). The workload *is* the collections
+/// layer: `run_map` drives a `TMap<u64, u64>` through the erased facade,
+/// so per-bucket `TVar`s are exactly what the sweep measures. Returns one
+/// throughput-vs-buckets series per engine (LSA and Z). Scans are
+/// disabled: a whole-map scan reads every bucket and would flatten the
+/// granularity signal this figure exists to show.
+pub fn figure_collections(threads: &[usize], duration: Duration) -> Vec<Series> {
+    // Granularity needs concurrent updaters; sweep at the top requested
+    // thread count (floored at 2 so `--threads 1` still contends).
+    let n = threads.iter().copied().max().unwrap_or(2).max(2);
+    let mut lsa = Series::new("LSA-STM");
+    let mut z = Series::new("Z-STM");
+    for &buckets in &COLLECTIONS_BUCKETS {
+        let mut config = MapConfig::new(n);
+        config.buckets = buckets;
+        config.keys = COLLECTIONS_KEYS;
+        config.lookup_pct = 10; // update-heavy: conflicts dominate
+        config.scan_pct = 0;
+        config.duration = duration;
+        lsa.push(
+            buckets as f64,
+            run_map_point(Arc::new(LsaStm::new(StmConfig::new(n))), &config),
+        );
+        z.push(
+            buckets as f64,
+            run_map_point(Arc::new(ZStm::new(StmConfig::new(n))), &config),
+        );
+    }
+    vec![lsa, z]
+}
+
 /// **Map figure**: the read-dominated map workload on LSA over the scalar
 /// and sharded clocks plus Z-STM over the sharded clock — the sweep that
 /// shows what the seqlock read path and the sharded time base buy on the
@@ -759,6 +808,20 @@ mod tests {
         assert_eq!(series.len(), 3);
         for s in &series {
             assert!(s.points.iter().all(|&(_, y)| y > 0.0));
+        }
+    }
+
+    #[test]
+    fn figure_collections_smoke() {
+        let series = figure_collections(&[2], FAST);
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            assert_eq!(s.points.len(), COLLECTIONS_BUCKETS.len());
+            assert!(
+                s.points.iter().all(|&(_, y)| y > 0.0),
+                "{}: every bucket count must commit operations",
+                s.label
+            );
         }
     }
 

@@ -1,0 +1,157 @@
+//! [`TSet`]: a transactional hash set, a thin veneer over
+//! [`TMap<T, ()>`] so it inherits the per-bucket conflict granularity
+//! (and the fixed-fanout design note) without a second storage scheme.
+
+use zstm_api::{DynStm, DynTx};
+use zstm_core::Abort;
+
+use crate::codec::Codec;
+use crate::map::TMap;
+
+/// A transactional hash set over per-bucket variables: membership
+/// operations on elements in different buckets never conflict.
+///
+/// ```
+/// use std::sync::Arc;
+/// use zstm_api::{DynStm, Stm};
+/// use zstm_collections::TSet;
+/// use zstm_core::{RetryPolicy, StmConfig, TxKind};
+/// use zstm_lsa::LsaStm;
+///
+/// let stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::new(StmConfig::new(1))));
+/// let set: TSet<String> = TSet::new(&*stm, 8);
+/// let fresh = stm
+///     .atomically(TxKind::Short, &RetryPolicy::unbounded(), |tx| {
+///         set.insert(tx, &"podc".to_string())
+///     })
+///     .unwrap();
+/// assert!(fresh);
+/// ```
+pub struct TSet<T: Codec> {
+    map: TMap<T, ()>,
+}
+
+impl<T: Codec> Clone for TSet<T> {
+    fn clone(&self) -> Self {
+        Self {
+            map: self.map.clone(),
+        }
+    }
+}
+
+impl<T: Codec> std::fmt::Debug for TSet<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TSet")
+            .field("buckets", &self.map.bucket_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Codec> TSet<T> {
+    /// Creates an empty set with a fixed fanout of `buckets` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn new(stm: &dyn DynStm, buckets: usize) -> Self {
+        Self {
+            map: TMap::new(stm, buckets),
+        }
+    }
+
+    /// The fixed bucket fanout chosen at construction.
+    pub fn bucket_count(&self) -> usize {
+        self.map.bucket_count()
+    }
+
+    /// Inserts `value`; `true` iff it was not already present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] on conflicts resolved against this transaction.
+    pub fn insert(&self, tx: &mut dyn DynTx, value: &T) -> Result<bool, Abort> {
+        Ok(self.map.insert(tx, value, &())?.is_none())
+    }
+
+    /// Removes `value`; `true` iff it was present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] on conflicts resolved against this transaction.
+    pub fn remove(&self, tx: &mut dyn DynTx, value: &T) -> Result<bool, Abort> {
+        Ok(self.map.remove(tx, value)?.is_some())
+    }
+
+    /// `true` iff `value` is present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if the engine cannot serve a consistent read.
+    pub fn contains(&self, tx: &mut dyn DynTx, value: &T) -> Result<bool, Abort> {
+        self.map.contains_key(tx, value)
+    }
+
+    /// Number of elements (whole-set footprint, like [`TMap::len`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if the engine cannot serve a consistent read.
+    pub fn len(&self, tx: &mut dyn DynTx) -> Result<usize, Abort> {
+        self.map.len(tx)
+    }
+
+    /// `true` iff the set is empty (whole-set footprint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if the engine cannot serve a consistent read.
+    pub fn is_empty(&self, tx: &mut dyn DynTx) -> Result<bool, Abort> {
+        self.map.is_empty(tx)
+    }
+
+    /// Calls `f` for every element (whole-set footprint; bucket order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if the engine cannot serve a consistent read.
+    pub fn for_each(&self, tx: &mut dyn DynTx, mut f: impl FnMut(T)) -> Result<(), Abort> {
+        self.map.for_each(tx, |value, ()| f(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use zstm_api::Stm;
+    use zstm_core::{RetryPolicy, StmConfig, TxKind};
+    use zstm_z::ZStm;
+
+    #[test]
+    fn set_semantics_hold() {
+        let stm: Arc<dyn DynStm> = Arc::new(Stm::new(ZStm::new(StmConfig::new(1))));
+        let set: TSet<u64> = TSet::new(&*stm, 4);
+        let policy = RetryPolicy::unbounded();
+        let (first, second) = stm
+            .atomically(TxKind::Short, &policy, |tx| {
+                Ok((set.insert(tx, &5)?, set.insert(tx, &5)?))
+            })
+            .unwrap();
+        assert!(first, "first insert is fresh");
+        assert!(!second, "second insert of the same value is not");
+        assert!(stm
+            .atomically(TxKind::Short, &policy, |tx| set.contains(tx, &5))
+            .unwrap());
+        assert_eq!(
+            stm.atomically(TxKind::Short, &policy, |tx| set.len(tx))
+                .unwrap(),
+            1
+        );
+        assert!(stm
+            .atomically(TxKind::Short, &policy, |tx| set.remove(tx, &5))
+            .unwrap());
+        assert!(stm
+            .atomically(TxKind::Short, &policy, |tx| set.is_empty(tx))
+            .unwrap());
+    }
+}

@@ -536,12 +536,18 @@ fn dispatch(
         b"ENGINE" => return Ok(Reply::Value(shared.stm.name().as_bytes().to_vec())),
         b"STATS" => {
             let stats = shared.stm.take_stats();
+            // Aborts are split by cause, not lumped: a parked `WAIT` that
+            // rolls back to block is bookkeeping (`blocking_retries`),
+            // not contention (`conflict_aborts`) — lumping them made
+            // WAIT-heavy servers look conflict-bound.
             return Ok(Reply::Value(
                 format!(
-                    "commits={} aborts={} certification_aborts={} waker_parks={} \
+                    "commits={} conflict_aborts={} blocking_retries={} \
+                     certification_aborts={} waker_parks={} \
                      retries_exhausted={} conns_shed={} busy={} timeouts={} inflight={}",
                     stats.total_commits(),
-                    stats.total_aborts(),
+                    stats.conflict_aborts(),
+                    stats.blocking_retries(),
                     stats.certification_aborts(),
                     stats.waker_parks(),
                     stats.retries_exhausted(),

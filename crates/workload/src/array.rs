@@ -2,7 +2,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use zstm_core::{atomically, RetryPolicy, TmFactory, TmThread, TmTx, TxKind, TxStats};
+use zstm_api::{DynStm, DynVar};
+use zstm_core::{RetryPolicy, TxKind, TxStats};
 use zstm_util::XorShift64;
 
 /// Configuration of the random-array workload used by the ablation
@@ -72,11 +73,15 @@ impl ArrayReport {
     }
 }
 
-/// Runs the random-array workload against `stm`. Registers
-/// `config.threads` logical threads.
-pub fn run_array<F: TmFactory>(stm: &Arc<F>, config: &ArrayConfig) -> ArrayReport {
-    let objects: Arc<Vec<F::Var<i64>>> =
-        Arc::new((0..config.objects).map(|_| stm.new_var(0i64)).collect());
+/// Runs the random-array workload against `stm` — the erased facade, so
+/// one compiled driver serves every engine selected at runtime (same
+/// convention as [`run_bank`](crate::run_bank) and every other workload
+/// here except [`run_read_hotspot`](crate::run_read_hotspot), which stays
+/// monomorphized because it sweeps the `fast_reads` `StmConfig` knob per
+/// concrete factory). Leases `config.threads` logical threads from the
+/// facade's pool.
+pub fn run_array(stm: &Arc<dyn DynStm>, config: &ArrayConfig) -> ArrayReport {
+    let objects: Arc<Vec<DynVar>> = Arc::new((0..config.objects).map(|_| stm.new_i64(0)).collect());
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(config.threads + 1));
     // Benchmark path: explicitly unbounded — under heavy contention the
@@ -85,7 +90,7 @@ pub fn run_array<F: TmFactory>(stm: &Arc<F>, config: &ArrayConfig) -> ArrayRepor
 
     let mut handles = Vec::with_capacity(config.threads);
     for t in 0..config.threads {
-        let mut thread = stm.register_thread();
+        let stm = Arc::clone(stm);
         let objects = Arc::clone(&objects);
         let stop = Arc::clone(&stop);
         let barrier = Arc::clone(&barrier);
@@ -105,11 +110,11 @@ pub fn run_array<F: TmFactory>(stm: &Arc<F>, config: &ArrayConfig) -> ArrayRepor
                         )
                     })
                     .collect();
-                let result = atomically(&mut thread, TxKind::Short, &policy, |tx| {
+                let result = stm.atomically(TxKind::Short, &policy, |tx| {
                     for &(index, write) in &picks {
-                        let value = tx.read(&objects[index])?;
+                        let value = tx.read_i64(&objects[index])?;
                         if write {
-                            tx.write(&objects[index], value + 1)?;
+                            tx.write_i64(&objects[index], value + 1)?;
                         }
                     }
                     Ok(())
@@ -118,7 +123,7 @@ pub fn run_array<F: TmFactory>(stm: &Arc<F>, config: &ArrayConfig) -> ArrayRepor
                     commits += 1;
                 }
             }
-            (commits, thread.take_stats())
+            commits
         }));
     }
 
@@ -129,12 +134,12 @@ pub fn run_array<F: TmFactory>(stm: &Arc<F>, config: &ArrayConfig) -> ArrayRepor
     let elapsed = started.elapsed();
 
     let mut commits = 0u64;
-    let mut stats = TxStats::new();
     for handle in handles {
-        let (thread_commits, thread_stats) = handle.join().expect("array worker panicked");
-        commits += thread_commits;
-        stats.merge(&thread_stats);
+        commits += handle.join().expect("array worker panicked");
     }
+    // Worker threads have exited, so their cached leases are back in the
+    // facade's free pool and the harvest sees every counter.
+    let stats: TxStats = stm.take_stats();
     ArrayReport {
         stm: stm.name(),
         threads: config.threads,
@@ -148,6 +153,7 @@ pub fn run_array<F: TmFactory>(stm: &Arc<F>, config: &ArrayConfig) -> ArrayRepor
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zstm_api::Stm;
     use zstm_clock::RevClock;
     use zstm_core::StmConfig;
     use zstm_cs::CsStm;
@@ -156,7 +162,9 @@ mod tests {
     #[test]
     fn array_runs_on_cs_stm() {
         let config = ArrayConfig::quick(2);
-        let stm = Arc::new(CsStm::with_vector_clock(StmConfig::new(config.threads)));
+        let stm: Arc<dyn DynStm> = Arc::new(Stm::new(CsStm::with_vector_clock(StmConfig::new(
+            config.threads,
+        ))));
         let report = run_array(&stm, &config);
         assert!(report.commits > 0);
         assert_eq!(report.stm, "cs");
@@ -166,10 +174,10 @@ mod tests {
     #[test]
     fn array_runs_on_plausible_cs_stm() {
         let config = ArrayConfig::quick(2);
-        let stm = Arc::new(CsStm::with_plausible_clock(
+        let stm: Arc<dyn DynStm> = Arc::new(Stm::new(CsStm::with_plausible_clock(
             StmConfig::new(config.threads),
             1,
-        ));
+        )));
         let report = run_array(&stm, &config);
         assert!(report.commits > 0);
     }
@@ -177,8 +185,8 @@ mod tests {
     #[test]
     fn array_runs_on_s_stm() {
         let config = ArrayConfig::quick(2);
-        let stm = Arc::new(SStm::<RevClock>::with_vector_clock(StmConfig::new(
-            config.threads,
+        let stm: Arc<dyn DynStm> = Arc::new(Stm::new(SStm::<RevClock>::with_vector_clock(
+            StmConfig::new(config.threads),
         )));
         let report = run_array(&stm, &config);
         assert!(report.commits > 0);

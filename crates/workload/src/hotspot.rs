@@ -14,6 +14,15 @@
 //! `pair.1 == pair.0 * 3`; every committed read checks it, so a torn
 //! publication shows up as `consistent == false` rather than a silently
 //! wrong number.
+//!
+//! Unlike every other workload in this crate, [`run_read_hotspot`] stays
+//! **monomorphized** over [`TmFactory`] instead of taking the erased
+//! `Arc<dyn DynStm>`: its callers sweep the `fast_reads`
+//! [`StmConfig`](zstm_core::StmConfig) knob per concrete factory (see
+//! the `read_hotspot` gate), and the
+//! measurement's whole point is the per-read cost of the *engine's* read
+//! path — an erased wrapper would add a fixed virtual-dispatch tax to the
+//! very quantity under test.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};

@@ -25,6 +25,12 @@
 //! base are built for; the bank benchmark's transfers are update-heavy
 //! and cannot show either.
 //!
+//! [`run_graph`] exercises the **collections layer** end to end: a graph
+//! whose adjacency lives in a [`TMap`](zstm_collections::TMap) with a
+//! per-node in-degree secondary index in a second `TMap`, updated in the
+//! *same* transaction as every atomic edge move; long audit transactions
+//! recompute the index from scratch and flag any divergence.
+//!
 //! [`run_read_hotspot`] is the pure read-path stress: every thread
 //! hammers one hot variable with short read-only transactions, so the
 //! per-read synchronization cost (mutex vs lock-free publication)
@@ -65,6 +71,7 @@
 
 mod array;
 mod bank;
+mod graph;
 mod hotspot;
 mod list;
 mod map;
@@ -73,6 +80,7 @@ mod report;
 
 pub use array::{run_array, ArrayConfig, ArrayReport};
 pub use bank::{run_bank, BankConfig, BankReport, LongMode};
+pub use graph::{run_graph, GraphConfig, GraphReport, TxGraph};
 pub use hotspot::{run_read_hotspot, HotspotConfig, HotspotReport};
 pub use list::TxList;
 pub use map::{run_map, MapConfig, MapReport};

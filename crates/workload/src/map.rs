@@ -3,8 +3,7 @@
 //! The bank benchmark is update-heavy (every transfer writes two
 //! accounts), so it cannot show what the seqlock read fast path and the
 //! sharded time base buy on the workloads they target. This workload
-//! models a cache/lookup service instead: a fixed-capacity bucketed map
-//! whose operations are
+//! models a cache/lookup service instead: a [`TMap`] whose operations are
 //!
 //! * **lookup** (default 90 %) — a short read-only transaction probing one
 //!   bucket;
@@ -13,18 +12,19 @@
 //!   transaction walking every bucket, checking that it observes each key
 //!   exactly once (a consistent snapshot).
 //!
-//! The map is seeded with `keys` entries spread over `buckets` buckets;
-//! every bucket is one *bytes* variable of the erased facade holding its
-//! `(key, value)` pairs as 16-byte little-endian records, so lookups
-//! clone a handful of words per probe and one compiled driver serves
-//! every engine behind `Arc<dyn DynStm>`. The final report carries a
-//! `consistent` flag: `false` if any committed scan saw a torn map.
+//! The map is seeded with `keys` entries spread over `buckets` buckets by
+//! the container's own hash routing; per-bucket `TVar`s mean lookups and
+//! updates of keys in different buckets never conflict, and one compiled
+//! driver serves every engine behind `Arc<dyn DynStm>`. The final report
+//! carries a `consistent` flag: `false` if any committed scan saw a torn
+//! map.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use zstm_api::{DynStm, DynVar};
+use zstm_api::DynStm;
+use zstm_collections::TMap;
 use zstm_core::{RetryPolicy, TxKind, TxStats};
 use zstm_util::XorShift64;
 
@@ -109,60 +109,35 @@ impl MapReport {
     }
 }
 
-/// Bytes per `(key, value)` entry in a bucket's encoded contents.
-const ENTRY_BYTES: usize = 16;
-
-/// Appends one `(key, value)` entry to a bucket's byte encoding: two
-/// little-endian `u64`s, key first.
-fn push_entry(bucket: &mut Vec<u8>, key: u64, value: u64) {
-    bucket.extend_from_slice(&key.to_le_bytes());
-    bucket.extend_from_slice(&value.to_le_bytes());
-}
-
-/// Number of entries in a bucket's byte encoding.
-fn entry_count(bucket: &[u8]) -> usize {
-    bucket.len() / ENTRY_BYTES
-}
-
-/// Looks `key` up in a bucket's byte encoding.
-fn find_value(bucket: &[u8], key: u64) -> Option<u64> {
-    bucket.chunks_exact(ENTRY_BYTES).find_map(|entry| {
-        let k = u64::from_le_bytes(entry[..8].try_into().expect("8-byte key"));
-        (k == key).then(|| u64::from_le_bytes(entry[8..].try_into().expect("8-byte value")))
-    })
-}
-
-/// Rewrites `key`'s value in place in a bucket's byte encoding; returns
-/// `false` when the key is absent.
-fn set_value(bucket: &mut [u8], key: u64, value: u64) -> bool {
-    for entry in bucket.chunks_exact_mut(ENTRY_BYTES) {
-        let k = u64::from_le_bytes(entry[..8].try_into().expect("8-byte key"));
-        if k == key {
-            entry[8..].copy_from_slice(&value.to_le_bytes());
-            return true;
-        }
-    }
-    false
-}
-
 /// Runs the read-dominated map workload against `stm` — the erased
 /// facade, so one compiled driver serves every engine (same convention
 /// as [`run_bank`](crate::run_bank) and [`run_queue`](crate::run_queue)).
-/// Each bucket is one bytes variable holding its `(key, value)` pairs as
-/// 16-byte little-endian records.
+/// The map is a [`TMap<u64, u64>`]: each bucket is one bytes variable of
+/// the facade, so the conflict granularity is the container's bucket, not
+/// the whole map.
 pub fn run_map(stm: &Arc<dyn DynStm>, config: &MapConfig) -> MapReport {
-    // Seed: key k lives in bucket k % buckets with value k * 3.
-    let buckets: Arc<Vec<DynVar>> = Arc::new(
-        (0..config.buckets)
-            .map(|b| {
-                let mut entries = Vec::new();
-                for k in (0..config.keys as u64).filter(|k| *k as usize % config.buckets == b) {
-                    push_entry(&mut entries, k, k * 3);
+    let map: TMap<u64, u64> = TMap::new(&**stm, config.buckets);
+    // Seed: key k with value k * 3, one transaction (a quiescent seed
+    // cannot conflict; the single commit is noise in the final stats).
+    // Runs on a short-lived thread so its context lease recycles when
+    // the thread exits — the driver needs exactly `config.threads`
+    // leased contexts, all consumed by the workers below.
+    {
+        let stm = Arc::clone(stm);
+        let map = map.clone();
+        let keys = config.keys as u64;
+        std::thread::spawn(move || {
+            stm.atomically(TxKind::Long, &RetryPolicy::unbounded(), |tx| {
+                for k in 0..keys {
+                    map.insert(tx, &k, &(k * 3))?;
                 }
-                stm.new_bytes(entries)
+                Ok(())
             })
-            .collect(),
-    );
+            .expect("unbounded seed transaction");
+        })
+        .join()
+        .expect("seed thread");
+    }
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(config.threads + 1));
     // Benchmark path: explicitly unbounded (see RetryPolicy::default's
@@ -173,7 +148,7 @@ pub fn run_map(stm: &Arc<dyn DynStm>, config: &MapConfig) -> MapReport {
     let mut handles = Vec::with_capacity(config.threads);
     for t in 0..config.threads {
         let stm = Arc::clone(stm);
-        let buckets = Arc::clone(&buckets);
+        let map = map.clone();
         let stop = Arc::clone(&stop);
         let barrier = Arc::clone(&barrier);
         let config = config.clone();
@@ -187,39 +162,30 @@ pub fn run_map(stm: &Arc<dyn DynStm>, config: &MapConfig) -> MapReport {
             while !stop.load(Ordering::Relaxed) {
                 if rng.next_percent(config.lookup_pct) {
                     let key = rng.next_range(config.keys as u64);
-                    let bucket = key as usize % config.buckets;
-                    let found = stm.atomically(TxKind::Short, &short_policy, |tx| {
-                        let entries = tx.read_bytes(&buckets[bucket])?;
-                        Ok(find_value(&entries, key))
-                    });
+                    let found =
+                        stm.atomically(TxKind::Short, &short_policy, |tx| map.get(tx, &key));
                     if let Ok(found) = found {
                         consistent &= found.is_some();
                         lookups += 1;
                     }
                 } else if rng.next_percent(config.scan_pct) {
-                    let seen = stm.atomically(TxKind::Long, &scan_policy, |tx| {
-                        let mut seen = 0u64;
-                        for bucket in buckets.iter() {
-                            seen += entry_count(&tx.read_bytes(bucket)?) as u64;
-                        }
-                        Ok(seen)
-                    });
+                    let seen = stm.atomically(TxKind::Long, &scan_policy, |tx| map.len(tx));
                     if let Ok(seen) = seen {
                         // Updates rewrite values in place, so a consistent
                         // snapshot always holds exactly `keys` entries.
-                        consistent &= seen == config.keys as u64;
+                        consistent &= seen == config.keys;
                         scans += 1;
                     }
                 } else {
                     let key = rng.next_range(config.keys as u64);
-                    let bucket = key as usize % config.buckets;
                     let value = rng.next_u64();
-                    let committed = stm.atomically(TxKind::Short, &short_policy, |tx| {
-                        let mut entries = tx.read_bytes(&buckets[bucket])?;
-                        set_value(&mut entries, key, value);
-                        tx.write_bytes(&buckets[bucket], entries)
+                    let replaced = stm.atomically(TxKind::Short, &short_policy, |tx| {
+                        map.insert(tx, &key, &value)
                     });
-                    if committed.is_ok() {
+                    if let Ok(replaced) = replaced {
+                        // Every update targets a seeded key, so it must
+                        // replace, never grow the map.
+                        consistent &= replaced.is_some();
                         updates += 1;
                     }
                 }
@@ -306,15 +272,25 @@ mod tests {
     }
 
     #[test]
-    fn bucket_codec_round_trips() {
-        let mut bucket = Vec::new();
-        push_entry(&mut bucket, 7, 21);
-        push_entry(&mut bucket, 9, 27);
-        assert_eq!(entry_count(&bucket), 2);
-        assert_eq!(find_value(&bucket, 7), Some(21));
-        assert_eq!(find_value(&bucket, 8), None);
-        assert!(set_value(&mut bucket, 9, 99));
-        assert_eq!(find_value(&bucket, 9), Some(99));
-        assert!(!set_value(&mut bucket, 8, 1));
+    fn seeded_values_survive_the_rewrite() {
+        // The seed rule (`k -> k * 3`) is part of the workload's contract:
+        // lookups count on every key being present from the start.
+        let config = MapConfig::quick(1);
+        let stm: Arc<dyn DynStm> = Arc::new(Stm::new(LsaStm::new(StmConfig::new(2))));
+        let map: TMap<u64, u64> = TMap::new(&*stm, config.buckets);
+        stm.atomically(TxKind::Long, &RetryPolicy::unbounded(), |tx| {
+            for k in 0..config.keys as u64 {
+                map.insert(tx, &k, &(k * 3))?;
+            }
+            Ok(())
+        })
+        .expect("seed");
+        let (len, spot) = stm
+            .atomically(TxKind::Short, &RetryPolicy::unbounded(), |tx| {
+                Ok((map.len(tx)?, map.get(tx, &21)?))
+            })
+            .expect("read");
+        assert_eq!(len, config.keys);
+        assert_eq!(spot, Some(63));
     }
 }

@@ -522,18 +522,29 @@ impl<B: TimeBase> TmTx for ZTx<'_, B> {
             // assumes each object is opened exactly once).
             let cm = Arc::clone(&self.stm().cm);
             let obj_id = var.core.id();
+            // Read-your-own-write: if we already hold the reservation,
+            // the open below serves our tentative value at `base + 1`.
+            // The repeated-open check must keep comparing *base* —
+            // `long_opened` records the committed version each open sits
+            // on, and our own pending write is not a post-stamp intruder.
+            let own_reservation = var.core.reserved_by(&self.shared);
             let hit = var
                 .core
                 .open_long_read(&self.shared, self.zc, cm.as_ref())?;
+            let opened_seq = if own_reservation {
+                hit.seq - 1
+            } else {
+                hit.seq
+            };
             match self.long_opened.get(&obj_id).copied() {
-                Some(seq) if hit.seq != seq => {
+                Some(seq) if opened_seq != seq => {
                     // A post-stamp transaction slid a version in between:
                     // our earlier open no longer matches.
                     return Err(self.abort_with(AbortReason::SnapshotUnavailable));
                 }
                 Some(_) => {}
                 None => {
-                    self.long_opened.insert(obj_id, hit.seq);
+                    self.long_opened.insert(obj_id, opened_seq);
                 }
             }
             self.record(TxEventKind::Read {
@@ -674,6 +685,32 @@ mod tests {
         })
         .expect("commit");
         assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn long_tx_reads_its_own_write() {
+        // Regression: the repeated-open check used to compare the
+        // tentative read's `base + 1` against the recorded base and
+        // abort `SnapshotUnavailable` deterministically — an unbounded
+        // long transaction mixing reads and writes on one object (any
+        // TMap read-modify-write seed) then retried forever.
+        let stm = stm(1);
+        let var = stm.new_var(1i64);
+        let mut thread = stm.register_thread();
+        let seen = atomically(&mut thread, TxKind::Long, &RetryPolicy::default(), |tx| {
+            let v = tx.read(&var)?;
+            tx.write(&var, v + 10)?;
+            let tentative = tx.read(&var)?;
+            tx.write(&var, tentative * 2)?;
+            tx.read(&var)
+        })
+        .expect("read-your-own-write long transaction commits");
+        assert_eq!(seen, 22);
+        let committed = atomically(&mut thread, TxKind::Short, &RetryPolicy::default(), |tx| {
+            tx.read(&var)
+        })
+        .expect("commit");
+        assert_eq!(committed, 22);
     }
 
     #[test]

@@ -83,7 +83,10 @@ fn main() {
     println!("{:>6} {:>14} {:>12}", "r", "commits/s", "abort ratio");
     let threads = 4;
     for r in [1usize, 2, 4] {
-        let stm = Arc::new(CsStm::with_plausible_clock(StmConfig::new(threads), r));
+        let stm: Arc<dyn DynStm> = Arc::new(Stm::new(CsStm::with_plausible_clock(
+            StmConfig::new(threads),
+            r,
+        )));
         let mut config = ArrayConfig::new(threads);
         config.duration = Duration::from_millis(400);
         let report = run_array(&stm, &config);
@@ -93,7 +96,8 @@ fn main() {
             report.abort_ratio()
         );
     }
-    let stm = Arc::new(CsStm::with_vector_clock(StmConfig::new(threads)));
+    let stm: Arc<dyn DynStm> =
+        Arc::new(Stm::new(CsStm::with_vector_clock(StmConfig::new(threads))));
     let mut config = ArrayConfig::new(threads);
     config.duration = Duration::from_millis(400);
     let report = run_array(&stm, &config);

@@ -127,6 +127,13 @@ pub mod certify {
     pub use zstm_certify::*;
 }
 
+/// Transactional containers (`TMap`, `TSet`, `TQueue`, `TDeque`) over
+/// the erased facade: per-bucket conflict granularity and composable
+/// blocking pops. Re-export of [`zstm_collections`].
+pub mod collections {
+    pub use zstm_collections::*;
+}
+
 /// The TCP network front end: wire protocol (see `PROTOCOL.md`), server,
 /// scripted client and chaos-socket fault injection. Re-export of
 /// [`zstm_server`].
@@ -155,6 +162,7 @@ pub mod prelude {
     pub use zstm_api::{DynStm, DynTx, DynVar, Stm, TVar, Tx};
     pub use zstm_certify::CertifiedFactory;
     pub use zstm_clock::{RevClock, ScalarClock, ShardedClock, SimRealTimeClock, TimeBase};
+    pub use zstm_collections::{Codec, TDeque, TMap, TQueue, TSet};
     pub use zstm_core::{
         atomically, Abort, AbortReason, CmPolicy, RetryExhausted, RetryPolicy, StmConfig,
         TmFactory, TmThread, TmTx, TxKind,
